@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain pytest/python underneath.
+
+.PHONY: test test-fast bench examples docs clean
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/minibatch_vs_fullgraph.py
+	python examples/distributed_scaling.py
+	python examples/bulk_sampling_demo.py
+	python examples/physics_analysis.py
+	python examples/traditional_vs_gnn.py
+	python examples/production_strategies.py
+
+docs:
+	python scripts/generate_api_docs.py > docs/api.md
+
+clean:
+	rm -rf benchmarks/.bench_cache benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

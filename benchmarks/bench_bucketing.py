@@ -1,0 +1,92 @@
+"""Ablation — gradient bucket size with compute overlap.
+
+The paper's coalescing is the ``bucket = ∞`` limit of PyTorch DDP's
+bucketed synchronisation.  Without overlap, bigger buckets are strictly
+better (fewer α terms).  *With* overlap, one giant bucket cannot start
+until backward finishes, so a sweet spot appears at intermediate sizes.
+This bench sweeps the bucket size under the α–β model with the overlap
+schedule of :func:`repro.distributed.overlapped_sync_time` and verifies
+the bucketed synchroniser's gradients equal the coalesced ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import write_report
+from repro.distributed import (
+    NVLINK_A100,
+    BucketedSynchronizer,
+    DistributedDataParallel,
+    SimCommunicator,
+    overlapped_sync_time,
+    partition_buckets,
+    replicate_model,
+)
+from repro.models import IGNNConfig, InteractionGNN
+from repro.nn import BCEWithLogitsLoss
+from repro.graph import random_graph
+from repro.tensor import Tensor
+
+BACKWARD_SECONDS = 5e-3  # modeled backward duration of one step (A100-ish)
+WORLD = 4
+
+
+def test_bucket_size_sweep(benchmark):
+    model = InteractionGNN(
+        IGNNConfig(node_features=6, edge_features=2, hidden=64, num_layers=8)
+    )
+    sizes = [p.size * 4 for p in model.parameters()]
+    kib = 1024
+
+    def run():
+        sweep = {}
+        for bucket in (1, 4 * kib, 32 * kib, 256 * kib, 2**40):
+            exposed = overlapped_sync_time(
+                sizes, bucket, WORLD, BACKWARD_SECONDS, NVLINK_A100
+            )
+            sweep[bucket] = (len(partition_buckets(sizes, bucket)), exposed)
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Bucketed all-reduce with overlap — exposed sync time per step "
+        f"(P={WORLD}, backward={1e3 * BACKWARD_SECONDS:.0f} ms, "
+        f"{sum(sizes) / 1e6:.2f} MB gradients)",
+        f"{'bucket size':>12} | {'buckets':>7} | {'exposed':>9}",
+    ]
+    for bucket, (count, exposed) in sweep.items():
+        label = "∞ (coalesced)" if bucket >= 2**40 else (
+            "per-tensor" if bucket == 1 else f"{bucket // kib} KiB"
+        )
+        lines.append(f"{label:>12} | {count:>7} | {1e6 * exposed:7.0f} us")
+    write_report("bucketing_overlap", lines)
+
+    per_tensor = sweep[1][1]
+    coalesced = sweep[2**40][1]
+    best_mid = min(exposed for b, (_, exposed) in sweep.items() if 1 < b < 2**40)
+    # with overlap, a moderate bucket beats both extremes
+    assert best_mid <= coalesced + 1e-12
+    assert best_mid < per_tensor
+
+    # correctness: bucketed sync == coalesced sync, gradient-for-gradient
+    def factory():
+        return InteractionGNN(
+            IGNNConfig(node_features=6, edge_features=2, hidden=8, num_layers=2, seed=0)
+        )
+
+    g = random_graph(60, 240, rng=np.random.default_rng(0))
+    loss_fn = BCEWithLogitsLoss()
+    labels = g.edge_labels.astype(np.float32)
+    models_a = replicate_model(factory, WORLD)
+    models_b = replicate_model(factory, WORLD)
+    for models in (models_a, models_b):
+        for rank, m in enumerate(models):
+            m.zero_grad()
+            loss_fn(m(Tensor(g.x), Tensor(g.y), g.rows, g.cols), labels).backward()
+    DistributedDataParallel(models_a, SimCommunicator(WORLD), "coalesced").synchronize_gradients()
+    BucketedSynchronizer(models_b, SimCommunicator(WORLD), bucket_bytes=8 * kib).synchronize_gradients()
+    for (n1, p1), (_, p2) in zip(models_a[0].named_parameters(), models_b[0].named_parameters()):
+        assert np.allclose(p1.grad, p2.grad, atol=1e-6), n1

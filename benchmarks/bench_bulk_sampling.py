@@ -1,0 +1,83 @@
+"""Section III-C ablation — bulk sampling speedup vs the number of
+minibatches ``k`` sampled per step.
+
+The point of matrix-based bulk sampling (Eq. 1) is amortisation: stacking
+k batches' Q matrices pays the per-step fixed costs once.  The paper
+observes sampling more minibatches in bulk as aggregate memory grows; this
+bench sweeps k on both dataset shapes and reports the per-batch sampling
+time relative to the sequential (PyG-style) sampler.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from common import BENCH_GNN, write_report
+from repro.sampling import BulkShadowSampler, ShadowSampler
+
+BATCH = 128
+KS = (1, 2, 4, 8, 16)
+
+
+def _per_batch_time(sampler, graph, batches, rng, bulk: bool, repeats: int = 5) -> float:
+    """Best-of-``repeats`` per-batch wall-clock (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        if bulk:
+            sampler.sample_bulk(graph, batches, rng)
+        else:
+            for b in batches:
+                sampler.sample(graph, b, rng)
+        best = min(best, (time.perf_counter() - t0) / len(batches))
+    return best
+
+
+def _sweep(graph, rng):
+    graph.to_csr(symmetric=True)  # warm
+    seq = ShadowSampler(BENCH_GNN["depth"], BENCH_GNN["fanout"])
+    bulk = BulkShadowSampler(BENCH_GNN["depth"], BENCH_GNN["fanout"])
+    batches16 = [
+        rng.choice(graph.num_nodes, size=min(BATCH, graph.num_nodes // 2), replace=False)
+        for _ in range(max(KS))
+    ]
+    t_seq = _per_batch_time(seq, graph, batches16, rng, bulk=False, repeats=3)
+    out = {}
+    for k in KS:
+        t_bulk = _per_batch_time(bulk, graph, batches16[:k], rng, bulk=True)
+        out[k] = (t_seq, t_bulk, t_seq / t_bulk)
+    return out
+
+
+def test_bulk_sampling_amortisation(ex3_bench, ctd_bench, benchmark):
+    rng = np.random.default_rng(0)
+
+    def run():
+        return {
+            "ex3": _sweep(ex3_bench.train[0], rng),
+            "ctd": _sweep(ctd_bench.train[0], rng),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Bulk ShaDow amortisation — per-batch sampling time vs k "
+        f"(batch {BATCH}, d={BENCH_GNN['depth']}, s={BENCH_GNN['fanout']})",
+        f"{'dataset':<8} | {'k':>3} | {'seq ms/batch':>12} | {'bulk ms/batch':>13} | speedup",
+    ]
+    for name, sweep in results.items():
+        for k, (t_seq, t_bulk, speedup) in sweep.items():
+            lines.append(
+                f"{name:<8} | {k:>3} | {1e3 * t_seq:12.2f} | {1e3 * t_bulk:13.2f} | {speedup:5.2f}x"
+            )
+    write_report("bulk_sampling_k_sweep", lines)
+
+    for name, sweep in results.items():
+        # bulk beats sequential at every k (paper: increased utilisation)
+        assert all(sweep[k][2] > 1.0 for k in KS), name
+        # amortisation: some k > 1 is at least as cheap per batch as k = 1
+        best_multi = min(sweep[k][1] for k in KS if k > 1)
+        assert best_multi <= sweep[1][1] * 1.1, name

@@ -1,0 +1,93 @@
+"""Ablation — robustness to detector material (multiple scattering).
+
+The paper's datasets come from detailed detector simulation where tracks
+kink at every layer (Coulomb scattering); our synthetic substitute makes
+the material budget a knob.  The measured result is a *robustness*
+finding: an edge classifier trained on ideal helices keeps its F1 within
+a couple of percent even at grossly exaggerated material budgets.
+
+Why: (a) the IGNN consumes *pairwise-delta* edge features, and a kink
+between layers moves both the candidate edge and its truth label
+together (truth segments follow the kinked trajectory); (b) at this
+detector's hit smearing (σ_rφ = 0.5 mm) the Highland deflection of a
+GeV track over one layer spacing is sub-dominant.  The quantities that
+do assume global helices — the Kåsa pT fit, the combinatorial finder's
+bend-consistency gate — degrade first (see
+``tests/detector/test_scattering.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import write_report
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    GeometricBuilderConfig,
+    build_candidate_graph,
+)
+from repro.pipeline import GNNTrainConfig, evaluate_edge_classifier, train_gnn
+
+BUDGETS = (0.0, 0.03, 0.10, 0.50)
+
+
+def _events_to_graphs(sim, geometry, builder, seeds):
+    return [
+        build_candidate_graph(
+            sim.generate(np.random.default_rng(s), event_id=s), geometry, builder
+        )
+        for s in seeds
+    ]
+
+
+def test_material_budget_robustness(benchmark):
+    geometry = DetectorGeometry.barrel_only()
+    builder = GeometricBuilderConfig(dphi_max=0.3, dz_max=300.0)
+
+    def run():
+        clean_sim = EventSimulator(
+            geometry, particles_per_event=25, multiple_scattering=0.0
+        )
+        train_graphs = _events_to_graphs(clean_sim, geometry, builder, range(10, 16))
+        val_graphs = _events_to_graphs(clean_sim, geometry, builder, range(16, 18))
+        res = train_gnn(
+            train_graphs,
+            val_graphs,
+            GNNTrainConfig(
+                mode="bulk", epochs=4, batch_size=64, hidden=16,
+                num_layers=2, mlp_layers=2, depth=2, fanout=4, bulk_k=4, seed=0,
+            ),
+        )
+        rows = {}
+        for budget in BUDGETS:
+            sim = EventSimulator(
+                geometry, particles_per_event=25, multiple_scattering=budget
+            )
+            test_graphs = _events_to_graphs(sim, geometry, builder, range(40, 44))
+            p, r = evaluate_edge_classifier(res.model, test_graphs)
+            f1 = 2 * p * r / (p + r) if p + r else 0.0
+            rows[budget] = (p, r, f1)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "GNN edge classifier vs material budget (trained on ideal helices)",
+        f"{'x/X0 per layer':>14} | {'precision':>9} | {'recall':>7} | {'F1':>6}",
+    ]
+    for budget, (p, r, f1) in rows.items():
+        lines.append(f"{budget:>14.2f} | {p:>9.3f} | {r:>7.3f} | {f1:>6.3f}")
+    lines.append(
+        "robust by design: pairwise-delta features + labels follow the kinked "
+        "truth; hit smearing dominates the Highland deflection"
+    )
+    write_report("material_budget", lines)
+
+    f1_clean = rows[0.0][2]
+    # the classifier is usable in the first place...
+    assert f1_clean > 0.6
+    # ...and transfers across every budget within a small margin
+    for budget in BUDGETS[1:]:
+        assert rows[budget][2] > f1_clean - 0.05, budget

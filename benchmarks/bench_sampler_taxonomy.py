@@ -1,0 +1,83 @@
+"""Ablation — the sampler taxonomy the paper cites (Section II-B).
+
+Node-wise (GraphSAGE), layer-wise (LADIES), and subgraph samplers (ShaDow,
+GraphSAINT) make different cost/structure trades.  This bench samples the
+same batches from an Ex3-like event with every sampler in the repository
+and reports per-batch cost and sampled-subgraph size, with the bulk
+(matrix-based) variants beside their sequential references.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from common import write_report
+from repro.sampling import (
+    BulkLayerWiseSampler,
+    BulkNodeWiseSampler,
+    BulkShadowSampler,
+    LayerWiseSampler,
+    NodeWiseSampler,
+    SaintRWSampler,
+    ShadowSampler,
+)
+
+BATCH = 128
+REPEATS = 3
+
+
+def _measure(sampler, graph, batches, rng):
+    best = float("inf")
+    nodes = edges = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        outs = [sampler.sample(graph, b, rng) for b in batches]
+        best = min(best, (time.perf_counter() - t0) / len(batches))
+    nodes = int(np.mean([o.graph.num_nodes for o in outs]))
+    edges = int(np.mean([o.graph.num_edges for o in outs]))
+    return best, nodes, edges
+
+
+def test_sampler_taxonomy(ex3_bench, benchmark):
+    graph = ex3_bench.train[0]
+    graph.to_csr(symmetric=True)
+    rng = np.random.default_rng(0)
+    batches = [
+        rng.choice(graph.num_nodes, size=BATCH, replace=False) for _ in range(4)
+    ]
+
+    samplers = {
+        "shadow (seq)": ShadowSampler(depth=2, fanout=4),
+        "shadow (bulk)": BulkShadowSampler(depth=2, fanout=4),
+        "node-wise (seq)": NodeWiseSampler([4, 4]),
+        "node-wise (bulk)": BulkNodeWiseSampler([4, 4]),
+        "layer-wise (seq)": LayerWiseSampler(layer_size=64, num_layers=2),
+        "layer-wise (bulk)": BulkLayerWiseSampler(layer_size=64, num_layers=2),
+        "saint-rw": SaintRWSampler(walk_length=2, num_walks_per_root=2),
+    }
+
+    def run():
+        return {
+            name: _measure(s, graph, batches, rng) for name, s in samplers.items()
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Sampler taxonomy (Ex3-like event, batch {BATCH})",
+        f"{'sampler':<17} | {'ms/batch':>8} | {'nodes':>6} | {'edges':>6}",
+    ]
+    for name, (t, nodes, edges) in rows.items():
+        lines.append(f"{name:<17} | {1e3 * t:8.2f} | {nodes:>6} | {edges:>6}")
+    write_report("sampler_taxonomy", lines)
+
+    # matrix-based bulk variants beat their sequential references
+    assert rows["shadow (bulk)"][0] < rows["shadow (seq)"][0]
+    assert rows["node-wise (bulk)"][0] <= rows["node-wise (seq)"][0] * 1.2
+    # ShaDow replicates the neighbourhood per root → largest subgraphs;
+    # the shared-context samplers stay smaller
+    assert rows["shadow (seq)"][1] > rows["saint-rw"][1]
+    assert rows["shadow (seq)"][1] > rows["node-wise (seq)"][1]

@@ -1,0 +1,63 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset summary for the two synthetic registries.
+Feature widths and MLP depths must match the paper exactly; vertex/edge
+counts are scaled (factors reported in the table) with the edge-per-vertex
+density preserved, since density is what drives the paper's memory and
+sampling behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import write_report
+
+# Paper's Table I rows: (graphs, avg vertices, avg edges, MLP layers, Vf, Ef)
+PAPER = {
+    "ctd_like": dict(graphs=80, verts=330_700, edges=6_900_000, mlp=3, vf=14, ef=8),
+    "ex3_like": dict(graphs=80, verts=13_000, edges=47_800, mlp=2, vf=6, ef=2),
+}
+
+
+def _row(name, stats, paper):
+    scale = paper["verts"] / stats["avg_vertices"]
+    return (
+        f"{name:>10s} | graphs={int(stats['graphs']):3d} "
+        f"| V={stats['avg_vertices']:9.1f} (paper {paper['verts']:>9,}; 1/{scale:.0f} scale) "
+        f"| E={stats['avg_edges']:10.1f} (paper {paper['edges']:>10,}) "
+        f"| E/V={stats['edges_per_vertex']:5.2f} (paper {paper['edges']/paper['verts']:5.2f}) "
+        f"| MLP={int(stats['mlp_layers'])} | Vf={int(stats['vertex_features'])} "
+        f"| Ef={int(stats['edge_features'])}"
+    )
+
+
+def test_table1_dataset_statistics(ex3_bench, ctd_bench, benchmark):
+    stats = {}
+
+    def compute():
+        return {
+            "ex3_like": ex3_bench.stats(),
+            "ctd_like": ctd_bench.stats(),
+        }
+
+    stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = ["Table I — datasets (synthetic regeneration)"]
+    for name in ("ctd_like", "ex3_like"):
+        lines.append(_row(name, stats[name], PAPER[name]))
+    write_report("table1_datasets", lines)
+
+    # exact-metadata checks (Table I)
+    assert stats["ctd_like"]["mlp_layers"] == 3
+    assert stats["ex3_like"]["mlp_layers"] == 2
+    assert stats["ctd_like"]["vertex_features"] == 14
+    assert stats["ctd_like"]["edge_features"] == 8
+    assert stats["ex3_like"]["vertex_features"] == 6
+    assert stats["ex3_like"]["edge_features"] == 2
+    # density-shape checks
+    ex3_density = stats["ex3_like"]["edges_per_vertex"]
+    ctd_density = stats["ctd_like"]["edges_per_vertex"]
+    assert 2.5 < ex3_density < 5.0  # paper: 3.68
+    assert 14.0 < ctd_density < 30.0  # paper: 20.9
+    assert ctd_density > 4 * ex3_density  # CTD much denser, as in the paper

@@ -1,0 +1,38 @@
+"""Benchmark fixtures: session-scoped datasets so generation cost is paid
+once, plus a terminal-summary hook that re-prints every regenerated table
+after the pytest-benchmark output (bypassing output capture)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import RESULTS_DIR, ctd_bench_dataset, ex3_bench_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def ex3_bench():
+    return ex3_bench_dataset()
+
+
+@pytest.fixture(scope="session")
+def ctd_bench():
+    return ctd_bench_dataset()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo all regenerated tables so they land in bench_output.txt."""
+    if not os.path.isdir(RESULTS_DIR):
+        return
+    tr = terminalreporter
+    tr.section("regenerated paper tables/figures (benchmarks/results/)")
+    for fname in sorted(os.listdir(RESULTS_DIR)):
+        path = os.path.join(RESULTS_DIR, fname)
+        tr.write_line(f"----- {fname} -----")
+        with open(path) as fh:
+            for line in fh.read().splitlines():
+                tr.write_line(line)

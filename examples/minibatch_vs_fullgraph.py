@@ -1,0 +1,85 @@
+"""The paper's Figure-4 experiment as a script: does ShaDow minibatch
+training beat full-graph training on the Ex3-like dataset?
+
+Trains the Interaction GNN stage three ways on identical graphs —
+full-graph, sequential ShaDow (the PyG baseline), and matrix-based bulk
+ShaDow (ours) — and prints the validation precision/recall trajectory of
+each, plus where the full-graph regime starts skipping events when the
+device memory budget shrinks.
+
+    python examples/minibatch_vs_fullgraph.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detector import dataset_config, make_dataset
+from repro.memory import ActivationMemoryModel
+from repro.models import IGNNConfig
+from repro.pipeline import GNNTrainConfig, train_gnn
+
+
+def main() -> None:
+    dataset = make_dataset(dataset_config("ex3_like").with_sizes(4, 2, 2))
+    train, val = dataset.train, dataset.val
+    print("dataset:", ", ".join(f"{g.num_nodes}v/{g.num_edges}e" for g in train))
+
+    common = dict(
+        epochs=6, batch_size=128, hidden=16, num_layers=2, mlp_layers=2,
+        depth=2, fanout=4, lr=2e-3, seed=3,
+    )
+    runs = {
+        "full-graph": GNNTrainConfig(mode="full", **common),
+        "ShaDow (sequential)": GNNTrainConfig(mode="shadow", **common),
+        "ShaDow (bulk, ours)": GNNTrainConfig(mode="bulk", bulk_k=4, **common),
+    }
+
+    results = {}
+    for name, cfg in runs.items():
+        results[name] = train_gnn(train, val, cfg)
+        final = results[name].history.final
+        print(
+            f"{name:>22}: precision={final.val_precision:.3f} "
+            f"recall={final.val_recall:.3f} f1={final.val_f1:.3f} "
+            f"({results[name].trained_steps} steps, "
+            f"{sum(r.epoch_seconds for r in results[name].history.records):.1f}s)"
+        )
+
+    best_mini = max(
+        results["ShaDow (sequential)"].history.final.val_f1,
+        results["ShaDow (bulk, ours)"].history.final.val_f1,
+    )
+    print(
+        f"\nminibatch beats full-graph by "
+        f"{best_mini - results['full-graph'].history.final.val_f1:+.3f} F1 "
+        "(the Figure-4 conclusion)"
+    )
+
+    # --- why full-graph training skips events ----------------------------
+    memory = ActivationMemoryModel(
+        IGNNConfig(
+            node_features=train[0].num_node_features,
+            edge_features=train[0].num_edge_features,
+            hidden=common["hidden"],
+            num_layers=common["num_layers"],
+        )
+    )
+    footprints = [memory.total_bytes(g.num_nodes, g.num_edges) / 1e6 for g in train]
+    print(
+        f"\nfull-graph activation footprints: "
+        f"{', '.join(f'{f:.0f} MB' for f in footprints)}"
+    )
+    cap = np.median(footprints) * 1e6
+    res = train_gnn(
+        train, val, GNNTrainConfig(mode="full", capacity_bytes=int(cap), **common)
+    )
+    print(
+        f"with a {cap / 1e6:.0f} MB activation budget the full-graph trainer "
+        f"skipped {res.skipped_graphs} graph-epochs "
+        f"(paper: 'Exa.TrkX will skip particle graphs that are too large')"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Non-ML baselines the paper compares against conceptually.
+
+Currently the combinatorial seed-and-follow track finder — the
+"traditional reconstruction algorithm" whose superlinear pileup scaling
+motivates the GNN pipeline (paper §I).
+"""
+
+from .combinatorial import CombinatorialConfig, CombinatorialTrackFinder
+
+__all__ = ["CombinatorialConfig", "CombinatorialTrackFinder"]

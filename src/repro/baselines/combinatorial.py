@@ -1,0 +1,251 @@
+"""Combinatorial seed-and-follow track finder — the "traditional" baseline.
+
+The paper's introduction motivates the GNN pipeline with the scaling of
+classical algorithms: "Traditional reconstruction algorithms scale
+superlinearly with the number of particles within the accelerator."  This
+module implements that baseline in its standard form so the claim can be
+measured (``benchmarks/bench_pileup_scaling.py``):
+
+1. **seeding** — hit triplets on the three innermost layers compatible
+   with a track from the luminous region; the triplet combinatorics are
+   the superlinear term (the candidate count grows like the product of
+   per-window occupancies, which themselves grow with pileup);
+2. **following** — each seed's circle fit is propagated layer by layer,
+   capturing the nearest hit inside a road;
+3. **ambiguity resolution** — candidates are ranked (hit count, then fit
+   residual) and greedily accepted unless they share too many hits with
+   an already-accepted track.
+
+The implementation is deliberately classical — per-seed Python/NumPy
+work, no learned components — but not strawman-slow: per-layer hits are
+φ-sorted for O(log n + k) window queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..detector.events import Event
+from ..detector.geometry import DetectorGeometry
+
+__all__ = ["CombinatorialConfig", "CombinatorialTrackFinder"]
+
+
+@dataclass(frozen=True)
+class CombinatorialConfig:
+    """Gates of the combinatorial finder.
+
+    Windows are in detector units (rad, mm) and sized for the default
+    simulator (B = 2 T, pT ≥ 0.5 GeV, |η| ≤ 1.5, beam spot σ_z = 30 mm).
+    """
+
+    seed_dphi: float = 0.10       # φ window, consecutive seed layers
+    seed_dz: float = 120.0        # z window, consecutive seed layers
+    bend_tolerance: float = 0.04  # allowed φ-kink difference between doublets
+    road_rphi: float = 12.0       # r·Δφ road half-width when following [mm]
+    road_z: float = 30.0          # z road half-width when following [mm]
+    min_hits: int = 4             # candidate length cut
+    max_shared_fraction: float = 0.5  # ambiguity: max overlap with accepted
+
+    def __post_init__(self) -> None:
+        if self.seed_dphi <= 0 or self.seed_dz <= 0:
+            raise ValueError("seed windows must be positive")
+        if self.min_hits < 3:
+            raise ValueError("min_hits must be >= 3")
+
+
+def _circle_through(p1, p2, p3) -> Optional[Tuple[float, float, float]]:
+    """Circumcircle (cx, cy, r) of three transverse points, or None."""
+    ax, ay = p1
+    bx, by = p2
+    cx_, cy_ = p3
+    d = 2.0 * (ax * (by - cy_) + bx * (cy_ - ay) + cx_ * (ay - by))
+    if abs(d) < 1e-9:
+        return None
+    ux = (
+        (ax * ax + ay * ay) * (by - cy_)
+        + (bx * bx + by * by) * (cy_ - ay)
+        + (cx_ * cx_ + cy_ * cy_) * (ay - by)
+    ) / d
+    uy = (
+        (ax * ax + ay * ay) * (cx_ - bx)
+        + (bx * bx + by * by) * (ax - cx_)
+        + (cx_ * cx_ + cy_ * cy_) * (bx - ax)
+    ) / d
+    r = float(np.hypot(ax - ux, ay - uy))
+    return float(ux), float(uy), r
+
+
+class _LayerIndex:
+    """φ-sorted per-layer hit index supporting wrap-around window queries."""
+
+    def __init__(self, event: Event) -> None:
+        r, phi, z = event.cylindrical()
+        self.phi = phi
+        self.z = z
+        self.r = r
+        self.by_layer: Dict[int, np.ndarray] = {}
+        self.sorted_phi: Dict[int, np.ndarray] = {}
+        for lid in np.unique(event.layer_ids):
+            idx = np.flatnonzero(event.layer_ids == lid)
+            order = np.argsort(phi[idx])
+            self.by_layer[int(lid)] = idx[order]
+            self.sorted_phi[int(lid)] = phi[idx[order]]
+
+    def query(self, layer: int, phi0: float, dphi: float) -> np.ndarray:
+        """Hit ids on ``layer`` with φ within ``±dphi`` of ``phi0``."""
+        idx = self.by_layer.get(layer)
+        if idx is None:
+            return np.zeros(0, dtype=np.int64)
+        sp = self.sorted_phi[layer]
+        out = []
+        for lo, hi in _wrap_intervals(phi0 - dphi, phi0 + dphi):
+            a = np.searchsorted(sp, lo)
+            b = np.searchsorted(sp, hi)
+            out.append(idx[a:b])
+        return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+
+
+def _wrap_intervals(lo: float, hi: float) -> List[Tuple[float, float]]:
+    """Split a φ interval into [-π, π) pieces (wrap-around)."""
+    if hi - lo >= 2 * np.pi:
+        return [(-np.pi, np.pi)]
+    lo = (lo + np.pi) % (2 * np.pi) - np.pi
+    hi = (hi + np.pi) % (2 * np.pi) - np.pi
+    if lo <= hi:
+        return [(lo, hi)]
+    return [(-np.pi, hi), (lo, np.pi)]
+
+
+class CombinatorialTrackFinder:
+    """Seed-and-follow pattern recognition on one event."""
+
+    def __init__(
+        self,
+        geometry: DetectorGeometry,
+        config: Optional[CombinatorialConfig] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.config = config if config is not None else CombinatorialConfig()
+
+    # ------------------------------------------------------------------
+    def find_tracks(self, event: Event) -> List[np.ndarray]:
+        """Reconstruct track candidates (hit-index arrays)."""
+        if event.num_hits == 0:
+            return []
+        index = _LayerIndex(event)
+        seeds = self._make_seeds(event, index)
+        candidates = [self._follow(event, index, seed) for seed in seeds]
+        candidates = [c for c in candidates if len(c) >= self.config.min_hits]
+        return self._resolve_ambiguities(candidates)
+
+    # ------------------------------------------------------------------
+    def seed_count(self, event: Event) -> int:
+        """Number of seed triplets (the superlinear combinatorial term)."""
+        return len(self._make_seeds(event, _LayerIndex(event)))
+
+    def _make_seeds(self, event: Event, index: _LayerIndex) -> List[Tuple[int, int, int]]:
+        cfg = self.config
+        layers = sorted(index.by_layer)
+        if len(layers) < 3:
+            return []
+        l0, l1, l2 = layers[:3]
+        phi, z = index.phi, index.z
+        seeds: List[Tuple[int, int, int]] = []
+        for a in index.by_layer[l0]:
+            bs = index.query(l1, float(phi[a]), cfg.seed_dphi)
+            bs = bs[np.abs(z[bs] - z[a]) <= cfg.seed_dz]
+            for b in bs:
+                dphi_ab = _dphi(phi[b], phi[a])
+                cs = index.query(l2, float(phi[b]) + dphi_ab, cfg.seed_dphi)
+                cs = cs[np.abs(z[cs] - z[b]) <= cfg.seed_dz]
+                for c in cs:
+                    # bend consistency: the doublet kinks must agree
+                    dphi_bc = _dphi(phi[c], phi[b])
+                    if abs(dphi_bc - dphi_ab) <= cfg.bend_tolerance:
+                        seeds.append((int(a), int(b), int(c)))
+        return seeds
+
+    # ------------------------------------------------------------------
+    def _follow(self, event: Event, index: _LayerIndex, seed) -> np.ndarray:
+        cfg = self.config
+        pos = event.positions
+        track = list(seed)
+        circle = _circle_through(pos[seed[0], :2], pos[seed[1], :2], pos[seed[2], :2])
+        layers = sorted(index.by_layer)
+        phi, z, r = index.phi, index.z, index.r
+        for layer in layers[3:]:
+            radius = None
+            for bl in self.geometry.barrel:
+                if bl.layer_id == layer:
+                    radius = bl.radius
+            if radius is None:
+                continue
+            last, prev = track[-1], track[-2]
+            # predicted φ: circle–layer intersection nearest the rotation
+            # direction; fall back to linear φ(r) extrapolation
+            pred_phi = self._predict_phi(circle, radius, phi[last], phi[prev], r[last], r[prev])
+            # predicted z: linear in r (good within a road for |η| ≤ 1.5)
+            dr = r[last] - r[prev]
+            slope = (z[last] - z[prev]) / dr if abs(dr) > 1e-6 else 0.0
+            pred_z = z[last] + slope * (radius - r[last])
+
+            window = cfg.road_rphi / max(radius, 1.0)
+            cands = index.query(layer, pred_phi, window)
+            if cands.size == 0:
+                continue
+            dz = np.abs(z[cands] - pred_z)
+            cands = cands[dz <= cfg.road_z]
+            if cands.size == 0:
+                continue
+            dphi = np.abs(
+                np.arctan2(np.sin(phi[cands] - pred_phi), np.cos(phi[cands] - pred_phi))
+            )
+            best = cands[np.argmin(dphi * radius + np.abs(z[cands] - pred_z))]
+            track.append(int(best))
+            circle = _circle_through(
+                pos[track[-3], :2], pos[track[-2], :2], pos[track[-1], :2]
+            )
+        return np.asarray(track, dtype=np.int64)
+
+    def _predict_phi(self, circle, radius, phi_last, phi_prev, r_last, r_prev) -> float:
+        if circle is not None:
+            cx, cy, rc = circle
+            d = float(np.hypot(cx, cy))
+            if abs(d - rc) <= radius <= d + rc and d > 1e-9 and rc > 1e-9:
+                cos_alpha = (d * d + radius * radius - rc * rc) / (2.0 * d * radius)
+                cos_alpha = float(np.clip(cos_alpha, -1.0, 1.0))
+                alpha = float(np.arccos(cos_alpha))
+                phi_c = float(np.arctan2(cy, cx))
+                options = [phi_c + alpha, phi_c - alpha]
+                return min(
+                    options, key=lambda p: abs(_dphi(p, phi_last))
+                )
+        # linear extrapolation fallback
+        dr = r_last - r_prev
+        rate = _dphi(phi_last, phi_prev) / dr if abs(dr) > 1e-6 else 0.0
+        return float(phi_last + rate * (radius - r_last))
+
+    # ------------------------------------------------------------------
+    def _resolve_ambiguities(self, candidates: List[np.ndarray]) -> List[np.ndarray]:
+        cfg = self.config
+        # rank: longer first (then lower index for determinism)
+        order = sorted(range(len(candidates)), key=lambda i: (-len(candidates[i]), i))
+        used: set = set()
+        accepted: List[np.ndarray] = []
+        for i in order:
+            cand = candidates[i]
+            shared = sum(1 for h in cand if int(h) in used)
+            if shared > cfg.max_shared_fraction * len(cand):
+                continue
+            accepted.append(cand)
+            used.update(int(h) for h in cand)
+        return accepted
+
+
+def _dphi(a: float, b: float) -> float:
+    """Signed smallest difference a − b on the circle."""
+    return float(np.arctan2(np.sin(a - b), np.cos(a - b)))

@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+Four subcommands mirror the workflows of the paper's evaluation::
+
+    repro simulate  --dataset ex3_like --train 8 --val 2 --test 2 --out data/
+    repro train     --dataset ex3_like --mode bulk --epochs 6 --world-size 2
+    repro reconstruct --events 8 --gnn-epochs 6
+    repro benchmark --dataset ex3_like
+
+``repro train`` exercises the GNN stage alone (Figures 3/4);
+``repro reconstruct`` runs the full five-stage pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNN particle-track reconstruction (IPPS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a dataset and cache it as npz")
+    p_sim.add_argument("--dataset", default="ex3_like", help="registry name")
+    p_sim.add_argument("--train", type=int, default=8)
+    p_sim.add_argument("--val", type=int, default=2)
+    p_sim.add_argument("--test", type=int, default=2)
+    p_sim.add_argument("--out", default=".repro_data", help="cache directory")
+
+    p_train = sub.add_parser("train", help="train the GNN stage (Fig. 3/4 regimes)")
+    p_train.add_argument(
+        "--config",
+        default=None,
+        help="JSON file of GNNTrainConfig fields; explicit flags override it",
+    )
+    p_train.add_argument("--dataset", default="ex3_like")
+    p_train.add_argument("--train-graphs", type=int, default=4)
+    p_train.add_argument("--val-graphs", type=int, default=2)
+    p_train.add_argument("--mode", choices=("full", "shadow", "bulk"), default="bulk")
+    p_train.add_argument("--epochs", type=int, default=6)
+    p_train.add_argument("--batch-size", type=int, default=128)
+    p_train.add_argument("--hidden", type=int, default=16)
+    p_train.add_argument("--layers", type=int, default=2)
+    p_train.add_argument("--depth", type=int, default=2)
+    p_train.add_argument("--fanout", type=int, default=4)
+    p_train.add_argument("--bulk-k", type=int, default=4)
+    p_train.add_argument("--world-size", type=int, default=1)
+    p_train.add_argument(
+        "--allreduce", choices=("coalesced", "per_parameter"), default="coalesced"
+    )
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_reco = sub.add_parser("reconstruct", help="full pipeline: hits → tracks")
+    p_reco.add_argument("--events", type=int, default=8)
+    p_reco.add_argument("--particles", type=int, default=25)
+    p_reco.add_argument("--gnn-epochs", type=int, default=6)
+    p_reco.add_argument("--seed", type=int, default=0)
+
+    p_disp = sub.add_parser("display", help="render an event as an SVG file")
+    p_disp.add_argument("--particles", type=int, default=20)
+    p_disp.add_argument("--seed", type=int, default=0)
+    p_disp.add_argument("--tracks", action="store_true", help="overlay truth tracks")
+    p_disp.add_argument("--out", default="event.svg")
+
+    p_bench = sub.add_parser("benchmark", help="quick bulk-vs-sequential sampling timing")
+    p_bench.add_argument("--dataset", default="ex3_like")
+    p_bench.add_argument("--batch-size", type=int, default=128)
+    p_bench.add_argument("--depth", type=int, default=3)
+    p_bench.add_argument("--fanout", type=int, default=6)
+    p_bench.add_argument("--k", type=int, default=8)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    from .detector import dataset_config, make_dataset, summarize
+
+    cfg = dataset_config(args.dataset).with_sizes(args.train, args.val, args.test)
+    dataset = make_dataset(cfg, cache_dir=args.out)
+    print(summarize(dataset))
+    print(f"cached under {args.out}/")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .detector import dataset_config, make_dataset
+    from .pipeline import GNNTrainConfig, train_gnn
+
+    cfg = dataset_config(args.dataset).with_sizes(
+        args.train_graphs, args.val_graphs, 0
+    )
+    dataset = make_dataset(cfg)
+    fields = dict(
+        mode=args.mode,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        hidden=args.hidden,
+        num_layers=args.layers,
+        depth=args.depth,
+        fanout=args.fanout,
+        bulk_k=args.bulk_k,
+        world_size=args.world_size,
+        allreduce=args.allreduce,
+        seed=args.seed,
+    )
+    if args.config is not None:
+        import json
+
+        with open(args.config) as fh:
+            from_file = json.load(fh)
+        unknown = set(from_file) - set(GNNTrainConfig.__dataclass_fields__)
+        if unknown:
+            raise SystemExit(
+                f"unknown config keys in {args.config}: {sorted(unknown)}"
+            )
+        # file values become the base; flags the user typed (≠ parser
+        # defaults) keep overriding them
+        flag_defaults = {
+            "mode": "bulk", "epochs": 6, "batch_size": 128, "hidden": 16,
+            "num_layers": 2, "depth": 2, "fanout": 4, "bulk_k": 4,
+            "world_size": 1, "allreduce": "coalesced", "seed": 0,
+        }
+        for key, value in from_file.items():
+            if key not in fields or fields[key] == flag_defaults.get(key):
+                fields[key] = value
+    train_cfg = GNNTrainConfig(**fields)
+    result = train_gnn(dataset.train, dataset.val, train_cfg)
+    print(f"{'epoch':>5} | {'loss':>8} | {'precision':>9} | {'recall':>7} | {'time':>6}")
+    for r in result.history.records:
+        print(
+            f"{r.epoch:>5} | {r.train_loss:8.4f} | {r.val_precision:9.3f} | "
+            f"{r.val_recall:7.3f} | {r.epoch_seconds:5.1f}s"
+        )
+    if result.comm_stats is not None:
+        print(
+            f"all-reduce: {result.comm_stats.num_allreduce_calls} calls, "
+            f"modeled {1e3 * result.comm_stats.modeled_seconds:.2f} ms"
+        )
+    if result.skipped_graphs:
+        print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    from .detector import DetectorGeometry, EventSimulator, ParticleGun
+    from .pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig, diagnose_event
+
+    geometry = DetectorGeometry.barrel_only()
+    sim = EventSimulator(
+        geometry, gun=ParticleGun(), particles_per_event=args.particles
+    )
+    events = [
+        sim.generate(np.random.default_rng(args.seed + i), event_id=i)
+        for i in range(args.events)
+    ]
+    n_train = max(args.events - 3, 1)
+    pipe = ExaTrkXPipeline(
+        PipelineConfig(
+            embedding_dim=6,
+            embedding_epochs=20,
+            filter_epochs=20,
+            frnn_radius=0.3,
+            gnn=GNNTrainConfig(
+                mode="bulk",
+                epochs=args.gnn_epochs,
+                batch_size=64,
+                hidden=16,
+                num_layers=2,
+                depth=2,
+                fanout=4,
+                bulk_k=4,
+            ),
+        ),
+        geometry,
+    )
+    pipe.fit(events[:n_train], events[n_train : n_train + 1])
+    for event in events[n_train + 1 :]:
+        print(f"\nevent {event.event_id}")
+        for line in diagnose_event(pipe, event).render():
+            print("  " + line)
+    return 0
+
+
+def _cmd_benchmark(args) -> int:
+    import time
+
+    from .detector import dataset_config, make_dataset
+    from .sampling import BulkShadowSampler, ShadowSampler
+
+    graph = make_dataset(dataset_config(args.dataset).with_sizes(1, 0, 0)).train[0]
+    graph.to_csr(symmetric=True)
+    rng = np.random.default_rng(0)
+    size = min(args.batch_size, graph.num_nodes // 2)
+    batches = [
+        rng.choice(graph.num_nodes, size=size, replace=False) for _ in range(args.k)
+    ]
+    seq = ShadowSampler(args.depth, args.fanout)
+    bulk = BulkShadowSampler(args.depth, args.fanout)
+    t0 = time.perf_counter()
+    for b in batches:
+        seq.sample(graph, b, rng)
+    t_seq = (time.perf_counter() - t0) / args.k
+    t0 = time.perf_counter()
+    bulk.sample_bulk(graph, batches, rng)
+    t_bulk = (time.perf_counter() - t0) / args.k
+    print(f"graph: {graph.num_nodes} vertices / {graph.num_edges} edges")
+    print(f"sequential ShaDow: {1e3 * t_seq:8.2f} ms/batch")
+    print(f"bulk ShaDow (k={args.k}): {1e3 * t_bulk:6.2f} ms/batch  ({t_seq / t_bulk:.2f}x)")
+    return 0
+
+
+def _cmd_display(args) -> int:
+    from .detector import DetectorGeometry, EventSimulator, event_display_svg
+
+    geometry = DetectorGeometry.barrel_only()
+    sim = EventSimulator(geometry, particles_per_event=args.particles)
+    event = sim.generate(np.random.default_rng(args.seed))
+    candidates = None
+    if args.tracks:
+        candidates = [
+            np.flatnonzero(event.particle_ids == pid)
+            for pid in np.unique(event.particle_ids[event.particle_ids > 0])
+        ]
+    svg = event_display_svg(event, geometry, candidates=candidates)
+    with open(args.out, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {args.out} ({event.num_hits} hits)")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "train": _cmd_train,
+    "reconstruct": _cmd_reconstruct,
+    "display": _cmd_display,
+    "benchmark": _cmd_benchmark,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script ``repro``)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

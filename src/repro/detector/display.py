@@ -1,0 +1,105 @@
+"""SVG event displays (no plotting dependencies).
+
+Renders the transverse (x–y) view of an event: detector layers as
+circles, hits as dots coloured by truth particle, and — optionally —
+reconstructed track candidates as polylines.  Useful for documentation
+and debugging; the output is a plain SVG string, so the tests can assert
+on its structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .events import Event
+from .geometry import DetectorGeometry
+
+__all__ = ["event_display_svg"]
+
+# a qualitative palette cycled over particle ids
+_PALETTE = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#222255",
+)
+
+
+def _color_of(pid: int) -> str:
+    if pid <= 0:
+        return "#999999"  # noise
+    return _PALETTE[pid % len(_PALETTE)]
+
+
+def event_display_svg(
+    event: Event,
+    geometry: DetectorGeometry,
+    candidates: Optional[Sequence[np.ndarray]] = None,
+    size: int = 640,
+) -> str:
+    """Render the transverse view of an event as an SVG string.
+
+    Parameters
+    ----------
+    event:
+        The event to draw.
+    geometry:
+        Detector description (layer circles).
+    candidates:
+        Optional reconstructed tracks (hit-index arrays); each is drawn as
+        a polyline through its hits ordered by radius.
+    size:
+        Canvas edge in pixels.
+    """
+    r_max = geometry.max_radius * 1.08
+    scale = size / (2.0 * r_max)
+
+    def to_px(x: float, y: float) -> tuple:
+        return (size / 2.0 + x * scale, size / 2.0 - y * scale)
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+
+    # detector layers
+    for layer in geometry.barrel:
+        parts.append(
+            f'<circle cx="{size / 2}" cy="{size / 2}" r="{layer.radius * scale:.1f}" '
+            f'fill="none" stroke="#dddddd" stroke-width="1"/>'
+        )
+
+    # track candidates beneath the hits
+    if candidates is not None:
+        for ci, cand in enumerate(candidates):
+            cand = np.asarray(cand, dtype=np.int64)
+            if cand.size < 2:
+                continue
+            pos = event.positions[cand]
+            order = np.argsort(np.hypot(pos[:, 0], pos[:, 1]))
+            pts = " ".join(
+                "{:.1f},{:.1f}".format(*to_px(pos[i, 0], pos[i, 1])) for i in order
+            )
+            color = _PALETTE[ci % len(_PALETTE)]
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5" opacity="0.7"/>'
+            )
+
+    # hits
+    for i in range(event.num_hits):
+        x, y = to_px(event.positions[i, 0], event.positions[i, 1])
+        pid = int(event.particle_ids[i])
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.2" '
+            f'fill="{_color_of(pid)}"/>'
+        )
+
+    parts.append(
+        f'<text x="8" y="{size - 10}" font-family="monospace" font-size="12" '
+        f'fill="#555555">event {event.event_id}: {event.num_hits} hits, '
+        f'{event.num_reconstructable()} reconstructable particles</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,181 @@
+"""Helix fitting of reconstructed track candidates.
+
+After track building (Stage 5) each candidate is a set of hits; fitting a
+helix through them recovers the physics quantities an analysis consumes —
+transverse momentum, azimuth, and pseudorapidity.  This module implements
+the standard two-step fit used in fast tracking:
+
+1. **transverse plane** — algebraic circle fit (Kåsa method): minimise
+   ``Σ (x² + y² + D x + E y + F)²``, a linear least-squares problem whose
+   solution gives centre and radius; ``pT = 0.3 · B · R`` with ``R`` in
+   metres, GeV, Tesla;
+2. **longitudinal** — straight-line fit of ``z`` against the transverse
+   arc length ``s``; the slope is ``tan(λ) = sinh(η)``.
+
+The pT pull distribution of fitted-vs-true momenta is the physics-level
+closure test of the whole pipeline (see ``examples/physics_analysis.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .events import Event
+from .particles import MM_PER_GEV_PER_TESLA
+
+__all__ = ["HelixFit", "fit_helix", "fit_event_tracks", "pt_resolution"]
+
+
+@dataclass(frozen=True)
+class HelixFit:
+    """Fitted helix parameters of one track candidate.
+
+    Attributes
+    ----------
+    pt:
+        Estimated transverse momentum [GeV].
+    phi0:
+        Azimuth of the trajectory at its innermost hit [rad].
+    eta:
+        Estimated pseudorapidity.
+    radius_mm:
+        Fitted transverse circle radius [mm].
+    center:
+        Fitted circle centre (x, y) [mm].
+    rms_residual_mm:
+        RMS transverse distance of hits from the fitted circle.
+    num_hits:
+        Number of hits used.
+    """
+
+    pt: float
+    phi0: float
+    eta: float
+    radius_mm: float
+    center: tuple
+    rms_residual_mm: float
+    num_hits: int
+
+
+def fit_helix(
+    positions: np.ndarray, field_tesla: float = 2.0
+) -> Optional[HelixFit]:
+    """Fit a helix through hit positions.
+
+    Parameters
+    ----------
+    positions:
+        ``(k, 3)`` hit coordinates [mm], ``k >= 3``.
+    field_tesla:
+        Solenoid field used to convert curvature to momentum.
+
+    Returns
+    -------
+    HelixFit or None
+        ``None`` when the fit is degenerate (collinear hits produce an
+        unbounded radius estimate, which is reported as-is only if finite).
+    """
+    pts = np.asarray(positions, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"positions must be (k, 3), got {pts.shape}")
+    k = pts.shape[0]
+    if k < 3:
+        return None
+    x, y, z = pts.T
+
+    # Kåsa circle fit: x² + y² + D x + E y + F = 0 solved by linear LSQ.
+    A = np.stack([x, y, np.ones(k)], axis=1)
+    b = -(x * x + y * y)
+    try:
+        coef, *_ = np.linalg.lstsq(A, b, rcond=None)
+    except np.linalg.LinAlgError:
+        return None
+    D, E, F = coef
+    cx, cy = -D / 2.0, -E / 2.0
+    r_sq = cx * cx + cy * cy - F
+    if not np.isfinite(r_sq) or r_sq <= 0:
+        return None
+    radius = float(np.sqrt(r_sq))
+    pt = radius * field_tesla / MM_PER_GEV_PER_TESLA
+
+    # residuals: distance of each hit from the fitted circle
+    dists = np.hypot(x - cx, y - cy)
+    rms = float(np.sqrt(np.mean((dists - radius) ** 2)))
+
+    # order hits by distance from the innermost one to get a consistent
+    # direction for phi0 and the arc-length parametrisation
+    r_hit = np.hypot(x, y)
+    order = np.argsort(r_hit)
+    xo, yo, zo = x[order], y[order], z[order]
+
+    # tangent direction at the innermost hit: perpendicular to the radius
+    # vector from the circle centre, signed toward the second hit
+    rad_vec = np.array([xo[0] - cx, yo[0] - cy])
+    tangent = np.array([-rad_vec[1], rad_vec[0]])
+    step = np.array([xo[1] - xo[0], yo[1] - yo[0]])
+    if np.dot(tangent, step) < 0:
+        tangent = -tangent
+    phi0 = float(np.arctan2(tangent[1], tangent[0]))
+
+    # longitudinal: z vs transverse arc length (chord-accumulated)
+    chords = np.hypot(np.diff(xo), np.diff(yo))
+    # arc correction: s = 2 R asin(c / 2R) per chord
+    ratio = np.clip(chords / (2.0 * radius), -1.0, 1.0)
+    arcs = 2.0 * radius * np.arcsin(ratio)
+    s = np.concatenate([[0.0], np.cumsum(arcs)])
+    if s[-1] <= 0:
+        return None
+    slope = np.polyfit(s, zo, 1)[0]  # tan(lambda) = sinh(eta)
+    eta = float(np.arcsinh(slope))
+
+    return HelixFit(
+        pt=float(pt),
+        phi0=phi0,
+        eta=eta,
+        radius_mm=radius,
+        center=(float(cx), float(cy)),
+        rms_residual_mm=rms,
+        num_hits=k,
+    )
+
+
+def fit_event_tracks(
+    event: Event,
+    candidates: Sequence[np.ndarray],
+    field_tesla: float = 2.0,
+) -> List[Optional[HelixFit]]:
+    """Fit every track candidate of an event (None for degenerate fits)."""
+    return [
+        fit_helix(event.positions[np.asarray(c, dtype=np.int64)], field_tesla)
+        for c in candidates
+    ]
+
+
+def pt_resolution(
+    event: Event,
+    candidates: Sequence[np.ndarray],
+    fits: Sequence[Optional[HelixFit]],
+) -> np.ndarray:
+    """Relative pT residuals ``(fit - truth) / truth`` for matched tracks.
+
+    A candidate is attributed to the truth particle contributing the most
+    hits (majority vote); unmatched or unfitted candidates are skipped.
+    """
+    truth_pt = {p.particle_id: p.pt for p in event.particles}
+    out = []
+    for cand, fit in zip(candidates, fits):
+        if fit is None:
+            continue
+        pids = event.particle_ids[np.asarray(cand, dtype=np.int64)]
+        pids = pids[pids > 0]
+        if pids.size == 0:
+            continue
+        values, counts = np.unique(pids, return_counts=True)
+        best = int(values[np.argmax(counts)])
+        if best not in truth_pt:
+            continue
+        out.append((fit.pt - truth_pt[best]) / truth_pt[best])
+    return np.asarray(out)

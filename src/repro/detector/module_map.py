@@ -1,0 +1,212 @@
+"""Module-map graph construction.
+
+The production ATLAS GNN pipeline offers two ways to build the candidate
+graph: the metric-learning embedding (Stages 1–2 here) and the **module
+map** — a data-driven lookup of which detector-element pairs have ever
+been connected by a true track segment in a training sample.  The module
+map needs no learned embedding and is exactly reproducible, at the price
+of generalising only to the geometry it was built on.
+
+This implementation discretises each surface into (layer, φ-sector,
+z-sector) *cells*; the map records every (source cell → destination cell)
+pair observed among truth segments, plus per-layer-pair kinematic bounds
+(Δφ, Δz) that tighten the connections at inference.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graph import EventGraph
+from .builders import label_edges
+from .events import Event
+from .features import edge_features, vertex_features
+from .geometry import DetectorGeometry
+
+__all__ = ["ModuleMapConfig", "ModuleMap"]
+
+Cell = Tuple[int, int, int]  # (layer, phi sector, z sector)
+
+
+@dataclass(frozen=True)
+class ModuleMapConfig:
+    """Discretisation and safety margins of the module map.
+
+    Parameters
+    ----------
+    num_phi_sectors:
+        φ bins per layer (ATLAS module maps are per-silicon-module; a
+        sector granularity is the scaled equivalent).  Finer sectors raise
+        purity but need proportionally more training events to cover the
+        connection space — with the defaults, ~40 events reach ≈0.9 segment
+        efficiency on the synthetic detector.
+    num_z_sectors:
+        z bins per layer.
+    window_margin:
+        Fractional widening of the learned Δφ/Δz bounds (covers the tails
+        unseen in a finite training sample).
+    feature_scheme:
+        Feature set attached to built graphs.
+    """
+
+    num_phi_sectors: int = 16
+    num_z_sectors: int = 8
+    window_margin: float = 0.2
+    feature_scheme: str = "compact"
+
+    def __post_init__(self) -> None:
+        if self.num_phi_sectors < 1 or self.num_z_sectors < 1:
+            raise ValueError("sector counts must be positive")
+        if self.window_margin < 0:
+            raise ValueError("window_margin must be non-negative")
+
+
+class ModuleMap:
+    """Learn cell connectivity from truth, build candidate graphs from it.
+
+    Usage::
+
+        mm = ModuleMap(geometry, ModuleMapConfig())
+        mm.fit(train_events)
+        graph = mm.build(test_event)
+    """
+
+    def __init__(self, geometry: DetectorGeometry, config: ModuleMapConfig) -> None:
+        self.geometry = geometry
+        self.config = config
+        self._connections: Dict[Cell, Set[Cell]] = defaultdict(set)
+        # per layer pair: (dphi_min, dphi_max, dz_min, dz_max)
+        self._bounds: Dict[Tuple[int, int], Tuple[float, float, float, float]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _z_scale(self) -> float:
+        return max(l.half_length for l in self.geometry.barrel)
+
+    def _cells_of(self, event: Event) -> np.ndarray:
+        """(n, 3) integer cell coordinates per hit."""
+        r, phi, z = event.cylindrical()
+        phi_bin = np.floor(
+            (phi + np.pi) / (2 * np.pi) * self.config.num_phi_sectors
+        ).astype(np.int64)
+        phi_bin = np.clip(phi_bin, 0, self.config.num_phi_sectors - 1)
+        zs = self._z_scale()
+        z_bin = np.floor((z + zs) / (2 * zs) * self.config.num_z_sectors).astype(np.int64)
+        z_bin = np.clip(z_bin, 0, self.config.num_z_sectors - 1)
+        return np.stack([event.layer_ids, phi_bin, z_bin], axis=1)
+
+    # ------------------------------------------------------------------
+    def fit(self, events: Sequence[Event]) -> "ModuleMap":
+        """Record the cell pairs and kinematic bounds of truth segments."""
+        if not events:
+            raise ValueError("no training events")
+        per_pair: Dict[Tuple[int, int], list] = defaultdict(list)
+        for event in events:
+            cells = self._cells_of(event)
+            _, phi, z = event.cylindrical()
+            seg = event.true_segments()
+            for a, b in seg.T:
+                ca = tuple(int(v) for v in cells[a])
+                cb = tuple(int(v) for v in cells[b])
+                # orient inner → outer layer
+                if ca[0] > cb[0]:
+                    ca, cb = cb, ca
+                    a, b = b, a
+                self._connections[ca].add(cb)
+                dphi = float(np.arctan2(np.sin(phi[b] - phi[a]), np.cos(phi[b] - phi[a])))
+                dz = float(z[b] - z[a])
+                per_pair[(ca[0], cb[0])].append((dphi, dz))
+        for pair, deltas in per_pair.items():
+            arr = np.asarray(deltas)
+            dphi_lo, dphi_hi = arr[:, 0].min(), arr[:, 0].max()
+            dz_lo, dz_hi = arr[:, 1].min(), arr[:, 1].max()
+            m = self.config.window_margin
+            dphi_pad = m * max(dphi_hi - dphi_lo, 1e-3)
+            dz_pad = m * max(dz_hi - dz_lo, 1e-3)
+            self._bounds[pair] = (
+                dphi_lo - dphi_pad,
+                dphi_hi + dphi_pad,
+                dz_lo - dz_pad,
+                dz_hi + dz_pad,
+            )
+        self._fitted = True
+        return self
+
+    @property
+    def num_connections(self) -> int:
+        """Number of distinct (source cell → destination cell) links."""
+        return sum(len(v) for v in self._connections.values())
+
+    # ------------------------------------------------------------------
+    def build(self, event: Event) -> EventGraph:
+        """Construct the candidate graph of one event from the map."""
+        if not self._fitted:
+            raise RuntimeError("module map not fitted")
+        cells = self._cells_of(event)
+        _, phi, z = event.cylindrical()
+
+        # index hits by cell
+        by_cell: Dict[Cell, list] = defaultdict(list)
+        for i in range(event.num_hits):
+            by_cell[tuple(int(v) for v in cells[i])].append(i)
+
+        srcs, dsts = [], []
+        for ca, hit_list in by_cell.items():
+            targets = self._connections.get(ca)
+            if not targets:
+                continue
+            a_idx = np.asarray(hit_list, dtype=np.int64)
+            for cb in targets:
+                b_hits = by_cell.get(cb)
+                if not b_hits:
+                    continue
+                b_idx = np.asarray(b_hits, dtype=np.int64)
+                aa = np.repeat(a_idx, b_idx.size)
+                bb = np.tile(b_idx, a_idx.size)
+                bounds = self._bounds.get((ca[0], cb[0]))
+                if bounds is not None:
+                    dphi = np.arctan2(np.sin(phi[bb] - phi[aa]), np.cos(phi[bb] - phi[aa]))
+                    dz = z[bb] - z[aa]
+                    ok = (
+                        (dphi >= bounds[0])
+                        & (dphi <= bounds[1])
+                        & (dz >= bounds[2])
+                        & (dz <= bounds[3])
+                    )
+                    aa, bb = aa[ok], bb[ok]
+                srcs.append(aa)
+                dsts.append(bb)
+        if srcs:
+            edge_index = np.stack([np.concatenate(srcs), np.concatenate(dsts)])
+            # dedupe (a hit pair can match through several cell links)
+            n = event.num_hits
+            keys = edge_index[0] * np.int64(n) + edge_index[1]
+            _, keep = np.unique(keys, return_index=True)
+            edge_index = edge_index[:, np.sort(keep)]
+        else:
+            edge_index = np.zeros((2, 0), dtype=np.int64)
+
+        return EventGraph(
+            edge_index=edge_index,
+            x=vertex_features(event, self.geometry, self.config.feature_scheme),
+            y=edge_features(event, self.geometry, edge_index, self.config.feature_scheme),
+            edge_labels=label_edges(event, edge_index),
+            particle_ids=event.particle_ids,
+            event_id=event.event_id,
+        )
+
+    def edge_efficiency(self, event: Event) -> float:
+        """Fraction of truth segments the built graph contains."""
+        graph = self.build(event)
+        segments = event.true_segments()
+        if segments.shape[1] == 0:
+            return 1.0
+        n = event.num_hits
+        built = set((graph.edge_index[0] * n + graph.edge_index[1]).tolist())
+        built |= set((graph.edge_index[1] * n + graph.edge_index[0]).tolist())
+        hit = sum(1 for a, b in segments.T if int(a) * n + int(b) in built)
+        return hit / segments.shape[1]

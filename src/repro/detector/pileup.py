@@ -1,0 +1,88 @@
+"""Event pileup: overlaying collisions.
+
+At the HL-LHC many proton–proton collisions occur per bunch crossing
+("pileup"); the detector records the union of all their hits.  Pileup is
+what drives the combinatorial explosion the paper's introduction cites —
+"traditional reconstruction algorithms scale superlinearly with the
+number of collisions" — so the scaling bench needs a way to dial it.
+
+:func:`merge_events` overlays events into one: hits are concatenated,
+particle ids re-offset to stay globally unique, and the result behaves
+exactly like a single denser event everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .events import Event
+from .geometry import DetectorGeometry
+from .particles import Particle
+
+__all__ = ["merge_events", "generate_pileup_event"]
+
+
+def merge_events(events: Sequence[Event], event_id: int = 0) -> Event:
+    """Overlay events into a single bunch crossing.
+
+    Particle ids of event ``i`` are offset by the maximum id of events
+    ``0..i-1`` so tracks remain distinguishable; noise hits (id 0) stay 0.
+    """
+    if not events:
+        raise ValueError("need at least one event")
+    positions, layer_ids, particle_ids, hit_order = [], [], [], []
+    particles: List[Particle] = []
+    offset = 0
+    for ev in events:
+        positions.append(ev.positions)
+        layer_ids.append(ev.layer_ids)
+        pids = ev.particle_ids.copy()
+        pids[pids > 0] += offset
+        particle_ids.append(pids)
+        hit_order.append(ev.hit_order)
+        for p in ev.particles:
+            particles.append(
+                Particle(
+                    particle_id=p.particle_id + offset,
+                    pt=p.pt,
+                    phi0=p.phi0,
+                    eta=p.eta,
+                    charge=p.charge,
+                    vx=p.vx,
+                    vy=p.vy,
+                    vz=p.vz,
+                )
+            )
+        local_max = int(ev.particle_ids.max(initial=0))
+        gen_max = max((p.particle_id for p in ev.particles), default=0)
+        offset += max(local_max, gen_max)
+    return Event(
+        positions=np.concatenate(positions, axis=0)
+        if positions
+        else np.zeros((0, 3)),
+        layer_ids=np.concatenate(layer_ids),
+        particle_ids=np.concatenate(particle_ids),
+        hit_order=np.concatenate(hit_order),
+        particles=particles,
+        event_id=event_id,
+    )
+
+
+def generate_pileup_event(
+    simulator,
+    num_collisions: int,
+    rng: np.random.Generator,
+    event_id: int = 0,
+) -> Event:
+    """Generate ``num_collisions`` collisions and overlay them."""
+    if num_collisions < 1:
+        raise ValueError("num_collisions must be >= 1")
+    events = [
+        simulator.generate(
+            np.random.default_rng(rng.integers(2**63)), event_id=event_id
+        )
+        for _ in range(num_collisions)
+    ]
+    return merge_events(events, event_id=event_id)

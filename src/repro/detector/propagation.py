@@ -1,0 +1,244 @@
+"""Helix propagation through the detector.
+
+A charged particle in a uniform solenoid field follows a helix: a circle of
+radius ``R = pT / (0.3 B)`` in the transverse plane, advancing linearly in
+``z`` with slope ``sinh(eta)`` per unit of transverse path length.  This
+module intersects that helix with the detector surfaces to produce ideal
+(pre-smearing) hit positions.
+
+Parametrisation (turning angle ``t >= 0``)::
+
+    x(t) = vx + (R/q) * (sin(phi0 + q t) - sin(phi0))
+    y(t) = vy - (R/q) * (cos(phi0 + q t) - cos(phi0))
+    z(t) = vz + R * t * sinh(eta)
+
+with ``q = ±1`` the charge sign.  The transverse trajectory is a circle of
+radius ``R`` centred at ``(vx - (R/q) sin phi0, vy + (R/q) cos phi0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .geometry import BarrelLayer, DetectorGeometry, EndcapDisk
+from .particles import Particle
+
+__all__ = ["TrueHit", "propagate", "propagate_with_scattering", "helix_position"]
+
+# Cap on the swept turning angle: half a turn.  Low-pT particles curl back
+# toward the beam line after t = pi and would re-cross inner layers; real
+# pattern recognition treats those as separate track segments, and the
+# Exa.TrkX truth definition keeps only the outward-going arc.
+MAX_TURNING_ANGLE = np.pi
+
+
+@dataclass(frozen=True)
+class TrueHit:
+    """Ideal intersection of a particle helix with a detector surface."""
+
+    particle_id: int
+    layer_id: int
+    x: float
+    y: float
+    z: float
+    t: float  # turning angle at the intersection (orders hits along the track)
+
+
+def helix_position(p: Particle, t: np.ndarray, field_tesla: float) -> np.ndarray:
+    """Evaluate the helix of particle ``p`` at turning angles ``t``.
+
+    Returns an ``(len(t), 3)`` array of (x, y, z) positions [mm].
+    """
+    t = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    R = p.helix_radius_mm(field_tesla)
+    q = float(p.charge)
+    x = p.vx + (R / q) * (np.sin(p.phi0 + q * t) - np.sin(p.phi0))
+    y = p.vy - (R / q) * (np.cos(p.phi0 + q * t) - np.cos(p.phi0))
+    z = p.vz + R * t * np.sinh(p.eta)
+    return np.stack([x, y, z], axis=1)
+
+
+def _barrel_crossing(p: Particle, layer: BarrelLayer, field_tesla: float) -> Optional[float]:
+    """Smallest turning angle ``t in (0, pi]`` with ``r(t) == layer.radius``.
+
+    Solved analytically from the transverse circle geometry: with helix
+    centre ``C`` at distance ``d`` from the origin and radius ``R``, the
+    helix reaches radius ``r_L`` iff ``|d - R| <= r_L <= d + R``.
+    """
+    R = p.helix_radius_mm(field_tesla)
+    q = float(p.charge)
+    cx = p.vx - (R / q) * np.sin(p.phi0)
+    cy = p.vy + (R / q) * np.cos(p.phi0)
+    d = np.hypot(cx, cy)
+    r_L = layer.radius
+    if r_L > d + R or r_L < np.abs(d - R):
+        return None  # layer unreachable (curler or displaced vertex)
+    # Law of cosines in the triangle (origin, centre, crossing point):
+    # angle at the centre between the crossing point and the beam line.
+    cos_alpha = (d * d + R * R - r_L * r_L) / (2.0 * d * R)
+    cos_alpha = np.clip(cos_alpha, -1.0, 1.0)
+    alpha = np.arccos(cos_alpha)
+    # Angle (at the centre) of the starting point:
+    phi_start = np.arctan2(p.vy - cy, p.vx - cx)
+    phi_beam = np.arctan2(-cy, -cx)
+    # Two crossing azimuths around the centre; pick the one reached first.
+    # On the helix, the point's azimuth around the centre is
+    # phi_start + q*t (for either charge sign).
+    candidates = []
+    for sign in (+1.0, -1.0):
+        phi_cross = phi_beam + sign * alpha
+        # solve phi_start + q t ≡ phi_cross (mod 2π) for smallest t > 0
+        t = (q * (phi_cross - phi_start)) % (2.0 * np.pi)
+        if t > 1e-12:
+            candidates.append(t)
+    if not candidates:
+        return None
+    t_min = min(candidates)
+    if t_min > MAX_TURNING_ANGLE:
+        return None
+    # respect the cylinder half-length
+    z = p.vz + R * t_min * np.sinh(p.eta)
+    if np.abs(z) > layer.half_length:
+        return None
+    return float(t_min)
+
+
+def _disk_crossing(p: Particle, disk: EndcapDisk, field_tesla: float) -> Optional[float]:
+    """Turning angle at which the helix crosses the disk plane, if inside
+    the annulus and within the turning-angle cap."""
+    R = p.helix_radius_mm(field_tesla)
+    slope = R * np.sinh(p.eta)
+    if np.abs(slope) < 1e-12:
+        return None  # purely transverse track never reaches a disk
+    t = (disk.z - p.vz) / slope
+    if t <= 1e-12 or t > MAX_TURNING_ANGLE:
+        return None
+    pos = helix_position(p, np.array([t]), field_tesla)[0]
+    r = np.hypot(pos[0], pos[1])
+    if not (disk.r_inner <= r <= disk.r_outer):
+        return None
+    return float(t)
+
+
+def propagate_with_scattering(
+    p: Particle,
+    geometry: DetectorGeometry,
+    rng: np.random.Generator,
+    radiation_length_fraction: float = 0.02,
+    min_hits: int = 3,
+) -> List[TrueHit]:
+    """Propagate through the barrel with multiple Coulomb scattering.
+
+    Each silicon layer deflects the track by a Gaussian angle with the
+    Highland width ``θ₀ ≈ (13.6 MeV / p) · sqrt(x/X₀)``; the trajectory
+    between layers stays an exact helix.  Implemented as a sequence of
+    single-layer propagations, re-seeding the helix at every crossing with
+    the perturbed direction.
+
+    Parameters
+    ----------
+    p:
+        The generated particle.
+    rng:
+        Source of the scattering angles.
+    radiation_length_fraction:
+        Material per layer in units of X₀ (a few % for a silicon layer
+        plus services).
+    min_hits:
+        As :func:`propagate`.
+    """
+    if radiation_length_fraction < 0:
+        raise ValueError("radiation_length_fraction must be non-negative")
+    B = geometry.solenoid_field_tesla
+    momentum = p.pt * np.cosh(p.eta)  # |p| in GeV
+    theta0 = 13.6e-3 / max(momentum, 1e-3) * np.sqrt(radiation_length_fraction)
+
+    hits: List[TrueHit] = []
+    state = p
+    t_accumulated = 0.0
+    for layer in geometry.barrel:
+        t = _barrel_crossing(state, layer, B)
+        if t is None:
+            break  # curler or deflected out of reach; outer layers unreachable
+        pos = helix_position(state, np.array([t]), B)[0]
+        t_accumulated += t
+        hits.append(
+            TrueHit(
+                particle_id=p.particle_id,
+                layer_id=layer.layer_id,
+                x=float(pos[0]),
+                y=float(pos[1]),
+                z=float(pos[2]),
+                t=t_accumulated,
+            )
+        )
+        # direction at the crossing: tangent of the current helix
+        q = float(state.charge)
+        phi_here = state.phi0 + q * t
+        # scatter: perturb azimuthal direction and dip angle
+        dphi = float(rng.normal(0.0, theta0))
+        deta = float(rng.normal(0.0, theta0) * np.cosh(state.eta))
+        state = Particle(
+            particle_id=state.particle_id,
+            pt=state.pt,
+            phi0=phi_here + dphi,
+            eta=state.eta + deta,
+            charge=state.charge,
+            vx=float(pos[0]),
+            vy=float(pos[1]),
+            vz=float(pos[2]),
+        )
+    if len(hits) < min_hits:
+        return []
+    return hits
+
+
+def propagate(
+    p: Particle, geometry: DetectorGeometry, min_hits: int = 3
+) -> List[TrueHit]:
+    """Intersect particle ``p`` with every detector surface.
+
+    Returns hits ordered by turning angle (i.e. along the trajectory).
+    Particles leaving fewer than ``min_hits`` crossings return an empty
+    list — they cannot form a reconstructable track and match the paper's
+    truth selection (which requires a minimum number of hits).
+    """
+    B = geometry.solenoid_field_tesla
+    hits: List[TrueHit] = []
+    for layer in geometry.barrel:
+        t = _barrel_crossing(p, layer, B)
+        if t is None:
+            continue
+        pos = helix_position(p, np.array([t]), B)[0]
+        hits.append(
+            TrueHit(
+                particle_id=p.particle_id,
+                layer_id=layer.layer_id,
+                x=float(pos[0]),
+                y=float(pos[1]),
+                z=float(pos[2]),
+                t=t,
+            )
+        )
+    for disk in geometry.endcaps:
+        t = _disk_crossing(p, disk, B)
+        if t is None:
+            continue
+        pos = helix_position(p, np.array([t]), B)[0]
+        hits.append(
+            TrueHit(
+                particle_id=p.particle_id,
+                layer_id=disk.layer_id,
+                x=float(pos[0]),
+                y=float(pos[1]),
+                z=float(pos[2]),
+                t=t,
+            )
+        )
+    hits.sort(key=lambda h: h.t)
+    if len(hits) < min_hits:
+        return []
+    return hits

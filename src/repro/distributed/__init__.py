@@ -1,0 +1,63 @@
+"""Simulated multi-GPU data parallelism.
+
+Ring all-reduce over in-process ranks, per-parameter vs coalesced
+gradient synchronisation (Section III-D), and the α–β cost model that
+converts byte/step counts into modeled NVLink communication time.
+"""
+
+from .costmodel import NVLINK_A100, CommCostModel
+from .ring import RingAllReduceStats, ring_allreduce
+from .comm import CommStats, SimCommunicator
+from .coalesce import FlatSpec, flatten_arrays, gradient_arrays, unflatten_array
+from .ddp import DistributedDataParallel, replicate_model
+from .algorithms import (
+    ALLREDUCE_ALGORITHMS,
+    halving_doubling_allreduce,
+    halving_doubling_time,
+    tree_allreduce,
+    tree_time,
+)
+from .bucketing import (
+    Bucket,
+    BucketedSynchronizer,
+    overlapped_sync_time,
+    partition_buckets,
+)
+from .partitioned_gnn import HaloStats, PartitionedIGNNForward, VertexPartition
+from .compression import (
+    CompressedSynchronizer,
+    TopKCompressor,
+    compressed_bytes,
+    compression_speedup,
+)
+
+__all__ = [
+    "CommCostModel",
+    "NVLINK_A100",
+    "ring_allreduce",
+    "RingAllReduceStats",
+    "SimCommunicator",
+    "CommStats",
+    "FlatSpec",
+    "flatten_arrays",
+    "unflatten_array",
+    "gradient_arrays",
+    "DistributedDataParallel",
+    "replicate_model",
+    "ALLREDUCE_ALGORITHMS",
+    "halving_doubling_allreduce",
+    "halving_doubling_time",
+    "tree_allreduce",
+    "tree_time",
+    "Bucket",
+    "BucketedSynchronizer",
+    "partition_buckets",
+    "overlapped_sync_time",
+    "HaloStats",
+    "VertexPartition",
+    "PartitionedIGNNForward",
+    "TopKCompressor",
+    "CompressedSynchronizer",
+    "compressed_bytes",
+    "compression_speedup",
+]

@@ -1,0 +1,68 @@
+"""Gradient flattening for the coalesced all-reduce (Section III-D).
+
+An Interaction GNN holds many separate parameter matrices (every layer's
+message and node MLPs, each with several ``f × f`` weights).  Synchronising
+them with one all-reduce per matrix pays the latency term α once *per
+matrix*; stacking all gradients into a single flat buffer pays it once per
+*step*.  These helpers pack/unpack that buffer deterministically, using
+the module's parameter traversal order (identical across ranks by
+construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = ["FlatSpec", "flatten_arrays", "unflatten_array", "gradient_arrays"]
+
+
+@dataclass(frozen=True)
+class FlatSpec:
+    """Layout of one tensor inside a flat buffer."""
+
+    offset: int
+    size: int
+    shape: Tuple[int, ...]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[FlatSpec]]:
+    """Concatenate arrays into one 1-D float32 buffer plus layout specs."""
+    specs: List[FlatSpec] = []
+    offset = 0
+    for a in arrays:
+        specs.append(FlatSpec(offset=offset, size=a.size, shape=a.shape))
+        offset += a.size
+    flat = np.empty(offset, dtype=np.float32)
+    for a, spec in zip(arrays, specs):
+        flat[spec.offset : spec.offset + spec.size] = a.reshape(-1)
+    return flat, specs
+
+
+def unflatten_array(flat: np.ndarray, specs: Sequence[FlatSpec]) -> List[np.ndarray]:
+    """Split a flat buffer back into tensors per ``specs``."""
+    total = specs[-1].offset + specs[-1].size if specs else 0
+    if flat.size != total:
+        raise ValueError(f"flat buffer has {flat.size} elements, specs expect {total}")
+    return [
+        flat[s.offset : s.offset + s.size].reshape(s.shape) for s in specs
+    ]
+
+
+def gradient_arrays(model: Module) -> List[np.ndarray]:
+    """Collect parameter gradients in deterministic traversal order.
+
+    Parameters with no gradient contribute zeros (they did not participate
+    in this step's subgraph), keeping the flat layout rank-invariant.
+    """
+    grads = []
+    for _, p in model.named_parameters():
+        if p.grad is None:
+            grads.append(np.zeros_like(p.data))
+        else:
+            grads.append(p.grad)
+    return grads

@@ -1,0 +1,111 @@
+"""Simulated communicator: the NCCL stand-in.
+
+:class:`SimCommunicator` owns ``P`` logical ranks in one process and
+provides the collectives DDP needs.  Every call runs the genuine ring
+algorithm (:mod:`repro.distributed.ring`) and charges the α–β cost model,
+accumulating both *call counts* and *modeled communication time* — the
+quantities the coalesced-all-reduce experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .costmodel import CommCostModel, NVLINK_A100
+from .ring import RingAllReduceStats, ring_allreduce
+
+__all__ = ["CommStats", "SimCommunicator"]
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication accounting."""
+
+    num_allreduce_calls: int = 0
+    bytes_reduced: int = 0
+    modeled_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.num_allreduce_calls = 0
+        self.bytes_reduced = 0
+        self.modeled_seconds = 0.0
+
+
+class SimCommunicator:
+    """In-process ``P``-rank communicator with cost accounting.
+
+    Parameters
+    ----------
+    world_size:
+        Number of simulated ranks (GPUs).
+    cost_model:
+        α–β model used to charge modeled time per collective.
+    algorithm:
+        All-reduce algorithm: ``"ring"`` (default, NCCL's large-message
+        choice), ``"halving_doubling"`` (power-of-two ranks only), or
+        ``"tree"``.  The matching α–β form is used for the modeled time.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        cost_model: CommCostModel = NVLINK_A100,
+        algorithm: str = "ring",
+    ) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if algorithm not in ("ring", "halving_doubling", "tree"):
+            raise ValueError(f"unknown all-reduce algorithm {algorithm!r}")
+        self.world_size = world_size
+        self.cost_model = cost_model
+        self.algorithm = algorithm
+        self.stats = CommStats()
+
+    # ------------------------------------------------------------------
+    def _run_allreduce(
+        self, buffers: Sequence[np.ndarray], average: bool
+    ) -> List[np.ndarray]:
+        if self.algorithm == "ring":
+            return ring_allreduce(buffers, average=average)
+        from .algorithms import halving_doubling_allreduce, tree_allreduce
+
+        if self.algorithm == "halving_doubling":
+            return halving_doubling_allreduce(buffers, average=average)
+        return tree_allreduce(buffers, average=average)
+
+    def _modeled_time(self, nbytes: int) -> float:
+        if self.algorithm == "ring":
+            return self.cost_model.allreduce_time(nbytes, self.world_size)
+        from .algorithms import halving_doubling_time, tree_time
+
+        fn = halving_doubling_time if self.algorithm == "halving_doubling" else tree_time
+        return fn(nbytes, self.world_size, self.cost_model.alpha, self.cost_model.beta)
+
+    def allreduce(
+        self, buffers: Sequence[np.ndarray], average: bool = True
+    ) -> List[np.ndarray]:
+        """All-reduce one buffer per rank; returns the reduced copies.
+
+        Charges the cost model for a single collective over the buffer's
+        byte size, using the configured algorithm's α–β form.
+        """
+        if len(buffers) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank buffers, got {len(buffers)}"
+            )
+        out = self._run_allreduce(buffers, average)
+        nbytes = buffers[0].nbytes
+        self.stats.num_allreduce_calls += 1
+        self.stats.bytes_reduced += nbytes
+        self.stats.modeled_seconds += self._modeled_time(nbytes)
+        return out
+
+    def broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
+        """Broadcast rank 0's buffer to every rank (model-state sync)."""
+        return [buffer.copy() for _ in range(self.world_size)]
+
+    def barrier(self) -> None:
+        """No-op in the in-process simulation; kept for API parity."""

@@ -1,0 +1,138 @@
+"""Gradient compression: top-k sparsification with error feedback.
+
+The paper's coalescing attacks the *latency* term of gradient
+synchronisation; compression attacks the *bandwidth* term.  Top-k keeps
+only the k largest-magnitude entries of the flat gradient and accumulates
+the rest locally ("error feedback", Stich et al.), which keeps SGD
+convergent despite the truncation.
+
+Protocol here is the standard sparse exchange: every rank contributes its
+top-k (index, value) pairs, ranks all-gather the union, and each applies
+the averaged sparse updates.  Transmitted volume per rank is
+``k · (4 + 4)`` bytes instead of ``n · 4`` — the compression ratio the
+bench prices with the α–β model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nn import Module
+from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
+from .costmodel import CommCostModel
+
+__all__ = [
+    "TopKCompressor",
+    "CompressedSynchronizer",
+    "compressed_bytes",
+    "compression_speedup",
+]
+
+
+@dataclass
+class TopKCompressor:
+    """Per-rank top-k selection with an error-feedback residual.
+
+    Parameters
+    ----------
+    ratio:
+        Fraction of entries kept per step (0 < ratio ≤ 1).
+    """
+
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self._residual: np.ndarray | None = None
+
+    def compress(self, flat_grad: np.ndarray):
+        """Return (indices, values) of the k largest-magnitude corrected
+        entries; the remainder is carried to the next step."""
+        if self._residual is None or self._residual.shape != flat_grad.shape:
+            self._residual = np.zeros_like(flat_grad)
+        corrected = flat_grad + self._residual
+        k = max(1, int(round(self.ratio * corrected.size)))
+        if k >= corrected.size:
+            idx = np.arange(corrected.size, dtype=np.int64)
+        else:
+            idx = np.argpartition(np.abs(corrected), -k)[-k:].astype(np.int64)
+        values = corrected[idx].copy()
+        self._residual = corrected
+        self._residual[idx] = 0.0  # transmitted mass leaves the residual
+        return idx, values
+
+
+class CompressedSynchronizer:
+    """DDP gradient sync over sparse top-k messages.
+
+    Each rank compresses its flat gradient; the sparse contributions are
+    summed (the all-gather union) and divided by the world size, and every
+    rank applies the identical dense result — replicas stay in sync.
+
+    Parameters
+    ----------
+    models:
+        One replica per rank.
+    ratio:
+        Top-k keep fraction.
+    """
+
+    def __init__(self, models: Sequence[Module], ratio: float) -> None:
+        if not models:
+            raise ValueError("need at least one replica")
+        names = [tuple(n for n, _ in m.named_parameters()) for m in models]
+        if any(n != names[0] for n in names[1:]):
+            raise ValueError("replicas disagree on parameter names/order")
+        self.models = list(models)
+        self.compressors = [TopKCompressor(ratio) for _ in models]
+        self.bytes_exchanged = 0
+        self.steps = 0
+
+    @property
+    def world_size(self) -> int:
+        return len(self.models)
+
+    def synchronize_gradients(self) -> None:
+        """Sparse-sum the ranks' top-k gradients; write the average back."""
+        flats = []
+        specs = None
+        for m in self.models:
+            flat, specs = flatten_arrays(gradient_arrays(m))
+            flats.append(flat)
+        dense_sum = np.zeros_like(flats[0], dtype=np.float64)
+        for comp, flat in zip(self.compressors, flats):
+            idx, values = comp.compress(flat)
+            np.add.at(dense_sum, idx, values.astype(np.float64))
+            self.bytes_exchanged += idx.size * 8  # 4B index + 4B value
+        averaged = (dense_sum / self.world_size).astype(np.float32)
+        for m in self.models:
+            for (_, p), g in zip(
+                m.named_parameters(), unflatten_array(averaged, specs)
+            ):
+                p.grad = g.astype(p.data.dtype, copy=True)
+        self.steps += 1
+
+
+def compressed_bytes(num_elements: int, ratio: float) -> int:
+    """Per-rank transmitted bytes for one compressed sync."""
+    k = max(1, int(round(ratio * num_elements)))
+    return k * 8
+
+
+def compression_speedup(
+    num_elements: int, ratio: float, world_size: int, model: CommCostModel
+) -> float:
+    """Modeled dense-allreduce time over sparse-exchange time.
+
+    The sparse exchange is modeled as one collective of the compressed
+    size (index+value payload).
+    """
+    dense = model.allreduce_time(num_elements * 4, world_size)
+    sparse = model.allreduce_time(compressed_bytes(num_elements, ratio), world_size)
+    if sparse == 0.0:
+        return 1.0
+    return dense / sparse

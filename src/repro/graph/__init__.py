@@ -1,0 +1,38 @@
+"""Graph substrate: event graphs, components, subgraphs, FRNN construction."""
+
+from .graph import EventGraph
+from .components import (
+    UnionFind,
+    components_as_lists,
+    connected_components,
+    connected_components_scipy,
+)
+from .subgraph import InducedSubgraph, induced_edge_mask, induced_subgraph, selection_matrix
+from .frnn import fixed_radius_graph, knn_graph
+from .generators import chain_graph, disjoint_chains, random_graph, star_graph
+from .partition import block_partition, round_robin_partition, shard_batch
+from .stats import GraphStats, describe, describe_many
+
+__all__ = [
+    "EventGraph",
+    "UnionFind",
+    "connected_components",
+    "connected_components_scipy",
+    "components_as_lists",
+    "InducedSubgraph",
+    "induced_subgraph",
+    "induced_edge_mask",
+    "selection_matrix",
+    "fixed_radius_graph",
+    "knn_graph",
+    "random_graph",
+    "chain_graph",
+    "disjoint_chains",
+    "star_graph",
+    "block_partition",
+    "round_robin_partition",
+    "shard_batch",
+    "GraphStats",
+    "describe",
+    "describe_many",
+]

@@ -1,0 +1,40 @@
+"""Vertex partitioning utilities for distributed data parallelism.
+
+DDP in the paper splits each 256-vertex batch across ``P`` GPUs (local
+batch size ``256/P``); these helpers produce balanced, deterministic
+shards so that the simulated ranks and the tests agree on the split.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["block_partition", "round_robin_partition", "shard_batch"]
+
+
+def block_partition(items: np.ndarray, num_parts: int) -> List[np.ndarray]:
+    """Split ``items`` into ``num_parts`` contiguous blocks.
+
+    Block sizes differ by at most one; earlier blocks take the extras.
+    """
+    items = np.asarray(items)
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    return [np.array(part) for part in np.array_split(items, num_parts)]
+
+
+def round_robin_partition(items: np.ndarray, num_parts: int) -> List[np.ndarray]:
+    """Deal ``items`` round-robin across ``num_parts`` shards."""
+    items = np.asarray(items)
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    return [items[r::num_parts] for r in range(num_parts)]
+
+
+def shard_batch(batch: np.ndarray, rank: int, world_size: int) -> np.ndarray:
+    """Return rank ``rank``'s contiguous shard of a batch (paper's 256/P)."""
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world size {world_size}")
+    return block_partition(batch, world_size)[rank]

@@ -1,0 +1,82 @@
+"""Descriptive statistics of event graphs.
+
+The quantities dataset cards and Table-I-style summaries report: size,
+density, degree distribution, label balance, and component structure.
+Used by the dataset registry's `summarize` and handy when sizing sampler
+hyper-parameters (the fanout should sit near the typical degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .components import connected_components
+from .graph import EventGraph
+
+__all__ = ["GraphStats", "describe", "describe_many"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One graph's summary numbers."""
+
+    num_nodes: int
+    num_edges: int
+    edges_per_vertex: float
+    mean_degree: float
+    max_degree: int
+    isolated_vertices: int
+    true_edge_fraction: float
+    num_components: int
+    largest_component: int
+
+    def render(self) -> str:
+        return (
+            f"n={self.num_nodes} m={self.num_edges} "
+            f"E/V={self.edges_per_vertex:.2f} deg(mean/max)="
+            f"{self.mean_degree:.1f}/{self.max_degree} "
+            f"isolated={self.isolated_vertices} "
+            f"true={100 * self.true_edge_fraction:.1f}% "
+            f"components={self.num_components} "
+            f"(largest {self.largest_component})"
+        )
+
+
+def describe(graph: EventGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for one graph."""
+    degrees = graph.degrees(symmetric=True)
+    labels = connected_components(graph.rows, graph.cols, graph.num_nodes)
+    counts = np.bincount(labels)
+    true_frac = (
+        graph.true_edge_fraction() if graph.edge_labels is not None and graph.num_edges else 0.0
+    )
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        edges_per_vertex=graph.num_edges / max(graph.num_nodes, 1),
+        mean_degree=float(degrees.mean()) if graph.num_nodes else 0.0,
+        max_degree=int(degrees.max()) if graph.num_nodes else 0,
+        isolated_vertices=int(np.sum(degrees == 0)),
+        true_edge_fraction=true_frac,
+        num_components=int(counts.size),
+        largest_component=int(counts.max()) if counts.size else 0,
+    )
+
+
+def describe_many(graphs: Sequence[EventGraph]) -> Dict[str, float]:
+    """Aggregate means over a graph collection (a dataset split)."""
+    if not graphs:
+        raise ValueError("no graphs to describe")
+    stats = [describe(g) for g in graphs]
+    return {
+        "graphs": float(len(stats)),
+        "avg_nodes": float(np.mean([s.num_nodes for s in stats])),
+        "avg_edges": float(np.mean([s.num_edges for s in stats])),
+        "avg_edges_per_vertex": float(np.mean([s.edges_per_vertex for s in stats])),
+        "avg_mean_degree": float(np.mean([s.mean_degree for s in stats])),
+        "avg_true_fraction": float(np.mean([s.true_edge_fraction for s in stats])),
+        "avg_components": float(np.mean([s.num_components for s in stats])),
+    }

@@ -1,0 +1,98 @@
+"""Induced-subgraph extraction.
+
+ShaDow (Algorithm 2, line 10: ``SUBGRAPH(A, f)``) and the matrix-based bulk
+sampler (the row/column-selection SpGEMMs of Figure 2) both need the
+subgraph of the full event graph induced by a vertex subset, with vertices
+relabelled to a compact ``0..k-1`` range and features gathered along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import EventGraph
+
+__all__ = ["InducedSubgraph", "induced_subgraph", "induced_edge_mask", "selection_matrix"]
+
+
+@dataclass
+class InducedSubgraph:
+    """Result of an induced-subgraph extraction.
+
+    Attributes
+    ----------
+    graph:
+        The relabelled subgraph (vertex ``i`` corresponds to
+        ``node_index[i]`` in the parent).
+    node_index:
+        ``(k,)`` parent vertex id per subgraph vertex.
+    edge_index_parent:
+        ``(m_s,)`` index into the parent's edge arrays per subgraph edge,
+        used to map per-edge GNN scores back onto the full event graph.
+    """
+
+    graph: EventGraph
+    node_index: np.ndarray
+    edge_index_parent: np.ndarray
+
+
+def induced_edge_mask(graph: EventGraph, nodes: np.ndarray) -> np.ndarray:
+    """Boolean mask over the parent's edges with both endpoints in ``nodes``."""
+    member = np.zeros(graph.num_nodes, dtype=bool)
+    member[np.asarray(nodes, dtype=np.int64)] = True
+    return member[graph.rows] & member[graph.cols]
+
+
+def induced_subgraph(graph: EventGraph, nodes: np.ndarray) -> InducedSubgraph:
+    """Extract the subgraph of ``graph`` induced by the vertex set ``nodes``.
+
+    Parameters
+    ----------
+    graph:
+        Parent event graph.
+    nodes:
+        Vertex ids to keep.  Duplicates are removed; order of first
+        occurrence is **not** preserved (vertices are sorted), which is
+        irrelevant to message passing but keeps the relabelling a single
+        ``searchsorted``.
+
+    Returns
+    -------
+    InducedSubgraph
+        Relabelled subgraph plus the index maps back into the parent.
+    """
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size and (nodes[0] < 0 or nodes[-1] >= graph.num_nodes):
+        raise ValueError("node ids out of range")
+    mask = induced_edge_mask(graph, nodes)
+    edge_parent = np.flatnonzero(mask)
+    rows = np.searchsorted(nodes, graph.rows[edge_parent])
+    cols = np.searchsorted(nodes, graph.cols[edge_parent])
+    sub = EventGraph(
+        edge_index=np.stack([rows, cols]),
+        x=graph.x[nodes],
+        y=graph.y[edge_parent],
+        edge_labels=None if graph.edge_labels is None else graph.edge_labels[edge_parent],
+        particle_ids=None if graph.particle_ids is None else graph.particle_ids[nodes],
+        event_id=graph.event_id,
+    )
+    return InducedSubgraph(graph=sub, node_index=nodes, edge_index_parent=edge_parent)
+
+
+def selection_matrix(nodes: np.ndarray, n: int) -> sp.csr_matrix:
+    """Build the ``k × n`` row-selection matrix ``S`` with ``S[i, nodes[i]] = 1``.
+
+    Extraction in the matrix-based sampler is the SpGEMM sandwich
+    ``S A Sᵀ`` (Figure 2's "row and column selection SpGEMMs"); this helper
+    constructs ``S``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    k = nodes.shape[0]
+    return sp.csr_matrix(
+        (np.ones(k, dtype=np.float64), (np.arange(k, dtype=np.int64), nodes)),
+        shape=(k, n),
+    )

@@ -1,0 +1,13 @@
+"""Dataset IO: npz serialisation, splits, and TrackML-format interop."""
+
+from .serialization import load_graphs, save_graphs
+from .splits import split_graphs
+from .trackml import export_trackml, import_trackml
+
+__all__ = [
+    "save_graphs",
+    "load_graphs",
+    "split_graphs",
+    "export_trackml",
+    "import_trackml",
+]

@@ -1,0 +1,43 @@
+"""Train/validation/test splitting of event-graph collections."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import EventGraph
+
+__all__ = ["split_graphs"]
+
+
+def split_graphs(
+    graphs: Sequence[EventGraph],
+    num_train: int,
+    num_val: int,
+    num_test: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List[EventGraph], List[EventGraph], List[EventGraph]]:
+    """Split graphs into train/val/test, optionally shuffling first.
+
+    The paper uses an 80/10/10 split per dataset.
+
+    Raises
+    ------
+    ValueError
+        If the requested split sizes exceed the number of graphs.
+    """
+    total = num_train + num_val + num_test
+    if total > len(graphs):
+        raise ValueError(
+            f"requested {total} graphs but only {len(graphs)} available"
+        )
+    order = np.arange(len(graphs))
+    if rng is not None:
+        order = rng.permutation(order)
+    picked = [graphs[i] for i in order[:total]]
+    return (
+        picked[:num_train],
+        picked[num_train : num_train + num_val],
+        picked[num_train + num_val :],
+    )

@@ -1,0 +1,179 @@
+"""TrackML-format interop.
+
+The public TrackML dataset (and the tooling around it — `trackml-library`,
+kaggle kernels, the acorn data readers) uses per-event CSV triplets:
+
+* ``event…-hits.csv`` — ``hit_id,x,y,z,volume_id,layer_id,module_id``;
+* ``event…-truth.csv`` — ``hit_id,particle_id,tx,ty,tz,tpx,tpy,tpz,weight``;
+* ``event…-particles.csv`` — ``particle_id,vx,vy,vz,px,py,pz,q,nhits``.
+
+Exporting the synthetic events in this schema lets the standard HEP
+tooling consume them (and makes swapping in the real dataset a matter of
+pointing the loader at different files).  Hit ids are 1-based as in
+TrackML.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..detector.events import Event
+from ..detector.particles import Particle
+
+__all__ = ["export_trackml", "import_trackml"]
+
+
+def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -> Dict[str, str]:
+    """Write one event as TrackML-style CSV files.
+
+    Parameters
+    ----------
+    event:
+        The event to export.
+    directory:
+        Output directory (created if missing).
+    prefix:
+        File prefix; defaults to ``event{event_id:09d}``.
+
+    Returns
+    -------
+    dict
+        Paths of the three written files keyed ``"hits"``, ``"truth"``,
+        ``"particles"``.
+    """
+    prefix = prefix if prefix is not None else f"event{event.event_id:09d}"
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        kind: os.path.join(directory, f"{prefix}-{kind}.csv")
+        for kind in ("hits", "truth", "particles")
+    }
+
+    with open(paths["hits"], "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["hit_id", "x", "y", "z", "volume_id", "layer_id", "module_id"])
+        for i in range(event.num_hits):
+            x, y, z = event.positions[i]
+            writer.writerow(
+                [i + 1, f"{x:.6g}", f"{y:.6g}", f"{z:.6g}", 0, int(event.layer_ids[i]), 0]
+            )
+
+    momenta = {
+        p.particle_id: (
+            p.pt * np.cos(p.phi0),
+            p.pt * np.sin(p.phi0),
+            p.pt * np.sinh(p.eta),
+        )
+        for p in event.particles
+    }
+    with open(paths["truth"], "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["hit_id", "particle_id", "tx", "ty", "tz", "tpx", "tpy", "tpz", "weight"]
+        )
+        for i in range(event.num_hits):
+            pid = int(event.particle_ids[i])
+            px, py, pz = momenta.get(pid, (0.0, 0.0, 0.0))
+            x, y, z = event.positions[i]
+            writer.writerow(
+                [
+                    i + 1,
+                    pid,
+                    f"{x:.6g}",
+                    f"{y:.6g}",
+                    f"{z:.6g}",
+                    f"{px:.6g}",
+                    f"{py:.6g}",
+                    f"{pz:.6g}",
+                    0.0,
+                ]
+            )
+
+    with open(paths["particles"], "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["particle_id", "vx", "vy", "vz", "px", "py", "pz", "q", "nhits"])
+        counts = np.bincount(
+            event.particle_ids[event.particle_ids > 0],
+            minlength=max((p.particle_id for p in event.particles), default=0) + 1,
+        )
+        for p in event.particles:
+            px, py, pz = momenta[p.particle_id]
+            nhits = int(counts[p.particle_id]) if p.particle_id < len(counts) else 0
+            writer.writerow(
+                [
+                    p.particle_id,
+                    f"{p.vx:.6g}",
+                    f"{p.vy:.6g}",
+                    f"{p.vz:.6g}",
+                    f"{px:.6g}",
+                    f"{py:.6g}",
+                    f"{pz:.6g}",
+                    p.charge,
+                    nhits,
+                ]
+            )
+    return paths
+
+
+def import_trackml(directory: str, prefix: str, event_id: int = 0) -> Event:
+    """Read an event written by :func:`export_trackml` (or real TrackML
+    files with the same columns).
+
+    The ``hit_order`` along each track is reconstructed by sorting each
+    particle's hits by distance from its production vertex — for barrel
+    events that matches the turning-angle order.
+    """
+    hits_path = os.path.join(directory, f"{prefix}-hits.csv")
+    truth_path = os.path.join(directory, f"{prefix}-truth.csv")
+    particles_path = os.path.join(directory, f"{prefix}-particles.csv")
+
+    positions: List[List[float]] = []
+    layer_ids: List[int] = []
+    with open(hits_path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            positions.append([float(row["x"]), float(row["y"]), float(row["z"])])
+            layer_ids.append(int(row["layer_id"]))
+
+    particle_ids = np.zeros(len(positions), dtype=np.int64)
+    with open(truth_path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            particle_ids[int(row["hit_id"]) - 1] = int(row["particle_id"])
+
+    particles: List[Particle] = []
+    with open(particles_path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            px, py, pz = float(row["px"]), float(row["py"]), float(row["pz"])
+            pt = float(np.hypot(px, py))
+            particles.append(
+                Particle(
+                    particle_id=int(row["particle_id"]),
+                    pt=pt,
+                    phi0=float(np.arctan2(py, px)),
+                    eta=float(np.arcsinh(pz / pt)) if pt > 0 else 0.0,
+                    charge=int(float(row["q"])),
+                    vx=float(row["vx"]),
+                    vy=float(row["vy"]),
+                    vz=float(row["vz"]),
+                )
+            )
+
+    pos = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
+    vertex = {p.particle_id: np.array([p.vx, p.vy, p.vz]) for p in particles}
+    hit_order = np.full(len(pos), -1, dtype=np.int64)
+    for pid in np.unique(particle_ids[particle_ids > 0]):
+        idx = np.flatnonzero(particle_ids == pid)
+        origin = vertex.get(int(pid), np.zeros(3))
+        dist = np.linalg.norm(pos[idx] - origin, axis=1)
+        hit_order[idx[np.argsort(dist)]] = np.arange(idx.size)
+
+    return Event(
+        positions=pos,
+        layer_ids=np.asarray(layer_ids, dtype=np.int64),
+        particle_ids=particle_ids,
+        hit_order=hit_order,
+        particles=particles,
+        event_id=event_id,
+    )

@@ -1,0 +1,6 @@
+"""GPU activation-memory model driving full-graph skip decisions."""
+
+from .activation import ActivationMemoryModel
+from .device import A100_40GB, DeviceSpec, scaled_device
+
+__all__ = ["ActivationMemoryModel", "DeviceSpec", "A100_40GB", "scaled_device"]

@@ -1,0 +1,52 @@
+"""Device (GPU) memory capacities for the skip-decision model.
+
+The paper trains on NVIDIA A100s (40 GB); our scaled-down datasets pair
+with proportionally scaled capacities so that the *fraction* of skipped
+events in the `abl-skip` bench mirrors the full-scale behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_40GB", "scaled_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A training device's memory budget.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label.
+    memory_bytes:
+        Total device memory.
+    activation_fraction:
+        Fraction usable for activations (the rest holds parameters,
+        optimiser state, workspace and the CUDA context; 0.6 is a typical
+        planning number).
+    """
+
+    name: str
+    memory_bytes: int
+    activation_fraction: float = 0.6
+
+    def activation_budget(self) -> int:
+        """Bytes available for stored activations."""
+        return int(self.memory_bytes * self.activation_fraction)
+
+
+A100_40GB = DeviceSpec(name="A100-40GB", memory_bytes=40 * 1024**3)
+
+
+def scaled_device(scale: float, base: DeviceSpec = A100_40GB) -> DeviceSpec:
+    """A device with ``scale`` times the base memory (for sweeps over the
+    scaled-down datasets)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return DeviceSpec(
+        name=f"{base.name}×{scale:g}",
+        memory_bytes=int(base.memory_bytes * scale),
+        activation_fraction=base.activation_fraction,
+    )

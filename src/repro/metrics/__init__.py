@@ -1,0 +1,33 @@
+"""Edge- and track-level evaluation metrics, plus training history."""
+
+from .edge_metrics import (
+    ConfusionCounts,
+    confusion,
+    f1_score,
+    pooled_precision_recall,
+    precision_recall,
+    precision_recall_curve,
+)
+from .track_metrics import TrackingScore, match_tracks
+from .history import EpochRecord, TrainingHistory
+from .curves import BinnedEfficiency, binned_efficiency, roc_auc, roc_curve
+from .evaluation import TrackingEvaluation, evaluate_tracking
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion",
+    "precision_recall",
+    "f1_score",
+    "pooled_precision_recall",
+    "precision_recall_curve",
+    "TrackingScore",
+    "match_tracks",
+    "EpochRecord",
+    "TrainingHistory",
+    "roc_curve",
+    "roc_auc",
+    "BinnedEfficiency",
+    "binned_efficiency",
+    "TrackingEvaluation",
+    "evaluate_tracking",
+]

@@ -1,0 +1,121 @@
+"""Score-curve metrics: ROC / AUC and kinematics-binned efficiencies.
+
+Beyond the fixed-threshold precision/recall of Figure 4, tracking papers
+report threshold-free discrimination (ROC AUC of the edge classifier) and
+efficiency as a function of particle kinematics (a pT-binned efficiency
+curve exposes the low-momentum region where tracks curl and edges kink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc", "BinnedEfficiency", "binned_efficiency"]
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ROC points (false-positive rate, true-positive rate).
+
+    Computed over all distinct score thresholds, descending; the curve
+    starts at (0, 0) and ends at (1, 1).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share a shape")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC requires both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(~sorted_labels)
+    # keep one point per distinct threshold (the last index of each run)
+    distinct = np.concatenate([np.flatnonzero(np.diff(scores[order])), [scores.size - 1]])
+    tpr = np.concatenate([[0.0], tp[distinct] / n_pos])
+    fpr = np.concatenate([[0.0], fp[distinct] / n_neg])
+    return fpr, tpr
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal; equals the rank statistic)."""
+    fpr, tpr = roc_curve(scores, labels)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # NumPy 2.0 rename
+    return float(trapezoid(tpr, fpr))
+
+
+@dataclass(frozen=True)
+class BinnedEfficiency:
+    """Efficiency in bins of some kinematic variable.
+
+    Attributes
+    ----------
+    edges:
+        ``(B+1,)`` bin edges.
+    passed, total:
+        Per-bin counts.
+    """
+
+    edges: np.ndarray
+    passed: np.ndarray
+    total: np.ndarray
+
+    @property
+    def efficiency(self) -> np.ndarray:
+        """Per-bin efficiency; NaN for empty bins."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.total > 0, self.passed / self.total, np.nan)
+
+    @property
+    def binomial_error(self) -> np.ndarray:
+        """Per-bin binomial uncertainty ``sqrt(e (1-e) / n)``."""
+        eff = self.efficiency
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self.total > 0, np.sqrt(eff * (1.0 - eff) / self.total), np.nan
+            )
+
+    def render(self, label: str = "value") -> List[str]:
+        """Human-readable table rows."""
+        rows = [f"{'bin':>16} | {'eff':>6} | {'n':>5}"]
+        eff = self.efficiency
+        for i in range(len(self.total)):
+            lo, hi = self.edges[i], self.edges[i + 1]
+            e = f"{eff[i]:6.3f}" if self.total[i] else "   —  "
+            rows.append(f"[{lo:6.2f},{hi:6.2f}) | {e} | {int(self.total[i]):>5}")
+        return rows
+
+
+def binned_efficiency(
+    values: np.ndarray,
+    passed_mask: np.ndarray,
+    edges: Sequence[float],
+) -> BinnedEfficiency:
+    """Bin a pass/fail outcome by a kinematic variable.
+
+    Parameters
+    ----------
+    values:
+        Per-object kinematic value (e.g. each particle's truth pT).
+    passed_mask:
+        Per-object boolean outcome (e.g. "was reconstructed").
+    edges:
+        Monotonic bin edges; values outside are dropped.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    passed_mask = np.asarray(passed_mask).astype(bool)
+    if values.shape != passed_mask.shape:
+        raise ValueError("values and passed_mask must share a shape")
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or len(edges) < 2 or np.any(np.diff(edges) <= 0):
+        raise ValueError("edges must be a strictly increasing 1-D array")
+    idx = np.digitize(values, edges) - 1
+    in_range = (idx >= 0) & (idx < len(edges) - 1)
+    nbins = len(edges) - 1
+    total = np.bincount(idx[in_range], minlength=nbins)
+    passed = np.bincount(idx[in_range & passed_mask], minlength=nbins)
+    return BinnedEfficiency(edges=edges, passed=passed, total=total)

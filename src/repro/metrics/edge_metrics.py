@@ -1,0 +1,119 @@
+"""Edge-classification metrics.
+
+Figure 4 reports precision and recall "based on the number of correctly
+classified edges across validation set particle graphs and the total
+number of edges" — i.e. micro-averaged over the pooled edges of all
+validation graphs, at a fixed 0.5 score threshold.  These helpers compute
+that, plus threshold sweeps for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion",
+    "precision_recall",
+    "f1_score",
+    "precision_recall_curve",
+    "pooled_precision_recall",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.fn + self.tn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+
+def confusion(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> ConfusionCounts:
+    """Confusion counts of scores thresholded at ``threshold``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share a shape")
+    pred = scores >= threshold
+    return ConfusionCounts(
+        tp=int(np.sum(pred & labels)),
+        fp=int(np.sum(pred & ~labels)),
+        fn=int(np.sum(~pred & labels)),
+        tn=int(np.sum(~pred & ~labels)),
+    )
+
+
+def precision_recall(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> Tuple[float, float]:
+    """(precision, recall) at a threshold."""
+    c = confusion(scores, labels, threshold)
+    return c.precision, c.recall
+
+
+def f1_score(scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5) -> float:
+    """F1 at a threshold."""
+    return confusion(scores, labels, threshold).f1
+
+
+def pooled_precision_recall(
+    per_graph: Iterable[Tuple[np.ndarray, np.ndarray]], threshold: float = 0.5
+) -> Tuple[float, float]:
+    """Micro-averaged precision/recall over pooled validation graphs
+    (the Figure-4 definition)."""
+    total = ConfusionCounts(0, 0, 0, 0)
+    for scores, labels in per_graph:
+        total = total + confusion(scores, labels, threshold)
+    return total.precision, total.recall
+
+
+def precision_recall_curve(
+    scores: np.ndarray, labels: np.ndarray, num_thresholds: int = 50
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sweep thresholds uniformly in (0, 1).
+
+    Returns ``(thresholds, precision, recall)`` arrays.
+    """
+    thresholds = np.linspace(0.0, 1.0, num_thresholds + 2)[1:-1]
+    ps, rs = [], []
+    for t in thresholds:
+        p, r = precision_recall(scores, labels, threshold=float(t))
+        ps.append(p)
+        rs.append(r)
+    return thresholds, np.array(ps), np.array(rs)

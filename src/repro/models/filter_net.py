@@ -1,0 +1,67 @@
+"""Stage-3 edge-filter network.
+
+A cheap MLP classifier that scores each candidate edge from the
+concatenation of its endpoint hit features and its edge features, so that
+obviously-false edges can be pruned before the memory-intensive GNN ("the
+pipeline shrinks this graph with an MLP before being fed into the
+memory-intensive GNN").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import MLP, Module
+from ..tensor import Tensor, no_grad, ops
+
+__all__ = ["FilterConfig", "FilterNet"]
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Hyper-parameters of the filter MLP."""
+
+    node_features: int
+    edge_features: int
+    hidden: int = 64
+    mlp_layers: int = 3
+    seed: int = 0
+
+
+class FilterNet(Module):
+    """Edge scorer: ``φ([x_src  x_dst  y_edge]) → logit``."""
+
+    def __init__(self, config: FilterConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.mlp = MLP(
+            2 * config.node_features + config.edge_features,
+            config.hidden,
+            out_features=1,
+            num_layers=config.mlp_layers,
+            layer_norm=True,
+            output_activation=False,
+            rng=rng,
+        )
+
+    def forward(
+        self, x: Tensor, y: Tensor, rows: np.ndarray, cols: np.ndarray
+    ) -> Tensor:
+        """Return ``(m,)`` edge logits."""
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        y = y if isinstance(y, Tensor) else Tensor(y)
+        feats = ops.concat(
+            [ops.gather_rows(x, rows), ops.gather_rows(x, cols), y], axis=1
+        )
+        return self.mlp(feats).reshape(-1)
+
+    def predict_proba(self, graph) -> np.ndarray:
+        """Edge pass-probabilities for an EventGraph (no autograd)."""
+        self.eval()
+        with no_grad():
+            logits = self.forward(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
+        self.train()
+        return 1.0 / (1.0 + np.exp(-np.clip(logits.numpy(), -60, 60)))

@@ -1,0 +1,42 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+every experiment in the benchmark harness is reproducible from a single
+seed, and so that DDP ranks can construct bit-identical initial models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "uniform_fanin", "zeros"]
+
+
+def kaiming_uniform(
+    shape: tuple, rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He/Kaiming uniform init, appropriate for ReLU MLP stacks.
+
+    Bound is ``gain * sqrt(3 / fan_in)`` with ``fan_in`` the first axis.
+    """
+    fan_in = shape[0]
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init for tanh/sigmoid layers."""
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_fanin(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch Linear default: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(shape[0])
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape, dtype=np.float32)

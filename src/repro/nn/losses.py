@@ -1,0 +1,71 @@
+"""Loss functions wrapped as callables over Module outputs.
+
+Thin layer over :mod:`repro.tensor.ops`; kept separate so pipeline configs
+can name losses by string.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+
+__all__ = ["BCEWithLogitsLoss", "HingeEmbeddingLoss", "MSELoss", "get_loss"]
+
+
+class BCEWithLogitsLoss:
+    """Binary cross-entropy on logits with optional positive-class weight.
+
+    The edge-labels in tracking graphs are imbalanced (most candidate edges
+    are fakes), so both the filter and GNN stages use ``pos_weight`` to keep
+    recall from collapsing.
+    """
+
+    def __init__(self, pos_weight: Optional[float] = None, reduction: str = "mean") -> None:
+        self.pos_weight = pos_weight
+        self.reduction = reduction
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return ops.bce_with_logits(
+            logits, targets, pos_weight=self.pos_weight, reduction=self.reduction
+        )
+
+
+class HingeEmbeddingLoss:
+    """Metric-learning pair loss for the stage-1 embedding network."""
+
+    def __init__(self, margin: float = 1.0, reduction: str = "mean") -> None:
+        self.margin = margin
+        self.reduction = reduction
+
+    def __call__(self, dist_sq: Tensor, labels: np.ndarray) -> Tensor:
+        return ops.hinge_embedding_loss(
+            dist_sq, labels, margin=self.margin, reduction=self.reduction
+        )
+
+
+class MSELoss:
+    """Mean-squared error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        self.reduction = reduction
+
+    def __call__(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        return ops.mse_loss(pred, target, reduction=self.reduction)
+
+
+_LOSSES = {
+    "bce": BCEWithLogitsLoss,
+    "hinge": HingeEmbeddingLoss,
+    "mse": MSELoss,
+}
+
+
+def get_loss(name: str, **kwargs):
+    """Instantiate a loss by config name (``"bce"``, ``"hinge"``, ``"mse"``)."""
+    try:
+        return _LOSSES[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown loss {name!r}; choose from {sorted(_LOSSES)}") from None

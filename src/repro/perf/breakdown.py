@@ -1,0 +1,69 @@
+"""Epoch-time breakdown records (the bars of Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["EpochBreakdown", "project_epoch_time"]
+
+
+@dataclass(frozen=True)
+class EpochBreakdown:
+    """Measured + modeled timing of one training epoch.
+
+    Attributes
+    ----------
+    sampling_seconds:
+        Wall-clock spent in the sampler (serial, one-rank measurement).
+    training_seconds:
+        Wall-clock in forward/backward/step (serial, one-rank measurement).
+    comm_modeled_seconds:
+        α–β-modeled all-reduce time for the configured world size.
+    world_size:
+        Rank count the breakdown is projected for.
+    """
+
+    sampling_seconds: float
+    training_seconds: float
+    comm_modeled_seconds: float
+    world_size: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sampling_seconds + self.training_seconds + self.comm_modeled_seconds
+
+    @property
+    def sampling_fraction(self) -> float:
+        t = self.total_seconds
+        return self.sampling_seconds / t if t else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "world_size": float(self.world_size),
+            "sampling_s": self.sampling_seconds,
+            "training_s": self.training_seconds,
+            "comm_s": self.comm_modeled_seconds,
+            "total_s": self.total_seconds,
+        }
+
+
+def project_epoch_time(
+    serial: EpochBreakdown, world_size: int, comm_modeled_seconds: float
+) -> EpochBreakdown:
+    """Project a one-rank measured breakdown onto ``P`` ranks.
+
+    DDP shards every batch across ranks, so compute (sampling + training)
+    divides by ``P`` while the all-reduce cost, supplied by the α–β model
+    for that ``P``, is added per step.  This is the standard strong-scaling
+    projection; EXPERIMENTS.md documents that Figure-3 epoch times at
+    P > 1 are modeled this way (we have one CPU, not four A100s).
+    """
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    return EpochBreakdown(
+        sampling_seconds=serial.sampling_seconds / world_size,
+        training_seconds=serial.training_seconds / world_size,
+        comm_modeled_seconds=comm_modeled_seconds,
+        world_size=world_size,
+    )

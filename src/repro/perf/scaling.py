@@ -1,0 +1,103 @@
+"""Strong-scaling analysis: speedup curves and Amdahl fits.
+
+Figure 3's multi-GPU rows are strong-scaling measurements; these helpers
+turn them into the quantities scaling studies report — speedup and
+efficiency per rank count, and the serial fraction recovered by fitting
+Amdahl's law:
+
+    T(P) = T(1) · (s + (1 − s) / P)
+
+A small serial fraction ``s`` means the pipeline keeps scaling; the
+coalesced all-reduce lowers ``s`` by shrinking the per-step cost that
+does not divide by P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ScalingCurve", "amdahl_time", "fit_amdahl"]
+
+
+def amdahl_time(t1: float, world_size: int, serial_fraction: float) -> float:
+    """Amdahl's law: runtime at ``P`` ranks given the 1-rank time."""
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    return t1 * (serial_fraction + (1.0 - serial_fraction) / world_size)
+
+
+def fit_amdahl(world_sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares serial fraction from (P, T) measurements.
+
+    With x = 1/P the model is linear: ``T/T1 = s + (1-s) x``; the fit is
+    solved in closed form and clipped to [0, 1].
+    """
+    p = np.asarray(world_sizes, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    if p.shape != t.shape or p.size < 2:
+        raise ValueError("need >= 2 matching (P, T) points")
+    if 1 not in set(int(v) for v in p):
+        raise ValueError("measurements must include P = 1")
+    t1 = float(t[np.argmin(np.abs(p - 1))])
+    x = 1.0 / p
+    y = t / t1
+    # y = s (1 - x) + x  →  (y - x) = s (1 - x)
+    denom = float(np.sum((1.0 - x) ** 2))
+    if denom == 0.0:
+        return 0.0
+    s = float(np.sum((y - x) * (1.0 - x)) / denom)
+    return float(np.clip(s, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A strong-scaling measurement series.
+
+    Attributes
+    ----------
+    world_sizes:
+        Rank counts, ascending, starting at 1.
+    times:
+        Per-epoch (or per-step) times at each rank count.
+    """
+
+    world_sizes: Tuple[int, ...]
+    times: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.world_sizes) != len(self.times) or len(self.times) < 2:
+            raise ValueError("need >= 2 matching (P, T) points")
+        if self.world_sizes[0] != 1:
+            raise ValueError("curve must start at P = 1")
+        if list(self.world_sizes) != sorted(self.world_sizes):
+            raise ValueError("world_sizes must be ascending")
+
+    @property
+    def speedups(self) -> List[float]:
+        """T(1) / T(P) per point."""
+        t1 = self.times[0]
+        return [t1 / t for t in self.times]
+
+    @property
+    def efficiencies(self) -> List[float]:
+        """speedup / P per point."""
+        return [s / p for s, p in zip(self.speedups, self.world_sizes)]
+
+    @property
+    def serial_fraction(self) -> float:
+        """Amdahl fit over the curve."""
+        return fit_amdahl(self.world_sizes, self.times)
+
+    def render(self, label: str = "") -> List[str]:
+        rows = [f"{'P':>3} | {'time':>9} | {'speedup':>7} | {'efficiency':>10}"]
+        for p, t, s, e in zip(
+            self.world_sizes, self.times, self.speedups, self.efficiencies
+        ):
+            rows.append(f"{p:>3} | {t:>8.3f}s | {s:>6.2f}x | {100 * e:>9.0f}%")
+        rows.append(f"Amdahl serial fraction: {100 * self.serial_fraction:.1f}%")
+        return rows

@@ -1,0 +1,91 @@
+"""Hierarchical wall-clock timers.
+
+Figure 3 decomposes epoch time into *sampling* and *training*; the
+trainers wrap those phases in named timer scopes and the bench harness
+reads the totals back.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch."""
+
+    total: float = 0.0
+    count: int = 0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("timer already running")
+        self._running = True
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("timer not running")
+        elapsed = time.perf_counter() - self._start
+        self.total += elapsed
+        self.count += 1
+        self._running = False
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        if self._running:
+            raise RuntimeError("cannot reset a running timer")
+        self.total = 0.0
+        self.count = 0
+
+
+class StageTimer:
+    """Named timer registry with context-manager scopes.
+
+    Example::
+
+        timers = StageTimer()
+        with timers.scope("sampling"):
+            batch = sampler.sample(...)
+        with timers.scope("training"):
+            step(batch)
+        timers.total("sampling")
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def __getitem__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer()
+        return self._timers[name]
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        t = self[name]
+        t.start()
+        try:
+            yield
+        finally:
+            t.stop()
+
+    def total(self, name: str) -> float:
+        return self[name].total
+
+    def totals(self) -> Dict[str, float]:
+        return {name: t.total for name, t in self._timers.items()}
+
+    def reset(self) -> None:
+        for t in self._timers.values():
+            t.reset()

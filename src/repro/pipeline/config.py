@@ -1,0 +1,140 @@
+"""Configuration dataclasses for the five-stage pipeline and GNN training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["GNNTrainConfig", "PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class GNNTrainConfig:
+    """GNN-stage training recipe.
+
+    Defaults follow Section IV-A: batch size 256, hidden 64, 8 GNN layers,
+    30 epochs, ShaDow depth 3 / fanout 6.  The benchmark harness passes
+    scaled-down values (documented in EXPERIMENTS.md) to fit the CPU
+    budget; the semantics are unchanged.
+
+    Parameters
+    ----------
+    mode:
+        ``"full"`` — full-graph training with memory-based skipping (the
+        original Exa.TrkX behaviour);
+        ``"shadow"`` — minibatch + sequential ShaDow (the PyG baseline);
+        ``"bulk"`` — minibatch + matrix-based bulk ShaDow (ours);
+        ``"nodewise"`` — minibatch + bulk node-wise (GraphSAGE-family)
+        sampling;
+        ``"saint"`` — minibatch + GraphSAINT random-walk sampling.
+        The last two exist for the sampler-family convergence ablation;
+        the paper's comparison is full vs shadow vs bulk.
+    bulk_k:
+        Minibatches sampled per bulk step (``k`` in Figure 3); ignored for
+        other modes.
+    world_size:
+        Simulated DDP rank count; local batch is ``batch_size / world_size``.
+    allreduce:
+        ``"coalesced"`` (Section III-D) or ``"per_parameter"``.
+    capacity_bytes:
+        Activation budget for the full-graph skip decision (``None`` =
+        never skip).
+    checkpoint_activations:
+        Full-graph mode only: when a graph exceeds ``capacity_bytes``,
+        retry with layer-boundary gradient checkpointing
+        (:class:`repro.models.CheckpointedIGNN`) before skipping — the
+        memory/compute trade the original pipeline leaves unused.
+    """
+
+    mode: str = "bulk"
+    epochs: int = 30
+    batch_size: int = 256
+    hidden: int = 64
+    num_layers: int = 8
+    mlp_layers: int = 2
+    lr: float = 1e-3
+    depth: int = 3
+    fanout: int = 6
+    bulk_k: int = 4
+    world_size: int = 1
+    allreduce: str = "coalesced"
+    capacity_bytes: Optional[int] = None
+    checkpoint_activations: bool = False
+    pos_weight: Optional[float] = None  # None = derive from label balance
+    threshold: float = 0.5
+    seed: int = 0
+    eval_every: int = 1
+    # Optional training conveniences (acorn trains with a scheduler and
+    # keeps the best-validation checkpoint):
+    scheduler: Optional[str] = None  # None | "cosine" | "step"
+    early_stopping_patience: Optional[int] = None  # evals without F1 gain
+    restore_best: bool = False  # reload the best-val-F1 weights at the end
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("full", "shadow", "bulk", "nodewise", "saint"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.allreduce not in ("coalesced", "per_parameter"):
+            raise ValueError(f"unknown allreduce {self.allreduce!r}")
+        if self.batch_size % self.world_size != 0:
+            raise ValueError("batch_size must be divisible by world_size")
+        if self.epochs < 1 or self.batch_size < 1 or self.world_size < 1:
+            raise ValueError("epochs/batch_size/world_size must be positive")
+        if self.bulk_k < 1:
+            raise ValueError("bulk_k must be >= 1")
+        if self.scheduler not in (None, "cosine", "step"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
+            raise ValueError("early_stopping_patience must be >= 1")
+
+    def replace(self, **kwargs) -> "GNNTrainConfig":
+        """Copy with overrides."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end pipeline recipe.
+
+    Stage thresholds follow acorn's philosophy: the filter threshold is
+    low (prune aggressively-false edges but keep recall near 1), the GNN
+    threshold is the 0.5 classification point.
+    """
+
+    # Stage 1–2 strategy: "metric_learning" (embedding MLP + FRNN) or
+    # "module_map" (data-driven detector-element connectivity).
+    construction: str = "metric_learning"
+    embedding_dim: int = 8
+    embedding_hidden: int = 64
+    embedding_epochs: int = 30
+    embedding_lr: float = 1e-2
+    embedding_margin: float = 1.0
+    negatives_per_positive: int = 4
+    # Hard-negative mining (acorn's HNM): after a warmup, negatives are
+    # drawn from the false pairs the current embedding would wrongly
+    # connect (FRNN neighbours of different particles) instead of random
+    # pairs, sharpening the decision boundary where it matters.
+    hard_negative_mining: bool = False
+    hnm_warmup_epochs: int = 8
+    frnn_radius: float = 0.25
+    frnn_max_neighbors: Optional[int] = 40
+    filter_hidden: int = 64
+    filter_epochs: int = 30
+    filter_lr: float = 1e-2
+    filter_threshold: float = 0.1
+    feature_scheme: str = "compact"
+    mlp_layers: int = 2
+    gnn: GNNTrainConfig = field(default_factory=GNNTrainConfig)
+    min_track_hits: int = 3
+    # Stage 5 builder: "cc" (the paper's connected components) or
+    # "walkthrough" (score-ordered with degree constraints).
+    track_builder: str = "cc"
+    seed: int = 0
+    # module-map strategy knobs (used when construction == "module_map")
+    module_map_phi_sectors: int = 16
+    module_map_z_sectors: int = 8
+
+    def __post_init__(self) -> None:
+        if self.construction not in ("metric_learning", "module_map"):
+            raise ValueError(f"unknown construction strategy {self.construction!r}")
+        if self.track_builder not in ("cc", "walkthrough"):
+            raise ValueError(f"unknown track builder {self.track_builder!r}")

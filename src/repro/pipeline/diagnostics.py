@@ -1,0 +1,124 @@
+"""Per-stage pipeline diagnostics.
+
+Tracking pipelines are tuned stage by stage: graph construction is pushed
+toward recall (a truth segment missing from the candidate graph can never
+be recovered), the filter toward high-recall pruning, the GNN toward
+purity.  This module measures each stage's contribution on one event so
+regressions can be localised — the numbers behind acorn's per-stage
+validation plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..detector import Event
+from ..graph import EventGraph
+from ..metrics import TrackingScore, match_tracks, roc_auc
+from .pipeline import ExaTrkXPipeline
+from .track_building import build_tracks
+
+__all__ = ["StageReport", "EventDiagnostics", "diagnose_event"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One stage's edge accounting.
+
+    Attributes
+    ----------
+    name:
+        Stage label.
+    num_edges:
+        Edges surviving after the stage.
+    segment_recall:
+        Fraction of the event's truth segments still present.
+    purity:
+        Fraction of surviving edges that are true segments.
+    """
+
+    name: str
+    num_edges: int
+    segment_recall: float
+    purity: float
+
+
+@dataclass
+class EventDiagnostics:
+    """Full per-stage trace of one event through the pipeline."""
+
+    stages: List[StageReport]
+    gnn_auc: Optional[float]
+    tracking: TrackingScore
+
+    def render(self) -> List[str]:
+        lines = [f"{'stage':<22} | {'edges':>7} | {'seg recall':>10} | {'purity':>7}"]
+        for s in self.stages:
+            lines.append(
+                f"{s.name:<22} | {s.num_edges:>7} | {s.segment_recall:>10.3f} | {s.purity:>7.3f}"
+            )
+        if self.gnn_auc is not None:
+            lines.append(f"GNN edge-classifier ROC AUC: {self.gnn_auc:.3f}")
+        t = self.tracking
+        lines.append(
+            f"tracking: efficiency={t.efficiency:.3f} fake rate={t.fake_rate:.3f} "
+            f"duplicates={t.duplicate_rate:.3f} "
+            f"({t.num_matched}/{t.num_reconstructable} matched)"
+        )
+        return lines
+
+
+def _stage_report(name: str, event: Event, graph: EventGraph) -> StageReport:
+    segments = event.true_segments()
+    total_segments = segments.shape[1]
+    n = event.num_hits
+    present = 0
+    if total_segments and graph.num_edges:
+        built = set((graph.rows * n + graph.cols).tolist())
+        built |= set((graph.cols * n + graph.rows).tolist())
+        present = sum(1 for a, b in segments.T if int(a) * n + int(b) in built)
+    recall = present / total_segments if total_segments else 1.0
+    purity = (
+        float(graph.edge_labels.mean()) if graph.num_edges and graph.edge_labels is not None else 0.0
+    )
+    return StageReport(
+        name=name, num_edges=graph.num_edges, segment_recall=recall, purity=purity
+    )
+
+
+def diagnose_event(pipeline: ExaTrkXPipeline, event: Event) -> EventDiagnostics:
+    """Trace one event through a fitted pipeline, measuring every stage.
+
+    Raises
+    ------
+    RuntimeError
+        If the pipeline has not been fitted.
+    """
+    if pipeline.construction is None:
+        raise RuntimeError("pipeline not fitted")
+    stages: List[StageReport] = []
+
+    constructed = pipeline.construction.build(event)
+    stages.append(_stage_report("graph construction", event, constructed))
+
+    filtered, _ = pipeline.filter.prune(constructed)
+    stages.append(_stage_report("filter MLP", event, filtered))
+
+    auc: Optional[float] = None
+    if filtered.num_edges and filtered.edge_labels is not None:
+        scores = pipeline.gnn.model.predict_proba(filtered)
+        labels = filtered.edge_labels
+        if 0 < labels.sum() < labels.size:
+            auc = roc_auc(scores, labels)
+
+    pruned, _ = pipeline.gnn.prune(filtered)
+    stages.append(_stage_report("interaction GNN", event, pruned))
+
+    candidates = build_tracks(pruned, min_hits=pipeline.config.min_track_hits)
+    tracking = match_tracks(
+        candidates, event.particle_ids, min_hits=pipeline.config.min_track_hits
+    )
+    return EventDiagnostics(stages=stages, gnn_auc=auc, tracking=tracking)

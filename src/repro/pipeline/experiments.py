@@ -1,0 +1,73 @@
+"""Multi-seed experiment running.
+
+Convergence comparisons (Figure 4) are single runs in the paper; proper
+claims need seed variance.  :func:`run_with_seeds` repeats a GNN-stage
+training across seeds and aggregates the final metrics, so benches and
+users can report mean ± std instead of a lucky draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..graph import EventGraph
+from .config import GNNTrainConfig
+from .trainers import GNNTrainResult, train_gnn
+
+__all__ = ["SeedSweepResult", "run_with_seeds"]
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregated outcome of a multi-seed training sweep."""
+
+    seeds: List[int]
+    results: List[GNNTrainResult]
+
+    def _finals(self, metric: str) -> np.ndarray:
+        return np.array([getattr(r.history.final, metric) for r in self.results])
+
+    def mean(self, metric: str = "val_f1") -> float:
+        """Mean of a final-epoch metric across seeds."""
+        return float(self._finals(metric).mean())
+
+    def std(self, metric: str = "val_f1") -> float:
+        """Standard deviation of a final-epoch metric across seeds."""
+        return float(self._finals(metric).std())
+
+    def summary(self) -> Dict[str, str]:
+        return {
+            m: f"{self.mean(m):.3f} ± {self.std(m):.3f}"
+            for m in ("val_precision", "val_recall", "val_f1")
+        }
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def run_with_seeds(
+    train_graphs: Sequence[EventGraph],
+    val_graphs: Sequence[EventGraph],
+    config: GNNTrainConfig,
+    seeds: Sequence[int],
+) -> SeedSweepResult:
+    """Train once per seed (model init + batch order both reseeded).
+
+    Parameters
+    ----------
+    config:
+        Template configuration; its ``seed`` field is replaced per run.
+    seeds:
+        Seeds to sweep (≥ 1).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [
+        train_gnn(train_graphs, val_graphs, config.replace(seed=int(s)))
+        for s in seeds
+    ]
+    return SeedSweepResult(seeds=seeds, results=results)

@@ -1,0 +1,77 @@
+"""Pipeline Stage 2: fixed-radius graph construction in the embedding space.
+
+Connects every pair of hits whose embeddings lie within the configured
+radius, attaches the feature scheme's vertex/edge features, and labels
+edges against the event truth.  Edges are oriented from the lower- to the
+higher-radius hit (tracks propagate outward).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..detector import Event, edge_features, label_edges, vertex_features
+from ..detector.geometry import DetectorGeometry
+from ..graph import EventGraph, fixed_radius_graph
+from .config import PipelineConfig
+from .embedding_stage import EmbeddingStage
+
+__all__ = ["GraphConstructionStage"]
+
+
+class GraphConstructionStage:
+    """FRNN candidate-graph builder on top of a fitted embedding stage."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        geometry: DetectorGeometry,
+        embedding: EmbeddingStage,
+    ) -> None:
+        self.config = config
+        self.geometry = geometry
+        self.embedding = embedding
+
+    def build(self, event: Event) -> EventGraph:
+        """Construct the labelled candidate graph of one event."""
+        z = self.embedding.embed(event)
+        edge_index = fixed_radius_graph(
+            z,
+            radius=self.config.frnn_radius,
+            max_neighbors=self.config.frnn_max_neighbors,
+        )
+        # orient outward: src = inner hit
+        r = np.hypot(event.positions[:, 0], event.positions[:, 1])
+        src, dst = edge_index
+        swap = r[src] > r[dst]
+        src2 = np.where(swap, dst, src)
+        dst2 = np.where(swap, src, dst)
+        edge_index = np.stack([src2, dst2])
+
+        labels = label_edges(event, edge_index)
+        return EventGraph(
+            edge_index=edge_index,
+            x=vertex_features(event, self.geometry, self.config.feature_scheme),
+            y=edge_features(event, self.geometry, edge_index, self.config.feature_scheme),
+            edge_labels=labels,
+            particle_ids=event.particle_ids,
+            event_id=event.event_id,
+        )
+
+    def edge_efficiency(self, event: Event, graph: Optional[EventGraph] = None) -> float:
+        """Fraction of truth segments present in the constructed graph —
+        the graph-construction recall the embedding stage is tuned for."""
+        graph = graph if graph is not None else self.build(event)
+        segments = event.true_segments()
+        if segments.shape[1] == 0:
+            return 1.0
+        n = event.num_hits
+        built = set(
+            (graph.edge_index[0] * n + graph.edge_index[1]).tolist()
+        ) | set((graph.edge_index[1] * n + graph.edge_index[0]).tolist())
+        present = sum(
+            1 for a, b in segments.T if int(a) * n + int(b) in built
+        )
+        return present / segments.shape[1]

@@ -1,0 +1,171 @@
+"""Pipeline checkpointing: save/load a fitted pipeline to one ``.npz``.
+
+A fitted :class:`repro.pipeline.ExaTrkXPipeline` holds three trained
+networks (embedding, filter, GNN) plus its configuration.  This module
+serialises all of it into a single compressed archive so inference can
+run in a fresh process without retraining — the deployment path of the
+production pipeline.
+
+Configs are stored as JSON (dataclasses → dict); parameter arrays are
+stored under namespaced keys (``embedding/…``, ``filter/…``, ``gnn/…``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..detector.geometry import DetectorGeometry
+from ..models import (
+    EmbeddingConfig,
+    EmbeddingNet,
+    FilterConfig,
+    FilterNet,
+    IGNNConfig,
+    InteractionGNN,
+)
+from .config import GNNTrainConfig, PipelineConfig
+from .embedding_stage import EmbeddingStage
+from .filter_stage import FilterStage
+from .gnn_stage import GNNStage
+from .graph_construction import GraphConstructionStage
+from .pipeline import ExaTrkXPipeline
+from .trainers import GNNTrainResult
+
+__all__ = ["save_pipeline", "load_pipeline"]
+
+
+def _config_to_json(config: PipelineConfig) -> str:
+    payload = dataclasses.asdict(config)
+    return json.dumps(payload)
+
+
+def _config_from_json(text: str) -> PipelineConfig:
+    payload = json.loads(text)
+    gnn = GNNTrainConfig(**payload.pop("gnn"))
+    return PipelineConfig(gnn=gnn, **payload)
+
+
+def _pack(prefix: str, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]) -> None:
+    for name, arr in state.items():
+        out[f"{prefix}/{name}"] = arr
+
+
+def _unpack(prefix: str, archive) -> Dict[str, np.ndarray]:
+    plen = len(prefix) + 1
+    return {
+        key[plen:]: archive[key]
+        for key in archive.files
+        if key.startswith(prefix + "/")
+    }
+
+
+def save_pipeline(pipeline: ExaTrkXPipeline, path: str) -> None:
+    """Serialise a fitted pipeline to ``path`` (.npz).
+
+    Raises
+    ------
+    RuntimeError
+        If any stage has not been fitted.
+    """
+    if pipeline.config.construction != "metric_learning":
+        raise NotImplementedError(
+            "persistence currently supports the metric_learning construction "
+            "strategy (the module map holds set-valued state, not tensors)"
+        )
+    if (
+        pipeline.embedding.net is None
+        or pipeline.filter.net is None
+        or pipeline.gnn.result is None
+    ):
+        raise RuntimeError("cannot save an unfitted pipeline")
+    payload: Dict[str, np.ndarray] = {
+        "config_json": np.frombuffer(
+            _config_to_json(pipeline.config).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    _pack("embedding", pipeline.embedding.net.state_dict(), payload)
+    _pack("filter", pipeline.filter.net.state_dict(), payload)
+    _pack("gnn", pipeline.gnn.model.state_dict(), payload)
+    # widths needed to rebuild the networks
+    payload["meta"] = np.array(
+        [
+            pipeline.embedding.net.config.node_features,
+            pipeline.filter.net.config.node_features,
+            pipeline.filter.net.config.edge_features,
+            pipeline.gnn.model.config.node_features,
+            pipeline.gnn.model.config.edge_features,
+        ],
+        dtype=np.int64,
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
+    """Rebuild a fitted pipeline from :func:`save_pipeline` output.
+
+    The returned pipeline supports ``reconstruct`` / ``score_event`` /
+    ``diagnose_event`` immediately; ``fit`` would retrain from scratch.
+    """
+    with np.load(path) as archive:
+        config = _config_from_json(bytes(archive["config_json"]).decode("utf-8"))
+        meta = archive["meta"]
+        emb_nf, fil_nf, fil_ef, gnn_nf, gnn_ef = (int(v) for v in meta)
+
+        pipeline = ExaTrkXPipeline(config, geometry)
+
+        emb_net = EmbeddingNet(
+            EmbeddingConfig(
+                node_features=emb_nf,
+                embedding_dim=config.embedding_dim,
+                hidden=config.embedding_hidden,
+                mlp_layers=config.mlp_layers,
+                margin=config.embedding_margin,
+                seed=config.seed,
+            )
+        )
+        emb_net.load_state_dict(_unpack("embedding", archive))
+        pipeline.embedding.net = emb_net
+        pipeline.construction = GraphConstructionStage(
+            config, geometry, pipeline.embedding
+        )
+
+        fil_net = FilterNet(
+            FilterConfig(
+                node_features=fil_nf,
+                edge_features=fil_ef,
+                hidden=config.filter_hidden,
+                mlp_layers=config.mlp_layers,
+                seed=config.seed,
+            )
+        )
+        fil_net.load_state_dict(_unpack("filter", archive))
+        pipeline.filter.net = fil_net
+
+        gnn_model = InteractionGNN(
+            IGNNConfig(
+                node_features=gnn_nf,
+                edge_features=gnn_ef,
+                hidden=config.gnn.hidden,
+                num_layers=config.gnn.num_layers,
+                mlp_layers=config.gnn.mlp_layers,
+                seed=config.gnn.seed,
+            )
+        )
+        gnn_model.load_state_dict(_unpack("gnn", archive))
+        from ..metrics import TrainingHistory
+        from ..perf import StageTimer
+
+        pipeline.gnn.result = GNNTrainResult(
+            model=gnn_model,
+            history=TrainingHistory(label="loaded"),
+            timers=StageTimer(),
+            config=config.gnn,
+        )
+    return pipeline

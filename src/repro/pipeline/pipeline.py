@@ -1,0 +1,158 @@
+"""End-to-end Exa.TrkX-style pipeline (Figure 1).
+
+``fit`` trains the three learned stages in order — embedding, filter,
+GNN — each consuming the previous stage's output on the training events;
+``reconstruct`` runs all five stages on a new event and returns track
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..detector import Event
+from ..detector.geometry import DetectorGeometry
+from ..graph import EventGraph
+from ..metrics import TrackingScore, match_tracks
+from .config import PipelineConfig
+from .embedding_stage import EmbeddingStage
+from .filter_stage import FilterStage
+from .gnn_stage import GNNStage
+from .graph_construction import GraphConstructionStage
+from .track_building import build_tracks
+
+__all__ = ["PipelineReport", "ExaTrkXPipeline"]
+
+
+class _ModuleMapConstruction:
+    """Adapter giving :class:`repro.detector.ModuleMap` the construction-
+    stage interface (``build`` / ``edge_efficiency``) the pipeline and the
+    diagnostics expect."""
+
+    def __init__(self, module_map) -> None:
+        self.module_map = module_map
+
+    def build(self, event: Event):
+        return self.module_map.build(event)
+
+    def edge_efficiency(self, event: Event, graph=None) -> float:
+        return self.module_map.edge_efficiency(event)
+
+
+@dataclass
+class PipelineReport:
+    """Diagnostics collected while fitting the pipeline."""
+
+    graph_edge_efficiency: float = 0.0
+    filter_segment_recall: float = 0.0
+    filter_kept_fraction: float = 0.0
+    gnn_final_precision: float = 0.0
+    gnn_final_recall: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+class ExaTrkXPipeline:
+    """The five-stage tracking pipeline.
+
+    Parameters
+    ----------
+    config:
+        All stage hyper-parameters.
+    geometry:
+        Detector description used for feature extraction.
+    """
+
+    def __init__(self, config: PipelineConfig, geometry: DetectorGeometry) -> None:
+        self.config = config
+        self.geometry = geometry
+        self.embedding = EmbeddingStage(config, geometry)
+        self.construction: Optional[GraphConstructionStage] = None
+        self.filter = FilterStage(config)
+        self.gnn = GNNStage(config)
+        self.report = PipelineReport()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_events: Sequence[Event],
+        val_events: Sequence[Event],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PipelineReport:
+        """Train every learned stage; returns fit diagnostics."""
+        rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+
+        # Stages 1–2: candidate-graph construction strategy
+        if self.config.construction == "module_map":
+            from ..detector import ModuleMap, ModuleMapConfig
+
+            mm = ModuleMap(
+                self.geometry,
+                ModuleMapConfig(
+                    num_phi_sectors=self.config.module_map_phi_sectors,
+                    num_z_sectors=self.config.module_map_z_sectors,
+                    feature_scheme=self.config.feature_scheme,
+                ),
+            ).fit(train_events)
+            self.construction = _ModuleMapConstruction(mm)
+        else:
+            self.embedding.fit(train_events, rng)
+            self.construction = GraphConstructionStage(
+                self.config, self.geometry, self.embedding
+            )
+
+        train_graphs = [self.construction.build(e) for e in train_events]
+        val_graphs = [self.construction.build(e) for e in val_events]
+        effs = [
+            self.construction.edge_efficiency(e, g)
+            for e, g in zip(train_events, train_graphs)
+        ]
+        self.report.graph_edge_efficiency = float(np.mean(effs))
+
+        # Stage 3: filter
+        self.filter.fit(train_graphs, rng)
+        pruned_train, recalls, kept = [], [], []
+        for g in train_graphs:
+            pg, keep = self.filter.prune(g)
+            pruned_train.append(pg)
+            recalls.append(self.filter.segment_recall(g, keep))
+            kept.append(keep.mean() if keep.size else 1.0)
+        pruned_val = [self.filter.prune(g)[0] for g in val_graphs]
+        self.report.filter_segment_recall = float(np.mean(recalls))
+        self.report.filter_kept_fraction = float(np.mean(kept))
+
+        # Stage 4: GNN
+        self.gnn.fit(pruned_train, pruned_val)
+        final = self.gnn.result.history.final
+        self.report.gnn_final_precision = final.val_precision
+        self.report.gnn_final_recall = final.val_recall
+        return self.report
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, event: Event) -> List[np.ndarray]:
+        """Run inference: hits → track candidates (hit-index arrays)."""
+        if self.construction is None:
+            raise RuntimeError("pipeline not fitted")
+        graph = self.construction.build(event)
+        graph, _ = self.filter.prune(graph)
+        if self.config.track_builder == "walkthrough":
+            from .track_building import build_tracks_walkthrough
+
+            scores = self.gnn.model.predict_proba(graph)
+            return build_tracks_walkthrough(
+                graph,
+                scores,
+                min_hits=self.config.min_track_hits,
+                min_score=self.config.gnn.threshold,
+            )
+        graph, _ = self.gnn.prune(graph)
+        return build_tracks(graph, min_hits=self.config.min_track_hits)
+
+    def score_event(self, event: Event) -> TrackingScore:
+        """Reconstruct and score one event against its truth."""
+        candidates = self.reconstruct(event)
+        return match_tracks(
+            candidates, event.particle_ids, min_hits=self.config.min_track_hits
+        )

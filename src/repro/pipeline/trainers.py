@@ -1,0 +1,410 @@
+"""GNN-stage trainers: full-graph, sequential ShaDow, and bulk ShaDow.
+
+This module implements the three training regimes Figure 3 / Figure 4
+compare:
+
+* **full** — the original Exa.TrkX behaviour: each training step consumes
+  one entire event graph; events whose activation memory exceeds the
+  device budget are *skipped* (Section III-B).
+* **shadow** — minibatch training over 256-vertex batches with the
+  sequential ShaDow sampler (the "PyG implementation" baseline).
+* **bulk** — the paper's pipeline: matrix-based bulk ShaDow sampling of
+  ``k`` minibatches per step, DDP gradient sync with the coalesced
+  all-reduce.
+
+All regimes share the evaluation path (pooled validation-edge precision /
+recall at threshold 0.5 — the Figure-4 definition), the optimiser (Adam),
+and the loss (BCE-with-logits with a class-balance ``pos_weight``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributed import (
+    CommStats,
+    DistributedDataParallel,
+    SimCommunicator,
+    replicate_model,
+)
+from ..graph import EventGraph, shard_batch
+from ..memory import ActivationMemoryModel
+from ..metrics import EpochRecord, TrainingHistory, pooled_precision_recall
+from ..models import IGNNConfig, InteractionGNN
+from ..nn import Adam, BCEWithLogitsLoss
+from ..perf import StageTimer
+from ..sampling import (
+    BulkShadowSampler,
+    SampledBatch,
+    ShadowSampler,
+    epoch_batches,
+    group_batches,
+)
+from ..tensor import Tensor, no_grad
+from .config import GNNTrainConfig
+
+__all__ = ["GNNTrainResult", "train_gnn", "evaluate_edge_classifier", "derive_pos_weight"]
+
+
+@dataclass
+class GNNTrainResult:
+    """Everything a bench or a pipeline stage needs after GNN training."""
+
+    model: InteractionGNN
+    history: TrainingHistory
+    timers: StageTimer
+    comm_stats: Optional[CommStats] = None
+    skipped_graphs: int = 0
+    trained_steps: int = 0
+    checkpointed_steps: int = 0
+    config: Optional[GNNTrainConfig] = None
+
+
+class _TrainingGovernor:
+    """Scheduler stepping, early stopping, and best-checkpoint tracking.
+
+    Shared by the full-graph and minibatch trainers so all regimes get the
+    same conveniences: an optional LR schedule ("cosine" anneals over the
+    epoch budget, "step" decays 10× at 2/3 of it), patience-based early
+    stopping on validation F1, and best-weights restoration.
+    """
+
+    def __init__(self, config: GNNTrainConfig, optimizers: Sequence[Adam]) -> None:
+        from ..nn import CosineAnnealingLR, StepLR
+
+        self.config = config
+        self.schedulers = []
+        if config.scheduler == "cosine":
+            self.schedulers = [
+                CosineAnnealingLR(o, t_max=config.epochs, eta_min=config.lr * 0.01)
+                for o in optimizers
+            ]
+        elif config.scheduler == "step":
+            step = max(2 * config.epochs // 3, 1)
+            self.schedulers = [StepLR(o, step_size=step, gamma=0.1) for o in optimizers]
+        self.best_f1 = -1.0
+        self.best_state = None
+        self.evals_since_best = 0
+
+    def end_epoch(self, model, record: EpochRecord) -> bool:
+        """Advance schedules; returns True when training should stop."""
+        for s in self.schedulers:
+            s.step()
+        f1 = record.val_f1
+        if np.isnan(f1):
+            return False  # epoch without evaluation
+        if f1 > self.best_f1:
+            self.best_f1 = f1
+            self.evals_since_best = 0
+            if self.config.restore_best:
+                self.best_state = model.state_dict()
+        else:
+            self.evals_since_best += 1
+        patience = self.config.early_stopping_patience
+        return patience is not None and self.evals_since_best >= patience
+
+    def finalize(self, model) -> None:
+        """Restore the best-validation weights if requested."""
+        if self.config.restore_best and self.best_state is not None:
+            model.load_state_dict(self.best_state)
+
+
+def derive_pos_weight(graphs: Sequence[EventGraph]) -> float:
+    """Class-balance positive weight: (#negative edges) / (#positive edges)."""
+    pos = sum(int(g.edge_labels.sum()) for g in graphs)
+    neg = sum(g.num_edges for g in graphs) - pos
+    if pos == 0:
+        return 1.0
+    return max(neg / pos, 1.0)
+
+
+def evaluate_edge_classifier(
+    model: InteractionGNN,
+    graphs: Sequence[EventGraph],
+    threshold: float = 0.5,
+) -> Tuple[float, float]:
+    """Pooled precision/recall over full validation graphs (Figure 4)."""
+    pairs = []
+    for g in graphs:
+        scores = model.predict_proba(g)
+        pairs.append((scores, g.edge_labels))
+    return pooled_precision_recall(pairs, threshold=threshold)
+
+
+def _model_factory(config: GNNTrainConfig, sample_graph: EventGraph) -> Callable[[], InteractionGNN]:
+    ignn_config = IGNNConfig(
+        node_features=sample_graph.num_node_features,
+        edge_features=sample_graph.num_edge_features,
+        hidden=config.hidden,
+        num_layers=config.num_layers,
+        mlp_layers=config.mlp_layers,
+        seed=config.seed,
+    )
+    return lambda: InteractionGNN(ignn_config)
+
+
+def _step(
+    model: InteractionGNN,
+    graph: EventGraph,
+    loss_fn: BCEWithLogitsLoss,
+) -> Tensor:
+    """One forward/backward on a (sub)graph; returns the loss tensor.
+
+    Raises
+    ------
+    FloatingPointError
+        If the loss is not finite — a diverged run must fail loudly rather
+        than silently poison the replicas (under DDP a NaN gradient
+        spreads to every rank at the next all-reduce).
+    """
+    logits = model(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
+    loss = loss_fn(logits, graph.edge_labels.astype(np.float32))
+    if not np.isfinite(loss.item()):
+        raise FloatingPointError(
+            f"non-finite training loss ({loss.item()}) on event "
+            f"{graph.event_id} — check the learning rate / input features"
+        )
+    loss.backward()
+    return loss
+
+
+# ----------------------------------------------------------------------
+# full-graph regime
+# ----------------------------------------------------------------------
+def _train_full_graph(
+    train_graphs: Sequence[EventGraph],
+    val_graphs: Sequence[EventGraph],
+    config: GNNTrainConfig,
+    loss_fn: BCEWithLogitsLoss,
+) -> GNNTrainResult:
+    if config.world_size != 1:
+        raise ValueError("full-graph mode is single-rank (as in the original pipeline)")
+    from ..models import CheckpointedIGNN
+
+    model = _model_factory(config, train_graphs[0])()
+    checkpointed = CheckpointedIGNN(model)
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    memory = ActivationMemoryModel(model.config)
+    timers = StageTimer()
+    history = TrainingHistory(label="full-graph")
+    rng = np.random.default_rng(config.seed)
+    governor = _TrainingGovernor(config, [optimizer])
+    skipped = 0
+    checkpointed_steps = 0
+    steps = 0
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(train_graphs))
+        losses = []
+        epoch_t0 = timers.total("epoch")
+        train_t0 = timers.total("training")
+        with timers.scope("epoch"):
+            for gi in order:
+                graph = train_graphs[gi]
+                use_checkpoint = False
+                if config.capacity_bytes is not None and not memory.fits(
+                    graph.num_nodes, graph.num_edges, config.capacity_bytes
+                ):
+                    # graph exceeds the activation budget: retry with
+                    # gradient checkpointing if enabled, else skip (the
+                    # original Exa.TrkX behaviour)
+                    if config.checkpoint_activations and (
+                        memory.checkpointed_bytes(graph.num_nodes, graph.num_edges)
+                        <= config.capacity_bytes
+                    ):
+                        use_checkpoint = True
+                    else:
+                        skipped += 1
+                        continue
+                with timers.scope("training"):
+                    optimizer.zero_grad()
+                    if use_checkpoint:
+                        loss_value = checkpointed.training_step(
+                            graph.x,
+                            graph.y,
+                            graph.rows,
+                            graph.cols,
+                            graph.edge_labels.astype(np.float32),
+                            loss_fn,
+                        )
+                        checkpointed_steps += 1
+                    else:
+                        loss_value = _step(model, graph, loss_fn).item()
+                    optimizer.step()
+                losses.append(loss_value)
+                steps += 1
+        precision, recall = (
+            evaluate_edge_classifier(model, val_graphs, config.threshold)
+            if (epoch + 1) % config.eval_every == 0
+            else (float("nan"), float("nan"))
+        )
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                val_precision=precision,
+                val_recall=recall,
+                epoch_seconds=timers.total("epoch") - epoch_t0,
+                training_seconds=timers.total("training") - train_t0,
+            )
+        )
+        if governor.end_epoch(model, history.final):
+            break
+    governor.finalize(model)
+    return GNNTrainResult(
+        model=model,
+        history=history,
+        timers=timers,
+        skipped_graphs=skipped,
+        trained_steps=steps,
+        checkpointed_steps=checkpointed_steps,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# minibatch regimes (sequential ShaDow and bulk ShaDow), with DDP
+# ----------------------------------------------------------------------
+def _train_minibatch(
+    train_graphs: Sequence[EventGraph],
+    val_graphs: Sequence[EventGraph],
+    config: GNNTrainConfig,
+    loss_fn: BCEWithLogitsLoss,
+) -> GNNTrainResult:
+    factory = _model_factory(config, train_graphs[0])
+    world = config.world_size
+    models = replicate_model(factory, world)
+    comm = SimCommunicator(world)
+    ddp = DistributedDataParallel(models, comm, strategy=config.allreduce)
+    optimizers = [Adam(m.parameters(), lr=config.lr) for m in models]
+
+    if config.mode == "shadow":
+        sampler = ShadowSampler(depth=config.depth, fanout=config.fanout)
+        k = 1
+        label = f"shadow-seq (P={world})"
+    elif config.mode == "bulk":
+        sampler = BulkShadowSampler(depth=config.depth, fanout=config.fanout)
+        k = config.bulk_k
+        label = f"shadow-bulk k={config.bulk_k} (P={world})"
+    elif config.mode == "nodewise":
+        from ..sampling import BulkNodeWiseSampler
+
+        sampler = BulkNodeWiseSampler([config.fanout] * config.depth)
+        k = config.bulk_k
+        label = f"nodewise-bulk k={config.bulk_k} (P={world})"
+    else:  # saint
+        from ..sampling import SaintRWSampler
+
+        sampler = SaintRWSampler(walk_length=config.depth)
+        k = 1
+        label = f"saint-rw (P={world})"
+
+    timers = StageTimer()
+    history = TrainingHistory(label=label)
+    rng = np.random.default_rng(config.seed)
+    governor = _TrainingGovernor(config, optimizers)
+    steps = 0
+
+    for epoch in range(config.epochs):
+        losses = []
+        epoch_t0 = timers.total("epoch")
+        sample_t0 = timers.total("sampling")
+        train_t0 = timers.total("training")
+        comm_t0 = comm.stats.modeled_seconds
+        with timers.scope("epoch"):
+            batches = epoch_batches(train_graphs, config.batch_size, rng)
+            for graph, batch_group in group_batches(batches, k):
+                # Each rank samples & trains its shard of every batch in
+                # the group.  Ranks execute sequentially here (one CPU),
+                # so measured sampling/training time is the *sum over
+                # ranks*; benches divide by P when projecting.
+                rank_sampled: List[List[SampledBatch]] = []
+                with timers.scope("sampling"):
+                    for rank in range(world):
+                        shards = [
+                            shard_batch(b, rank, world) for b in batch_group
+                        ]
+                        # bulk samplers fuse the group into one stacked
+                        # step; sequential samplers' default sample_bulk
+                        # falls back to one call per batch
+                        rank_sampled.append(
+                            sampler.sample_bulk(graph, shards, rng)
+                        )
+                # one optimisation step per batch in the group
+                for bi in range(len(batch_group)):
+                    with timers.scope("training"):
+                        for rank in range(world):
+                            optimizers[rank].zero_grad()
+                            sb = rank_sampled[rank][bi]
+                            loss = _step(models[rank], sb.graph, loss_fn)
+                            if rank == 0:
+                                losses.append(loss.item())
+                        ddp.synchronize_gradients()
+                        for opt in optimizers:
+                            opt.step()
+                    steps += 1
+        precision, recall = (
+            evaluate_edge_classifier(models[0], val_graphs, config.threshold)
+            if (epoch + 1) % config.eval_every == 0
+            else (float("nan"), float("nan"))
+        )
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                val_precision=precision,
+                val_recall=recall,
+                epoch_seconds=timers.total("epoch") - epoch_t0,
+                sampling_seconds=timers.total("sampling") - sample_t0,
+                training_seconds=timers.total("training") - train_t0,
+                comm_modeled_seconds=comm.stats.modeled_seconds - comm_t0,
+            )
+        )
+        if governor.end_epoch(models[0], history.final):
+            break
+    governor.finalize(models[0])
+    if config.restore_best and governor.best_state is not None:
+        # keep the replicas bit-identical after restoration
+        for m in models[1:]:
+            m.load_state_dict(governor.best_state)
+    return GNNTrainResult(
+        model=models[0],
+        history=history,
+        timers=timers,
+        comm_stats=comm.stats,
+        trained_steps=steps,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+def train_gnn(
+    train_graphs: Sequence[EventGraph],
+    val_graphs: Sequence[EventGraph],
+    config: GNNTrainConfig,
+) -> GNNTrainResult:
+    """Train the GNN stage under the configured regime.
+
+    Parameters
+    ----------
+    train_graphs, val_graphs:
+        Labelled event graphs (candidate-segment graphs).
+    config:
+        See :class:`repro.pipeline.config.GNNTrainConfig`.
+    """
+    if not train_graphs:
+        raise ValueError("no training graphs")
+    if any(g.edge_labels is None for g in list(train_graphs) + list(val_graphs)):
+        raise ValueError("all graphs must carry edge labels")
+    pos_weight = (
+        config.pos_weight
+        if config.pos_weight is not None
+        else derive_pos_weight(train_graphs)
+    )
+    loss_fn = BCEWithLogitsLoss(pos_weight=pos_weight)
+    if config.mode == "full":
+        return _train_full_graph(train_graphs, val_graphs, config, loss_fn)
+    return _train_minibatch(train_graphs, val_graphs, config, loss_fn)

@@ -1,0 +1,81 @@
+"""Minibatch iteration over event-graph collections.
+
+Training epochs iterate the event graphs; within each graph, vertices are
+shuffled and grouped into batches of ``batch_size`` (the paper: 256).
+Under DDP each rank takes a contiguous ``batch_size / P`` shard of every
+batch (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import EventGraph, shard_batch
+
+__all__ = ["iter_vertex_batches", "epoch_batches", "group_batches"]
+
+
+def iter_vertex_batches(
+    graph: EventGraph,
+    batch_size: int,
+    rng: np.random.Generator,
+    drop_last: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield shuffled vertex batches of one graph.
+
+    Parameters
+    ----------
+    drop_last:
+        Drop the trailing partial batch (default, as uneven batches would
+        unbalance DDP shards).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    perm = rng.permutation(graph.num_nodes)
+    full = (len(perm) // batch_size) * batch_size
+    for start in range(0, full, batch_size):
+        yield perm[start : start + batch_size]
+    if not drop_last and full < len(perm):
+        yield perm[full:]
+
+
+def epoch_batches(
+    graphs: Sequence[EventGraph],
+    batch_size: int,
+    rng: np.random.Generator,
+    drop_last: bool = True,
+) -> Iterator[Tuple[EventGraph, np.ndarray]]:
+    """Yield ``(graph, batch_vertices)`` pairs over a whole epoch.
+
+    Graph order is shuffled per epoch; batches within a graph are
+    contiguous so samplers can reuse the graph's cached CSR adjacency.
+    """
+    order = rng.permutation(len(graphs))
+    for gi in order:
+        graph = graphs[gi]
+        for batch in iter_vertex_batches(graph, batch_size, rng, drop_last=drop_last):
+            yield graph, batch
+
+
+def group_batches(
+    batches: Iterator[Tuple[EventGraph, np.ndarray]], k: int
+) -> Iterator[Tuple[EventGraph, List[np.ndarray]]]:
+    """Group consecutive same-graph batches into chunks of up to ``k``.
+
+    This is the unit the bulk sampler fuses: ``k`` minibatches sampled in
+    one stacked step (Eq. 1).  A group never spans two graphs.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    current_graph: Optional[EventGraph] = None
+    group: List[np.ndarray] = []
+    for graph, batch in batches:
+        if current_graph is not None and (graph is not current_graph or len(group) == k):
+            yield current_graph, group
+            group = []
+        current_graph = graph
+        group.append(batch)
+    if current_graph is not None and group:
+        yield current_graph, group

@@ -1,0 +1,78 @@
+"""Node-wise (GraphSAGE-style) neighbourhood sampler.
+
+One of the two sampling families the matrix-based bulk framework was
+originally introduced for (Hamilton et al. 2017; Tripathy et al. 2024).
+Included for the sampler-taxonomy ablation bench: it samples a fanout per
+vertex per GNN layer and trains on the subgraph induced by the union of
+all sampled vertices.
+
+Note: full GraphSAGE keeps one bipartite adjacency per layer; since the
+Interaction GNN consumes a single adjacency, we use the induced-subgraph
+formulation (as GraphSAINT-style trainers do).  The ShaDow samplers are
+the ones the paper evaluates; this module is supporting material.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import EventGraph
+from ..graph.subgraph import induced_subgraph
+from .base import SampledBatch, Sampler
+
+__all__ = ["NodeWiseSampler"]
+
+
+class NodeWiseSampler(Sampler):
+    """Layered neighbourhood sampling with per-layer fanouts.
+
+    Parameters
+    ----------
+    fanouts:
+        Neighbours sampled per vertex per layer, outermost first (e.g.
+        ``[10, 5]`` for a 2-layer network).
+    """
+
+    def __init__(self, fanouts: List[int]) -> None:
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ValueError("fanouts must be a non-empty list of positive ints")
+        self.fanouts = list(fanouts)
+
+    def sample(
+        self, graph: EventGraph, batch: np.ndarray, rng: np.random.Generator
+    ) -> SampledBatch:
+        """Induced subgraph over the sampled layered neighbourhood."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if batch.size == 0:
+            raise ValueError("empty batch")
+        adj = graph.to_csr(symmetric=True)
+        touched = [batch]
+        frontier = batch
+        for fanout in self.fanouts:
+            nxt: List[np.ndarray] = []
+            for v in frontier:
+                start, end = adj.indptr[v], adj.indptr[v + 1]
+                neighbors = adj.indices[start:end]
+                if neighbors.size == 0:
+                    continue
+                if neighbors.size <= fanout:
+                    chosen = neighbors
+                else:
+                    chosen = rng.choice(neighbors, size=fanout, replace=False)
+                nxt.append(chosen.astype(np.int64))
+            if not nxt:
+                break
+            frontier = np.unique(np.concatenate(nxt))
+            touched.append(frontier)
+        nodes = np.unique(np.concatenate(touched))
+        sub = induced_subgraph(graph, nodes)
+        return SampledBatch(
+            graph=sub.graph,
+            node_parent=sub.node_index,
+            edge_parent=sub.edge_index_parent,
+            component_ids=None,
+            roots=np.searchsorted(sub.node_index, batch),
+        )

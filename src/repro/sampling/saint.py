@@ -1,0 +1,72 @@
+"""GraphSAINT random-walk subgraph sampler.
+
+The third member of the subgraph-sampling family the paper cites (Zeng et
+al. 2020).  Where ShaDow runs an *independent* bounded walk per root and
+trains on disjoint per-root components, GraphSAINT runs several random
+walks from a set of start vertices and trains on the *single* subgraph
+induced by their union — cheaper per batch, but roots share context.
+
+Included for the sampler-taxonomy ablation; the Exa.TrkX experiments use
+ShaDow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import EventGraph
+from ..graph.subgraph import induced_subgraph
+from .base import SampledBatch, Sampler
+
+__all__ = ["SaintRWSampler"]
+
+
+class SaintRWSampler(Sampler):
+    """Random-walk GraphSAINT sampler.
+
+    Parameters
+    ----------
+    walk_length:
+        Steps per walk (GraphSAINT-RW's ``h``).
+    num_walks_per_root:
+        Independent walks started from every batch vertex.
+    """
+
+    def __init__(self, walk_length: int = 3, num_walks_per_root: int = 1) -> None:
+        if walk_length < 1 or num_walks_per_root < 1:
+            raise ValueError("walk_length and num_walks_per_root must be >= 1")
+        self.walk_length = walk_length
+        self.num_walks_per_root = num_walks_per_root
+
+    def sample(
+        self, graph: EventGraph, batch: np.ndarray, rng: np.random.Generator
+    ) -> SampledBatch:
+        """Union-of-walks induced subgraph for the batch."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if batch.size == 0:
+            raise ValueError("empty batch")
+        adj = graph.to_csr(symmetric=True)
+        current = np.repeat(batch, self.num_walks_per_root)
+        touched = [batch.copy()]
+        for _ in range(self.walk_length):
+            nxt = np.empty_like(current)
+            alive = np.ones(current.shape[0], dtype=bool)
+            for i, v in enumerate(current):
+                start, end = adj.indptr[v], adj.indptr[v + 1]
+                if end == start:
+                    alive[i] = False
+                    nxt[i] = v
+                    continue
+                nxt[i] = adj.indices[start + rng.integers(end - start)]
+            current = nxt
+            touched.append(current[alive].copy())
+        nodes = np.unique(np.concatenate(touched))
+        sub = induced_subgraph(graph, nodes)
+        return SampledBatch(
+            graph=sub.graph,
+            node_parent=sub.node_index,
+            edge_parent=sub.edge_index_parent,
+            component_ids=None,
+            roots=np.searchsorted(sub.node_index, batch),
+        )

@@ -1,0 +1,35 @@
+"""NumPy-backed reverse-mode autograd engine (the PyTorch substitute).
+
+Public surface::
+
+    from repro.tensor import Tensor, no_grad, ops
+
+``Tensor`` provides operator sugar (``+``, ``@``, ``.relu()``, ...); the
+full op set — including the graph primitives ``gather_rows`` and
+``segment_sum`` used by the Interaction GNN — lives in
+:mod:`repro.tensor.ops`.
+"""
+
+from .tensor import (
+    DEFAULT_DTYPE,
+    Tensor,
+    asarray,
+    astensor,
+    is_grad_enabled,
+    no_grad,
+    unbroadcast,
+)
+from . import ops
+from .gradcheck import gradcheck
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "Tensor",
+    "asarray",
+    "astensor",
+    "is_grad_enabled",
+    "no_grad",
+    "unbroadcast",
+    "ops",
+    "gradcheck",
+]

@@ -1,0 +1,423 @@
+"""A minimal reverse-mode automatic differentiation engine on NumPy.
+
+This module stands in for PyTorch in the reproduction: the Interaction GNN
+(Algorithm 1 of the paper) is a tensor program built from dense matmuls,
+concatenations, row gathers (``X[A.rows]``), and segment sums (the ``AGG``
+reduction).  :class:`Tensor` wraps a :class:`numpy.ndarray` and records the
+operations applied to it so that :meth:`Tensor.backward` can propagate
+gradients through the recorded graph.
+
+Design notes
+------------
+* The graph is built eagerly: each differentiable operation returns a new
+  :class:`Tensor` holding references to its parents and a closure that maps
+  the output gradient to a tuple of parent gradients (one entry per parent,
+  ``None`` for parents that do not require grad).
+* Gradients accumulate into ``Tensor.grad`` only on *leaf* tensors (the
+  parameters); interior gradients live in a staging table for the duration
+  of :meth:`Tensor.backward` and are freed as soon as they are consumed,
+  which keeps the memory profile of an 8-layer IGNN backward pass bounded.
+* Shapes follow NumPy broadcasting; gradient closures un-broadcast by
+  summing over the broadcast axes (see :func:`unbroadcast`).
+* ``float32`` is the default dtype (as in the paper's training runs); the
+  finite-difference gradient checks in the test-suite build ``float64``
+  tensors for accuracy.
+
+Only the operations the pipeline needs are implemented; they live in
+:mod:`repro.tensor.ops` and are re-exported from :mod:`repro.tensor`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "asarray",
+    "astensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "DEFAULT_DTYPE",
+]
+
+DEFAULT_DTYPE = np.float32
+
+# Global autograd switch, toggled by the `no_grad` context manager.  The
+# pipeline's inference paths run under `no_grad()` so that sampling-heavy
+# evaluation loops do not accumulate graph nodes.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting in the forward pass replicates values along new or size-1
+    axes; the adjoint of replication is summation.  This helper is used by
+    every binary-op backward closure.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+# Backward closure signature: output gradient -> one gradient per parent
+# (``None`` for parents that don't require grad).
+BackwardFn = Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]
+
+
+def asarray(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to an ndarray, unwrapping :class:`Tensor` inputs."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def astensor(value: ArrayLike, dtype=None) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    arr = np.asarray(value)
+    if dtype is None and not np.issubdtype(arr.dtype, np.integer):
+        dtype = DEFAULT_DTYPE if arr.dtype != np.float64 else np.float64
+    return Tensor(arr if dtype is None else arr.astype(dtype))
+
+
+class Tensor:
+    """An ndarray with an optional autograd tape entry.
+
+    Parameters
+    ----------
+    data:
+        Array data.  Copied only if dtype conversion is required.
+    requires_grad:
+        If True, gradients accumulate into :attr:`grad` during
+        :meth:`backward`.  Non-leaf tensors produced by operations inherit
+        ``requires_grad`` from their parents.
+
+    Attributes
+    ----------
+    data:
+        The underlying :class:`numpy.ndarray`.
+    grad:
+        Accumulated gradient (same shape as ``data``) or ``None``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        was_ndarray = isinstance(data, (np.ndarray, np.generic))
+        arr = np.asarray(data)
+        if arr.dtype == np.float64 and not was_ndarray:
+            # Python floats/lists default to float32; float64 survives only
+            # when passed explicitly as an ndarray (gradcheck inputs).
+            self.data = arr.astype(DEFAULT_DTYPE)
+        elif arr.dtype in (np.float32, np.float64):
+            self.data = arr
+        elif np.issubdtype(arr.dtype, np.floating):
+            self.data = arr.astype(DEFAULT_DTYPE)
+        elif np.issubdtype(arr.dtype, np.integer) or arr.dtype == np.bool_:
+            # Integer/bool tensors are allowed (indices, labels); they never
+            # require gradients.
+            self.data = arr
+            if requires_grad:
+                raise ValueError("integer tensors cannot require gradients")
+        else:
+            self.data = arr.astype(DEFAULT_DTYPE)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward: Optional[BackwardFn] = None
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> "Tensor":
+        """Return a zero-filled tensor of the given shape."""
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> "Tensor":
+        """Return a one-filled tensor of the given shape."""
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: BackwardFn,
+        op: str = "",
+    ) -> "Tensor":
+        """Build a non-leaf tensor recording ``backward`` on the tape.
+
+        If autograd is globally disabled or no parent requires a gradient,
+        the result is a detached leaf — this is what makes ``no_grad``
+        inference cheap.
+        """
+        parents = tuple(parents)
+        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=req)
+        if req:
+            out._parents = parents
+            out._backward = backward
+            out._op = op
+        return out
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._backward is None
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1.0 for scalar outputs (the loss);
+            non-scalar outputs require an explicit seed.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a seed requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = grad.reshape(self.data.shape)
+
+        # Iterative post-order DFS: recursion would overflow for deep
+        # (8-layer) IGNNs where each layer chains several MLPs.
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        # Propagate in reverse topological order.  Interior gradients are
+        # staged in `grads` and dropped once consumed; only leaves keep
+        # their accumulated gradient in `.grad`.
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                if node.grad is None:
+                    node.grad = np.zeros_like(node.data)
+                node.grad += node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            if len(parent_grads) != len(node._parents):
+                raise RuntimeError(
+                    f"op '{node._op}' returned {len(parent_grads)} gradients "
+                    f"for {len(node._parents)} parents"
+                )
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                if pgrad.shape != parent.data.shape:
+                    raise RuntimeError(
+                        f"op '{node._op}' produced gradient of shape {pgrad.shape} "
+                        f"for parent of shape {parent.data.shape}"
+                    )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # operator sugar (implementations live in repro.tensor.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.add(self, astensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(self, astensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(astensor(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.mul(self, astensor(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(self, astensor(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(astensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        from . import ops
+
+        return ops.neg(self)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from . import ops
+
+        return ops.matmul(self, astensor(other))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from . import ops
+
+        return ops.pow(self, float(exponent))
+
+    def __getitem__(self, idx) -> "Tensor":
+        from . import ops
+
+        return ops.getitem(self, idx)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def relu(self) -> "Tensor":
+        from . import ops
+
+        return ops.relu(self)
+
+    def tanh(self) -> "Tensor":
+        from . import ops
+
+        return ops.tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def exp(self) -> "Tensor":
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from . import ops
+
+        return ops.log(self)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)

@@ -1,0 +1,139 @@
+"""Combinatorial track finder and event pileup."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CombinatorialConfig, CombinatorialTrackFinder
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    generate_pileup_event,
+    merge_events,
+)
+from repro.metrics import match_tracks
+
+GEO = DetectorGeometry.barrel_only()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return EventSimulator(GEO, particles_per_event=15, noise_fraction=0.05)
+
+
+@pytest.fixture(scope="module")
+def event(sim):
+    return sim.generate(np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def finder():
+    return CombinatorialTrackFinder(GEO)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinatorialConfig(seed_dphi=0.0)
+        with pytest.raises(ValueError):
+            CombinatorialConfig(min_hits=2)
+
+
+class TestFinder:
+    def test_reconstructs_most_tracks(self, finder, event):
+        tracks = finder.find_tracks(event)
+        score = match_tracks(tracks, event.particle_ids)
+        assert score.efficiency > 0.6
+        assert score.fake_rate < 0.3
+
+    def test_tracks_meet_min_hits(self, finder, event):
+        for t in finder.find_tracks(event):
+            assert len(t) >= finder.config.min_hits
+
+    def test_ambiguity_bounds_hit_sharing(self, finder, event):
+        tracks = finder.find_tracks(event)
+        used = {}
+        for ti, t in enumerate(tracks):
+            for h in t:
+                used.setdefault(int(h), []).append(ti)
+        # accepted candidates share at most the configured fraction
+        for ti, t in enumerate(tracks):
+            shared = sum(1 for h in t if len(used[int(h)]) > 1)
+            assert shared <= finder.config.max_shared_fraction * len(t) + 1e-9
+
+    def test_empty_event(self, finder):
+        empty = EventSimulator(GEO, particles_per_event=0, noise_fraction=0.0).generate(
+            np.random.default_rng(0)
+        )
+        assert finder.find_tracks(empty) == []
+
+    def test_deterministic(self, finder, event):
+        a = finder.find_tracks(event)
+        b = finder.find_tracks(event)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_seed_count_grows_superlinearly_with_pileup(self, finder, sim):
+        rng = np.random.default_rng(5)
+        e1 = generate_pileup_event(sim, 1, rng)
+        e4 = generate_pileup_event(sim, 4, rng)
+        hits_ratio = e4.num_hits / e1.num_hits
+        seeds_ratio = finder.seed_count(e4) / max(finder.seed_count(e1), 1)
+        assert seeds_ratio > hits_ratio  # the paper's superlinear term
+
+    def test_tighter_bend_tolerance_fewer_seeds(self, event):
+        loose = CombinatorialTrackFinder(GEO, CombinatorialConfig(bend_tolerance=0.08))
+        tight = CombinatorialTrackFinder(GEO, CombinatorialConfig(bend_tolerance=0.01))
+        assert tight.seed_count(event) <= loose.seed_count(event)
+
+
+class TestPileup:
+    def test_merge_concatenates_hits(self, sim):
+        rng = np.random.default_rng(1)
+        e1 = sim.generate(np.random.default_rng(10))
+        e2 = sim.generate(np.random.default_rng(11))
+        merged = merge_events([e1, e2])
+        assert merged.num_hits == e1.num_hits + e2.num_hits
+
+    def test_particle_ids_disjoint_after_merge(self, sim):
+        e1 = sim.generate(np.random.default_rng(10))
+        e2 = sim.generate(np.random.default_rng(11))
+        merged = merge_events([e1, e2])
+        ids1 = set(merged.particle_ids[: e1.num_hits].tolist()) - {0}
+        ids2 = set(merged.particle_ids[e1.num_hits :].tolist()) - {0}
+        assert ids1.isdisjoint(ids2)
+
+    def test_noise_stays_zero(self, sim):
+        e1 = sim.generate(np.random.default_rng(10))
+        e2 = sim.generate(np.random.default_rng(11))
+        merged = merge_events([e1, e2])
+        n_noise = int((e1.particle_ids == 0).sum() + (e2.particle_ids == 0).sum())
+        assert int((merged.particle_ids == 0).sum()) == n_noise
+
+    def test_true_segments_preserved(self, sim):
+        e1 = sim.generate(np.random.default_rng(10))
+        e2 = sim.generate(np.random.default_rng(11))
+        merged = merge_events([e1, e2])
+        assert (
+            merged.true_segments().shape[1]
+            == e1.true_segments().shape[1] + e2.true_segments().shape[1]
+        )
+
+    def test_reconstructable_count_adds(self, sim):
+        e1 = sim.generate(np.random.default_rng(10))
+        e2 = sim.generate(np.random.default_rng(11))
+        merged = merge_events([e1, e2])
+        assert (
+            merged.num_reconstructable()
+            == e1.num_reconstructable() + e2.num_reconstructable()
+        )
+
+    def test_generate_pileup_event(self, sim):
+        ev = generate_pileup_event(sim, 3, np.random.default_rng(0))
+        assert ev.num_hits > 0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            merge_events([])
+        with pytest.raises(ValueError):
+            generate_pileup_event(sim, 0, np.random.default_rng(0))

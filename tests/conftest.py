@@ -1,0 +1,56 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    ParticleGun,
+    dataset_config,
+    make_dataset,
+)
+from repro.graph import disjoint_chains, random_graph
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    return DetectorGeometry.barrel_only()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small labelled dataset (generated once per session)."""
+    return make_dataset(dataset_config("tiny"))
+
+
+@pytest.fixture(scope="session")
+def small_events(geometry):
+    """A handful of simulated events for pipeline tests."""
+    sim = EventSimulator(
+        geometry,
+        gun=ParticleGun(),
+        particles_per_event=15,
+        noise_fraction=0.05,
+    )
+    return [sim.generate(np.random.default_rng(500 + i), event_id=i) for i in range(6)]
+
+
+@pytest.fixture
+def medium_graph():
+    """Random graph big enough for sampler tests."""
+    return random_graph(400, 1600, rng=np.random.default_rng(7), true_fraction=0.3)
+
+
+@pytest.fixture
+def chains_graph():
+    """Idealised event: 10 disjoint 8-hit tracks."""
+    return disjoint_chains(10, 8, rng=np.random.default_rng(3))

@@ -1,0 +1,111 @@
+"""Dataset registry: Table-I shape targets, determinism, caching."""
+
+import numpy as np
+import pytest
+
+from repro.detector import (
+    DATASET_REGISTRY,
+    dataset_config,
+    feature_dims,
+    make_dataset,
+    summarize,
+)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert {"ex3_like", "ctd_like", "tiny"} <= set(DATASET_REGISTRY)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dataset_config("atlas_full")
+
+    def test_with_sizes(self):
+        cfg = dataset_config("ex3_like").with_sizes(3, 1, 1)
+        assert (cfg.num_train, cfg.num_val, cfg.num_test) == (3, 1, 1)
+        # original untouched (frozen dataclass copy)
+        assert dataset_config("ex3_like").num_train == 80
+
+    def test_table1_metadata(self):
+        """MLP depths and feature schemes match Table I."""
+        ex3 = dataset_config("ex3_like")
+        ctd = dataset_config("ctd_like")
+        assert ex3.mlp_layers == 2
+        assert ctd.mlp_layers == 3
+        assert feature_dims(ex3.builder.feature_scheme) == (6, 2)
+        assert feature_dims(ctd.builder.feature_scheme) == (14, 8)
+
+
+class TestGeneration:
+    def test_split_sizes(self, tiny_dataset):
+        cfg = tiny_dataset.config
+        assert len(tiny_dataset.train) == cfg.num_train
+        assert len(tiny_dataset.val) == cfg.num_val
+        assert len(tiny_dataset.test) == cfg.num_test
+
+    def test_all_graphs_labelled(self, tiny_dataset):
+        for g in tiny_dataset.all_graphs:
+            assert g.edge_labels is not None
+            assert g.particle_ids is not None
+
+    def test_event_ids_unique(self, tiny_dataset):
+        ids = [g.event_id for g in tiny_dataset.all_graphs]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_regeneration(self):
+        cfg = dataset_config("tiny")
+        d1 = make_dataset(cfg)
+        d2 = make_dataset(cfg)
+        for g1, g2 in zip(d1.all_graphs, d2.all_graphs):
+            assert np.array_equal(g1.edge_index, g2.edge_index)
+            assert np.array_equal(g1.x, g2.x)
+
+    def test_stats_fields(self, tiny_dataset):
+        s = tiny_dataset.stats()
+        assert set(s) >= {
+            "graphs",
+            "avg_vertices",
+            "avg_edges",
+            "edges_per_vertex",
+            "mlp_layers",
+            "vertex_features",
+            "edge_features",
+        }
+
+    def test_summarize_renders(self, tiny_dataset):
+        line = summarize(tiny_dataset)
+        assert "tiny" in line and "avg V=" in line
+
+
+class TestShapeTargets:
+    """The calibrated densities that make the scaled datasets behave like
+    Table I: Ex3 ≈ 3.7 edges/vertex (paper 47.8K/13.0K = 3.68), CTD ≈ 21
+    (paper 6.9M/330.7K = 20.9)."""
+
+    def test_ex3_like_density(self):
+        ds = make_dataset(dataset_config("ex3_like").with_sizes(4, 1, 1))
+        density = ds.stats()["edges_per_vertex"]
+        assert 2.8 < density < 4.8
+
+    @pytest.mark.slow
+    def test_ctd_like_density(self):
+        ds = make_dataset(dataset_config("ctd_like").with_sizes(2, 1, 1))
+        density = ds.stats()["edges_per_vertex"]
+        assert 15.0 < density < 28.0
+
+    @pytest.mark.slow
+    def test_ctd_much_larger_than_ex3(self):
+        ctd = make_dataset(dataset_config("ctd_like").with_sizes(2, 1, 1))
+        ex3 = make_dataset(dataset_config("ex3_like").with_sizes(2, 1, 1))
+        assert ctd.stats()["avg_edges"] > 10 * ex3.stats()["avg_edges"]
+
+
+class TestCaching:
+    def test_round_trip_via_cache(self, tmp_path):
+        cfg = dataset_config("tiny")
+        d1 = make_dataset(cfg, cache_dir=str(tmp_path))
+        d2 = make_dataset(cfg, cache_dir=str(tmp_path))
+        for g1, g2 in zip(d1.all_graphs, d2.all_graphs):
+            assert np.array_equal(g1.edge_index, g2.edge_index)
+            assert np.array_equal(g1.x, g2.x)
+            assert np.array_equal(g1.edge_labels, g2.edge_labels)

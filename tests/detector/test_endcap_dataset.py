@@ -1,0 +1,52 @@
+"""Forward-region (barrel + endcap) dataset."""
+
+import numpy as np
+import pytest
+
+from repro.detector import (
+    DetectorGeometry,
+    dataset_config,
+    make_dataset,
+)
+from repro.detector.datasets import DatasetConfig, _make_simulator
+
+
+class TestEndcapDataset:
+    def test_registry_entry(self):
+        cfg = dataset_config("fwd_like")
+        assert cfg.geometry == "with_endcaps"
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(name="x", geometry="spherical")
+
+    def test_disks_collect_hits(self):
+        geo = DetectorGeometry.with_endcaps()
+        sim = _make_simulator(dataset_config("fwd_like"), geo)
+        ev = sim.generate(np.random.default_rng(0))
+        disk_ids = {d.layer_id for d in geo.endcaps}
+        assert set(ev.layer_ids.tolist()) & disk_ids
+
+    def test_wider_eta_acceptance(self):
+        geo = DetectorGeometry.with_endcaps()
+        sim = _make_simulator(dataset_config("fwd_like"), geo)
+        assert sim.gun.eta_max == pytest.approx(2.5)
+        barrel_sim = _make_simulator(dataset_config("ex3_like"), DetectorGeometry.barrel_only())
+        assert barrel_sim.gun.eta_max == pytest.approx(1.5)
+
+    def test_dataset_generates_labelled_graphs(self):
+        ds = make_dataset(dataset_config("fwd_like").with_sizes(2, 1, 1))
+        for g in ds.all_graphs:
+            assert g.edge_labels is not None
+            assert g.num_nodes > 0
+
+    def test_forward_hits_on_disks_within_annulus(self):
+        geo = DetectorGeometry.with_endcaps()
+        sim = _make_simulator(dataset_config("fwd_like"), geo)
+        ev = sim.generate(np.random.default_rng(1))
+        r = np.hypot(ev.positions[:, 0], ev.positions[:, 1])
+        for d in geo.endcaps:
+            on_disk = ev.layer_ids == d.layer_id
+            if on_disk.any():
+                assert np.all(r[on_disk] >= d.r_inner - 2.0)
+                assert np.all(r[on_disk] <= d.r_outer + 2.0)

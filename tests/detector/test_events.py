@@ -1,0 +1,127 @@
+"""Event simulation: hit content, truth segments, noise, particle gun."""
+
+import numpy as np
+import pytest
+
+from repro.detector import DetectorGeometry, EventSimulator, Particle, ParticleGun
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return DetectorGeometry.barrel_only()
+
+
+@pytest.fixture(scope="module")
+def event(geometry):
+    sim = EventSimulator(geometry, particles_per_event=30, noise_fraction=0.1)
+    return sim.generate(np.random.default_rng(0), event_id=42)
+
+
+class TestParticleGun:
+    def test_sample_count_and_ids(self):
+        gun = ParticleGun()
+        ps = gun.sample(10, np.random.default_rng(0), first_id=5)
+        assert len(ps) == 10
+        assert [p.particle_id for p in ps] == list(range(5, 15))
+
+    def test_kinematic_ranges(self):
+        gun = ParticleGun(pt_min=0.5, pt_max=8.0, eta_max=1.5)
+        ps = gun.sample(500, np.random.default_rng(0))
+        assert all(0.5 <= p.pt <= 8.0 for p in ps)
+        assert all(abs(p.eta) <= 1.5 for p in ps)
+        assert all(p.charge in (-1, 1) for p in ps)
+
+    def test_invalid_pt_range(self):
+        with pytest.raises(ValueError):
+            ParticleGun(pt_min=2.0, pt_max=1.0)
+
+    def test_helix_radius_formula(self):
+        p = Particle(1, pt=0.6, phi0=0.0, eta=0.0, charge=1, vx=0, vy=0, vz=0)
+        # R[mm] = 1000 * pt / (0.3 * B)
+        assert p.helix_radius_mm(2.0) == pytest.approx(1000.0)
+
+
+class TestEventContent:
+    def test_arrays_parallel(self, event):
+        n = event.num_hits
+        assert event.positions.shape == (n, 3)
+        assert event.layer_ids.shape == (n,)
+        assert event.particle_ids.shape == (n,)
+        assert event.hit_order.shape == (n,)
+
+    def test_noise_hits_marked(self, event):
+        noise = event.particle_ids == 0
+        assert np.any(noise)
+        assert np.all(event.hit_order[noise] == -1)
+
+    def test_noise_fraction_approximate(self, geometry):
+        sim = EventSimulator(geometry, particles_per_event=60, noise_fraction=0.2)
+        ev = sim.generate(np.random.default_rng(1))
+        frac = np.mean(ev.particle_ids == 0)
+        assert 0.1 < frac < 0.3
+
+    def test_hits_on_layer_radii(self, event, geometry):
+        r = np.hypot(event.positions[:, 0], event.positions[:, 1])
+        radius_of = np.array([l.radius for l in geometry.barrel])
+        expected = radius_of[event.layer_ids]
+        # smearing is tangential + z only, so r must match exactly-ish
+        assert np.allclose(r, expected, rtol=1e-6)
+
+    def test_min_hits_respected(self, event):
+        pids = event.particle_ids[event.particle_ids > 0]
+        counts = np.bincount(pids)
+        counts = counts[counts > 0]
+        assert counts.min() >= 3
+
+
+class TestTrueSegments:
+    def test_segments_connect_same_particle(self, event):
+        seg = event.true_segments()
+        assert np.all(event.particle_ids[seg[0]] == event.particle_ids[seg[1]])
+        assert np.all(event.particle_ids[seg[0]] > 0)
+
+    def test_segments_are_consecutive_ranks(self, event):
+        seg = event.true_segments()
+        assert np.all(event.hit_order[seg[1]] - event.hit_order[seg[0]] == 1)
+
+    def test_segment_count(self, event):
+        # each particle with k hits contributes k-1 segments
+        pids = event.particle_ids[event.particle_ids > 0]
+        counts = np.bincount(pids)
+        expected = int(np.sum(np.maximum(counts[counts > 0] - 1, 0)))
+        assert event.true_segments().shape[1] == expected
+
+    def test_empty_event(self, geometry):
+        sim = EventSimulator(geometry, particles_per_event=0, noise_fraction=0.0)
+        ev = sim.generate(np.random.default_rng(0))
+        assert ev.num_hits == 0
+        assert ev.true_segments().shape == (2, 0)
+
+    def test_num_reconstructable(self, event):
+        assert event.num_reconstructable(min_hits=3) > 0
+        assert event.num_reconstructable(min_hits=100) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_event(self, geometry):
+        sim = EventSimulator(geometry, particles_per_event=20)
+        e1 = sim.generate(np.random.default_rng(7))
+        e2 = sim.generate(np.random.default_rng(7))
+        assert np.array_equal(e1.positions, e2.positions)
+        assert np.array_equal(e1.particle_ids, e2.particle_ids)
+
+    def test_different_seed_different_event(self, geometry):
+        sim = EventSimulator(geometry, particles_per_event=20)
+        e1 = sim.generate(np.random.default_rng(7))
+        e2 = sim.generate(np.random.default_rng(8))
+        assert e1.num_hits != e2.num_hits or not np.array_equal(e1.positions, e2.positions)
+
+
+class TestValidation:
+    def test_bad_efficiency(self, geometry):
+        with pytest.raises(ValueError):
+            EventSimulator(geometry, hit_efficiency=0.0)
+
+    def test_bad_noise(self, geometry):
+        with pytest.raises(ValueError):
+            EventSimulator(geometry, noise_fraction=-0.1)

@@ -1,0 +1,54 @@
+"""Detector geometry validation."""
+
+import numpy as np
+import pytest
+
+from repro.detector import BarrelLayer, DetectorGeometry, EndcapDisk
+
+
+class TestBarrelLayer:
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            BarrelLayer(radius=-1.0, half_length=100.0, layer_id=0)
+        with pytest.raises(ValueError):
+            BarrelLayer(radius=10.0, half_length=0.0, layer_id=0)
+
+
+class TestEndcapDisk:
+    def test_annulus_bounds(self):
+        with pytest.raises(ValueError):
+            EndcapDisk(z=500.0, r_inner=100.0, r_outer=50.0, layer_id=0)
+
+
+class TestDetectorGeometry:
+    def test_barrel_only_factory(self):
+        geo = DetectorGeometry.barrel_only()
+        assert geo.num_layers == 10
+        radii = geo.barrel_radii
+        assert np.all(np.diff(radii) > 0)
+
+    def test_with_endcaps_factory(self):
+        geo = DetectorGeometry.with_endcaps()
+        assert len(geo.endcaps) == 6
+        ids = [l.layer_id for l in geo.barrel] + [d.layer_id for d in geo.endcaps]
+        assert len(set(ids)) == len(ids)
+
+    def test_unordered_barrel_rejected(self):
+        layers = (
+            BarrelLayer(radius=100.0, half_length=500.0, layer_id=0),
+            BarrelLayer(radius=50.0, half_length=500.0, layer_id=1),
+        )
+        with pytest.raises(ValueError):
+            DetectorGeometry(barrel=layers)
+
+    def test_duplicate_layer_ids_rejected(self):
+        layers = (
+            BarrelLayer(radius=50.0, half_length=500.0, layer_id=0),
+            BarrelLayer(radius=100.0, half_length=500.0, layer_id=0),
+        )
+        with pytest.raises(ValueError):
+            DetectorGeometry(barrel=layers)
+
+    def test_max_radius(self):
+        geo = DetectorGeometry.barrel_only(radii=(10.0, 20.0, 30.0))
+        assert geo.max_radius == 30.0

@@ -1,0 +1,104 @@
+"""Module-map graph construction and the SVG event display."""
+
+import numpy as np
+import pytest
+
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    ModuleMap,
+    ModuleMapConfig,
+    event_display_svg,
+)
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return DetectorGeometry.barrel_only()
+
+
+@pytest.fixture(scope="module")
+def events(geo):
+    sim = EventSimulator(geo, particles_per_event=25, noise_fraction=0.05)
+    return [sim.generate(np.random.default_rng(300 + i)) for i in range(22)]
+
+
+@pytest.fixture(scope="module")
+def fitted_map(geo, events):
+    return ModuleMap(geo, ModuleMapConfig()).fit(events[:20])
+
+
+class TestModuleMap:
+    def test_fit_records_connections(self, fitted_map):
+        assert fitted_map.num_connections > 0
+
+    def test_build_requires_fit(self, geo, events):
+        with pytest.raises(RuntimeError):
+            ModuleMap(geo, ModuleMapConfig()).build(events[0])
+
+    def test_fit_requires_events(self, geo):
+        with pytest.raises(ValueError):
+            ModuleMap(geo, ModuleMapConfig()).fit([])
+
+    def test_training_events_high_efficiency(self, fitted_map, events):
+        """Segments seen in training are by construction in the map."""
+        assert fitted_map.edge_efficiency(events[0]) > 0.9
+
+    def test_held_out_efficiency_reasonable(self, fitted_map, events):
+        effs = [fitted_map.edge_efficiency(e) for e in events[20:]]
+        assert np.mean(effs) > 0.6
+
+    def test_built_graph_labelled_and_purer_than_random(self, fitted_map, events):
+        g = fitted_map.build(events[21])
+        assert g.edge_labels is not None
+        assert g.num_edges > 0
+        # map-constrained edges are far purer than uniform pairs would be
+        assert g.true_edge_fraction() > 0.2
+
+    def test_edges_connect_inner_to_outer_layer(self, fitted_map, events):
+        ev = events[21]
+        g = fitted_map.build(ev)
+        dl = ev.layer_ids[g.cols] - ev.layer_ids[g.rows]
+        assert np.all(dl > 0)
+
+    def test_no_duplicate_edges(self, fitted_map, events):
+        g = fitted_map.build(events[21])
+        keys = set(zip(g.rows.tolist(), g.cols.tolist()))
+        assert len(keys) == g.num_edges
+
+    def test_finer_sectors_raise_purity(self, geo, events):
+        coarse = ModuleMap(geo, ModuleMapConfig(num_phi_sectors=8, num_z_sectors=4)).fit(events[:20])
+        fine = ModuleMap(geo, ModuleMapConfig(num_phi_sectors=32, num_z_sectors=16)).fit(events[:20])
+        ev = events[21]
+        assert fine.build(ev).true_edge_fraction() > coarse.build(ev).true_edge_fraction()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ModuleMapConfig(num_phi_sectors=0)
+        with pytest.raises(ValueError):
+            ModuleMapConfig(window_margin=-0.1)
+
+
+class TestEventDisplay:
+    def test_valid_svg_structure(self, geo, events):
+        svg = event_display_svg(events[0], geo)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") >= events[0].num_hits  # hits + layers
+
+    def test_candidates_drawn_as_polylines(self, geo, events):
+        ev = events[0]
+        pid = int(np.unique(ev.particle_ids[ev.particle_ids > 0])[0])
+        cand = np.flatnonzero(ev.particle_ids == pid)
+        svg = event_display_svg(ev, geo, candidates=[cand])
+        assert svg.count("<polyline") == 1
+
+    def test_short_candidates_skipped(self, geo, events):
+        svg = event_display_svg(events[0], geo, candidates=[np.array([0])])
+        assert "<polyline" not in svg
+
+    def test_noise_coloured_grey(self, geo, events):
+        ev = events[0]
+        if np.any(ev.particle_ids == 0):
+            svg = event_display_svg(ev, geo)
+            assert "#999999" in svg

@@ -1,0 +1,66 @@
+"""Property-based invariants of the module map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    ModuleMap,
+    ModuleMapConfig,
+)
+
+GEO = DetectorGeometry.barrel_only()
+
+
+def make_events(seed, n=6, particles=15):
+    sim = EventSimulator(GEO, particles_per_event=particles, noise_fraction=0.05)
+    return [sim.generate(np.random.default_rng(seed + i)) for i in range(n)]
+
+
+class TestModuleMapProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_built_edges_within_learned_bounds(self, seed):
+        events = make_events(seed)
+        mm = ModuleMap(GEO, ModuleMapConfig(window_margin=0.0)).fit(events[:5])
+        ev = events[5]
+        g = mm.build(ev)
+        if g.num_edges == 0:
+            return
+        _, phi, z = ev.cylindrical()
+        for la in np.unique(ev.layer_ids[g.rows]):
+            mask = ev.layer_ids[g.rows] == la
+            for lb in np.unique(ev.layer_ids[g.cols[mask]]):
+                bounds = mm._bounds.get((int(la), int(lb)))
+                assert bounds is not None
+                sub = mask & (ev.layer_ids[g.cols] == lb)
+                dphi = np.arctan2(
+                    np.sin(phi[g.cols[sub]] - phi[g.rows[sub]]),
+                    np.cos(phi[g.cols[sub]] - phi[g.rows[sub]]),
+                )
+                dz = z[g.cols[sub]] - z[g.rows[sub]]
+                assert np.all(dphi >= bounds[0] - 1e-9)
+                assert np.all(dphi <= bounds[1] + 1e-9)
+                assert np.all(dz >= bounds[2] - 1e-9)
+                assert np.all(dz <= bounds[3] + 1e-9)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_training_segments_always_buildable(self, seed):
+        """Every truth segment of a *training* event must be in the graph
+        the map builds for that event (the map memorises its sample)."""
+        events = make_events(seed, n=3)
+        mm = ModuleMap(GEO, ModuleMapConfig()).fit(events)
+        for ev in events:
+            assert mm.edge_efficiency(ev) > 0.99
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_more_training_never_reduces_connections(self, seed):
+        events = make_events(seed)
+        few = ModuleMap(GEO, ModuleMapConfig()).fit(events[:2])
+        many = ModuleMap(GEO, ModuleMapConfig()).fit(events)
+        assert many.num_connections >= few.num_connections

@@ -1,0 +1,118 @@
+"""Helix propagation physics invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detector import DetectorGeometry, Particle, helix_position, propagate
+
+
+GEO = DetectorGeometry.barrel_only()
+
+
+@st.composite
+def particles(draw):
+    return Particle(
+        particle_id=1,
+        pt=draw(st.floats(0.5, 10.0)),
+        phi0=draw(st.floats(-np.pi, np.pi)),
+        eta=draw(st.floats(-1.2, 1.2)),
+        charge=draw(st.sampled_from([-1, 1])),
+        vx=draw(st.floats(-0.05, 0.05)),
+        vy=draw(st.floats(-0.05, 0.05)),
+        vz=draw(st.floats(-30.0, 30.0)),
+    )
+
+
+class TestHelixPosition:
+    @given(particles())
+    @settings(max_examples=50, deadline=None)
+    def test_starts_at_vertex(self, p):
+        pos = helix_position(p, np.array([0.0]), GEO.solenoid_field_tesla)[0]
+        assert pos[0] == pytest.approx(p.vx, abs=1e-9)
+        assert pos[1] == pytest.approx(p.vy, abs=1e-9)
+        assert pos[2] == pytest.approx(p.vz, abs=1e-9)
+
+    @given(particles())
+    @settings(max_examples=50, deadline=None)
+    def test_initial_direction_matches_phi0(self, p):
+        eps = 1e-5
+        pos = helix_position(p, np.array([0.0, eps]), GEO.solenoid_field_tesla)
+        dx, dy = pos[1, 0] - pos[0, 0], pos[1, 1] - pos[0, 1]
+        direction = np.arctan2(dy, dx)
+        delta = np.arctan2(np.sin(direction - p.phi0), np.cos(direction - p.phi0))
+        assert abs(delta) < 1e-3
+
+    @given(particles())
+    @settings(max_examples=50, deadline=None)
+    def test_transverse_circle_radius(self, p):
+        """All points lie on a circle of radius R around the helix centre."""
+        B = GEO.solenoid_field_tesla
+        R = p.helix_radius_mm(B)
+        q = float(p.charge)
+        cx = p.vx - (R / q) * np.sin(p.phi0)
+        cy = p.vy + (R / q) * np.cos(p.phi0)
+        ts = np.linspace(0.0, np.pi, 17)
+        pos = helix_position(p, ts, B)
+        dists = np.hypot(pos[:, 0] - cx, pos[:, 1] - cy)
+        assert np.allclose(dists, R, rtol=1e-9)
+
+    def test_charge_flips_turning_direction(self):
+        base = dict(particle_id=1, pt=2.0, phi0=0.3, eta=0.0, vx=0.0, vy=0.0, vz=0.0)
+        plus = Particle(charge=1, **base)
+        minus = Particle(charge=-1, **base)
+        t = np.array([0.5])
+        pp = helix_position(plus, t, 2.0)[0]
+        pm = helix_position(minus, t, 2.0)[0]
+        assert not np.allclose(pp[:2], pm[:2])
+
+
+class TestPropagate:
+    @given(particles())
+    @settings(max_examples=60, deadline=None)
+    def test_hits_lie_on_their_layers(self, p):
+        hits = propagate(p, GEO)
+        radius_of = {l.layer_id: l.radius for l in GEO.barrel}
+        for h in hits:
+            r = np.hypot(h.x, h.y)
+            assert r == pytest.approx(radius_of[h.layer_id], rel=1e-6)
+
+    @given(particles())
+    @settings(max_examples=60, deadline=None)
+    def test_hits_ordered_along_trajectory(self, p):
+        hits = propagate(p, GEO)
+        ts = [h.t for h in hits]
+        assert ts == sorted(ts)
+
+    @given(particles())
+    @settings(max_examples=60, deadline=None)
+    def test_hits_within_half_length(self, p):
+        half = {l.layer_id: l.half_length for l in GEO.barrel}
+        for h in propagate(p, GEO):
+            assert abs(h.z) <= half[h.layer_id] + 1e-6
+
+    def test_high_pt_central_track_crosses_all_layers(self):
+        p = Particle(1, pt=5.0, phi0=0.1, eta=0.0, charge=1, vx=0.0, vy=0.0, vz=0.0)
+        hits = propagate(p, GEO)
+        assert len(hits) == len(GEO.barrel)
+
+    def test_low_pt_curler_misses_outer_layers(self):
+        # R = 1000*pt/(0.3*2) mm; pt=0.2 → R=333mm → max reach 666mm < 820mm layer
+        p = Particle(1, pt=0.2, phi0=0.0, eta=0.0, charge=1, vx=0.0, vy=0.0, vz=0.0)
+        hits = propagate(p, GEO)
+        layer_ids = {h.layer_id for h in hits}
+        assert 9 not in layer_ids  # outermost layer (1020mm) unreachable
+
+    def test_min_hits_cut(self):
+        # very forward track exits the barrel quickly
+        p = Particle(1, pt=1.0, phi0=0.0, eta=4.0, charge=1, vx=0.0, vy=0.0, vz=0.0)
+        hits = propagate(p, GEO, min_hits=3)
+        assert hits == [] or len(hits) >= 3
+
+    def test_endcap_disk_crossing(self):
+        geo = DetectorGeometry.with_endcaps()
+        p = Particle(1, pt=3.0, phi0=0.0, eta=1.6, charge=1, vx=0.0, vy=0.0, vz=0.0)
+        hits = propagate(p, geo, min_hits=1)
+        disk_ids = {d.layer_id for d in geo.endcaps}
+        assert any(h.layer_id in disk_ids for h in hits)

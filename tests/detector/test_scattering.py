@@ -1,0 +1,103 @@
+"""Multiple-scattering propagation: physics shapes."""
+
+import numpy as np
+import pytest
+
+from repro.detector import (
+    DetectorGeometry,
+    EventSimulator,
+    Particle,
+    fit_helix,
+    propagate,
+    propagate_with_scattering,
+)
+
+GEO = DetectorGeometry.barrel_only()
+
+
+def central_particle(pt: float) -> Particle:
+    return Particle(1, pt=pt, phi0=0.3, eta=0.2, charge=1, vx=0.0, vy=0.0, vz=0.0)
+
+
+class TestScatteringPropagation:
+    def test_zero_material_matches_ideal(self):
+        p = central_particle(2.0)
+        rng = np.random.default_rng(0)
+        ideal = propagate(p, GEO)
+        scattered = propagate_with_scattering(p, GEO, rng, radiation_length_fraction=0.0)
+        assert len(ideal) == len(scattered)
+        for a, b in zip(ideal, scattered):
+            assert a.x == pytest.approx(b.x, abs=1e-9)
+            assert a.z == pytest.approx(b.z, abs=1e-9)
+
+    def test_hits_still_on_layers(self):
+        p = central_particle(1.0)
+        hits = propagate_with_scattering(p, GEO, np.random.default_rng(1), 0.05)
+        radius_of = {l.layer_id: l.radius for l in GEO.barrel}
+        for h in hits:
+            assert np.hypot(h.x, h.y) == pytest.approx(radius_of[h.layer_id], rel=1e-6)
+
+    def test_scattering_displaces_outer_hits(self):
+        p = central_particle(0.8)
+        ideal = propagate(p, GEO)
+        scattered = propagate_with_scattering(p, GEO, np.random.default_rng(2), 0.05)
+        n = min(len(ideal), len(scattered))
+        assert n >= 4
+        outer_shift = np.hypot(
+            ideal[n - 1].x - scattered[n - 1].x, ideal[n - 1].y - scattered[n - 1].y
+        )
+        inner_shift = np.hypot(ideal[0].x - scattered[0].x, ideal[0].y - scattered[0].y)
+        assert outer_shift > inner_shift  # kinks accumulate outward
+
+    def test_low_momentum_scatters_more(self):
+        """Highland: θ₀ ∝ 1/p — soft tracks deviate more from the ideal
+        helix (averaged over scatter realisations)."""
+
+        def mean_deviation(pt):
+            p = central_particle(pt)
+            ideal = propagate(p, GEO)
+            devs = []
+            for s in range(20):
+                sc = propagate_with_scattering(p, GEO, np.random.default_rng(s), 0.05)
+                n = min(len(ideal), len(sc))
+                if n:
+                    devs.append(
+                        np.hypot(ideal[n - 1].x - sc[n - 1].x, ideal[n - 1].y - sc[n - 1].y)
+                    )
+            return np.mean(devs)
+
+        assert mean_deviation(0.6) > 2.0 * mean_deviation(5.0)
+
+    def test_helix_fit_residuals_grow_with_material(self):
+        p = central_particle(0.8)
+        residuals = []
+        for frac in (0.0, 0.1):
+            hits = propagate_with_scattering(p, GEO, np.random.default_rng(3), frac)
+            pos = np.array([[h.x, h.y, h.z] for h in hits])
+            fit = fit_helix(pos, GEO.solenoid_field_tesla)
+            residuals.append(fit.rms_residual_mm)
+        assert residuals[1] > residuals[0]
+
+    def test_negative_material_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_with_scattering(
+                central_particle(1.0), GEO, np.random.default_rng(0), -0.1
+            )
+
+
+class TestSimulatorIntegration:
+    def test_simulator_accepts_scattering(self):
+        sim = EventSimulator(GEO, particles_per_event=10, multiple_scattering=0.03)
+        ev = sim.generate(np.random.default_rng(0))
+        assert ev.num_hits > 0
+
+    def test_scattering_validation(self):
+        with pytest.raises(ValueError):
+            EventSimulator(GEO, multiple_scattering=-1.0)
+
+    def test_scattered_events_still_trainable_truth(self):
+        sim = EventSimulator(GEO, particles_per_event=15, multiple_scattering=0.03)
+        ev = sim.generate(np.random.default_rng(1))
+        seg = ev.true_segments()
+        assert seg.shape[1] > 0
+        assert np.all(ev.particle_ids[seg[0]] == ev.particle_ids[seg[1]])

@@ -1,0 +1,77 @@
+"""SimCommunicator with pluggable all-reduce algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedDataParallel,
+    SimCommunicator,
+    replicate_model,
+)
+from repro.nn import MLP, SGD, BCEWithLogitsLoss
+from repro.tensor import Tensor
+
+
+def factory():
+    return MLP(8, 16, out_features=1, num_layers=2, rng=np.random.default_rng(42))
+
+
+class TestCommunicatorAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["ring", "halving_doubling", "tree"])
+    def test_allreduce_equals_sum(self, algorithm):
+        comm = SimCommunicator(4, algorithm=algorithm)
+        rng = np.random.default_rng(0)
+        bufs = [rng.normal(size=23).astype(np.float32) for _ in range(4)]
+        direct = np.sum([b.astype(np.float64) for b in bufs], axis=0).astype(np.float32)
+        for out in comm.allreduce(bufs, average=False):
+            assert np.allclose(out, direct, atol=1e-3)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(2, algorithm="butterfly")
+
+    def test_hd_requires_power_of_two(self):
+        comm = SimCommunicator(3, algorithm="halving_doubling")
+        with pytest.raises(ValueError):
+            comm.allreduce([np.ones(4)] * 3)
+
+    @pytest.mark.parametrize("algorithm", ["ring", "halving_doubling", "tree"])
+    def test_ddp_training_identical_across_algorithms(self, algorithm):
+        """The algorithm changes the schedule, never the result: DDP
+        weights after training are algorithm-independent."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(16, 8)).astype(np.float32)
+        Y = (rng.random(16) > 0.5).astype(np.float32)
+
+        def train(algorithm):
+            models = replicate_model(factory, 4)
+            ddp = DistributedDataParallel(
+                models, SimCommunicator(4, algorithm=algorithm), "coalesced"
+            )
+            opts = [SGD(m.parameters(), lr=0.1) for m in models]
+            loss_fn = BCEWithLogitsLoss()
+            shards = np.array_split(np.arange(16), 4)
+            for _ in range(3):
+                for m, sh in zip(models, shards):
+                    m.zero_grad()
+                    loss_fn(m(Tensor(X[sh])).reshape(-1), Y[sh]).backward()
+                ddp.synchronize_gradients()
+                for opt in opts:
+                    opt.step()
+            return models[0].state_dict()
+
+        ref = train("ring")
+        got = train(algorithm)
+        for name, arr in got.items():
+            assert np.allclose(arr, ref[name], atol=1e-5), name
+
+    def test_modeled_time_uses_algorithm_form(self):
+        """At small messages and P=8, the log-depth algorithms must charge
+        less modeled latency than the ring."""
+        times = {}
+        for algorithm in ("ring", "halving_doubling", "tree"):
+            comm = SimCommunicator(8, algorithm=algorithm)
+            comm.allreduce([np.ones(2, dtype=np.float32)] * 8)
+            times[algorithm] = comm.stats.modeled_seconds
+        assert times["halving_doubling"] < times["ring"]
+        assert times["tree"] < times["ring"]

@@ -1,0 +1,136 @@
+"""DDP gradient synchronisation: equivalence with single-rank training."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedDataParallel, SimCommunicator, replicate_model
+from repro.nn import MLP, SGD, BCEWithLogitsLoss
+from repro.tensor import Tensor
+
+
+def factory():
+    return MLP(8, 16, out_features=1, num_layers=2, rng=np.random.default_rng(42))
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(32, 8)).astype(np.float32)
+    Y = (rng.random(32) > 0.5).astype(np.float32)
+    return X, Y
+
+
+def train_single(X, Y, steps=4, lr=0.1):
+    m = factory()
+    opt = SGD(m.parameters(), lr=lr)
+    loss_fn = BCEWithLogitsLoss()
+    for _ in range(steps):
+        opt.zero_grad()
+        loss_fn(m(Tensor(X)).reshape(-1), Y).backward()
+        opt.step()
+    return m
+
+
+def train_ddp(X, Y, world, strategy, steps=4, lr=0.1):
+    models = replicate_model(factory, world)
+    comm = SimCommunicator(world)
+    ddp = DistributedDataParallel(models, comm, strategy=strategy)
+    opts = [SGD(m.parameters(), lr=lr) for m in models]
+    loss_fn = BCEWithLogitsLoss()
+    shards = np.array_split(np.arange(len(X)), world)
+    for _ in range(steps):
+        for m, opt, sh in zip(models, opts, shards):
+            opt.zero_grad()
+            loss_fn(m(Tensor(X[sh])).reshape(-1), Y[sh]).backward()
+        ddp.synchronize_gradients()
+        for opt in opts:
+            opt.step()
+    return models, comm, ddp
+
+
+class TestReplication:
+    def test_replicas_start_identical(self):
+        models = replicate_model(factory, 4)
+        ref = models[0].state_dict()
+        for m in models[1:]:
+            for name, arr in m.state_dict().items():
+                assert np.array_equal(arr, ref[name])
+
+    def test_world_size_must_match(self):
+        models = replicate_model(factory, 2)
+        with pytest.raises(ValueError):
+            DistributedDataParallel(models, SimCommunicator(3))
+
+    def test_unknown_strategy(self):
+        models = replicate_model(factory, 2)
+        with pytest.raises(ValueError):
+            DistributedDataParallel(models, SimCommunicator(2), strategy="tree")
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("strategy", ["per_parameter", "coalesced"])
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_ddp_equals_single_rank(self, data, strategy, world):
+        """Equal shards + mean loss per shard → mean of rank gradients
+        equals the single-rank gradient on the union batch."""
+        X, Y = data
+        single = train_single(X, Y)
+        models, _, ddp = train_ddp(X, Y, world, strategy)
+        ddp.assert_in_sync(atol=1e-6)
+        for name, arr in models[0].state_dict().items():
+            assert np.allclose(arr, single.state_dict()[name], atol=1e-4), name
+
+    def test_strategies_agree_with_each_other(self, data):
+        X, Y = data
+        m_per, _, _ = train_ddp(X, Y, 4, "per_parameter")
+        m_coal, _, _ = train_ddp(X, Y, 4, "coalesced")
+        for name, arr in m_per[0].state_dict().items():
+            assert np.allclose(arr, m_coal[0].state_dict()[name], atol=1e-5)
+
+
+class TestAccounting:
+    def test_coalesced_makes_one_call_per_step(self, data):
+        X, Y = data
+        _, comm, _ = train_ddp(X, Y, 4, "coalesced", steps=5)
+        assert comm.stats.num_allreduce_calls == 5
+
+    def test_per_parameter_makes_one_call_per_tensor(self, data):
+        X, Y = data
+        n_params = len(list(factory().parameters()))
+        _, comm, _ = train_ddp(X, Y, 4, "per_parameter", steps=5)
+        assert comm.stats.num_allreduce_calls == 5 * n_params
+
+    def test_coalesced_models_less_time(self, data):
+        """The Section III-D claim: coalescing lowers modeled latency."""
+        X, Y = data
+        _, comm_pp, _ = train_ddp(X, Y, 4, "per_parameter", steps=3)
+        _, comm_co, _ = train_ddp(X, Y, 4, "coalesced", steps=3)
+        assert comm_co.stats.modeled_seconds < comm_pp.stats.modeled_seconds
+
+    def test_bytes_equal_between_strategies(self, data):
+        X, Y = data
+        _, comm_pp, _ = train_ddp(X, Y, 4, "per_parameter", steps=3)
+        _, comm_co, _ = train_ddp(X, Y, 4, "coalesced", steps=3)
+        assert comm_pp.stats.bytes_reduced == comm_co.stats.bytes_reduced
+
+    def test_assert_in_sync_detects_divergence(self, data):
+        X, Y = data
+        models, comm, ddp = train_ddp(X, Y, 2, "coalesced", steps=1)
+        list(models[1].parameters())[0].data += 1.0
+        with pytest.raises(AssertionError):
+            ddp.assert_in_sync()
+
+
+class TestBroadcast:
+    def test_broadcast_copies(self):
+        comm = SimCommunicator(3)
+        buf = np.arange(4, dtype=np.float32)
+        out = comm.broadcast(buf)
+        assert len(out) == 3
+        out[0][0] = 99
+        assert buf[0] == 0  # copies, not views
+
+    def test_allreduce_world_size_checked(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(ValueError):
+            comm.allreduce([np.ones(3)])

@@ -1,0 +1,96 @@
+"""Ring all-reduce correctness (property-based) and accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distributed import RingAllReduceStats, ring_allreduce
+
+finite = st.floats(-100, 100, allow_nan=False, width=32)
+
+
+@st.composite
+def rank_buffers(draw):
+    p = draw(st.integers(1, 8))
+    shape = draw(hnp.array_shapes(min_dims=1, max_dims=2, max_side=17))
+    bufs = [
+        draw(hnp.arrays(np.float32, shape, elements=finite)) for _ in range(p)
+    ]
+    return bufs
+
+
+class TestRingCorrectness:
+    @given(rank_buffers())
+    @settings(max_examples=50, deadline=None)
+    def test_equals_direct_sum(self, bufs):
+        out = ring_allreduce(bufs, average=False)
+        direct = np.sum([b.astype(np.float64) for b in bufs], axis=0)
+        for o in out:
+            assert np.allclose(o, direct.astype(np.float32), atol=1e-3)
+
+    @given(rank_buffers())
+    @settings(max_examples=50, deadline=None)
+    def test_all_ranks_identical(self, bufs):
+        out = ring_allreduce(bufs, average=False)
+        for o in out[1:]:
+            assert np.array_equal(o, out[0])
+
+    @given(rank_buffers())
+    @settings(max_examples=30, deadline=None)
+    def test_average_divides_by_world(self, bufs):
+        summed = ring_allreduce(bufs, average=False)[0].astype(np.float64)
+        averaged = ring_allreduce(bufs, average=True)[0].astype(np.float64)
+        assert np.allclose(averaged, summed / len(bufs), atol=1e-3)
+
+    @given(rank_buffers())
+    @settings(max_examples=30, deadline=None)
+    def test_inputs_not_mutated(self, bufs):
+        copies = [b.copy() for b in bufs]
+        ring_allreduce(bufs)
+        for b, c in zip(bufs, copies):
+            assert np.array_equal(b, c)
+
+
+class TestRingAccounting:
+    def test_step_count_is_2p_minus_2(self):
+        for p in (2, 3, 4, 8):
+            bufs = [np.ones(p * 4, dtype=np.float32) for _ in range(p)]
+            stats = RingAllReduceStats()
+            ring_allreduce(bufs, stats=stats)
+            assert stats.steps == 2 * (p - 1)
+
+    def test_bytes_scale_with_buffer(self):
+        p = 4
+        small = RingAllReduceStats()
+        large = RingAllReduceStats()
+        ring_allreduce([np.ones(16, dtype=np.float32)] * p, stats=small)
+        ring_allreduce([np.ones(160, dtype=np.float32)] * p, stats=large)
+        assert large.bytes_sent_per_rank > 8 * small.bytes_sent_per_rank
+
+    def test_single_rank_is_identity(self):
+        buf = np.arange(5, dtype=np.float32)
+        out = ring_allreduce([buf])
+        assert np.array_equal(out[0], buf)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.ones(3), np.ones(4)])
+
+    def test_empty_rank_list_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    def test_uneven_chunking_works(self):
+        # buffer size not divisible by world size
+        p = 3
+        bufs = [np.full(7, float(r), dtype=np.float32) for r in range(p)]
+        out = ring_allreduce(bufs)
+        assert np.allclose(out[0], 0.0 + 1.0 + 2.0)
+
+    def test_buffer_smaller_than_world(self):
+        p = 4
+        bufs = [np.full(2, 1.0, dtype=np.float32) for _ in range(p)]
+        out = ring_allreduce(bufs)
+        assert np.allclose(out[0], 4.0)

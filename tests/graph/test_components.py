@@ -1,0 +1,104 @@
+"""Connected components: UnionFind vs scipy vs networkx (property-based)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    UnionFind,
+    components_as_lists,
+    connected_components,
+    connected_components_scipy,
+)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(0, 80))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64)
+
+
+def nx_labels(n, rows, cols):
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return list(nx.connected_components(G))
+
+
+class TestAgainstNetworkx:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_scipy_component_count_matches(self, data):
+        n, rows, cols = data
+        labels = connected_components_scipy(rows, cols, n)
+        assert len(set(labels.tolist())) == len(nx_labels(n, rows, cols))
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_unionfind_matches_networkx_partition(self, data):
+        n, rows, cols = data
+        uf = UnionFind(n)
+        uf.union_edges(rows, cols)
+        labels = uf.labels()
+        ours = {frozenset(np.flatnonzero(labels == l).tolist()) for l in set(labels.tolist())}
+        theirs = {frozenset(c) for c in nx_labels(n, rows, cols)}
+        assert ours == theirs
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_unionfind_and_scipy_agree(self, data):
+        n, rows, cols = data
+        uf = UnionFind(n)
+        uf.union_edges(rows, cols)
+        assert uf.num_components() == len(
+            set(connected_components(rows, cols, n).tolist())
+        )
+
+
+class TestUnionFind:
+    def test_singletons_initially(self):
+        assert UnionFind(5).num_components() == 5
+
+    def test_union_returns_whether_merged(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1) is True
+        assert uf.union(0, 1) is False
+
+    def test_find_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_labels_canonical(self):
+        uf = UnionFind(4)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[2] == labels[3]
+        assert len(set(labels.tolist())) == 3
+
+
+class TestComponentsAsLists:
+    def test_groups_all_vertices(self):
+        labels = np.array([0, 1, 0, 2, 1])
+        groups = components_as_lists(labels)
+        assert sorted(np.concatenate(groups).tolist()) == [0, 1, 2, 3, 4]
+
+    def test_min_size_filters(self):
+        labels = np.array([0, 0, 0, 1, 2, 2])
+        groups = components_as_lists(labels, min_size=2)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [2, 3]
+
+    def test_mismatched_rows_cols(self):
+        with pytest.raises(ValueError):
+            connected_components_scipy(np.array([0]), np.array([0, 1]), 2)

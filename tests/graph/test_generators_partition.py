@@ -1,0 +1,79 @@
+"""Random-graph generators and DDP partition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    block_partition,
+    chain_graph,
+    disjoint_chains,
+    random_graph,
+    round_robin_partition,
+    shard_batch,
+    star_graph,
+    connected_components,
+)
+
+
+class TestGenerators:
+    def test_random_graph_no_self_loops_or_duplicates(self):
+        g = random_graph(30, 200, rng=np.random.default_rng(0))
+        assert np.all(g.rows != g.cols)
+        pairs = {tuple(e) for e in g.edge_index.T.tolist()}
+        assert len(pairs) == g.num_edges
+
+    def test_random_graph_true_fraction_respected(self):
+        g = random_graph(100, 2000, rng=np.random.default_rng(0), true_fraction=0.25)
+        assert abs(g.true_edge_fraction() - 0.25) < 0.1
+
+    def test_random_graph_min_nodes(self):
+        with pytest.raises(ValueError):
+            random_graph(1, 5)
+
+    def test_chain_is_one_component(self):
+        g = chain_graph(12)
+        labels = connected_components(g.rows, g.cols, g.num_nodes)
+        assert len(set(labels.tolist())) == 1
+        assert g.num_edges == 11
+
+    def test_disjoint_chains_components(self):
+        g = disjoint_chains(5, 6)
+        labels = connected_components(g.rows, g.cols, g.num_nodes)
+        assert len(set(labels.tolist())) == 5
+        assert g.particle_ids.min() == 1
+        assert g.particle_ids.max() == 5
+
+    def test_star_hub_degree(self):
+        g = star_graph(9)
+        assert g.degrees(symmetric=True)[0] == 9
+
+
+class TestPartition:
+    def test_block_partition_covers_all(self):
+        items = np.arange(10)
+        parts = block_partition(items, 3)
+        assert np.array_equal(np.concatenate(parts), items)
+        assert [len(p) for p in parts] == [4, 3, 3]
+
+    def test_round_robin_covers_all(self):
+        items = np.arange(10)
+        parts = round_robin_partition(items, 4)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(10))
+
+    def test_shard_batch_equal_shards(self):
+        """The paper's 256/P local batch: equal shards when divisible."""
+        batch = np.arange(256)
+        for p in (1, 2, 4, 8):
+            shards = [shard_batch(batch, r, p) for r in range(p)]
+            assert all(len(s) == 256 // p for s in shards)
+            assert np.array_equal(np.concatenate(shards), batch)
+
+    def test_shard_batch_rank_bounds(self):
+        with pytest.raises(ValueError):
+            shard_batch(np.arange(8), 4, 4)
+
+    def test_invalid_num_parts(self):
+        with pytest.raises(ValueError):
+            block_partition(np.arange(4), 0)
+        with pytest.raises(ValueError):
+            round_robin_partition(np.arange(4), 0)

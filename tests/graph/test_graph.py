@@ -1,0 +1,118 @@
+"""EventGraph container validation and views."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EventGraph, random_graph
+
+
+def tiny_graph():
+    return EventGraph(
+        edge_index=np.array([[0, 1, 2], [1, 2, 3]]),
+        x=np.zeros((4, 6), dtype=np.float32),
+        y=np.zeros((3, 2), dtype=np.float32),
+        edge_labels=np.array([1, 0, 1], dtype=np.int8),
+    )
+
+
+class TestValidation:
+    def test_counts(self):
+        g = tiny_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.num_node_features == 6
+        assert g.num_edge_features == 2
+
+    def test_bad_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            EventGraph(
+                edge_index=np.zeros((3, 2), dtype=np.int64),
+                x=np.zeros((4, 2), dtype=np.float32),
+                y=np.zeros((2, 1), dtype=np.float32),
+            )
+
+    def test_edge_feature_count_mismatch(self):
+        with pytest.raises(ValueError):
+            EventGraph(
+                edge_index=np.array([[0], [1]]),
+                x=np.zeros((2, 2), dtype=np.float32),
+                y=np.zeros((5, 1), dtype=np.float32),
+            )
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(ValueError):
+            EventGraph(
+                edge_index=np.array([[0], [9]]),
+                x=np.zeros((2, 2), dtype=np.float32),
+                y=np.zeros((1, 1), dtype=np.float32),
+            )
+
+    def test_negative_vertex(self):
+        with pytest.raises(ValueError):
+            EventGraph(
+                edge_index=np.array([[-1], [0]]),
+                x=np.zeros((2, 2), dtype=np.float32),
+                y=np.zeros((1, 1), dtype=np.float32),
+            )
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EventGraph(
+                edge_index=np.array([[0], [1]]),
+                x=np.zeros((2, 2), dtype=np.float32),
+                y=np.zeros((1, 1), dtype=np.float32),
+                edge_labels=np.array([1, 0], dtype=np.int8),
+            )
+
+
+class TestViews:
+    def test_rows_cols_match_algorithm1_convention(self):
+        g = tiny_graph()
+        assert np.array_equal(g.rows, [0, 1, 2])
+        assert np.array_equal(g.cols, [1, 2, 3])
+
+    def test_csr_is_cached(self):
+        g = tiny_graph()
+        assert g.to_csr() is g.to_csr()
+        assert g.to_csr(symmetric=True) is not g.to_csr(symmetric=False)
+
+    def test_symmetric_csr_doubles_nnz(self):
+        g = tiny_graph()
+        assert g.to_csr(symmetric=True).nnz == 2 * g.to_csr(symmetric=False).nnz
+
+    def test_csr_binary_after_dedup(self):
+        g = random_graph(50, 200, rng=np.random.default_rng(0))
+        csr = g.to_csr(symmetric=True)
+        assert np.all(csr.data == 1.0)
+
+    def test_degrees(self):
+        g = tiny_graph()
+        assert np.array_equal(g.degrees(symmetric=True), [1, 2, 2, 1])
+        assert np.array_equal(g.degrees(symmetric=False), [1, 1, 1, 0])
+
+    def test_true_edge_fraction(self):
+        assert tiny_graph().true_edge_fraction() == pytest.approx(2 / 3)
+
+    def test_true_edge_fraction_requires_labels(self):
+        g = tiny_graph()
+        g.edge_labels = None
+        with pytest.raises(ValueError):
+            g.true_edge_fraction()
+
+
+class TestEdgeMaskSubgraph:
+    def test_keeps_vertices_in_place(self):
+        g = tiny_graph()
+        sub = g.edge_mask_subgraph(np.array([True, False, True]))
+        assert sub.num_nodes == g.num_nodes
+        assert sub.num_edges == 2
+        assert np.array_equal(sub.rows, [0, 2])
+
+    def test_labels_follow_mask(self):
+        g = tiny_graph()
+        sub = g.edge_mask_subgraph(np.array([False, True, True]))
+        assert np.array_equal(sub.edge_labels, [0, 1])
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            tiny_graph().edge_mask_subgraph(np.array([True]))

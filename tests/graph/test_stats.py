@@ -1,0 +1,58 @@
+"""Graph descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chain_graph,
+    describe,
+    describe_many,
+    disjoint_chains,
+    random_graph,
+    star_graph,
+)
+
+
+class TestDescribe:
+    def test_chain(self):
+        s = describe(chain_graph(10))
+        assert s.num_nodes == 10
+        assert s.num_edges == 9
+        assert s.num_components == 1
+        assert s.largest_component == 10
+        assert s.max_degree == 2
+        assert s.isolated_vertices == 0
+        assert s.true_edge_fraction == 1.0
+
+    def test_star(self):
+        s = describe(star_graph(7))
+        assert s.max_degree == 7
+        assert s.mean_degree == pytest.approx(2 * 7 / 8)
+
+    def test_disjoint_chains_components(self):
+        s = describe(disjoint_chains(4, 5))
+        assert s.num_components == 4
+        assert s.largest_component == 5
+
+    def test_mean_degree_handshake(self):
+        g = random_graph(50, 200, rng=np.random.default_rng(0))
+        s = describe(g)
+        assert s.mean_degree == pytest.approx(2 * g.num_edges / g.num_nodes)
+
+    def test_render_contains_key_numbers(self):
+        s = describe(chain_graph(5))
+        out = s.render()
+        assert "n=5" in out and "m=4" in out
+
+
+class TestDescribeMany:
+    def test_aggregates_means(self):
+        graphs = [chain_graph(10), chain_graph(20)]
+        agg = describe_many(graphs)
+        assert agg["graphs"] == 2
+        assert agg["avg_nodes"] == pytest.approx(15.0)
+        assert agg["avg_edges"] == pytest.approx((9 + 19) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe_many([])

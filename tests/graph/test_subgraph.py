@@ -1,0 +1,92 @@
+"""Induced subgraph extraction invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import induced_edge_mask, induced_subgraph, random_graph, selection_matrix
+
+
+@st.composite
+def graph_and_nodes(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(4, 60))
+    m = draw(st.integers(n, 4 * n))
+    g = random_graph(n, m, rng=rng)
+    k = draw(st.integers(1, n))
+    nodes = rng.choice(n, size=k, replace=False)
+    return g, nodes
+
+
+class TestInducedSubgraph:
+    @given(graph_and_nodes())
+    @settings(max_examples=50, deadline=None)
+    def test_every_subgraph_edge_maps_to_parent(self, data):
+        g, nodes = data
+        sub = induced_subgraph(g, nodes)
+        # endpoints translate back through node_index
+        assert np.array_equal(sub.node_index[sub.graph.rows], g.rows[sub.edge_index_parent])
+        assert np.array_equal(sub.node_index[sub.graph.cols], g.cols[sub.edge_index_parent])
+
+    @given(graph_and_nodes())
+    @settings(max_examples=50, deadline=None)
+    def test_no_induced_edge_missed(self, data):
+        g, nodes = data
+        sub = induced_subgraph(g, nodes)
+        member = np.zeros(g.num_nodes, dtype=bool)
+        member[nodes] = True
+        expected = int(np.sum(member[g.rows] & member[g.cols]))
+        assert sub.graph.num_edges == expected
+
+    @given(graph_and_nodes())
+    @settings(max_examples=50, deadline=None)
+    def test_features_and_labels_follow(self, data):
+        g, nodes = data
+        sub = induced_subgraph(g, nodes)
+        assert np.array_equal(sub.graph.x, g.x[sub.node_index])
+        assert np.array_equal(sub.graph.y, g.y[sub.edge_index_parent])
+        assert np.array_equal(sub.graph.edge_labels, g.edge_labels[sub.edge_index_parent])
+
+    def test_duplicate_nodes_deduped(self):
+        g = random_graph(10, 30, rng=np.random.default_rng(0))
+        sub = induced_subgraph(g, np.array([3, 3, 5, 5]))
+        assert sub.graph.num_nodes == 2
+
+    def test_out_of_range_rejected(self):
+        g = random_graph(10, 30, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            induced_subgraph(g, np.array([99]))
+
+    def test_full_node_set_is_identity_up_to_order(self):
+        g = random_graph(10, 30, rng=np.random.default_rng(0))
+        sub = induced_subgraph(g, np.arange(10))
+        assert sub.graph.num_edges == g.num_edges
+        assert np.array_equal(np.sort(sub.edge_index_parent), np.arange(g.num_edges))
+
+
+class TestEdgeMask:
+    def test_mask_matches_membership(self):
+        g = random_graph(20, 60, rng=np.random.default_rng(1))
+        nodes = np.array([0, 1, 2, 3, 4])
+        mask = induced_edge_mask(g, nodes)
+        for e in range(g.num_edges):
+            expected = g.rows[e] in nodes and g.cols[e] in nodes
+            assert mask[e] == expected
+
+
+class TestSelectionMatrix:
+    def test_selects_rows(self):
+        nodes = np.array([2, 0, 3])
+        S = selection_matrix(nodes, 5)
+        dense = np.eye(5)[nodes]
+        assert np.array_equal(S.toarray(), dense)
+
+    def test_row_selection_spgemm(self):
+        g = random_graph(15, 40, rng=np.random.default_rng(2))
+        A = g.to_csr(symmetric=True)
+        nodes = np.array([1, 4, 7])
+        S = selection_matrix(nodes, 15)
+        picked = (S @ A).toarray()
+        assert np.array_equal(picked, A.toarray()[nodes])

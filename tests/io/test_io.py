@@ -1,0 +1,92 @@
+"""Serialization round-trips (property-based) and split helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import random_graph
+from repro.io import load_graphs, save_graphs, split_graphs
+
+
+class TestSerialization:
+    @given(st.integers(0, 4000), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_exact(self, seed, count):
+        import tempfile, os
+
+        rng = np.random.default_rng(seed)
+        graphs = [
+            random_graph(
+                int(rng.integers(5, 40)), int(rng.integers(10, 80)), rng=rng, event_id=i
+            )
+            for i in range(count)
+        ]
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "graphs.npz")
+            save_graphs(graphs, path)
+            loaded = load_graphs(path)
+        assert len(loaded) == len(graphs)
+        for g, l in zip(graphs, loaded):
+            assert np.array_equal(g.edge_index, l.edge_index)
+            assert np.array_equal(g.x, l.x)
+            assert np.array_equal(g.y, l.y)
+            assert np.array_equal(g.edge_labels, l.edge_labels)
+            assert g.event_id == l.event_id
+            assert g.x.dtype == l.x.dtype
+            assert g.edge_index.dtype == l.edge_index.dtype
+
+    def test_optional_fields_preserved_as_none(self, tmp_path):
+        g = random_graph(10, 20, rng=np.random.default_rng(0))
+        g.edge_labels = None
+        save_graphs([g], str(tmp_path / "g.npz"))
+        loaded = load_graphs(str(tmp_path / "g.npz"))[0]
+        assert loaded.edge_labels is None
+
+    def test_particle_ids_preserved(self, tmp_path):
+        g = random_graph(10, 20, rng=np.random.default_rng(0))
+        g.particle_ids = np.arange(10)
+        save_graphs([g], str(tmp_path / "g.npz"))
+        loaded = load_graphs(str(tmp_path / "g.npz"))[0]
+        assert np.array_equal(loaded.particle_ids, np.arange(10))
+
+    def test_empty_list(self, tmp_path):
+        save_graphs([], str(tmp_path / "empty.npz"))
+        assert load_graphs(str(tmp_path / "empty.npz")) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "g.npz")
+        save_graphs([random_graph(5, 8, rng=np.random.default_rng(0))], path)
+        assert len(load_graphs(path)) == 1
+
+
+class TestSplits:
+    def make_graphs(self, n=10):
+        rng = np.random.default_rng(0)
+        return [random_graph(5, 8, rng=rng, event_id=i) for i in range(n)]
+
+    def test_sizes(self):
+        tr, va, te = split_graphs(self.make_graphs(), 8, 1, 1)
+        assert (len(tr), len(va), len(te)) == (8, 1, 1)
+
+    def test_80_10_10_paper_split(self):
+        """The paper's 80/10/10 split applies cleanly to 100 graphs."""
+        tr, va, te = split_graphs(self.make_graphs(100), 80, 10, 10)
+        ids = [g.event_id for g in tr + va + te]
+        assert len(set(ids)) == 100
+
+    def test_no_shuffle_preserves_order(self):
+        tr, _, _ = split_graphs(self.make_graphs(), 5, 2, 2)
+        assert [g.event_id for g in tr] == [0, 1, 2, 3, 4]
+
+    def test_shuffle_with_rng(self):
+        graphs = self.make_graphs(20)
+        tr1, _, _ = split_graphs(graphs, 10, 5, 5, rng=np.random.default_rng(1))
+        tr2, _, _ = split_graphs(graphs, 10, 5, 5, rng=np.random.default_rng(1))
+        assert [g.event_id for g in tr1] == [g.event_id for g in tr2]
+        tr3, _, _ = split_graphs(graphs, 10, 5, 5, rng=np.random.default_rng(2))
+        assert [g.event_id for g in tr1] != [g.event_id for g in tr3]
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            split_graphs(self.make_graphs(5), 4, 1, 1)

@@ -1,0 +1,100 @@
+"""ROC/AUC and binned-efficiency metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import binned_efficiency, roc_auc, roc_curve
+
+
+class TestROC:
+    def test_perfect_classifier_auc_one(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_classifier_auc_zero(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(5000) > 0.5).astype(int)
+        scores = rng.random(5000)
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.03
+
+    def test_auc_equals_rank_statistic(self):
+        """AUC == P(score_pos > score_neg) + 0.5 P(tie)."""
+        rng = np.random.default_rng(1)
+        labels = (rng.random(300) > 0.6).astype(int)
+        scores = rng.normal(size=300) + labels  # informative
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).mean()
+        ties = 0.5 * (pos[:, None] == neg[None, :]).mean()
+        assert roc_auc(scores, labels) == pytest.approx(wins + ties, abs=1e-9)
+
+    def test_curve_endpoints(self):
+        rng = np.random.default_rng(2)
+        labels = (rng.random(100) > 0.5).astype(int)
+        fpr, tpr = roc_curve(rng.random(100), labels)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_curve_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = (rng.random(80) > 0.5).astype(int)
+        if labels.sum() in (0, 80):
+            return
+        fpr, tpr = roc_curve(rng.random(80), labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(3), np.zeros(4))
+
+
+class TestBinnedEfficiency:
+    def test_basic_binning(self):
+        values = np.array([0.5, 1.5, 1.6, 2.5])
+        passed = np.array([True, True, False, True])
+        be = binned_efficiency(values, passed, edges=[0, 1, 2, 3])
+        assert be.total.tolist() == [1, 2, 1]
+        assert be.passed.tolist() == [1, 1, 1]
+        assert be.efficiency[1] == pytest.approx(0.5)
+
+    def test_out_of_range_dropped(self):
+        be = binned_efficiency(
+            np.array([-1.0, 0.5, 10.0]), np.array([True, True, True]), edges=[0, 1]
+        )
+        assert be.total.tolist() == [1]
+
+    def test_empty_bin_is_nan(self):
+        be = binned_efficiency(np.array([0.5]), np.array([True]), edges=[0, 1, 2])
+        assert np.isnan(be.efficiency[1])
+
+    def test_binomial_error_formula(self):
+        be = binned_efficiency(
+            np.full(100, 0.5), np.arange(100) < 80, edges=[0, 1]
+        )
+        assert be.binomial_error[0] == pytest.approx(np.sqrt(0.8 * 0.2 / 100))
+
+    def test_render_rows(self):
+        be = binned_efficiency(np.array([0.5, 1.5]), np.array([True, False]), [0, 1, 2])
+        rows = be.render()
+        assert len(rows) == 3  # header + 2 bins
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binned_efficiency(np.zeros(2), np.zeros(3, dtype=bool), [0, 1])
+        with pytest.raises(ValueError):
+            binned_efficiency(np.zeros(2), np.zeros(2, dtype=bool), [1, 0])

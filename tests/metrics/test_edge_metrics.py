@@ -1,0 +1,101 @@
+"""Edge precision/recall metrics (including the pooled Figure-4 definition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ConfusionCounts,
+    confusion,
+    f1_score,
+    pooled_precision_recall,
+    precision_recall,
+    precision_recall_curve,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 0, 1, 0])
+        c = confusion(scores, labels)
+        assert (c.tp, c.fp, c.fn, c.tn) == (1, 1, 1, 1)
+
+    def test_precision_recall_values(self):
+        scores = np.array([0.9, 0.9, 0.9, 0.1])
+        labels = np.array([1, 1, 0, 1])
+        p, r = precision_recall(scores, labels)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        c = ConfusionCounts(tp=2, fp=1, fn=1, tn=0)
+        assert c.f1 == pytest.approx(2 * (2 / 3) * (2 / 3) / (4 / 3))
+
+    def test_degenerate_no_positives(self):
+        c = confusion(np.array([0.1]), np.array([0]))
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+    def test_accuracy(self):
+        c = ConfusionCounts(tp=3, fp=1, fn=1, tn=5)
+        assert c.accuracy == pytest.approx(0.8)
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        s = a + b
+        assert (s.tp, s.fp, s.fn, s.tn) == (11, 22, 33, 44)
+
+
+class TestPooled:
+    def test_pooling_equals_concatenation(self):
+        """Micro-averaging over graphs == metrics on concatenated edges
+        (the Figure-4 definition)."""
+        rng = np.random.default_rng(0)
+        graphs = []
+        for _ in range(5):
+            m = rng.integers(10, 50)
+            graphs.append((rng.random(m), (rng.random(m) > 0.6).astype(int)))
+        pooled = pooled_precision_recall(graphs)
+        all_scores = np.concatenate([s for s, _ in graphs])
+        all_labels = np.concatenate([l for _, l in graphs])
+        direct = precision_recall(all_scores, all_labels)
+        assert pooled == pytest.approx(direct)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_perfect_classifier_scores_one(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = (rng.random(50) > 0.5).astype(int)
+        if labels.sum() == 0:
+            labels[0] = 1
+        scores = labels.astype(float)
+        p, r = precision_recall(scores, labels)
+        assert p == 1.0 and r == 1.0
+
+
+class TestCurve:
+    def test_recall_monotone_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(200)
+        labels = (rng.random(200) > 0.5).astype(int)
+        _, ps, rs = precision_recall_curve(scores, labels, num_thresholds=20)
+        assert np.all(np.diff(rs) <= 1e-12)
+
+    def test_threshold_zero_recalls_everything(self):
+        scores = np.array([0.4, 0.6])
+        labels = np.array([1, 1])
+        p, r = precision_recall(scores, labels, threshold=0.0)
+        assert r == 1.0
+
+    def test_f1_matches_counts(self):
+        scores = np.array([0.9, 0.4, 0.8])
+        labels = np.array([1, 1, 0])
+        assert f1_score(scores, labels) == pytest.approx(confusion(scores, labels).f1)

@@ -1,0 +1,62 @@
+"""Batch tracking evaluation over events."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import evaluate_tracking
+from repro.pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(geometry, small_events):
+    cfg = PipelineConfig(
+        embedding_dim=6,
+        embedding_epochs=12,
+        filter_epochs=12,
+        frnn_radius=0.3,
+        gnn=GNNTrainConfig(
+            mode="bulk", epochs=3, batch_size=32, hidden=8,
+            num_layers=2, mlp_layers=2, depth=2, fanout=3, bulk_k=2,
+        ),
+    )
+    pipe = ExaTrkXPipeline(cfg, geometry)
+    pipe.fit(small_events[:4], small_events[4:5])
+    return pipe
+
+
+class TestEvaluateTracking:
+    def test_aggregates_over_events(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:6])
+        assert len(ev.per_event) == 2
+        assert 0.0 <= ev.efficiency <= 1.0
+        assert 0.0 <= ev.fake_rate <= 1.0
+
+    def test_pooled_efficiency_matches_counts(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:6])
+        matched = sum(s.num_matched for s in ev.per_event)
+        total = sum(s.num_reconstructable for s in ev.per_event)
+        assert ev.efficiency == pytest.approx(matched / total)
+
+    def test_pt_efficiency_counts_all_reconstructable(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:6], pt_edges=[0.0, 100.0])
+        total = sum(s.num_reconstructable for s in ev.per_event)
+        assert int(ev.pt_efficiency.total.sum()) == total
+
+    def test_pt_efficiency_consistent_with_aggregate(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:6], pt_edges=[0.0, 100.0])
+        assert ev.pt_efficiency.passed.sum() / ev.pt_efficiency.total.sum() == pytest.approx(
+            ev.efficiency
+        )
+
+    def test_pt_resolution_finite_when_tracks_found(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:6])
+        if ev.pt_residuals.size:
+            assert np.isfinite(ev.pt_resolution)
+
+    def test_render_lines(self, fitted, small_events):
+        lines = evaluate_tracking(fitted, small_events[4:5]).render()
+        assert any("efficiency=" in l for l in lines)
+
+    def test_disable_pt_binning(self, fitted, small_events):
+        ev = evaluate_tracking(fitted, small_events[4:5], pt_edges=None)
+        assert ev.pt_efficiency is None

@@ -1,0 +1,104 @@
+"""Track matching (double-majority) and training-history records."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import EpochRecord, TrainingHistory, match_tracks
+
+
+class TestMatchTracks:
+    def test_perfect_reconstruction(self):
+        # two particles with 4 hits each
+        pids = np.array([1, 1, 1, 1, 2, 2, 2, 2])
+        candidates = [np.array([0, 1, 2, 3]), np.array([4, 5, 6, 7])]
+        s = match_tracks(candidates, pids)
+        assert s.efficiency == 1.0
+        assert s.fake_rate == 0.0
+        assert s.num_matched == 2
+
+    def test_candidate_majority_required(self):
+        # candidate is half particle 1, half particle 2: no majority
+        pids = np.array([1, 1, 1, 1, 2, 2, 2, 2])
+        candidates = [np.array([0, 1, 4, 5])]
+        s = match_tracks(candidates, pids)
+        assert s.num_matched == 0
+        assert s.num_fakes == 1
+
+    def test_particle_majority_required(self):
+        # candidate holds only 2 of particle 1's 6 hits: particle majority fails
+        pids = np.array([1, 1, 1, 1, 1, 1, 0, 0])
+        candidates = [np.array([0, 1, 6])]
+        s = match_tracks(candidates, pids)
+        assert s.num_matched == 0
+
+    def test_duplicates_counted(self):
+        pids = np.array([1, 1, 1, 1, 1, 1])
+        candidates = [np.array([0, 1, 2, 3]), np.array([0, 1, 2, 4])]
+        s = match_tracks(candidates, pids)
+        assert s.num_matched == 1
+        assert s.num_duplicates == 1
+
+    def test_noise_only_candidate_is_fake(self):
+        pids = np.array([0, 0, 0, 1, 1, 1])
+        s = match_tracks([np.array([0, 1, 2])], pids)
+        assert s.num_fakes == 1
+
+    def test_short_candidates_ignored(self):
+        pids = np.array([1, 1, 1])
+        s = match_tracks([np.array([0, 1])], pids, min_hits=3)
+        assert s.num_candidates == 0
+
+    def test_unreconstructable_particles_excluded(self):
+        # particle 2 has only 2 hits: not reconstructable
+        pids = np.array([1, 1, 1, 2, 2])
+        s = match_tracks([np.array([0, 1, 2])], pids)
+        assert s.num_reconstructable == 1
+        assert s.efficiency == 1.0
+
+    def test_empty_everything(self):
+        s = match_tracks([], np.zeros(0, dtype=np.int64))
+        assert s.efficiency == 0.0
+        assert s.fake_rate == 0.0
+
+
+class TestHistory:
+    def make(self):
+        h = TrainingHistory(label="test")
+        for e in range(3):
+            h.append(
+                EpochRecord(
+                    epoch=e,
+                    train_loss=1.0 - 0.2 * e,
+                    val_precision=0.5 + 0.1 * e,
+                    val_recall=0.6 + 0.1 * e,
+                    epoch_seconds=2.0,
+                )
+            )
+        return h
+
+    def test_final_and_len(self):
+        h = self.make()
+        assert len(h) == 3
+        assert h.final.epoch == 2
+
+    def test_best_by_metric(self):
+        h = self.make()
+        assert h.best("val_f1").epoch == 2
+
+    def test_series(self):
+        h = self.make()
+        assert h.series("val_precision") == pytest.approx([0.5, 0.6, 0.7])
+
+    def test_f1_property(self):
+        r = EpochRecord(0, 0.1, 0.5, 0.5)
+        assert r.val_f1 == pytest.approx(0.5)
+
+    def test_empty_history_raises(self):
+        h = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = h.final
+
+    def test_summary_fields(self):
+        s = self.make().summary()
+        assert s["epochs"] == 3
+        assert s["total_seconds"] == pytest.approx(6.0)

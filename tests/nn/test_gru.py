@@ -1,0 +1,65 @@
+"""GRU cell: gate semantics and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell
+from repro.tensor import Tensor, gradcheck, ops
+
+
+@pytest.fixture
+def cell64():
+    """A float64 GRU cell for gradient checks."""
+    cell = GRUCell(3, 4, rng=np.random.default_rng(0))
+    for _, p in cell.named_parameters():
+        p.data = p.data.astype(np.float64)
+    return cell
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(5, 7, rng=np.random.default_rng(0))
+        x = Tensor(np.zeros((3, 5), dtype=np.float32))
+        h = Tensor(np.zeros((3, 7), dtype=np.float32))
+        assert cell(x, h).shape == (3, 7)
+
+    def test_parameter_count(self):
+        cell = GRUCell(5, 7, rng=np.random.default_rng(0))
+        expected = 3 * (5 * 7) + 3 * (7 * 7) + 3 * 7
+        assert cell.num_parameters() == expected
+
+    def test_zero_input_zero_state_bounded(self):
+        cell = GRUCell(4, 4, rng=np.random.default_rng(0))
+        out = cell(Tensor(np.zeros((2, 4), dtype=np.float32)),
+                   Tensor(np.zeros((2, 4), dtype=np.float32))).numpy()
+        assert np.all(np.abs(out) <= 1.0)  # tanh-bounded candidate
+
+    def test_update_gate_interpolates(self):
+        """Output is a convex combination of candidate and previous state,
+        so it can never exceed both in magnitude simultaneously."""
+        rng = np.random.default_rng(1)
+        cell = GRUCell(4, 4, rng=np.random.default_rng(0))
+        h = Tensor(rng.normal(size=(10, 4)).astype(np.float32))
+        x = Tensor(rng.normal(size=(10, 4)).astype(np.float32))
+        out = cell(x, h).numpy()
+        upper = np.maximum(np.abs(h.numpy()), 1.0)  # candidate bounded by 1
+        assert np.all(np.abs(out) <= upper + 1e-5)
+
+    def test_gradcheck_all_paths(self, cell64):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        gradcheck(lambda x, h: ops.sum(ops.pow(cell64(x, h), 2.0)), [x, h], atol=1e-5)
+
+    def test_gradients_reach_all_weights(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(4, 3)).astype(np.float32))
+        h = Tensor(rng.normal(size=(4, 4)).astype(np.float32))
+        ops.sum(cell(x, h)).backward()
+        missing = [n for n, p in cell.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 4)

@@ -1,0 +1,56 @@
+"""Loss wrappers and the loss registry."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BCEWithLogitsLoss, HingeEmbeddingLoss, MSELoss, get_loss
+from repro.tensor import Tensor
+
+
+class TestBCEWrapper:
+    def test_perfect_predictions_near_zero(self):
+        logits = Tensor(np.array([10.0, -10.0, 10.0], dtype=np.float32))
+        targets = np.array([1.0, 0.0, 1.0], dtype=np.float32)
+        assert BCEWithLogitsLoss()(logits, targets).item() < 1e-3
+
+    def test_pos_weight_raises_positive_miss_cost(self):
+        logits = Tensor(np.array([-2.0], dtype=np.float32))
+        target = np.array([1.0], dtype=np.float32)
+        plain = BCEWithLogitsLoss()(logits, target).item()
+        weighted = BCEWithLogitsLoss(pos_weight=5.0)(logits, target).item()
+        assert weighted == pytest.approx(5.0 * plain, rel=1e-5)
+
+    def test_pos_weight_leaves_negatives_alone(self):
+        logits = Tensor(np.array([2.0], dtype=np.float32))
+        target = np.array([0.0], dtype=np.float32)
+        plain = BCEWithLogitsLoss()(logits, target).item()
+        weighted = BCEWithLogitsLoss(pos_weight=5.0)(logits, target).item()
+        assert weighted == pytest.approx(plain, rel=1e-6)
+
+
+class TestHingeWrapper:
+    def test_separated_pairs_zero_loss(self):
+        d2 = Tensor(np.array([0.0, 9.0], dtype=np.float32))
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+        assert HingeEmbeddingLoss(margin=1.0)(d2, labels).item() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMSEWrapper:
+    def test_zero_on_match(self):
+        pred = Tensor(np.arange(4, dtype=np.float32))
+        assert MSELoss()(pred, np.arange(4, dtype=np.float32)).item() == pytest.approx(0.0)
+
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        assert MSELoss()(pred, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_loss("bce"), BCEWithLogitsLoss)
+        assert isinstance(get_loss("hinge", margin=0.5), HingeEmbeddingLoss)
+        assert isinstance(get_loss("mse"), MSELoss)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("focal")

@@ -1,0 +1,144 @@
+"""Optimiser and scheduler unit tests (closed-form single steps)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineAnnealingLR, Parameter, StepLR, WarmupLR
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value], dtype=np.float32))
+    p.grad = np.array([grad], dtype=np.float32)
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0, 0.5)
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()  # v=1, x=-0.1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.9, x=-0.29
+        assert p.data[0] == pytest.approx(-0.29, abs=1e-6)
+
+    def test_weight_decay(self):
+        p = make_param(2.0, 0.0)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_skips_gradless_params(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_validates_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_validates_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step ≈ lr * sign(grad).
+        p = make_param(0.0, 0.5)
+        Adam([p], lr=0.01).step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_manual_two_steps(self):
+        p = make_param(0.0, 1.0)
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        opt.step()
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # replicate manually
+        m = v = 0.0
+        x = 0.0
+        for t in (1, 2):
+            g = 1.0
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            x -= 0.1 * (m / (1 - 0.9**t)) / (np.sqrt(v / (1 - 0.999**t)) + 1e-8)
+        assert p.data[0] == pytest.approx(x, rel=1e-4)
+
+    def test_decoupled_weight_decay(self):
+        p = make_param(1.0, 0.0)
+        p.grad = np.array([0.0], dtype=np.float32)
+        Adam([p], lr=0.1, weight_decay=0.5, decoupled_weight_decay=True).step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5 * 1.0)
+
+    def test_validates_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = 2.0 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        # step() advances the epoch counter first: after k steps the rate
+        # is gamma^(k // step_size).
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        mid = None
+        last = None
+        for i in range(10):
+            last = sched.step()
+            if i == 4:
+                mid = last
+        assert last == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 < mid < 1.0
+
+    def test_warmup_reaches_base(self):
+        opt = SGD([make_param()], lr=2.0)
+        sched = WarmupLR(opt, warmup_epochs=4)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[3] == pytest.approx(2.0)
+        assert lrs[5] == pytest.approx(2.0)
+
+    def test_warmup_then_cosine(self):
+        opt = SGD([make_param()], lr=1.0)
+        inner = CosineAnnealingLR(opt, t_max=10)
+        sched = WarmupLR(opt, warmup_epochs=2, after=inner)
+        for _ in range(12):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_validates_args(self):
+        opt = SGD([make_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+        with pytest.raises(ValueError):
+            WarmupLR(opt, warmup_epochs=0)

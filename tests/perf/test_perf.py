@@ -1,0 +1,100 @@
+"""Timers and epoch-breakdown projection."""
+
+import time
+
+import pytest
+
+from repro.perf import EpochBreakdown, StageTimer, Timer, project_epoch_time
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert t.count == 3
+        assert t.total >= 0.0
+
+    def test_measures_something(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.02)
+        elapsed = t.stop()
+        assert elapsed >= 0.015
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean(self):
+        t = Timer()
+        t.total, t.count = 6.0, 3
+        assert t.mean == 2.0
+
+    def test_reset(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+
+class TestStageTimer:
+    def test_scopes_accumulate_by_name(self):
+        timers = StageTimer()
+        with timers.scope("a"):
+            pass
+        with timers.scope("a"):
+            pass
+        with timers.scope("b"):
+            pass
+        assert timers["a"].count == 2
+        assert timers["b"].count == 1
+
+    def test_totals_dict(self):
+        timers = StageTimer()
+        with timers.scope("x"):
+            pass
+        assert set(timers.totals()) == {"x"}
+
+    def test_scope_releases_on_exception(self):
+        timers = StageTimer()
+        try:
+            with timers.scope("err"):
+                raise ValueError
+        except ValueError:
+            pass
+        # timer stopped: another scope works
+        with timers.scope("err"):
+            pass
+        assert timers["err"].count == 2
+
+
+class TestBreakdown:
+    def test_total_and_fraction(self):
+        b = EpochBreakdown(sampling_seconds=2.0, training_seconds=2.0, comm_modeled_seconds=0.0)
+        assert b.total_seconds == 4.0
+        assert b.sampling_fraction == pytest.approx(0.5)
+
+    def test_projection_divides_compute(self):
+        serial = EpochBreakdown(4.0, 8.0, 0.0, world_size=1)
+        proj = project_epoch_time(serial, 4, comm_modeled_seconds=0.5)
+        assert proj.sampling_seconds == pytest.approx(1.0)
+        assert proj.training_seconds == pytest.approx(2.0)
+        assert proj.comm_modeled_seconds == pytest.approx(0.5)
+        assert proj.world_size == 4
+
+    def test_projection_validates(self):
+        with pytest.raises(ValueError):
+            project_epoch_time(EpochBreakdown(1, 1, 0), 0, 0.0)
+
+    def test_as_dict(self):
+        d = EpochBreakdown(1.0, 2.0, 0.5, world_size=2).as_dict()
+        assert d["total_s"] == pytest.approx(3.5)

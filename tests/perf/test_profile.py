@@ -1,0 +1,55 @@
+"""cProfile wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.perf import profiled
+
+
+def _busy_work():
+    total = np.zeros(100)
+    for _ in range(50):
+        total = total + np.sin(np.arange(100.0))
+    return total
+
+
+class TestProfiled:
+    def test_captures_hotspots(self):
+        with profiled() as report:
+            _busy_work()
+        assert len(report.hotspots) > 0
+        assert all(h.total_seconds >= 0 for h in report.hotspots)
+
+    def test_sorted_by_self_time(self):
+        with profiled() as report:
+            _busy_work()
+        times = [h.total_seconds for h in report.hotspots]
+        assert times == sorted(times, reverse=True)
+
+    def test_find_by_substring(self):
+        with profiled() as report:
+            _busy_work()
+        hits = report.find("_busy_work")
+        assert len(hits) == 1
+        assert hits[0].calls == 1
+
+    def test_top_limits(self):
+        with profiled() as report:
+            _busy_work()
+        assert len(report.top(3)) <= 3
+
+    def test_render(self):
+        with profiled() as report:
+            _busy_work()
+        rows = report.render(2)
+        assert "function" in rows[0]
+        assert len(rows) <= 3
+
+    def test_report_usable_after_exception(self):
+        try:
+            with profiled() as report:
+                _busy_work()
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert len(report.hotspots) > 0

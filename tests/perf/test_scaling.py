@@ -1,0 +1,79 @@
+"""Strong-scaling utilities: Amdahl fits and speedup curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import ScalingCurve, amdahl_time, fit_amdahl
+
+
+class TestAmdahlTime:
+    def test_fully_parallel(self):
+        assert amdahl_time(10.0, 4, 0.0) == pytest.approx(2.5)
+
+    def test_fully_serial(self):
+        assert amdahl_time(10.0, 4, 1.0) == pytest.approx(10.0)
+
+    def test_single_rank_identity(self):
+        assert amdahl_time(7.0, 1, 0.3) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_time(1.0, 0, 0.5)
+        with pytest.raises(ValueError):
+            amdahl_time(1.0, 2, 1.5)
+
+
+class TestFitAmdahl:
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_generating_fraction(self, s):
+        ps = [1, 2, 4, 8]
+        ts = [amdahl_time(5.0, p, s) for p in ps]
+        assert fit_amdahl(ps, ts) == pytest.approx(s, abs=1e-9)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        ps = [1, 2, 4, 8, 16]
+        ts = [amdahl_time(5.0, p, 0.2) * (1 + 0.02 * rng.normal()) for p in ps]
+        assert abs(fit_amdahl(ps, ts) - 0.2) < 0.1
+
+    def test_requires_p1(self):
+        with pytest.raises(ValueError):
+            fit_amdahl([2, 4], [1.0, 0.5])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_amdahl([1], [1.0])
+
+
+class TestScalingCurve:
+    def make(self, s=0.1):
+        ps = (1, 2, 4, 8)
+        return ScalingCurve(ps, tuple(amdahl_time(4.0, p, s) for p in ps))
+
+    def test_speedups_monotone(self):
+        c = self.make()
+        assert c.speedups == sorted(c.speedups)
+        assert c.speedups[0] == pytest.approx(1.0)
+
+    def test_efficiency_at_most_one(self):
+        c = self.make()
+        assert all(e <= 1.0 + 1e-9 for e in c.efficiencies)
+
+    def test_serial_fraction_round_trip(self):
+        assert self.make(0.25).serial_fraction == pytest.approx(0.25, abs=1e-9)
+
+    def test_render(self):
+        rows = self.make().render()
+        assert any("Amdahl" in r for r in rows)
+        assert len(rows) == 6  # header + 4 points + fit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalingCurve((2, 4), (1.0, 0.6))
+        with pytest.raises(ValueError):
+            ScalingCurve((1,), (1.0,))
+        with pytest.raises(ValueError):
+            ScalingCurve((1, 4, 2), (1.0, 0.5, 0.7))

@@ -1,0 +1,45 @@
+"""Failure injection: diverged runs must fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import GNNTrainConfig, train_gnn
+
+SMALL = dict(epochs=1, batch_size=32, hidden=8, num_layers=2, mlp_layers=2, depth=2, fanout=3, seed=0)
+
+
+@pytest.mark.filterwarnings("ignore:invalid value encountered")
+@pytest.mark.filterwarnings("ignore:overflow encountered")
+class TestNaNGuards:
+    def test_nan_features_raise_floating_point_error(self, tiny_dataset):
+        train = [g for g in tiny_dataset.train]
+        poisoned = train[0].edge_mask_subgraph(np.ones(train[0].num_edges, dtype=bool))
+        poisoned.x = poisoned.x.copy()
+        poisoned.x[0, 0] = np.nan
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            train_gnn([poisoned], tiny_dataset.val, GNNTrainConfig(mode="full", **SMALL))
+
+    def test_error_names_the_event(self, tiny_dataset):
+        poisoned = tiny_dataset.train[0].edge_mask_subgraph(
+            np.ones(tiny_dataset.train[0].num_edges, dtype=bool)
+        )
+        poisoned.x = poisoned.x.copy()
+        poisoned.x[:] = np.inf
+        poisoned.event_id = 77
+        with pytest.raises(FloatingPointError, match="77"):
+            train_gnn([poisoned], tiny_dataset.val, GNNTrainConfig(mode="full", **SMALL))
+
+    def test_minibatch_modes_also_guarded(self, tiny_dataset):
+        poisoned = tiny_dataset.train[0].edge_mask_subgraph(
+            np.ones(tiny_dataset.train[0].num_edges, dtype=bool)
+        )
+        poisoned.y = poisoned.y.copy()
+        poisoned.y[:] = np.nan
+        with pytest.raises(FloatingPointError):
+            train_gnn([poisoned], tiny_dataset.val, GNNTrainConfig(mode="shadow", **SMALL))
+
+    def test_healthy_training_unaffected(self, tiny_dataset):
+        res = train_gnn(
+            tiny_dataset.train, tiny_dataset.val, GNNTrainConfig(mode="full", **SMALL)
+        )
+        assert np.isfinite(res.history.final.train_loss)

@@ -1,0 +1,98 @@
+"""Trainer conveniences: LR schedules, early stopping, best-weight restore."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import GNNTrainConfig, evaluate_edge_classifier, train_gnn
+
+SMALL = dict(batch_size=32, hidden=8, num_layers=2, mlp_layers=2, depth=2, fanout=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def splits(tiny_dataset):
+    return tiny_dataset.train, tiny_dataset.val
+
+
+class TestConfigValidation:
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            GNNTrainConfig(scheduler="exponential")
+
+    def test_bad_patience(self):
+        with pytest.raises(ValueError):
+            GNNTrainConfig(early_stopping_patience=0)
+
+
+class TestEarlyStopping:
+    def test_patience_can_stop_before_budget(self, splits):
+        train, val = splits
+        res = train_gnn(
+            train,
+            val,
+            GNNTrainConfig(mode="bulk", epochs=10, early_stopping_patience=1, **SMALL),
+        )
+        assert len(res.history) <= 10
+
+    def test_no_patience_runs_full_budget(self, splits):
+        train, val = splits
+        res = train_gnn(train, val, GNNTrainConfig(mode="bulk", epochs=3, **SMALL))
+        assert len(res.history) == 3
+
+    def test_unevaluated_epochs_do_not_trigger_stop(self, splits):
+        """With eval_every > epochs, F1 is always NaN and patience never
+        fires."""
+        train, val = splits
+        res = train_gnn(
+            train,
+            val,
+            GNNTrainConfig(
+                mode="bulk", epochs=3, eval_every=100,
+                early_stopping_patience=1, **SMALL,
+            ),
+        )
+        assert len(res.history) == 3
+
+
+class TestRestoreBest:
+    @pytest.mark.parametrize("mode", ["full", "shadow"])
+    def test_final_model_scores_best_f1(self, splits, mode):
+        train, val = splits
+        res = train_gnn(
+            train, val, GNNTrainConfig(mode=mode, epochs=5, restore_best=True, **SMALL)
+        )
+        p, r = evaluate_edge_classifier(res.model, val)
+        f1 = 2 * p * r / (p + r) if (p + r) else 0.0
+        assert f1 == pytest.approx(res.history.best("val_f1").val_f1, abs=1e-6)
+
+    def test_without_restore_final_weights_kept(self, splits):
+        train, val = splits
+        res = train_gnn(train, val, GNNTrainConfig(mode="shadow", epochs=4, **SMALL))
+        p, r = evaluate_edge_classifier(res.model, val)
+        final = res.history.final
+        assert p == pytest.approx(final.val_precision, abs=1e-6)
+        assert r == pytest.approx(final.val_recall, abs=1e-6)
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("scheduler", ["cosine", "step"])
+    def test_training_completes_with_schedule(self, splits, scheduler):
+        train, val = splits
+        res = train_gnn(
+            train,
+            val,
+            GNNTrainConfig(mode="bulk", epochs=4, scheduler=scheduler, **SMALL),
+        )
+        assert len(res.history) == 4
+        assert np.isfinite(res.history.final.train_loss)
+
+    def test_ddp_ranks_share_schedule(self, splits):
+        """Schedules step every rank's optimiser — replicas stay in sync."""
+        train, val = splits
+        res = train_gnn(
+            train,
+            val,
+            GNNTrainConfig(
+                mode="bulk", epochs=3, scheduler="cosine", world_size=2, **SMALL
+            ),
+        )
+        assert np.isfinite(res.history.final.train_loss)

@@ -1,0 +1,63 @@
+"""End-to-end pipeline integration: hits in, tracks out."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import match_tracks
+from repro.pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(geometry, small_events):
+    config = PipelineConfig(
+        embedding_dim=6,
+        embedding_epochs=15,
+        filter_epochs=15,
+        frnn_radius=0.3,
+        gnn=GNNTrainConfig(
+            mode="bulk",
+            epochs=4,
+            batch_size=64,
+            hidden=16,
+            num_layers=2,
+            mlp_layers=2,
+            depth=2,
+            fanout=4,
+            bulk_k=4,
+        ),
+    )
+    pipe = ExaTrkXPipeline(config, geometry)
+    pipe.fit(small_events[:4], small_events[4:5])
+    return pipe
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_fit_report_sane(self, fitted_pipeline):
+        r = fitted_pipeline.report
+        assert r.graph_edge_efficiency > 0.5
+        assert r.filter_segment_recall > 0.8
+        assert 0.0 < r.gnn_final_precision <= 1.0
+        assert 0.0 < r.gnn_final_recall <= 1.0
+
+    def test_reconstruct_returns_tracks(self, fitted_pipeline, small_events):
+        tracks = fitted_pipeline.reconstruct(small_events[5])
+        assert isinstance(tracks, list)
+        assert all(len(t) >= 3 for t in tracks)
+
+    def test_recovers_a_reasonable_fraction_of_tracks(self, fitted_pipeline, small_events):
+        score = fitted_pipeline.score_event(small_events[5])
+        assert score.num_reconstructable > 0
+        assert score.efficiency > 0.2  # small training budget, lenient bar
+
+    def test_score_event_consistent_with_match_tracks(self, fitted_pipeline, small_events):
+        ev = small_events[5]
+        tracks = fitted_pipeline.reconstruct(ev)
+        direct = match_tracks(tracks, ev.particle_ids, min_hits=3)
+        score = fitted_pipeline.score_event(ev)
+        assert direct.num_reconstructable == score.num_reconstructable
+
+    def test_unfitted_pipeline_rejects_reconstruct(self, geometry, small_events):
+        pipe = ExaTrkXPipeline(PipelineConfig(), geometry)
+        with pytest.raises(RuntimeError):
+            pipe.reconstruct(small_events[0])

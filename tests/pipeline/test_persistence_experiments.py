@@ -1,0 +1,111 @@
+"""Pipeline save/load round-trip and multi-seed sweeps."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    ExaTrkXPipeline,
+    GNNTrainConfig,
+    PipelineConfig,
+    SeedSweepResult,
+    load_pipeline,
+    run_with_seeds,
+    save_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(geometry, small_events):
+    cfg = PipelineConfig(
+        embedding_dim=6,
+        embedding_epochs=10,
+        filter_epochs=10,
+        frnn_radius=0.3,
+        gnn=GNNTrainConfig(
+            mode="bulk", epochs=2, batch_size=32, hidden=8,
+            num_layers=2, mlp_layers=2, depth=2, fanout=3, bulk_k=2,
+        ),
+    )
+    pipe = ExaTrkXPipeline(cfg, geometry)
+    pipe.fit(small_events[:4], small_events[4:5])
+    return pipe
+
+
+class TestPersistence:
+    def test_round_trip_reconstruction_identical(self, fitted, geometry, small_events, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, geometry)
+        before = fitted.reconstruct(small_events[5])
+        after = loaded.reconstruct(small_events[5])
+        assert len(before) == len(after)
+        for a, b in zip(before, after):
+            assert np.array_equal(a, b)
+
+    def test_config_survives(self, fitted, geometry, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, geometry)
+        assert loaded.config == fitted.config
+
+    def test_all_weights_identical(self, fitted, geometry, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        loaded = load_pipeline(path, geometry)
+        for (n1, a), (n2, b) in zip(
+            fitted.gnn.model.named_parameters(), loaded.gnn.model.named_parameters()
+        ):
+            assert n1 == n2
+            assert np.array_equal(a.data, b.data)
+        for (n1, a), (n2, b) in zip(
+            fitted.embedding.net.named_parameters(),
+            loaded.embedding.net.named_parameters(),
+        ):
+            assert np.array_equal(a.data, b.data), n1
+
+    def test_unfitted_rejected(self, geometry, tmp_path):
+        pipe = ExaTrkXPipeline(PipelineConfig(), geometry)
+        with pytest.raises(RuntimeError):
+            save_pipeline(pipe, str(tmp_path / "x.npz"))
+
+    def test_creates_directories(self, fitted, tmp_path):
+        path = str(tmp_path / "a" / "b" / "pipe.npz")
+        save_pipeline(fitted, path)
+        assert os.path.exists(path)
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, tiny_dataset):
+        cfg = GNNTrainConfig(
+            mode="shadow", epochs=2, batch_size=32, hidden=8,
+            num_layers=2, mlp_layers=2, depth=2, fanout=3,
+        )
+        return run_with_seeds(tiny_dataset.train, tiny_dataset.val, cfg, seeds=[0, 1, 2])
+
+    def test_one_result_per_seed(self, sweep):
+        assert len(sweep) == 3
+        assert sweep.seeds == [0, 1, 2]
+
+    def test_different_seeds_different_models(self, sweep):
+        w0 = next(iter(sweep.results[0].model.parameters())).data
+        w1 = next(iter(sweep.results[1].model.parameters())).data
+        assert not np.array_equal(w0, w1)
+
+    def test_mean_std_consistent(self, sweep):
+        finals = [r.history.final.val_f1 for r in sweep.results]
+        assert sweep.mean("val_f1") == pytest.approx(np.mean(finals))
+        assert sweep.std("val_f1") == pytest.approx(np.std(finals))
+
+    def test_summary_format(self, sweep):
+        s = sweep.summary()
+        assert set(s) == {"val_precision", "val_recall", "val_f1"}
+        assert "±" in s["val_f1"]
+
+    def test_empty_seeds_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            run_with_seeds(
+                tiny_dataset.train, tiny_dataset.val, GNNTrainConfig(), seeds=[]
+            )

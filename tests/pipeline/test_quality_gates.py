@@ -1,0 +1,66 @@
+"""Quality gates: the headline numbers must not silently regress.
+
+Slow-marked integration tests pinning the operating points the README
+and EXPERIMENTS.md advertise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detector import dataset_config, make_dataset
+from repro.pipeline import GNNTrainConfig, train_gnn
+
+
+@pytest.mark.slow
+class TestQualityGates:
+    @pytest.fixture(scope="class")
+    def ex3(self):
+        return make_dataset(dataset_config("ex3_like").with_sizes(4, 2, 0))
+
+    def test_bulk_shadow_reaches_f1_080(self, ex3):
+        """The Ex3-like GNN stage at bench scale reaches F1 ≥ 0.80."""
+        res = train_gnn(
+            ex3.train,
+            ex3.val,
+            GNNTrainConfig(
+                mode="bulk", epochs=6, batch_size=128, hidden=16,
+                num_layers=2, mlp_layers=2, depth=2, fanout=4, bulk_k=4,
+                lr=2e-3, seed=3,
+            ),
+        )
+        assert res.history.final.val_f1 >= 0.80
+
+    def test_minibatch_margin_over_fullgraph(self, ex3):
+        """The Figure-4 margin: ≥ 0.03 F1 at equal epochs."""
+        common = dict(
+            epochs=6, batch_size=128, hidden=16, num_layers=2,
+            mlp_layers=2, depth=2, fanout=4, lr=2e-3, seed=3,
+        )
+        full = train_gnn(ex3.train, ex3.val, GNNTrainConfig(mode="full", **common))
+        mini = train_gnn(
+            ex3.train, ex3.val, GNNTrainConfig(mode="bulk", bulk_k=4, **common)
+        )
+        assert mini.history.final.val_f1 - full.history.final.val_f1 >= 0.03
+
+    def test_bulk_sampler_speedup_over_sequential(self, ex3):
+        """Bulk sampling at the paper's d=3/s=6 stays ≥ 2× faster than the
+        sequential baseline on Ex3-like graphs."""
+        import time
+
+        from repro.sampling import BulkShadowSampler, ShadowSampler
+
+        g = ex3.train[0]
+        g.to_csr(symmetric=True)
+        rng = np.random.default_rng(0)
+        batches = [rng.choice(g.num_nodes, size=128, replace=False) for _ in range(8)]
+        seq, bulk = ShadowSampler(3, 6), BulkShadowSampler(3, 6)
+        t_seq = t_bulk = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for b in batches:
+                seq.sample(g, b, rng)
+            t_seq = min(t_seq, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            bulk.sample_bulk(g, batches, rng)
+            t_bulk = min(t_bulk, time.perf_counter() - t0)
+        assert t_seq / t_bulk >= 2.0

@@ -1,0 +1,97 @@
+"""Track builders: connected components vs score-guided walkthrough."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EventGraph, disjoint_chains
+from repro.pipeline import build_tracks, build_tracks_walkthrough
+
+
+def two_chains_with_bridge():
+    """Two 4-hit chains connected by one fake bridge edge.
+
+    Vertices 0-1-2-3 (particle 1) and 4-5-6-7 (particle 2); edge 2→5 is
+    the fake.  True edges score high, the fake scores lower-but-surviving.
+    """
+    edge_index = np.array(
+        [[0, 1, 2, 4, 5, 6, 2], [1, 2, 3, 5, 6, 7, 5]]
+    )
+    g = EventGraph(
+        edge_index=edge_index,
+        x=np.zeros((8, 2), dtype=np.float32),
+        y=np.zeros((7, 1), dtype=np.float32),
+        edge_labels=np.array([1, 1, 1, 1, 1, 1, 0], dtype=np.int8),
+    )
+    scores = np.array([0.95, 0.9, 0.92, 0.94, 0.91, 0.93, 0.7])
+    return g, scores
+
+
+class TestConnectedComponents:
+    def test_bridge_merges_tracks(self):
+        """Plain CC's failure mode: one fake edge merges two tracks."""
+        g, _ = two_chains_with_bridge()
+        tracks = build_tracks(g, min_hits=3)
+        assert len(tracks) == 1  # merged!
+        assert len(tracks[0]) == 8
+
+    def test_clean_chains_ok(self, chains_graph):
+        tracks = build_tracks(chains_graph, min_hits=3)
+        assert len(tracks) == 10
+
+
+class TestWalkthrough:
+    def test_bridge_rejected_by_degree_constraint(self):
+        """The walkthrough's point: vertex 2 already has an outgoing true
+        segment (higher score), so the fake bridge is refused."""
+        g, scores = two_chains_with_bridge()
+        tracks = build_tracks_walkthrough(g, scores, min_hits=3)
+        assert len(tracks) == 2
+        assert sorted(len(t) for t in tracks) == [4, 4]
+        sets = [set(t.tolist()) for t in tracks]
+        assert {0, 1, 2, 3} in sets and {4, 5, 6, 7} in sets
+
+    def test_paths_are_ordered_chains(self):
+        g, scores = two_chains_with_bridge()
+        for t in build_tracks_walkthrough(g, scores, min_hits=3):
+            # consecutive hits are joined by accepted edges
+            pairs = set(zip(g.rows.tolist(), g.cols.tolist()))
+            for a, b in zip(t[:-1], t[1:]):
+                assert (int(a), int(b)) in pairs
+
+    def test_min_score_gate(self):
+        g, scores = two_chains_with_bridge()
+        tracks = build_tracks_walkthrough(g, scores, min_hits=3, min_score=0.99)
+        assert tracks == []
+
+    def test_min_hits_gate(self):
+        g, scores = two_chains_with_bridge()
+        assert build_tracks_walkthrough(g, scores, min_hits=5) == []
+
+    def test_disjoint_output(self):
+        g, scores = two_chains_with_bridge()
+        tracks = build_tracks_walkthrough(g, scores, min_hits=3)
+        flat = np.concatenate(tracks)
+        assert len(flat) == len(set(flat.tolist()))
+
+    def test_clean_chains_fully_recovered(self, chains_graph):
+        scores = np.full(chains_graph.num_edges, 0.9)
+        tracks = build_tracks_walkthrough(chains_graph, scores, min_hits=3)
+        assert len(tracks) == 10
+        assert all(len(t) == 8 for t in tracks)
+
+    def test_score_length_checked(self):
+        g, _ = two_chains_with_bridge()
+        with pytest.raises(ValueError):
+            build_tracks_walkthrough(g, np.zeros(3))
+
+    def test_cycle_edge_skipped(self):
+        # triangle 0→1→2 plus closing edge 2→0 (oriented graphs from the
+        # pipeline cannot cycle, but the builder must stay robust)
+        g = EventGraph(
+            edge_index=np.array([[0, 1, 2], [1, 2, 0]]),
+            x=np.zeros((3, 1), dtype=np.float32),
+            y=np.zeros((3, 1), dtype=np.float32),
+        )
+        tracks = build_tracks_walkthrough(g, np.array([0.9, 0.8, 0.7]), min_hits=3)
+        assert len(tracks) == 1
+        assert np.array_equal(tracks[0], [0, 1, 2])

@@ -1,0 +1,64 @@
+"""Property-based invariants of the walkthrough track builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import random_graph
+from repro.pipeline import build_tracks_walkthrough
+
+
+@st.composite
+def scored_graphs(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(5, 60))
+    g = random_graph(n, 3 * n, rng=rng)
+    scores = rng.random(g.num_edges)
+    min_hits = draw(st.integers(2, 4))
+    return g, scores, min_hits
+
+
+class TestWalkthroughProperties:
+    @given(scored_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_tracks_are_vertex_disjoint(self, case):
+        g, scores, min_hits = case
+        tracks = build_tracks_walkthrough(g, scores, min_hits=min_hits)
+        flat = [int(h) for t in tracks for h in t]
+        assert len(flat) == len(set(flat))
+
+    @given(scored_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_consecutive_hits_are_graph_edges(self, case):
+        g, scores, min_hits = case
+        pairs = set(zip(g.rows.tolist(), g.cols.tolist()))
+        for t in build_tracks_walkthrough(g, scores, min_hits=min_hits):
+            for a, b in zip(t[:-1], t[1:]):
+                assert (int(a), int(b)) in pairs
+
+    @given(scored_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_min_hits_respected(self, case):
+        g, scores, min_hits = case
+        for t in build_tracks_walkthrough(g, scores, min_hits=min_hits):
+            assert len(t) >= min_hits
+
+    @given(scored_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_min_score_never_adds_tracks(self, case):
+        g, scores, min_hits = case
+        loose = build_tracks_walkthrough(g, scores, min_hits=min_hits, min_score=0.0)
+        tight = build_tracks_walkthrough(g, scores, min_hits=min_hits, min_score=0.5)
+        assert sum(len(t) for t in tight) <= sum(len(t) for t in loose)
+
+    @given(scored_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, case):
+        g, scores, min_hits = case
+        a = build_tracks_walkthrough(g, scores, min_hits=min_hits)
+        b = build_tracks_walkthrough(g, scores, min_hits=min_hits)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)

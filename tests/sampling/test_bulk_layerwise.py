@@ -1,0 +1,76 @@
+"""Bulk layer-wise (LADIES) sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chain_graph, random_graph
+from repro.sampling import BulkLayerWiseSampler, LayerWiseSampler
+
+
+@pytest.fixture
+def graph():
+    return random_graph(120, 600, rng=np.random.default_rng(0))
+
+
+class TestBulkLayerWise:
+    def test_batch_contained_and_roots(self, graph):
+        batch = np.array([3, 40, 77])
+        out = BulkLayerWiseSampler(8, 2).sample(graph, batch, np.random.default_rng(0))
+        assert np.array_equal(out.node_parent[out.roots], batch)
+
+    def test_layer_size_bounds_growth(self, graph):
+        batch = np.array([0, 1, 2])
+        out = BulkLayerWiseSampler(5, 2).sample(graph, batch, np.random.default_rng(0))
+        assert out.graph.num_nodes <= 3 + 2 * 5
+
+    def test_chain_respects_connectivity(self):
+        g = chain_graph(30)
+        out = BulkLayerWiseSampler(3, 1).sample(g, np.array([10]), np.random.default_rng(0))
+        others = set(out.node_parent.tolist()) - {10}
+        assert others <= {9, 11}
+
+    def test_induced_subgraph_complete(self, graph):
+        out = BulkLayerWiseSampler(6, 2).sample(
+            graph, np.array([5, 6]), np.random.default_rng(1)
+        )
+        member = set(out.node_parent.tolist())
+        expected = sum(
+            1
+            for u, v in zip(graph.rows.tolist(), graph.cols.tolist())
+            if u in member and v in member
+        )
+        assert out.graph.num_edges == expected
+
+    def test_multi_batch_bulk(self, graph):
+        rng = np.random.default_rng(1)
+        batches = [rng.choice(graph.num_nodes, size=6, replace=False) for _ in range(4)]
+        outs = BulkLayerWiseSampler(6, 2).sample_bulk(
+            graph, batches, np.random.default_rng(2)
+        )
+        assert len(outs) == 4
+        for out, b in zip(outs, batches):
+            assert np.array_equal(out.node_parent[out.roots], np.asarray(b))
+
+    def test_same_distribution_family_as_sequential(self, graph):
+        """Both samplers draw layers proportional to connectivity; with a
+        layer size covering every candidate both return the full 1-hop
+        closure of the batch."""
+        batch = np.array([2, 9])
+        big = graph.num_nodes
+        seq = LayerWiseSampler(big, 1).sample(graph, batch, np.random.default_rng(3))
+        blk = BulkLayerWiseSampler(big, 1).sample(graph, batch, np.random.default_rng(3))
+        assert set(seq.node_parent.tolist()) == set(blk.node_parent.tolist())
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            BulkLayerWiseSampler(0, 1)
+        with pytest.raises(ValueError):
+            BulkLayerWiseSampler(3, 1).sample_bulk(
+                graph, [np.array([], dtype=np.int64)], np.random.default_rng(0)
+            )
+
+    def test_labels_follow(self, graph):
+        out = BulkLayerWiseSampler(5, 2).sample(
+            graph, np.array([0]), np.random.default_rng(0)
+        )
+        assert np.array_equal(out.graph.edge_labels, graph.edge_labels[out.edge_parent])

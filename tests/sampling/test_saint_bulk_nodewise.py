@@ -1,0 +1,108 @@
+"""GraphSAINT random-walk sampler and bulk node-wise sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chain_graph, random_graph, star_graph
+from repro.sampling import BulkNodeWiseSampler, NodeWiseSampler, SaintRWSampler
+
+
+@pytest.fixture
+def graph():
+    return random_graph(150, 700, rng=np.random.default_rng(0))
+
+
+class TestSaint:
+    def test_batch_contained(self, graph):
+        batch = np.array([3, 30, 90])
+        out = SaintRWSampler(walk_length=3).sample(graph, batch, np.random.default_rng(0))
+        assert set(batch.tolist()) <= set(out.node_parent.tolist())
+        assert np.array_equal(out.node_parent[out.roots], batch)
+
+    def test_single_subgraph_not_components(self, graph):
+        out = SaintRWSampler(2).sample(graph, np.array([0, 1]), np.random.default_rng(0))
+        assert out.component_ids is None
+
+    def test_walks_respect_connectivity(self):
+        g = chain_graph(40)
+        out = SaintRWSampler(walk_length=3).sample(g, np.array([20]), np.random.default_rng(0))
+        # a 3-step walk from vertex 20 can reach at most 17..23
+        assert set(out.node_parent.tolist()) <= set(range(17, 24))
+
+    def test_more_walks_touch_more(self):
+        g = star_graph(100)
+        few = SaintRWSampler(1, num_walks_per_root=1).sample(
+            g, np.array([0]), np.random.default_rng(0)
+        )
+        many = SaintRWSampler(1, num_walks_per_root=20).sample(
+            g, np.array([0]), np.random.default_rng(0)
+        )
+        assert many.graph.num_nodes >= few.graph.num_nodes
+
+    def test_induced_subgraph_complete(self, graph):
+        out = SaintRWSampler(2).sample(graph, np.array([5, 6]), np.random.default_rng(1))
+        member = set(out.node_parent.tolist())
+        expected = sum(
+            1
+            for u, v in zip(graph.rows.tolist(), graph.cols.tolist())
+            if u in member and v in member
+        )
+        assert out.graph.num_edges == expected
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            SaintRWSampler(0)
+        with pytest.raises(ValueError):
+            SaintRWSampler(2).sample(graph, np.array([], dtype=np.int64), np.random.default_rng(0))
+
+    def test_labels_follow(self, graph):
+        out = SaintRWSampler(2).sample(graph, np.array([0]), np.random.default_rng(0))
+        assert np.array_equal(out.graph.edge_labels, graph.edge_labels[out.edge_parent])
+
+
+class TestBulkNodeWise:
+    def test_structure_matches_sequential_nodewise(self, graph):
+        """With fanout ≥ max degree both samplers return the exact layered
+        neighbourhood, deterministically."""
+        big = int(graph.degrees().max()) + 1
+        batch = np.array([2, 7, 11])
+        seq = NodeWiseSampler([big, big]).sample(graph, batch, np.random.default_rng(0))
+        blk = BulkNodeWiseSampler([big, big]).sample(graph, batch, np.random.default_rng(0))
+        assert np.array_equal(seq.node_parent, blk.node_parent)
+        assert seq.graph.num_edges == blk.graph.num_edges
+
+    def test_batch_contained_and_roots(self, graph):
+        batch = np.array([1, 50, 100])
+        out = BulkNodeWiseSampler([4, 4]).sample(graph, batch, np.random.default_rng(0))
+        assert np.array_equal(out.node_parent[out.roots], batch)
+
+    def test_multi_batch_bulk(self, graph):
+        rng = np.random.default_rng(1)
+        batches = [rng.choice(graph.num_nodes, size=10, replace=False) for _ in range(4)]
+        outs = BulkNodeWiseSampler([3]).sample_bulk(graph, batches, np.random.default_rng(2))
+        assert len(outs) == 4
+        for out, b in zip(outs, batches):
+            assert np.array_equal(out.node_parent[out.roots], np.asarray(b))
+            # induced-subgraph completeness per batch
+            member = set(out.node_parent.tolist())
+            expected = sum(
+                1
+                for u, v in zip(graph.rows.tolist(), graph.cols.tolist())
+                if u in member and v in member
+            )
+            assert out.graph.num_edges == expected
+
+    def test_fanout_bounds_growth(self):
+        g = star_graph(200)
+        out = BulkNodeWiseSampler([5]).sample(g, np.array([0]), np.random.default_rng(0))
+        assert out.graph.num_nodes <= 6
+
+    def test_labels_follow(self, graph):
+        out = BulkNodeWiseSampler([3]).sample(graph, np.array([0, 1]), np.random.default_rng(0))
+        assert np.array_equal(out.graph.edge_labels, graph.edge_labels[out.edge_parent])
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            BulkNodeWiseSampler([])
+        with pytest.raises(ValueError):
+            BulkNodeWiseSampler([2]).sample_bulk(graph, [np.array([], dtype=np.int64)], np.random.default_rng(0))

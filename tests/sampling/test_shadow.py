@@ -1,0 +1,126 @@
+"""Sequential ShaDow sampler (Algorithm 2) invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import chain_graph, random_graph, star_graph
+from repro.sampling import ShadowSampler
+
+
+@st.composite
+def sampler_cases(draw):
+    seed = draw(st.integers(0, 5000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(10, 80))
+    g = random_graph(n, 4 * n, rng=rng)
+    b = draw(st.integers(1, min(8, n)))
+    batch = rng.choice(n, size=b, replace=False)
+    depth = draw(st.integers(1, 3))
+    fanout = draw(st.integers(1, 5))
+    return g, batch, depth, fanout, seed
+
+
+class TestShadowInvariants:
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_one_component_per_batch_vertex(self, case):
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        assert out.num_components == len(batch)
+
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_roots_resolve_to_batch_vertices(self, case):
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        assert np.array_equal(out.node_parent[out.roots], batch)
+
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_edges_never_cross_components(self, case):
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        ci = out.component_ids
+        assert np.all(ci[out.graph.rows] == ci[out.graph.cols])
+
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_edges_exist_in_parent(self, case):
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        assert np.array_equal(out.node_parent[out.graph.rows], g.rows[out.edge_parent])
+        assert np.array_equal(out.node_parent[out.graph.cols], g.cols[out.edge_parent])
+        assert np.array_equal(out.graph.edge_labels, g.edge_labels[out.edge_parent])
+
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_walk_size_bounded_by_fanout_geometric_series(self, case):
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        bound = sum(fanout**i for i in range(depth + 1))
+        counts = np.bincount(out.component_ids, minlength=len(batch))
+        assert np.all(counts <= bound)
+
+    @given(sampler_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_vertices_within_depth_hops(self, case):
+        """Every sampled vertex is within `depth` hops of its root."""
+        import networkx as nx
+
+        g, batch, depth, fanout, seed = case
+        out = ShadowSampler(depth, fanout).sample(g, batch, np.random.default_rng(seed))
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_nodes))
+        G.add_edges_from(zip(g.rows.tolist(), g.cols.tolist()))
+        for ci, root in enumerate(batch):
+            members = out.node_parent[out.component_ids == ci]
+            lengths = nx.single_source_shortest_path_length(G, int(root), cutoff=depth)
+            for v in members:
+                assert int(v) in lengths
+
+
+class TestShadowSpecialCases:
+    def test_isolated_vertex_gives_singleton_component(self):
+        g = star_graph(5)
+        # add an isolated vertex by using a batch vertex with no neighbours:
+        # vertex ids 1..5 are leaves with degree 1; use leaf and hub
+        out = ShadowSampler(2, 3).sample(g, np.array([0]), np.random.default_rng(0))
+        assert out.num_components == 1
+
+    def test_chain_walk_reaches_depth(self):
+        g = chain_graph(10)
+        out = ShadowSampler(3, 2).sample(g, np.array([0]), np.random.default_rng(0))
+        # from vertex 0 the only walk is 0-1-2-3
+        assert set(out.node_parent.tolist()) == {0, 1, 2, 3}
+
+    def test_duplicate_root_vertices_make_separate_components(self):
+        g = chain_graph(6)
+        out = ShadowSampler(1, 2).sample(g, np.array([2, 2]), np.random.default_rng(0))
+        assert out.num_components == 2
+
+    def test_fanout_one_is_a_path_walk(self):
+        g = star_graph(20)
+        out = ShadowSampler(1, 1).sample(g, np.array([0]), np.random.default_rng(0))
+        # hub plus exactly one sampled leaf
+        assert out.graph.num_nodes == 2
+
+    def test_empty_batch_rejected(self):
+        g = chain_graph(5)
+        with pytest.raises(ValueError):
+            ShadowSampler(2, 2).sample(g, np.array([], dtype=np.int64), np.random.default_rng(0))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            ShadowSampler(0, 2)
+        with pytest.raises(ValueError):
+            ShadowSampler(2, 0)
+
+    def test_deterministic_given_rng(self):
+        g = random_graph(50, 200, rng=np.random.default_rng(1))
+        batch = np.array([0, 5, 9])
+        a = ShadowSampler(2, 3).sample(g, batch, np.random.default_rng(7))
+        b = ShadowSampler(2, 3).sample(g, batch, np.random.default_rng(7))
+        assert np.array_equal(a.node_parent, b.node_parent)
+        assert np.array_equal(a.edge_parent, b.edge_parent)

@@ -1,0 +1,205 @@
+"""Finite-difference gradient checks for every differentiable op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, ops
+
+
+def t64(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestElementwiseGrads:
+    def test_add_broadcast(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 4)
+        gradcheck(lambda a, b: ops.sum(ops.add(a, b)), [a, b])
+
+    def test_sub(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 3, 4)
+        gradcheck(lambda a, b: ops.sum(ops.sub(a, b)), [a, b])
+
+    def test_mul_broadcast(self, rng):
+        a, b = t64(rng, 2, 5), t64(rng, 1, 5)
+        gradcheck(lambda a, b: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_div(self, rng):
+        a = t64(rng, 4)
+        b = Tensor(rng.uniform(1.0, 2.0, size=4), requires_grad=True)
+        gradcheck(lambda a, b: ops.sum(ops.div(a, b)), [a, b])
+
+    def test_neg(self, rng):
+        a = t64(rng, 5)
+        gradcheck(lambda a: ops.sum(ops.neg(a)), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=6), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.pow(a, 3.0)), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=6), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.sqrt(a)), [a])
+
+    def test_abs_away_from_kink(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=6) * rng.choice([-1, 1], 6), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.abs(a)), [a])
+
+    def test_clip_interior(self, rng):
+        a = Tensor(rng.uniform(-0.4, 0.4, size=6), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.clip(a, -1.0, 1.0)), [a])
+
+
+class TestLinalgGrads:
+    def test_matmul_2d(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 4, 2)
+        gradcheck(lambda a, b: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_vec_mat(self, rng):
+        a, b = t64(rng, 4), t64(rng, 4, 3)
+        gradcheck(lambda a, b: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_mat_vec(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 4)
+        gradcheck(lambda a, b: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_dot(self, rng):
+        a, b = t64(rng, 5), t64(rng, 5)
+        gradcheck(lambda a, b: ops.matmul(a, b), [a, b])
+
+    def test_sum_axis(self, rng):
+        a = t64(rng, 3, 4)
+        gradcheck(lambda a: ops.sum(ops.mul(ops.sum(a, axis=0), ops.sum(a, axis=0))), [a])
+
+    def test_mean_axis_keepdims(self, rng):
+        a = t64(rng, 3, 4)
+        gradcheck(lambda a: ops.sum(ops.mul(a, ops.mean(a, axis=1, keepdims=True))), [a])
+
+    def test_reshape(self, rng):
+        a = t64(rng, 6)
+        gradcheck(lambda a: ops.sum(ops.mul(ops.reshape(a, (2, 3)), ops.reshape(a, (2, 3)))), [a])
+
+    def test_transpose(self, rng):
+        a = t64(rng, 2, 3)
+        gradcheck(lambda a: ops.sum(ops.mul(ops.transpose(a), ops.transpose(a))), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = t64(rng, 6, 2)
+        idx = np.array([0, 0, 3, 5])
+        gradcheck(lambda a: ops.sum(ops.mul(ops.getitem(a, idx), ops.getitem(a, idx))), [a])
+
+
+class TestGraphOpGrads:
+    def test_concat(self, rng):
+        a, b = t64(rng, 3, 2), t64(rng, 3, 4)
+        gradcheck(lambda a, b: ops.sum(ops.pow(ops.concat([a, b], axis=1), 2.0)), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t64(rng, 4), t64(rng, 4)
+        gradcheck(lambda a, b: ops.sum(ops.pow(ops.stack([a, b]), 2.0)), [a, b])
+
+    def test_gather_rows_with_duplicates(self, rng):
+        a = t64(rng, 5, 3)
+        idx = np.array([0, 2, 2, 4, 0])
+        gradcheck(lambda a: ops.sum(ops.pow(ops.gather_rows(a, idx), 2.0)), [a])
+
+    def test_segment_sum(self, rng):
+        a = t64(rng, 6, 3)
+        seg = np.array([0, 1, 0, 2, 2, 1])
+        gradcheck(lambda a: ops.sum(ops.pow(ops.segment_sum(a, seg, 3), 2.0)), [a])
+
+    def test_segment_mean_empty_segment(self, rng):
+        a = t64(rng, 4, 2)
+        seg = np.array([0, 0, 2, 2])  # segment 1 empty
+        gradcheck(lambda a: ops.sum(ops.pow(ops.segment_mean(a, seg, 3), 2.0)), [a])
+
+
+class TestActivationGrads:
+    def test_relu_away_from_kink(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=8) * rng.choice([-1, 1], 8), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.relu(a)), [a])
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=8) * rng.choice([-1, 1], 8), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.leaky_relu(a, 0.1)), [a])
+
+    def test_tanh(self, rng):
+        a = t64(rng, 8)
+        gradcheck(lambda a: ops.sum(ops.tanh(a)), [a])
+
+    def test_sigmoid(self, rng):
+        a = t64(rng, 8)
+        gradcheck(lambda a: ops.sum(ops.sigmoid(a)), [a])
+
+    def test_exp(self, rng):
+        a = t64(rng, 8)
+        gradcheck(lambda a: ops.sum(ops.exp(a)), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=8), requires_grad=True)
+        gradcheck(lambda a: ops.sum(ops.log(a)), [a])
+
+    def test_softmax(self, rng):
+        a = t64(rng, 3, 5)
+        w = rng.normal(size=(3, 5))
+        gradcheck(lambda a: ops.sum(ops.mul(ops.softmax(a), Tensor(w))), [a])
+
+    def test_layer_norm(self, rng):
+        a, w, b = t64(rng, 4, 6), t64(rng, 6), t64(rng, 6)
+        gradcheck(lambda a, w, b: ops.sum(ops.pow(ops.layer_norm(a, w, b), 2.0)), [a, w, b], atol=1e-5)
+
+
+class TestLossGrads:
+    def test_bce_plain(self, rng):
+        logits = t64(rng, 10)
+        targets = (rng.random(10) > 0.5).astype(np.float64)
+        gradcheck(lambda l: ops.bce_with_logits(l, targets), [logits])
+
+    def test_bce_pos_weight(self, rng):
+        logits = t64(rng, 10)
+        targets = (rng.random(10) > 0.5).astype(np.float64)
+        gradcheck(lambda l: ops.bce_with_logits(l, targets, pos_weight=4.0), [logits])
+
+    def test_bce_sum_reduction(self, rng):
+        logits = t64(rng, 7)
+        targets = (rng.random(7) > 0.5).astype(np.float64)
+        gradcheck(lambda l: ops.bce_with_logits(l, targets, reduction="sum"), [logits])
+
+    def test_mse(self, rng):
+        pred = t64(rng, 6)
+        target = rng.normal(size=6)
+        gradcheck(lambda p: ops.mse_loss(p, target), [pred])
+
+    def test_hinge_embedding(self, rng):
+        d2 = Tensor(rng.uniform(0.1, 2.0, size=8), requires_grad=True)
+        labels = (rng.random(8) > 0.5).astype(np.float64)
+        gradcheck(lambda d: ops.hinge_embedding_loss(d, labels, margin=0.7), [d2], atol=1e-5)
+
+    def test_squared_distance(self, rng):
+        a, b = t64(rng, 5, 3), t64(rng, 5, 3)
+        gradcheck(lambda a, b: ops.sum(ops.squared_distance(a, b)), [a, b])
+
+
+class TestCompositeGrads:
+    def test_mini_ignn_layer(self, rng):
+        """The exact dataflow of one IGNN layer, gradient-checked."""
+        x = t64(rng, 5, 3)
+        y = t64(rng, 7, 3)
+        w_msg = t64(rng, 9, 3)
+        w_node = t64(rng, 9, 3)
+        rows = np.array([0, 1, 2, 3, 4, 0, 2])
+        cols = np.array([1, 2, 3, 4, 0, 2, 4])
+
+        def f(x, y, w_msg, w_node):
+            msg_in = ops.concat([y, ops.gather_rows(x, rows), ops.gather_rows(x, cols)], axis=1)
+            msg = ops.tanh(ops.matmul(msg_in, w_msg))
+            m_src = ops.segment_sum(msg, rows, 5)
+            m_dst = ops.segment_sum(msg, cols, 5)
+            upd = ops.matmul(ops.concat([m_src, m_dst, x], axis=1), w_node)
+            return ops.mean(ops.pow(upd, 2.0))
+
+        gradcheck(f, [x, y, w_msg, w_node], atol=1e-5)

@@ -1,0 +1,106 @@
+"""Command-line interface smoke tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.mode == "bulk"
+        assert args.world_size == 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--mode", "quantum"])
+
+    def test_all_subcommands_registered(self):
+        for cmd in ("simulate", "train", "reconstruct", "benchmark"):
+            args = build_parser().parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_simulate_writes_cache(self, tmp_path, capsys):
+        rc = main(
+            [
+                "simulate", "--dataset", "tiny",
+                "--train", "2", "--val", "1", "--test", "1",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert list(tmp_path.glob("*.npz"))
+        assert "tiny" in capsys.readouterr().out
+
+    def test_train_prints_history(self, capsys):
+        rc = main(
+            [
+                "train", "--dataset", "tiny",
+                "--train-graphs", "2", "--val-graphs", "1",
+                "--mode", "shadow", "--epochs", "1",
+                "--batch-size", "32", "--hidden", "8", "--layers", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "all-reduce" in out
+
+    def test_benchmark_reports_speedup(self, capsys):
+        rc = main(
+            ["benchmark", "--dataset", "tiny", "--batch-size", "32", "--k", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bulk ShaDow" in out
+
+    def test_train_with_config_file(self, tmp_path, capsys):
+        import json
+
+        cfg = tmp_path / "train.json"
+        cfg.write_text(
+            json.dumps(
+                {"mode": "shadow", "epochs": 1, "hidden": 8,
+                 "num_layers": 1, "batch_size": 32}
+            )
+        )
+        rc = main(
+            [
+                "train", "--dataset", "tiny", "--train-graphs", "2",
+                "--val-graphs", "1", "--config", str(cfg),
+            ]
+        )
+        assert rc == 0
+        assert "precision" in capsys.readouterr().out
+
+    def test_train_config_rejects_unknown_keys(self, tmp_path):
+        import json
+
+        cfg = tmp_path / "bad.json"
+        cfg.write_text(json.dumps({"bogus": 1}))
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["train", "--dataset", "tiny", "--config", str(cfg)])
+
+    def test_display_writes_svg(self, tmp_path, capsys):
+        out = tmp_path / "ev.svg"
+        rc = main(["display", "--particles", "8", "--tracks", "--out", str(out)])
+        assert rc == 0
+        content = out.read_text()
+        assert content.startswith("<svg")
+        assert "<polyline" in content
+
+    @pytest.mark.slow
+    def test_reconstruct_end_to_end(self, capsys):
+        rc = main(
+            ["reconstruct", "--events", "6", "--particles", "12", "--gnn-epochs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tracking:" in out

@@ -1,0 +1,99 @@
+"""Degenerate-input robustness across subsystems.
+
+Zero-edge graphs, single-hit events, and empty score arrays occur in
+production whenever a filter threshold or an empty detector region wipes
+a graph out; nothing downstream may crash on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import EventGraph, describe
+from repro.metrics import match_tracks, pooled_precision_recall
+from repro.models import IGNNConfig, InteractionGNN
+from repro.pipeline import build_tracks, build_tracks_walkthrough
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def empty_edge_graph():
+    return EventGraph(
+        edge_index=np.zeros((2, 0), dtype=np.int64),
+        x=np.random.default_rng(0).normal(size=(5, 6)).astype(np.float32),
+        y=np.zeros((0, 2), dtype=np.float32),
+        edge_labels=np.zeros(0, dtype=np.int8),
+    )
+
+
+class TestZeroEdgeGraph:
+    def test_ignn_forward(self, empty_edge_graph):
+        g = empty_edge_graph
+        model = InteractionGNN(IGNNConfig(node_features=6, edge_features=2, hidden=8, num_layers=2))
+        with no_grad():
+            out = model(Tensor(g.x), Tensor(g.y), g.rows, g.cols)
+        assert out.shape == (0,)
+
+    def test_predict_proba(self, empty_edge_graph):
+        model = InteractionGNN(IGNNConfig(node_features=6, edge_features=2, hidden=8, num_layers=2))
+        assert model.predict_proba(empty_edge_graph).shape == (0,)
+
+    def test_track_builders(self, empty_edge_graph):
+        assert build_tracks(empty_edge_graph) == []
+        assert build_tracks_walkthrough(empty_edge_graph, np.zeros(0)) == []
+
+    def test_describe(self, empty_edge_graph):
+        s = describe(empty_edge_graph)
+        assert s.num_edges == 0
+        assert s.isolated_vertices == 5
+        assert s.num_components == 5
+
+    def test_csr_views(self, empty_edge_graph):
+        csr = empty_edge_graph.to_csr(symmetric=True)
+        assert csr.nnz == 0
+
+    def test_edge_mask_of_nothing(self, empty_edge_graph):
+        sub = empty_edge_graph.edge_mask_subgraph(np.zeros(0, dtype=bool))
+        assert sub.num_edges == 0
+
+
+class TestDegenerateMetrics:
+    def test_match_tracks_no_candidates(self):
+        s = match_tracks([], np.array([1, 1, 1]))
+        assert s.efficiency == 0.0
+        assert s.num_reconstructable == 1
+
+    def test_pooled_metrics_empty_graphs(self):
+        p, r = pooled_precision_recall([(np.zeros(0), np.zeros(0, dtype=int))])
+        assert p == 0.0 and r == 0.0
+
+
+class TestDegenerateSampling:
+    def test_isolated_batch_vertex(self):
+        """A batch vertex with no edges yields a singleton component."""
+        from repro.sampling import BulkShadowSampler, ShadowSampler
+
+        g = EventGraph(
+            edge_index=np.array([[0], [1]]),
+            x=np.zeros((4, 6), dtype=np.float32),
+            y=np.zeros((1, 2), dtype=np.float32),
+            edge_labels=np.ones(1, dtype=np.int8),
+        )
+        batch = np.array([3])  # isolated
+        for sampler in (ShadowSampler(2, 2), BulkShadowSampler(2, 2)):
+            out = sampler.sample(g, batch, np.random.default_rng(0))
+            assert out.graph.num_nodes == 1
+            assert out.graph.num_edges == 0
+            assert out.node_parent.tolist() == [3]
+
+    def test_all_isolated_batch(self):
+        from repro.sampling import BulkShadowSampler
+
+        g = EventGraph(
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+            x=np.zeros((6, 6), dtype=np.float32),
+            y=np.zeros((0, 2), dtype=np.float32),
+            edge_labels=np.zeros(0, dtype=np.int8),
+        )
+        out = BulkShadowSampler(2, 2).sample(g, np.array([0, 5]), np.random.default_rng(0))
+        assert out.num_components == 2
+        assert out.graph.num_edges == 0
