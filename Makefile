@@ -1,12 +1,17 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast bench examples docs clean
+.PHONY: test test-fast test-faults bench examples docs clean
 
 test:
 	pytest tests/
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# Recovery paths must not rot: run the fault-injection suite with
+# warnings promoted to errors (mirrors the dedicated CI step).
+test-faults:
+	pytest tests/ -m faults -W error
 
 bench:
 	pytest benchmarks/ --benchmark-only

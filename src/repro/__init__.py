@@ -24,7 +24,7 @@ index mapping each paper table/figure to a benchmark.
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, graph, detector, models, sampling, distributed, memory, metrics, perf, pipeline, io, baselines  # noqa: E402,F401
+from . import tensor, nn, graph, detector, models, sampling, distributed, memory, metrics, perf, pipeline, io, baselines, faults  # noqa: E402,F401
 
 __all__ = [
     "__version__",
@@ -40,4 +40,5 @@ __all__ = [
     "perf",
     "pipeline",
     "io",
+    "faults",
 ]

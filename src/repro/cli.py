@@ -58,12 +58,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--allreduce", choices=("coalesced", "per_parameter"), default="coalesced"
     )
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable trainer checkpoint every N epochs",
+    )
+    p_train.add_argument(
+        "--checkpoint-path",
+        default="gnn_checkpoint.npz",
+        help="where trainer checkpoints are written (atomic + checksummed)",
+    )
+    p_train.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume training from a checkpoint written by --checkpoint-every",
+    )
 
     p_reco = sub.add_parser("reconstruct", help="full pipeline: hits → tracks")
     p_reco.add_argument("--events", type=int, default=8)
     p_reco.add_argument("--particles", type=int, default=25)
     p_reco.add_argument("--gnn-epochs", type=int, default=6)
     p_reco.add_argument("--seed", type=int, default=0)
+    p_reco.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="PATH",
+        help="load a fitted pipeline from PATH instead of training",
+    )
+    p_reco.add_argument(
+        "--save-pipeline",
+        default=None,
+        metavar="PATH",
+        help="after fitting, save the pipeline to PATH (atomic npz)",
+    )
 
     p_disp = sub.add_parser("display", help="render an event as an SVG file")
     p_disp.add_argument("--particles", type=int, default=20)
@@ -93,7 +123,7 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_train(args) -> int:
     from .detector import dataset_config, make_dataset
-    from .pipeline import GNNTrainConfig, train_gnn
+    from .pipeline import CheckpointError, GNNTrainConfig, train_gnn
 
     cfg = dataset_config(args.dataset).with_sizes(
         args.train_graphs, args.val_graphs, 0
@@ -111,6 +141,9 @@ def _cmd_train(args) -> int:
         world_size=args.world_size,
         allreduce=args.allreduce,
         seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        resume_from=args.resume,
     )
     if args.config is not None:
         import json
@@ -128,12 +161,25 @@ def _cmd_train(args) -> int:
             "mode": "bulk", "epochs": 6, "batch_size": 128, "hidden": 16,
             "num_layers": 2, "depth": 2, "fanout": 4, "bulk_k": 4,
             "world_size": 1, "allreduce": "coalesced", "seed": 0,
+            "checkpoint_every": None, "checkpoint_path": "gnn_checkpoint.npz",
+            "resume_from": None,
         }
         for key, value in from_file.items():
             if key not in fields or fields[key] == flag_defaults.get(key):
                 fields[key] = value
     train_cfg = GNNTrainConfig(**fields)
-    result = train_gnn(dataset.train, dataset.val, train_cfg)
+    try:
+        result = train_gnn(dataset.train, dataset.val, train_cfg)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "The checkpoint cannot be used. Delete it (or fix --resume) and "
+            "restart training from scratch.",
+            file=sys.stderr,
+        )
+        return 2
+    if result.resumed_epoch is not None:
+        print(f"resumed from {args.resume} at epoch {result.resumed_epoch}")
     print(f"{'epoch':>5} | {'loss':>8} | {'precision':>9} | {'recall':>7} | {'time':>6}")
     for r in result.history.records:
         print(
@@ -147,12 +193,25 @@ def _cmd_train(args) -> int:
         )
     if result.skipped_graphs:
         print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
+    if result.checkpoints_written:
+        print(
+            f"wrote {result.checkpoints_written} checkpoint(s) to "
+            f"{args.checkpoint_path}"
+        )
     return 0
 
 
 def _cmd_reconstruct(args) -> int:
     from .detector import DetectorGeometry, EventSimulator, ParticleGun
-    from .pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig, diagnose_event
+    from .pipeline import (
+        CheckpointError,
+        ExaTrkXPipeline,
+        GNNTrainConfig,
+        PipelineConfig,
+        diagnose_event,
+        load_pipeline,
+        save_pipeline,
+    )
 
     geometry = DetectorGeometry.barrel_only()
     sim = EventSimulator(
@@ -163,26 +222,43 @@ def _cmd_reconstruct(args) -> int:
         for i in range(args.events)
     ]
     n_train = max(args.events - 3, 1)
-    pipe = ExaTrkXPipeline(
-        PipelineConfig(
-            embedding_dim=6,
-            embedding_epochs=20,
-            filter_epochs=20,
-            frnn_radius=0.3,
-            gnn=GNNTrainConfig(
-                mode="bulk",
-                epochs=args.gnn_epochs,
-                batch_size=64,
-                hidden=16,
-                num_layers=2,
-                depth=2,
-                fanout=4,
-                bulk_k=4,
+    if args.pipeline is not None:
+        try:
+            pipe = load_pipeline(args.pipeline, geometry)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "The pipeline file is corrupt or incomplete. Re-run "
+                "'repro reconstruct --save-pipeline PATH' (or restore the "
+                "file from a backup) and try again.",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"loaded fitted pipeline from {args.pipeline}")
+    else:
+        pipe = ExaTrkXPipeline(
+            PipelineConfig(
+                embedding_dim=6,
+                embedding_epochs=20,
+                filter_epochs=20,
+                frnn_radius=0.3,
+                gnn=GNNTrainConfig(
+                    mode="bulk",
+                    epochs=args.gnn_epochs,
+                    batch_size=64,
+                    hidden=16,
+                    num_layers=2,
+                    depth=2,
+                    fanout=4,
+                    bulk_k=4,
+                ),
             ),
-        ),
-        geometry,
-    )
-    pipe.fit(events[:n_train], events[n_train : n_train + 1])
+            geometry,
+        )
+        pipe.fit(events[:n_train], events[n_train : n_train + 1])
+        if args.save_pipeline is not None:
+            save_pipeline(pipe, args.save_pipeline)
+            print(f"saved fitted pipeline to {args.save_pipeline}")
     for event in events[n_train + 1 :]:
         print(f"\nevent {event.event_id}")
         for line in diagnose_event(pipe, event).render():

@@ -22,16 +22,34 @@ __all__ = ["CommStats", "SimCommunicator"]
 
 @dataclass
 class CommStats:
-    """Accumulated communication accounting."""
+    """Accumulated communication accounting.
+
+    Beyond the α–β byte/call counters this also records the
+    fault-tolerance history: transient-fault retries (and the simulated
+    seconds spent backing off), permanently lost ranks, and a
+    human-readable event log — the audit trail a production run's
+    post-mortem would read.
+    """
 
     num_allreduce_calls: int = 0
     bytes_reduced: int = 0
     modeled_seconds: float = 0.0
+    num_retries: int = 0
+    retry_backoff_seconds: float = 0.0
+    rank_failures: List[int] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+
+    def record_event(self, message: str) -> None:
+        self.events.append(message)
 
     def reset(self) -> None:
         self.num_allreduce_calls = 0
         self.bytes_reduced = 0
         self.modeled_seconds = 0.0
+        self.num_retries = 0
+        self.retry_backoff_seconds = 0.0
+        self.rank_failures = []
+        self.events = []
 
 
 class SimCommunicator:
@@ -47,6 +65,15 @@ class SimCommunicator:
         All-reduce algorithm: ``"ring"`` (default, NCCL's large-message
         choice), ``"halving_doubling"`` (power-of-two ranks only), or
         ``"tree"``.  The matching α–β form is used for the modeled time.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; when set, every
+        collective first consults the plan, which may raise
+        :class:`repro.faults.CommError` at its scheduled attempt.
+
+    The communicator is *elastic*: :meth:`remove_rank` evicts a
+    permanently failed rank, shrinking the world the collectives (and
+    the α–β model) operate over while keeping the original global rank
+    ids visible through :attr:`ranks`.
     """
 
     def __init__(
@@ -54,15 +81,42 @@ class SimCommunicator:
         world_size: int,
         cost_model: CommCostModel = NVLINK_A100,
         algorithm: str = "ring",
+        fault_plan=None,
     ) -> None:
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         if algorithm not in ("ring", "halving_doubling", "tree"):
             raise ValueError(f"unknown all-reduce algorithm {algorithm!r}")
-        self.world_size = world_size
+        self.ranks: List[int] = list(range(world_size))
         self.cost_model = cost_model
         self.algorithm = algorithm
+        self.fault_plan = fault_plan
         self.stats = CommStats()
+
+    @property
+    def world_size(self) -> int:
+        """Number of *live* ranks."""
+        return len(self.ranks)
+
+    def remove_rank(self, rank: int) -> int:
+        """Evict a permanently failed global rank; returns its local index.
+
+        Subsequent collectives run over the surviving ranks only, so
+        gradient averaging automatically rescales to the new world size.
+        The eviction is recorded in :attr:`stats`.
+        """
+        if rank not in self.ranks:
+            raise ValueError(f"rank {rank} is not live (live ranks: {self.ranks})")
+        if len(self.ranks) == 1:
+            raise RuntimeError("cannot remove the last surviving rank")
+        index = self.ranks.index(rank)
+        self.ranks.remove(rank)
+        self.stats.rank_failures.append(rank)
+        self.stats.record_event(
+            f"rank {rank} permanently failed; continuing with world size "
+            f"{len(self.ranks)} (survivors: {self.ranks})"
+        )
+        return index
 
     # ------------------------------------------------------------------
     def _run_allreduce(
@@ -96,6 +150,8 @@ class SimCommunicator:
             raise ValueError(
                 f"expected {self.world_size} rank buffers, got {len(buffers)}"
             )
+        if self.fault_plan is not None:
+            self.fault_plan.before_collective(self.ranks)
         out = self._run_allreduce(buffers, average)
         nbytes = buffers[0].nbytes
         self.stats.num_allreduce_calls += 1

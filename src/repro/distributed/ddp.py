@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults import CommError, RetryPolicy, SimClock
 from ..nn import Module
 from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
 from .comm import SimCommunicator
@@ -60,6 +61,21 @@ class DistributedDataParallel:
     strategy:
         ``"coalesced"`` (default, the paper's optimisation) or
         ``"per_parameter"`` (the baseline).
+    retry_policy:
+        Backoff schedule for *transient* collective faults
+        (:class:`repro.faults.CommError` with ``transient=True``).
+        Retries run on a deterministic simulated clock; exhaustion
+        re-raises the original error.
+    clock:
+        Simulated clock charged by retry backoff (defaults to a fresh
+        :class:`repro.faults.SimClock`).
+
+    Fault tolerance: a *permanent* rank failure during a collective
+    triggers **elastic degradation** — the dead rank's replica is
+    dropped, the communicator shrinks to the survivors, the gradient
+    average rescales to the new world size, and the synchronisation is
+    retried over the survivors.  :attr:`global_ranks` preserves the
+    original rank ids of the live replicas.
     """
 
     def __init__(
@@ -67,6 +83,8 @@ class DistributedDataParallel:
         models: Sequence[Module],
         comm: SimCommunicator,
         strategy: str = "coalesced",
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[SimClock] = None,
     ) -> None:
         if len(models) != comm.world_size:
             raise ValueError(
@@ -80,22 +98,62 @@ class DistributedDataParallel:
         self.models = list(models)
         self.comm = comm
         self.strategy = strategy
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else SimClock()
+        self.global_ranks: List[int] = list(comm.ranks)
 
     @property
     def world_size(self) -> int:
+        """Number of *live* replicas."""
         return self.comm.world_size
 
     # ------------------------------------------------------------------
     def synchronize_gradients(self) -> None:
-        """Average gradients across ranks, in place.
+        """Average gradients across live ranks, in place.
 
-        After this call every replica's ``param.grad`` holds the mean
-        gradient, exactly as after ``torch.nn.parallel.DDP`` backward.
+        After this call every surviving replica's ``param.grad`` holds
+        the mean gradient over the survivors, exactly as after
+        ``torch.nn.parallel.DDP`` backward.  Transient collective faults
+        are retried with backoff; a permanent rank failure evicts the
+        rank (see :meth:`drop_rank`) and re-synchronises the survivors.
         """
+        retries_left = self.retry_policy.max_retries
+        while True:
+            try:
+                self._sync_once()
+                return
+            except CommError as err:
+                if err.transient:
+                    if retries_left <= 0:
+                        raise  # budget exhausted: surface the original fault
+                    retry_index = self.retry_policy.max_retries - retries_left
+                    delay = self.retry_policy.delay(retry_index)
+                    self.clock.sleep(delay)
+                    self.comm.stats.num_retries += 1
+                    self.comm.stats.retry_backoff_seconds += delay
+                    retries_left -= 1
+                else:
+                    failed = err.rank if err.rank is not None else self.global_ranks[-1]
+                    self.drop_rank(failed)
+                    retries_left = self.retry_policy.max_retries
+
+    def _sync_once(self) -> None:
         if self.strategy == "coalesced":
             self._sync_coalesced()
         else:
             self._sync_per_parameter()
+
+    # ------------------------------------------------------------------
+    def drop_rank(self, global_rank: int) -> Module:
+        """Evict a permanently failed rank; returns the dead replica.
+
+        The communicator shrinks to the survivors and subsequent
+        all-reduces divide by the new world size — the elastic
+        degradation path of a production job losing a node mid-run.
+        """
+        index = self.comm.remove_rank(global_rank)
+        self.global_ranks.pop(index)
+        return self.models.pop(index)
 
     def _sync_per_parameter(self) -> None:
         params_per_rank = [list(m.parameters()) for m in self.models]

@@ -1,0 +1,237 @@
+"""Deterministic fault injection and recovery policies.
+
+Production training runs fail: a NIC drops a collective, a node dies, a
+checkpoint write is cut short.  This module makes those failures *first
+class and reproducible* so the recovery paths in
+:mod:`repro.distributed` and :mod:`repro.pipeline.trainers` can be
+exercised in tests rather than discovered in outages — the same spirit
+as the NaN-guard tests, extended to the communication and I/O layers.
+
+Everything here is deterministic: faults fire at a chosen collective
+call index (and rank), retry backoff runs on a simulated clock
+(:class:`SimClock`) so no test ever sleeps wall-time, and the file
+corrupters flip exactly the requested bit.
+
+Components
+----------
+* :class:`CommError` — the typed failure raised by injected collective
+  faults; carries the failing rank and whether the fault is transient.
+* :class:`CommFault` / :class:`IOFault` / :class:`FaultPlan` — a
+  deterministic schedule of failures, consulted by
+  :class:`repro.distributed.SimCommunicator` (collectives) and the
+  trainer checkpoint writer (I/O).
+* :class:`SimClock`, :class:`RetryPolicy`, :func:`call_with_retries` —
+  retry-with-exponential-backoff for *transient* faults; exhaustion
+  re-raises the original error.
+* :func:`truncate_file`, :func:`flip_bit` — checkpoint corrupters for
+  durability tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TypeVar
+
+__all__ = [
+    "CommError",
+    "CommFault",
+    "IOFault",
+    "FaultPlan",
+    "SimClock",
+    "RetryPolicy",
+    "call_with_retries",
+    "truncate_file",
+    "flip_bit",
+]
+
+T = TypeVar("T")
+
+
+class CommError(RuntimeError):
+    """A collective failed.
+
+    Parameters
+    ----------
+    rank:
+        The global rank that failed (or ``None`` when unattributed).
+    transient:
+        ``True`` for faults a retry can clear (dropped packet, timeout);
+        ``False`` for a permanently lost rank, which demands elastic
+        recovery instead of a retry.
+    """
+
+    def __init__(self, message: str, rank: Optional[int] = None, transient: bool = True):
+        super().__init__(message)
+        self.rank = rank
+        self.transient = transient
+
+
+@dataclass
+class CommFault:
+    """One scheduled collective failure.
+
+    ``at_call`` counts *attempts* of the collective (0-based, including
+    attempts that themselves failed), so a transient fault with
+    ``times=2`` fails attempts ``at_call`` and ``at_call + 1`` and lets
+    the third retry through.
+    """
+
+    at_call: int
+    rank: int = 0
+    transient: bool = True
+    times: int = 1
+    _fired: int = field(default=0, repr=False)
+
+    def should_fire(self, call_index: int) -> bool:
+        if self.transient:
+            return self.at_call <= call_index < self.at_call + self.times
+        # a permanent fault keeps firing for its rank until the rank is
+        # removed from the communicator (elastic recovery)
+        return call_index >= self.at_call
+
+
+@dataclass
+class IOFault:
+    """Fail the ``at_write``-th checkpoint write with an ``OSError``."""
+
+    at_write: int
+    times: int = 1
+    message: str = "injected transient I/O error"
+
+    def should_fire(self, write_index: int) -> bool:
+        return self.at_write <= write_index < self.at_write + self.times
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic failure schedule shared by comm and I/O layers.
+
+    The plan keeps its own attempt counters, so the same plan object
+    must not be reused across training runs.
+    """
+
+    comm_faults: List[CommFault] = field(default_factory=list)
+    io_faults: List[IOFault] = field(default_factory=list)
+    _comm_calls: int = field(default=0, repr=False)
+    _io_writes: int = field(default=0, repr=False)
+
+    # -- collectives ---------------------------------------------------
+    def before_collective(self, active_ranks: List[int]) -> None:
+        """Raise :class:`CommError` if a fault is scheduled for this attempt.
+
+        Called by the communicator at the top of every collective; the
+        attempt counter advances whether or not a fault fires.  Permanent
+        faults for ranks that have already been evicted are ignored.
+        """
+        index = self._comm_calls
+        self._comm_calls += 1
+        for fault in self.comm_faults:
+            if not fault.should_fire(index):
+                continue
+            if not fault.transient and fault.rank not in active_ranks:
+                continue  # already evicted
+            kind = "transient" if fault.transient else "permanent"
+            raise CommError(
+                f"injected {kind} collective failure on rank {fault.rank} "
+                f"(attempt {index})",
+                rank=fault.rank,
+                transient=fault.transient,
+            )
+
+    # -- checkpoint I/O ------------------------------------------------
+    def before_checkpoint_write(self, path: str) -> None:
+        """Raise ``OSError`` if this checkpoint write is scheduled to fail."""
+        index = self._io_writes
+        self._io_writes += 1
+        for fault in self.io_faults:
+            if fault.should_fire(index):
+                raise OSError(f"{fault.message} (write {index} of {path!r})")
+
+
+class SimClock:
+    """Deterministic clock: ``sleep`` advances time without waiting."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.now += seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient faults.
+
+    ``max_retries`` counts *retries*, so an operation is attempted at
+    most ``max_retries + 1`` times; retry ``i`` (0-based) waits
+    ``base_delay * multiplier**i`` simulated seconds.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.multiplier <= 0:
+            raise ValueError("base_delay must be >= 0 and multiplier > 0")
+
+    def delay(self, retry_index: int) -> float:
+        return self.base_delay * self.multiplier**retry_index
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    clock: SimClock,
+    retry_on: tuple = (CommError, OSError),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run ``fn``, retrying transient failures with backoff.
+
+    A :class:`CommError` with ``transient=False`` is never retried (it
+    needs elastic recovery, not patience).  When the retry budget is
+    exhausted the *original* error propagates unchanged, so callers and
+    tests see the root cause rather than a retry wrapper's summary.
+    """
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if isinstance(exc, CommError) and not exc.transient:
+                raise
+            if attempt >= policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            clock.sleep(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# file corrupters (durability-test utilities)
+# ----------------------------------------------------------------------
+def truncate_file(path: str, keep_bytes: int) -> None:
+    """Cut ``path`` down to its first ``keep_bytes`` bytes (torn write)."""
+    size = os.path.getsize(path)
+    if keep_bytes >= size:
+        raise ValueError(f"keep_bytes={keep_bytes} >= file size {size}")
+    with open(path, "r+b") as fh:
+        fh.truncate(keep_bytes)
+
+
+def flip_bit(path: str, byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit of ``path`` in place (silent media corruption)."""
+    if not 0 <= bit < 8:
+        raise ValueError("bit must be in [0, 8)")
+    with open(path, "r+b") as fh:
+        fh.seek(byte_offset)
+        original = fh.read(1)
+        if not original:
+            raise ValueError(f"byte_offset {byte_offset} beyond end of {path!r}")
+        fh.seek(byte_offset)
+        fh.write(bytes([original[0] ^ (1 << bit)]))

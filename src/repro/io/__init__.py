@@ -1,10 +1,21 @@
 """Dataset IO: npz serialisation, splits, and TrackML-format interop."""
 
-from .serialization import load_graphs, save_graphs
+from .serialization import (
+    CheckpointError,
+    archive_digest,
+    atomic_savez,
+    load_graphs,
+    open_archive,
+    save_graphs,
+)
 from .splits import split_graphs
 from .trackml import export_trackml, import_trackml
 
 __all__ = [
+    "CheckpointError",
+    "archive_digest",
+    "atomic_savez",
+    "open_archive",
     "save_graphs",
     "load_graphs",
     "split_graphs",

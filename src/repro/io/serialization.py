@@ -1,26 +1,153 @@
-"""Event-graph (de)serialisation as ``.npz`` archives.
+"""Archive layer: atomic, checksummed ``.npz`` (de)serialisation.
 
-Each archive packs every graph's arrays under ``g{i}_{field}`` keys plus a
-``count`` scalar; graphs round-trip exactly (dtype- and value-identical),
-which the property tests verify.
+Two concerns live here:
+
+* **Event-graph round-trips** — each archive packs every graph's arrays
+  under ``g{i}_{field}`` keys plus a ``count`` scalar; graphs round-trip
+  exactly (dtype- and value-identical), which the property tests verify.
+* **Durability primitives** shared by every checkpoint writer in the
+  code base (:mod:`repro.pipeline.persistence`,
+  :mod:`repro.pipeline.checkpoint`): :func:`atomic_savez` writes through
+  a temp file + ``os.replace`` so a crash mid-write can never leave a
+  truncated archive under the target name, and embeds a SHA-256 content
+  checksum; :func:`open_archive` verifies that checksum and converts the
+  zoo of low-level failure modes (``zipfile.BadZipFile``, zlib errors,
+  truncated headers) into one typed :class:`CheckpointError` naming the
+  offending path.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import os
-from typing import List
+import tempfile
+import zipfile
+import zlib
+from typing import Dict, List, Mapping
 
 import numpy as np
 
 from ..graph import EventGraph
 
-__all__ = ["save_graphs", "load_graphs"]
+__all__ = [
+    "CheckpointError",
+    "CHECKSUM_KEY",
+    "archive_digest",
+    "atomic_savez",
+    "open_archive",
+    "save_graphs",
+    "load_graphs",
+]
+
+CHECKSUM_KEY = "__checksum__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint archive is missing, corrupt, or inconsistent."""
+
+
+def archive_digest(payload: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over the archive content (sorted keys; dtype/shape/bytes).
+
+    The :data:`CHECKSUM_KEY` entry itself is excluded so the digest can be
+    recomputed from a loaded archive and compared against the stored one.
+    """
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        h.update(key.encode("utf-8"))
+        h.update(arr.dtype.str.encode("ascii"))
+        h.update(repr(arr.shape).encode("ascii"))
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def atomic_savez(path: str, payload: Dict[str, np.ndarray], checksum: bool = True) -> None:
+    """Write ``payload`` to ``path`` as a compressed npz, atomically.
+
+    The archive is first written to a temp file in the destination
+    directory and then moved over ``path`` with ``os.replace`` — readers
+    either see the complete old file or the complete new one, never a
+    torn write.  When ``checksum`` is true a SHA-256 digest of the
+    content is embedded under :data:`CHECKSUM_KEY` for
+    :func:`open_archive` to verify.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if checksum:
+        payload = dict(payload)
+        payload[CHECKSUM_KEY] = np.frombuffer(
+            archive_digest(payload).encode("ascii"), dtype=np.uint8
+        )
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def open_archive(path: str, verify: bool = True):
+    """Open an npz archive, translating corruption into CheckpointError.
+
+    Parameters
+    ----------
+    path:
+        Archive written by :func:`atomic_savez` (or plain npz).
+    verify:
+        When true and the archive carries a :data:`CHECKSUM_KEY` entry,
+        every array is read back and the SHA-256 digest recomputed; any
+        mismatch (bit-flip, truncated member) raises
+        :class:`CheckpointError`.
+
+    Returns
+    -------
+    np.lib.npyio.NpzFile
+        The open archive (caller closes it, e.g. via ``with``).
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        # buffer the archive in memory: np.load leaks its file handle when
+        # the zip structure is damaged, and checkpoints are small
+        with open(path, "rb") as fh:
+            buffer = io.BytesIO(fh.read())
+        archive = np.load(buffer, allow_pickle=False)
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+        raise CheckpointError(f"corrupt or unreadable checkpoint {path!r}: {exc}") from exc
+    if verify and CHECKSUM_KEY in archive.files:
+        try:
+            content = {key: archive[key] for key in archive.files}
+        except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError, KeyError) as exc:
+            archive.close()
+            raise CheckpointError(
+                f"corrupt or unreadable checkpoint {path!r}: {exc}"
+            ) from exc
+        stored = bytes(content.pop(CHECKSUM_KEY)).decode("ascii", errors="replace")
+        actual = archive_digest(content)
+        if stored != actual:
+            archive.close()
+            raise CheckpointError(
+                f"checksum mismatch in checkpoint {path!r}: "
+                f"stored {stored[:12]}…, recomputed {actual[:12]}… "
+                "(the file is corrupt)"
+            )
+    return archive
+
 
 _FIELDS = ("edge_index", "x", "y", "edge_labels", "particle_ids")
 
 
 def save_graphs(graphs: List[EventGraph], path: str) -> None:
-    """Write a list of graphs to ``path`` (a single compressed npz)."""
+    """Write a list of graphs to ``path`` (one atomic compressed npz)."""
     payload = {"count": np.asarray(len(graphs), dtype=np.int64)}
     for i, g in enumerate(graphs):
         payload[f"g{i}_edge_index"] = g.edge_index
@@ -31,14 +158,12 @@ def save_graphs(graphs: List[EventGraph], path: str) -> None:
             payload[f"g{i}_edge_labels"] = g.edge_labels
         if g.particle_ids is not None:
             payload[f"g{i}_particle_ids"] = g.particle_ids
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    atomic_savez(path, payload)
 
 
 def load_graphs(path: str) -> List[EventGraph]:
     """Load graphs written by :func:`save_graphs`."""
-    with np.load(path) as data:
+    with open_archive(path) as data:
         count = int(data["count"])
         graphs = []
         for i in range(count):

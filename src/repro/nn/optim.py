@@ -36,6 +36,43 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # serialisation — required by the resumable-training checkpoints: the
+    # slot arrays are keyed by *parameter index* (the deterministic
+    # ``named_parameters`` order every DDP rank shares), never by ``id()``.
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat arrays capturing the full optimiser state."""
+        return {"lr": np.asarray(self.lr, dtype=np.float64)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if "lr" in state:
+            self.lr = float(np.asarray(state["lr"]))
+
+    def _slots_to_state(
+        self, label: str, slots: Dict[int, np.ndarray], out: Dict[str, np.ndarray]
+    ) -> None:
+        for i, p in enumerate(self.params):
+            arr = slots.get(id(p))
+            if arr is not None:
+                out[f"{label}{i}"] = arr.copy()
+
+    def _slots_from_state(
+        self, label: str, state: Dict[str, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        slots: Dict[int, np.ndarray] = {}
+        for i, p in enumerate(self.params):
+            key = f"{label}{i}"
+            if key in state:
+                arr = np.asarray(state[key])
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"optimizer slot {key!r} shape {arr.shape} does not "
+                        f"match parameter shape {p.data.shape}"
+                    )
+                slots[id(p)] = arr.copy()
+        return slots
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -70,6 +107,15 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = v
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        self._slots_to_state("velocity", self._velocity, state)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._slots_from_state("velocity", state)
 
 
 class Adam(Optimizer):
@@ -128,3 +174,18 @@ class Adam(Optimizer):
             if self.weight_decay and self.decoupled:
                 update = update + self.weight_decay * p.data
             p.data -= self.lr * update
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Adam moments + step count, keyed by parameter index."""
+        state = super().state_dict()
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        self._slots_to_state("m", self._m, state)
+        self._slots_to_state("v", self._v, state)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore moments and step count; resumed updates are bit-equal."""
+        super().load_state_dict(state)
+        self._t = int(np.asarray(state.get("t", 0)))
+        self._m = self._slots_from_state("m", state)
+        self._v = self._slots_from_state("v", state)

@@ -1,6 +1,13 @@
 """The five-stage Exa.TrkX-style tracking pipeline and its GNN trainers."""
 
 from .config import GNNTrainConfig, PipelineConfig
+from .checkpoint import (
+    CheckpointError,
+    TrainerState,
+    describe_checkpoint,
+    load_trainer_checkpoint,
+    save_trainer_checkpoint,
+)
 from .trainers import (
     GNNTrainResult,
     derive_pos_weight,
@@ -37,6 +44,11 @@ __all__ = [
     "diagnose_event",
     "save_pipeline",
     "load_pipeline",
+    "CheckpointError",
+    "TrainerState",
+    "save_trainer_checkpoint",
+    "load_trainer_checkpoint",
+    "describe_checkpoint",
     "SeedSweepResult",
     "run_with_seeds",
 ]

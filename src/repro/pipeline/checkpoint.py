@@ -1,0 +1,239 @@
+"""Resumable-trainer checkpoints: complete state, atomic, verifiable.
+
+A 30-epoch multi-rank GNN training run must survive a crash without
+losing everything — the fault-tolerance premise of a production
+pipeline.  This module serialises the *complete* trainer state to one
+versioned, checksummed ``.npz`` archive (written atomically through
+:func:`repro.io.serialization.atomic_savez`):
+
+* model parameters (rank 0 — replicas are bit-identical at epoch
+  boundaries after DDP synchronisation);
+* Adam moments and step count (:meth:`repro.nn.Adam.state_dict`);
+* the ``np.random.Generator`` bit-generator state, so the resumed epoch
+  draws exactly the permutations / ShaDow fanouts the uninterrupted run
+  would have drawn;
+* the :class:`~repro.metrics.TrainingHistory` recorded so far;
+* early-stop / best-checkpoint governor state (best F1, evals since
+  best, scheduler epoch, and the best-model weights when
+  ``restore_best`` is on);
+* step / skip counters.
+
+The guarantee (verified by the resume-equivalence tests): *train 2N
+epochs* is bit-identical to *train N epochs, crash, resume, train N
+more* — same final ``state_dict()``, same history — in every training
+mode.
+
+Checkpoints refuse to resume under a different training configuration:
+every :class:`~repro.pipeline.config.GNNTrainConfig` field except the
+checkpoint plumbing itself (``checkpoint_every`` / ``checkpoint_path`` /
+``resume_from``) and the epoch budget (``epochs``, which legitimately
+grows when extending a finished run) must match.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..io.serialization import CheckpointError, atomic_savez, open_archive
+from ..metrics import EpochRecord, TrainingHistory
+from .config import GNNTrainConfig
+
+__all__ = [
+    "CheckpointError",
+    "TrainerState",
+    "save_trainer_checkpoint",
+    "load_trainer_checkpoint",
+    "describe_checkpoint",
+]
+
+FORMAT_VERSION = 1
+_KIND = "repro.gnn-trainer"
+# Fields allowed to differ between the checkpointing run and the
+# resuming run; everything else participates in training math and must
+# match exactly for the deterministic-resume guarantee to hold.
+_RESUME_EXEMPT_FIELDS = ("checkpoint_every", "checkpoint_path", "resume_from", "epochs")
+
+
+@dataclass
+class TrainerState:
+    """Everything the epoch loop needs to continue where it stopped."""
+
+    epochs_done: int
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, np.ndarray]
+    rng_state: Dict[str, Any]
+    history: TrainingHistory
+    governor_state: Dict[str, Any]
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    trained_steps: int = 0
+    skipped_graphs: int = 0
+    checkpointed_steps: int = 0
+
+
+def _text_entry(text: str) -> np.ndarray:
+    return np.frombuffer(text.encode("utf-8"), dtype=np.uint8)
+
+
+def _entry_text(arr: np.ndarray) -> str:
+    return bytes(np.asarray(arr, dtype=np.uint8)).decode("utf-8")
+
+
+def _history_to_jsonable(history: TrainingHistory) -> Dict[str, Any]:
+    return {
+        "label": history.label,
+        "records": [dataclasses.asdict(r) for r in history.records],
+    }
+
+
+def _history_from_jsonable(payload: Dict[str, Any]) -> TrainingHistory:
+    history = TrainingHistory(label=payload["label"])
+    for rec in payload["records"]:
+        history.append(EpochRecord(**rec))
+    return history
+
+
+def save_trainer_checkpoint(
+    path: str,
+    config: GNNTrainConfig,
+    state: TrainerState,
+    fault_plan=None,
+) -> None:
+    """Atomically write a trainer checkpoint to ``path``.
+
+    The archive carries a format version, the full training config (for
+    resume validation), a JSON meta block (counters, RNG state, history,
+    governor bookkeeping), and the parameter / optimiser arrays — all
+    covered by a SHA-256 content checksum.
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; its scheduled I/O
+        faults fire *before* anything is written, modelling a transient
+        storage failure.  Because the write is atomic, a failed attempt
+        never damages an existing checkpoint at ``path``.
+    """
+    if fault_plan is not None:
+        fault_plan.before_checkpoint_write(path)
+    meta = {
+        "kind": _KIND,
+        "format_version": FORMAT_VERSION,
+        "epochs_done": state.epochs_done,
+        "trained_steps": state.trained_steps,
+        "skipped_graphs": state.skipped_graphs,
+        "checkpointed_steps": state.checkpointed_steps,
+        "rng_state": state.rng_state,
+        "governor": state.governor_state,
+        "history": _history_to_jsonable(state.history),
+        "has_best_state": state.best_state is not None,
+    }
+    payload: Dict[str, np.ndarray] = {
+        "meta_json": _text_entry(json.dumps(meta)),
+        "config_json": _text_entry(json.dumps(dataclasses.asdict(config))),
+    }
+    for name, arr in state.model_state.items():
+        payload[f"model/{name}"] = arr
+    for name, arr in state.optimizer_state.items():
+        payload[f"optim/{name}"] = arr
+    if state.best_state is not None:
+        for name, arr in state.best_state.items():
+            payload[f"best/{name}"] = arr
+    atomic_savez(path, payload)
+
+
+def _unpack_prefix(archive, prefix: str) -> Dict[str, np.ndarray]:
+    plen = len(prefix) + 1
+    return {
+        key[plen:]: archive[key]
+        for key in archive.files
+        if key.startswith(prefix + "/")
+    }
+
+
+def _check_config(path: str, saved: Dict[str, Any], config: GNNTrainConfig) -> None:
+    current = dataclasses.asdict(config)
+    mismatched: List[str] = []
+    for key, value in saved.items():
+        if key in _RESUME_EXEMPT_FIELDS:
+            continue
+        if key in current and current[key] != value:
+            mismatched.append(f"{key}: checkpoint={value!r} vs run={current[key]!r}")
+    if mismatched:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written under a different training "
+            "configuration; refusing to resume (" + "; ".join(mismatched) + ")"
+        )
+
+
+def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
+    """Load and validate a checkpoint for resuming under ``config``.
+
+    Raises
+    ------
+    CheckpointError
+        If the file is missing, corrupt (bad checksum / truncated), of an
+        unknown format version, or written under an incompatible
+        configuration.
+    """
+    with open_archive(path) as archive:
+        try:
+            meta = json.loads(_entry_text(archive["meta_json"]))
+            saved_config = json.loads(_entry_text(archive["config_json"]))
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing or has a malformed meta block: {exc}"
+            ) from exc
+        if meta.get("kind") != _KIND:
+            raise CheckpointError(
+                f"{path!r} is not a trainer checkpoint (kind={meta.get('kind')!r})"
+            )
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has format version "
+                f"{meta.get('format_version')!r}; this build reads version "
+                f"{FORMAT_VERSION}"
+            )
+        _check_config(path, saved_config, config)
+        if meta["epochs_done"] >= config.epochs:
+            raise CheckpointError(
+                f"checkpoint {path!r} already covers {meta['epochs_done']} "
+                f"epochs; nothing to resume for an epoch budget of "
+                f"{config.epochs}"
+            )
+        model_state = _unpack_prefix(archive, "model")
+        if not model_state:
+            raise CheckpointError(f"checkpoint {path!r} contains no model parameters")
+        best_state = _unpack_prefix(archive, "best") if meta.get("has_best_state") else None
+        return TrainerState(
+            epochs_done=int(meta["epochs_done"]),
+            model_state=model_state,
+            optimizer_state=_unpack_prefix(archive, "optim"),
+            rng_state=meta["rng_state"],
+            history=_history_from_jsonable(meta["history"]),
+            governor_state=meta["governor"],
+            best_state=best_state,
+            trained_steps=int(meta["trained_steps"]),
+            skipped_graphs=int(meta["skipped_graphs"]),
+            checkpointed_steps=int(meta["checkpointed_steps"]),
+        )
+
+
+def describe_checkpoint(path: str) -> Dict[str, Any]:
+    """Human-oriented summary of a checkpoint (CLI / debugging helper)."""
+    with open_archive(path) as archive:
+        meta = json.loads(_entry_text(archive["meta_json"]))
+        config = json.loads(_entry_text(archive["config_json"]))
+    return {
+        "kind": meta.get("kind"),
+        "format_version": meta.get("format_version"),
+        "epochs_done": meta.get("epochs_done"),
+        "trained_steps": meta.get("trained_steps"),
+        "mode": config.get("mode"),
+        "world_size": config.get("world_size"),
+        "seed": config.get("seed"),
+    }

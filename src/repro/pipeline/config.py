@@ -44,6 +44,19 @@ class GNNTrainConfig:
         retry with layer-boundary gradient checkpointing
         (:class:`repro.models.CheckpointedIGNN`) before skipping — the
         memory/compute trade the original pipeline leaves unused.
+    checkpoint_every:
+        Write a resumable trainer checkpoint every this many epochs
+        (``None`` = never).  Requires ``checkpoint_path``.  Checkpoints
+        capture *complete* trainer state (weights, Adam moments, RNG,
+        history, early-stop bookkeeping) so a resumed run is bit-equal
+        to an uninterrupted one; see :mod:`repro.pipeline.checkpoint`.
+    checkpoint_path:
+        Destination ``.npz`` for trainer checkpoints (written atomically,
+        with an integrity checksum).
+    resume_from:
+        Path of a checkpoint written by a previous (interrupted) run of
+        the *same configuration*; training continues from the epoch after
+        the checkpoint instead of starting over.
     """
 
     mode: str = "bulk"
@@ -69,6 +82,10 @@ class GNNTrainConfig:
     scheduler: Optional[str] = None  # None | "cosine" | "step"
     early_stopping_patience: Optional[int] = None  # evals without F1 gain
     restore_best: bool = False  # reload the best-val-F1 weights at the end
+    # Fault tolerance (see docs/fault_tolerance.md):
+    checkpoint_every: Optional[int] = None  # epochs between checkpoints
+    checkpoint_path: Optional[str] = None  # where checkpoints are written
+    resume_from: Optional[str] = None  # checkpoint to continue from
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "shadow", "bulk", "nodewise", "saint"):
@@ -85,6 +102,11 @@ class GNNTrainConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
             raise ValueError("early_stopping_patience must be >= 1")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if self.checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
 
     def replace(self, **kwargs) -> "GNNTrainConfig":
         """Copy with overrides."""

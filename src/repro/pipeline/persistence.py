@@ -8,18 +8,23 @@ production pipeline.
 
 Configs are stored as JSON (dataclasses → dict); parameter arrays are
 stored under namespaced keys (``embedding/…``, ``filter/…``, ``gnn/…``).
+
+Durability: archives are written atomically (temp file + ``os.replace``)
+with an embedded SHA-256 content checksum, and loading translates every
+low-level corruption symptom (truncated zip, bit-flipped member, missing
+entry) into a :class:`repro.io.CheckpointError` that names the file.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
 from typing import Dict
 
 import numpy as np
 
 from ..detector.geometry import DetectorGeometry
+from ..io.serialization import CheckpointError, atomic_savez, open_archive
 from ..models import (
     EmbeddingConfig,
     EmbeddingNet,
@@ -36,7 +41,9 @@ from .graph_construction import GraphConstructionStage
 from .pipeline import ExaTrkXPipeline
 from .trainers import GNNTrainResult
 
-__all__ = ["save_pipeline", "load_pipeline"]
+__all__ = ["save_pipeline", "load_pipeline", "CheckpointError"]
+
+_META_FIELDS = 5  # network widths stored in the "meta" entry
 
 
 def _config_to_json(config: PipelineConfig) -> str:
@@ -62,6 +69,17 @@ def _unpack(prefix: str, archive) -> Dict[str, np.ndarray]:
         for key in archive.files
         if key.startswith(prefix + "/")
     }
+
+
+def _load_stage_state(net, prefix: str, archive, path: str) -> None:
+    """Load one stage's weights, naming the archive on any mismatch."""
+    try:
+        net.load_state_dict(_unpack(prefix, archive))
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"pipeline archive {path!r} has incomplete or mismatched "
+            f"{prefix!r} stage weights: {exc}"
+        ) from exc
 
 
 def save_pipeline(pipeline: ExaTrkXPipeline, path: str) -> None:
@@ -102,9 +120,9 @@ def save_pipeline(pipeline: ExaTrkXPipeline, path: str) -> None:
         ],
         dtype=np.int64,
     )
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    # atomic write + checksum: a crash mid-save can never leave a
+    # truncated archive under the target name
+    atomic_savez(path, payload)
 
 
 def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
@@ -112,10 +130,28 @@ def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
 
     The returned pipeline supports ``reconstruct`` / ``score_event`` /
     ``diagnose_event`` immediately; ``fit`` would retrain from scratch.
+
+    Raises
+    ------
+    CheckpointError
+        If the archive is missing, truncated, bit-flipped (checksum
+        mismatch), or structurally incomplete — never a raw
+        ``zipfile.BadZipFile`` / ``KeyError``.
     """
-    with np.load(path) as archive:
-        config = _config_from_json(bytes(archive["config_json"]).decode("utf-8"))
-        meta = archive["meta"]
+    with open_archive(path) as archive:
+        try:
+            config = _config_from_json(bytes(archive["config_json"]).decode("utf-8"))
+            meta = archive["meta"]
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"pipeline archive {path!r} is missing or has a malformed "
+                f"config/meta entry: {exc}"
+            ) from exc
+        if meta.ndim != 1 or meta.size != _META_FIELDS:
+            raise CheckpointError(
+                f"pipeline archive {path!r} has a malformed 'meta' entry: "
+                f"expected {_META_FIELDS} network widths, found shape {meta.shape}"
+            )
         emb_nf, fil_nf, fil_ef, gnn_nf, gnn_ef = (int(v) for v in meta)
 
         pipeline = ExaTrkXPipeline(config, geometry)
@@ -130,7 +166,7 @@ def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
                 seed=config.seed,
             )
         )
-        emb_net.load_state_dict(_unpack("embedding", archive))
+        _load_stage_state(emb_net, "embedding", archive, path)
         pipeline.embedding.net = emb_net
         pipeline.construction = GraphConstructionStage(
             config, geometry, pipeline.embedding
@@ -145,7 +181,7 @@ def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
                 seed=config.seed,
             )
         )
-        fil_net.load_state_dict(_unpack("filter", archive))
+        _load_stage_state(fil_net, "filter", archive, path)
         pipeline.filter.net = fil_net
 
         gnn_model = InteractionGNN(
@@ -158,7 +194,7 @@ def load_pipeline(path: str, geometry: DetectorGeometry) -> ExaTrkXPipeline:
                 seed=config.gnn.seed,
             )
         )
-        gnn_model.load_state_dict(_unpack("gnn", archive))
+        _load_stage_state(gnn_model, "gnn", archive, path)
         from ..metrics import TrainingHistory
         from ..perf import StageTimer
 

@@ -30,6 +30,7 @@ from ..distributed import (
     SimCommunicator,
     replicate_model,
 )
+from ..faults import FaultPlan, RetryPolicy, SimClock, call_with_retries
 from ..graph import EventGraph, shard_batch
 from ..memory import ActivationMemoryModel
 from ..metrics import EpochRecord, TrainingHistory, pooled_precision_recall
@@ -44,6 +45,7 @@ from ..sampling import (
     group_batches,
 )
 from ..tensor import Tensor, no_grad
+from .checkpoint import TrainerState, load_trainer_checkpoint, save_trainer_checkpoint
 from .config import GNNTrainConfig
 
 __all__ = ["GNNTrainResult", "train_gnn", "evaluate_edge_classifier", "derive_pos_weight"]
@@ -61,6 +63,8 @@ class GNNTrainResult:
     trained_steps: int = 0
     checkpointed_steps: int = 0
     config: Optional[GNNTrainConfig] = None
+    resumed_epoch: Optional[int] = None  # first epoch of a resumed run
+    checkpoints_written: int = 0
 
 
 class _TrainingGovernor:
@@ -110,6 +114,98 @@ class _TrainingGovernor:
         """Restore the best-validation weights if requested."""
         if self.config.restore_best and self.best_state is not None:
             model.load_state_dict(self.best_state)
+
+    # -- checkpoint support (best_state travels separately as arrays) --
+    def state_dict(self) -> dict:
+        return {
+            "best_f1": self.best_f1,
+            "evals_since_best": self.evals_since_best,
+            "scheduler_epoch": self.schedulers[0].epoch if self.schedulers else 0,
+        }
+
+    def load_state_dict(self, state: dict, best_state=None) -> None:
+        self.best_f1 = float(state["best_f1"])
+        self.evals_since_best = int(state["evals_since_best"])
+        for s in self.schedulers:
+            s.epoch = int(state["scheduler_epoch"])
+        if best_state:
+            self.best_state = best_state
+
+
+class _FaultToleranceRuntime:
+    """Checkpoint / resume / retry wiring shared by every training regime.
+
+    One instance per :func:`train_gnn` call.  It applies a resume
+    checkpoint to freshly built models/optimizers, and writes periodic
+    checkpoints with transient-I/O retry (deterministic simulated
+    backoff — the trainer never sleeps wall-time).
+    """
+
+    def __init__(
+        self,
+        config: GNNTrainConfig,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.config = config
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else SimClock()
+        self.checkpoints_written = 0
+        self.resumed_epoch: Optional[int] = None
+
+    def resume(self, models, optimizers, rng, governor) -> Optional[TrainerState]:
+        """Restore checkpointed state into every replica; None if fresh."""
+        if self.config.resume_from is None:
+            return None
+        state = load_trainer_checkpoint(self.config.resume_from, self.config)
+        for m in models:
+            m.load_state_dict(state.model_state)
+        for opt in optimizers:
+            opt.load_state_dict(state.optimizer_state)
+        governor.load_state_dict(state.governor_state, state.best_state)
+        rng.bit_generator.state = state.rng_state
+        self.resumed_epoch = state.epochs_done
+        return state
+
+    def maybe_checkpoint(
+        self,
+        epoch: int,
+        model,
+        optimizer: Adam,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+        governor: _TrainingGovernor,
+        steps: int,
+        skipped: int = 0,
+        checkpointed_steps: int = 0,
+    ) -> None:
+        """Write a checkpoint if epoch ``epoch`` completes a period."""
+        cfg = self.config
+        if cfg.checkpoint_every is None or (epoch + 1) % cfg.checkpoint_every != 0:
+            return
+        state = TrainerState(
+            epochs_done=epoch + 1,
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=rng.bit_generator.state,
+            history=history,
+            governor_state=governor.state_dict(),
+            best_state=governor.best_state,
+            trained_steps=steps,
+            skipped_graphs=skipped,
+            checkpointed_steps=checkpointed_steps,
+        )
+        call_with_retries(
+            lambda: save_trainer_checkpoint(
+                cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
+            ),
+            self.retry_policy,
+            self.clock,
+            retry_on=(OSError,),
+        )
+        self.checkpoints_written += 1
 
 
 def derive_pos_weight(graphs: Sequence[EventGraph]) -> float:
@@ -179,6 +275,8 @@ def _train_full_graph(
     val_graphs: Sequence[EventGraph],
     config: GNNTrainConfig,
     loss_fn: BCEWithLogitsLoss,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> GNNTrainResult:
     if config.world_size != 1:
         raise ValueError("full-graph mode is single-rank (as in the original pipeline)")
@@ -192,11 +290,20 @@ def _train_full_graph(
     history = TrainingHistory(label="full-graph")
     rng = np.random.default_rng(config.seed)
     governor = _TrainingGovernor(config, [optimizer])
+    runtime = _FaultToleranceRuntime(config, fault_plan, retry_policy)
     skipped = 0
     checkpointed_steps = 0
     steps = 0
+    start_epoch = 0
+    resumed = runtime.resume([model], [optimizer], rng, governor)
+    if resumed is not None:
+        start_epoch = resumed.epochs_done
+        history = resumed.history
+        skipped = resumed.skipped_graphs
+        checkpointed_steps = resumed.checkpointed_steps
+        steps = resumed.trained_steps
 
-    for epoch in range(config.epochs):
+    for epoch in range(start_epoch, config.epochs):
         order = rng.permutation(len(train_graphs))
         losses = []
         epoch_t0 = timers.total("epoch")
@@ -251,7 +358,12 @@ def _train_full_graph(
                 training_seconds=timers.total("training") - train_t0,
             )
         )
-        if governor.end_epoch(model, history.final):
+        stop = governor.end_epoch(model, history.final)
+        runtime.maybe_checkpoint(
+            epoch, model, optimizer, rng, history, governor,
+            steps, skipped, checkpointed_steps,
+        )
+        if stop:
             break
     governor.finalize(model)
     return GNNTrainResult(
@@ -262,6 +374,8 @@ def _train_full_graph(
         trained_steps=steps,
         checkpointed_steps=checkpointed_steps,
         config=config,
+        resumed_epoch=runtime.resumed_epoch,
+        checkpoints_written=runtime.checkpoints_written,
     )
 
 
@@ -273,13 +387,27 @@ def _train_minibatch(
     val_graphs: Sequence[EventGraph],
     config: GNNTrainConfig,
     loss_fn: BCEWithLogitsLoss,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> GNNTrainResult:
     factory = _model_factory(config, train_graphs[0])
     world = config.world_size
     models = replicate_model(factory, world)
-    comm = SimCommunicator(world)
-    ddp = DistributedDataParallel(models, comm, strategy=config.allreduce)
-    optimizers = [Adam(m.parameters(), lr=config.lr) for m in models]
+    comm = SimCommunicator(world, fault_plan=fault_plan)
+    clock = SimClock()
+    ddp = DistributedDataParallel(
+        models,
+        comm,
+        strategy=config.allreduce,
+        retry_policy=retry_policy,
+        clock=clock,
+    )
+    # Optimisers are keyed by *global* rank so elastic recovery (a rank
+    # permanently failing mid-run) drops exactly the dead rank's state.
+    optimizers = {
+        grank: Adam(m.parameters(), lr=config.lr)
+        for grank, m in zip(ddp.global_ranks, ddp.models)
+    }
 
     if config.mode == "shadow":
         sampler = ShadowSampler(depth=config.depth, fanout=config.fanout)
@@ -305,10 +433,19 @@ def _train_minibatch(
     timers = StageTimer()
     history = TrainingHistory(label=label)
     rng = np.random.default_rng(config.seed)
-    governor = _TrainingGovernor(config, optimizers)
+    governor = _TrainingGovernor(config, list(optimizers.values()))
+    runtime = _FaultToleranceRuntime(config, fault_plan, retry_policy, clock)
     steps = 0
+    start_epoch = 0
+    resumed = runtime.resume(
+        ddp.models, list(optimizers.values()), rng, governor
+    )
+    if resumed is not None:
+        start_epoch = resumed.epochs_done
+        history = resumed.history
+        steps = resumed.trained_steps
 
-    for epoch in range(config.epochs):
+    for epoch in range(start_epoch, config.epochs):
         losses = []
         epoch_t0 = timers.total("epoch")
         sample_t0 = timers.total("sampling")
@@ -317,37 +454,43 @@ def _train_minibatch(
         with timers.scope("epoch"):
             batches = epoch_batches(train_graphs, config.batch_size, rng)
             for graph, batch_group in group_batches(batches, k):
-                # Each rank samples & trains its shard of every batch in
-                # the group.  Ranks execute sequentially here (one CPU),
-                # so measured sampling/training time is the *sum over
-                # ranks*; benches divide by P when projecting.
-                rank_sampled: List[List[SampledBatch]] = []
+                # Each live rank samples & trains its shard of every
+                # batch in the group.  Ranks execute sequentially here
+                # (one CPU), so measured sampling/training time is the
+                # *sum over ranks*; benches divide by P when projecting.
+                # After an elastic rank eviction the batch is re-sharded
+                # over the survivors, so no shard is silently dropped.
+                live = list(ddp.global_ranks)
+                rank_sampled: dict = {}
                 with timers.scope("sampling"):
-                    for rank in range(world):
+                    for slot, grank in enumerate(live):
                         shards = [
-                            shard_batch(b, rank, world) for b in batch_group
+                            shard_batch(b, slot, len(live)) for b in batch_group
                         ]
                         # bulk samplers fuse the group into one stacked
                         # step; sequential samplers' default sample_bulk
                         # falls back to one call per batch
-                        rank_sampled.append(
-                            sampler.sample_bulk(graph, shards, rng)
+                        rank_sampled[grank] = sampler.sample_bulk(
+                            graph, shards, rng
                         )
                 # one optimisation step per batch in the group
                 for bi in range(len(batch_group)):
                     with timers.scope("training"):
-                        for rank in range(world):
-                            optimizers[rank].zero_grad()
-                            sb = rank_sampled[rank][bi]
-                            loss = _step(models[rank], sb.graph, loss_fn)
-                            if rank == 0:
+                        for grank, model in zip(ddp.global_ranks, ddp.models):
+                            optimizers[grank].zero_grad()
+                            sb = rank_sampled[grank][bi]
+                            loss = _step(model, sb.graph, loss_fn)
+                            if grank == ddp.global_ranks[0]:
                                 losses.append(loss.item())
+                        # may evict permanently failed ranks (elastic
+                        # recovery) or retry transient comm faults
                         ddp.synchronize_gradients()
-                        for opt in optimizers:
-                            opt.step()
+                        for grank in ddp.global_ranks:
+                            optimizers[grank].step()
                     steps += 1
+        lead = ddp.models[0]
         precision, recall = (
-            evaluate_edge_classifier(models[0], val_graphs, config.threshold)
+            evaluate_edge_classifier(lead, val_graphs, config.threshold)
             if (epoch + 1) % config.eval_every == 0
             else (float("nan"), float("nan"))
         )
@@ -363,20 +506,27 @@ def _train_minibatch(
                 comm_modeled_seconds=comm.stats.modeled_seconds - comm_t0,
             )
         )
-        if governor.end_epoch(models[0], history.final):
+        stop = governor.end_epoch(lead, history.final)
+        runtime.maybe_checkpoint(
+            epoch, lead, optimizers[ddp.global_ranks[0]], rng, history,
+            governor, steps,
+        )
+        if stop:
             break
-    governor.finalize(models[0])
+    governor.finalize(ddp.models[0])
     if config.restore_best and governor.best_state is not None:
         # keep the replicas bit-identical after restoration
-        for m in models[1:]:
+        for m in ddp.models[1:]:
             m.load_state_dict(governor.best_state)
     return GNNTrainResult(
-        model=models[0],
+        model=ddp.models[0],
         history=history,
         timers=timers,
         comm_stats=comm.stats,
         trained_steps=steps,
         config=config,
+        resumed_epoch=runtime.resumed_epoch,
+        checkpoints_written=runtime.checkpoints_written,
     )
 
 
@@ -385,6 +535,8 @@ def train_gnn(
     train_graphs: Sequence[EventGraph],
     val_graphs: Sequence[EventGraph],
     config: GNNTrainConfig,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> GNNTrainResult:
     """Train the GNN stage under the configured regime.
 
@@ -393,7 +545,19 @@ def train_gnn(
     train_graphs, val_graphs:
         Labelled event graphs (candidate-segment graphs).
     config:
-        See :class:`repro.pipeline.config.GNNTrainConfig`.
+        See :class:`repro.pipeline.config.GNNTrainConfig`.  With
+        ``checkpoint_every`` / ``checkpoint_path`` set, complete trainer
+        state is checkpointed periodically (atomic + checksummed); with
+        ``resume_from``, training continues from that checkpoint and is
+        bit-identical to an uninterrupted run.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` injecting deterministic
+        communication / checkpoint-I/O failures, for exercising the
+        recovery paths (tests and chaos drills).
+    retry_policy:
+        Backoff schedule for transient faults (defaults to
+        :class:`repro.faults.RetryPolicy`); all delays run on a simulated
+        clock.
     """
     if not train_graphs:
         raise ValueError("no training graphs")
@@ -406,5 +570,9 @@ def train_gnn(
     )
     loss_fn = BCEWithLogitsLoss(pos_weight=pos_weight)
     if config.mode == "full":
-        return _train_full_graph(train_graphs, val_graphs, config, loss_fn)
-    return _train_minibatch(train_graphs, val_graphs, config, loss_fn)
+        return _train_full_graph(
+            train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
+        )
+    return _train_minibatch(
+        train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
+    )

@@ -1,0 +1,203 @@
+"""Comm fault injection, retry/backoff, and elastic rank recovery."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedDataParallel, SimCommunicator, replicate_model
+from repro.faults import (
+    CommError,
+    CommFault,
+    FaultPlan,
+    RetryPolicy,
+    SimClock,
+    call_with_retries,
+)
+from repro.nn import MLP
+from repro.pipeline import GNNTrainConfig, train_gnn
+from repro.tensor import Tensor
+
+SMALL = dict(
+    epochs=2,
+    batch_size=32,
+    hidden=8,
+    num_layers=2,
+    mlp_layers=2,
+    depth=2,
+    fanout=3,
+    seed=0,
+    world_size=4,
+)
+
+
+def _make_ddp(world=4, fault_plan=None, retry_policy=None, strategy="coalesced"):
+    factory = lambda: MLP(
+        4, 8, out_features=1, num_layers=2, rng=np.random.default_rng(3)
+    )
+    models = replicate_model(factory, world)
+    comm = SimCommunicator(world, fault_plan=fault_plan)
+    clock = SimClock()
+    ddp = DistributedDataParallel(
+        models, comm, strategy=strategy, retry_policy=retry_policy, clock=clock
+    )
+    return ddp, comm, clock
+
+
+def _backward_all(models, rng):
+    for rank, model in enumerate(models):
+        x = Tensor(rng.standard_normal((6, 4)).astype(np.float32))
+        out = model(x)
+        out.backward(np.ones_like(out.data))
+
+
+class TestSimClockAndRetryPolicy:
+    def test_clock_accumulates_without_sleeping(self):
+        clock = SimClock()
+        clock.sleep(0.5)
+        clock.sleep(1.25)
+        assert clock.now == 1.75
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0)
+        assert [policy.delay(i) for i in range(3)] == [0.1, 0.2, 0.4]
+
+    def test_exhaustion_reraises_original_error(self):
+        clock = SimClock()
+        original = CommError("boom", rank=1, transient=True)
+
+        def always_fails():
+            raise original
+
+        with pytest.raises(CommError) as excinfo:
+            call_with_retries(always_fails, RetryPolicy(max_retries=2), clock)
+        assert excinfo.value is original
+        # two retries of backoff were charged to the simulated clock
+        assert clock.now == pytest.approx(0.05 + 0.10)
+
+    def test_permanent_fault_is_never_retried(self):
+        clock = SimClock()
+        calls = []
+
+        def permanent_failure():
+            calls.append(1)
+            raise CommError("dead rank", rank=0, transient=False)
+
+        with pytest.raises(CommError):
+            call_with_retries(permanent_failure, RetryPolicy(max_retries=5), clock)
+        assert len(calls) == 1
+        assert clock.now == 0.0
+
+
+@pytest.mark.faults
+class TestTransientCommFaults:
+    @pytest.mark.parametrize("strategy", ["coalesced", "per_parameter"])
+    def test_transient_fault_retried_and_converges(self, rng, strategy):
+        plan = FaultPlan(comm_faults=[CommFault(at_call=0, rank=2, transient=True)])
+        ddp, comm, clock = _make_ddp(fault_plan=plan, strategy=strategy)
+        _backward_all(ddp.models, rng)
+        ddp.synchronize_gradients()
+        assert comm.stats.num_retries == 1
+        assert comm.stats.retry_backoff_seconds > 0
+        assert clock.now == comm.stats.retry_backoff_seconds
+        # gradients are in sync across all ranks after the retry
+        grads = [next(m.parameters()).grad for m in ddp.models]
+        for g in grads[1:]:
+            np.testing.assert_array_equal(g, grads[0])
+
+    def test_retry_exhaustion_raises_original_commerror(self, rng):
+        plan = FaultPlan(
+            comm_faults=[CommFault(at_call=0, rank=1, transient=True, times=50)]
+        )
+        ddp, comm, _ = _make_ddp(
+            fault_plan=plan, retry_policy=RetryPolicy(max_retries=3)
+        )
+        _backward_all(ddp.models, rng)
+        with pytest.raises(CommError, match="injected transient collective failure"):
+            ddp.synchronize_gradients()
+        assert comm.stats.num_retries == 3
+
+    def test_training_survives_transient_fault(self, tiny_dataset):
+        plan = FaultPlan(comm_faults=[CommFault(at_call=3, rank=1, transient=True)])
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            GNNTrainConfig(mode="shadow", **SMALL),
+            fault_plan=plan,
+        )
+        assert result.comm_stats.num_retries == 1
+        assert np.isfinite(result.history.final.train_loss)
+
+
+@pytest.mark.faults
+class TestElasticRecovery:
+    def test_permanent_failure_shrinks_world(self, rng):
+        plan = FaultPlan(comm_faults=[CommFault(at_call=0, rank=2, transient=False)])
+        ddp, comm, _ = _make_ddp(fault_plan=plan)
+        _backward_all(ddp.models, rng)
+        ddp.synchronize_gradients()
+        assert ddp.global_ranks == [0, 1, 3]
+        assert comm.world_size == 3
+        assert comm.stats.rank_failures == [2]
+        assert any("rank 2" in e for e in comm.stats.events)
+
+    def test_survivor_gradients_average_over_new_world(self, rng):
+        """After eviction the mean is over the survivors, not the old P."""
+        plan = FaultPlan(comm_faults=[CommFault(at_call=0, rank=3, transient=False)])
+        ddp, comm, _ = _make_ddp(fault_plan=plan)
+        _backward_all(ddp.models, rng)
+        raw = [
+            next(m.parameters()).grad.copy()
+            for m in ddp.models
+            if True
+        ]
+        ddp.synchronize_gradients()
+        expected = np.mean(raw[:3], axis=0)  # survivors 0, 1, 2
+        synced = next(ddp.models[0].parameters()).grad
+        np.testing.assert_allclose(synced, expected, rtol=1e-6, atol=1e-7)
+
+    def test_cannot_remove_last_rank(self):
+        comm = SimCommunicator(1)
+        with pytest.raises(RuntimeError, match="last surviving rank"):
+            comm.remove_rank(0)
+
+    def test_training_completes_after_permanent_rank_failure(self, tiny_dataset):
+        """The acceptance scenario: a DDP run loses one rank mid-training
+        and still finishes with a finite loss on the survivors."""
+        plan = FaultPlan(comm_faults=[CommFault(at_call=5, rank=2, transient=False)])
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            GNNTrainConfig(mode="shadow", **SMALL),
+            fault_plan=plan,
+        )
+        assert result.comm_stats.rank_failures == [2]
+        assert any("permanently failed" in e for e in result.comm_stats.events)
+        assert np.isfinite(result.history.final.train_loss)
+        assert len(result.history) == SMALL["epochs"]
+
+    def test_rank_zero_failure_tolerated(self, tiny_dataset):
+        """Even the lead rank (loss reporting, eval, checkpoints) may die."""
+        plan = FaultPlan(comm_faults=[CommFault(at_call=2, rank=0, transient=False)])
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            GNNTrainConfig(mode="bulk", **SMALL),
+            fault_plan=plan,
+        )
+        assert result.comm_stats.rank_failures == [0]
+        assert np.isfinite(result.history.final.train_loss)
+
+    def test_double_failure_leaves_two_survivors(self, tiny_dataset):
+        plan = FaultPlan(
+            comm_faults=[
+                CommFault(at_call=2, rank=1, transient=False),
+                CommFault(at_call=6, rank=3, transient=False),
+            ]
+        )
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            GNNTrainConfig(mode="shadow", **SMALL),
+            fault_plan=plan,
+        )
+        assert sorted(result.comm_stats.rank_failures) == [1, 3]
+        assert np.isfinite(result.history.final.train_loss)

@@ -1,0 +1,239 @@
+"""Resumable training: deterministic resume, atomicity, corruption detection.
+
+The contract under test (docs/fault_tolerance.md): training for 2N
+epochs and training N epochs → checkpoint → "crash" → resume N epochs
+produce *bit-identical* final weights and identical history, in every
+training mode — and a damaged checkpoint is always detected as a typed
+:class:`CheckpointError`, never a raw ``zipfile``/``KeyError`` surprise.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, IOFault, RetryPolicy, flip_bit, truncate_file
+from repro.pipeline import (
+    CheckpointError,
+    GNNTrainConfig,
+    describe_checkpoint,
+    load_trainer_checkpoint,
+    train_gnn,
+)
+
+SMALL = dict(
+    epochs=4,
+    batch_size=32,
+    hidden=8,
+    num_layers=2,
+    mlp_layers=2,
+    depth=2,
+    fanout=3,
+    seed=0,
+)
+
+
+def _config(mode, **overrides):
+    fields = dict(SMALL, mode=mode)
+    if mode != "full":
+        fields["world_size"] = 2
+    fields.update(overrides)
+    return GNNTrainConfig(**fields)
+
+
+def _deterministic_history(history):
+    """The seed-determined record fields (timings are wall-clock)."""
+    return [
+        (r.epoch, r.train_loss, r.val_precision, r.val_recall)
+        for r in history.records
+    ]
+
+
+def _train_interrupted_then_resumed(dataset, mode, ckpt, **overrides):
+    """Train N epochs, checkpoint, 'crash', then resume to 2N epochs."""
+    half = SMALL["epochs"] // 2
+    train_gnn(
+        dataset.train,
+        dataset.val,
+        _config(mode, epochs=half, checkpoint_every=half,
+                checkpoint_path=ckpt, **overrides),
+    )
+    return train_gnn(
+        dataset.train,
+        dataset.val,
+        _config(mode, resume_from=ckpt, **overrides),
+    )
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("mode", ["full", "shadow", "bulk"])
+    def test_resume_bit_equals_uninterrupted(self, tiny_dataset, tmp_path, mode):
+        ckpt = str(tmp_path / "trainer.npz")
+        uninterrupted = train_gnn(tiny_dataset.train, tiny_dataset.val, _config(mode))
+        resumed = _train_interrupted_then_resumed(tiny_dataset, mode, ckpt)
+
+        assert resumed.resumed_epoch == SMALL["epochs"] // 2
+        reference = uninterrupted.model.state_dict()
+        restored = resumed.model.state_dict()
+        assert set(reference) == set(restored)
+        for name in reference:
+            assert np.array_equal(reference[name], restored[name]), name
+        assert _deterministic_history(uninterrupted.history) == (
+            _deterministic_history(resumed.history)
+        )
+
+    def test_resume_preserves_early_stop_and_best_state(self, tiny_dataset, tmp_path):
+        """restore_best + patience bookkeeping survives the crash."""
+        ckpt = str(tmp_path / "trainer.npz")
+        extras = dict(restore_best=True, early_stopping_patience=10)
+        uninterrupted = train_gnn(
+            tiny_dataset.train, tiny_dataset.val, _config("shadow", **extras)
+        )
+        resumed = _train_interrupted_then_resumed(
+            tiny_dataset, "shadow", ckpt, **extras
+        )
+        reference = uninterrupted.model.state_dict()
+        restored = resumed.model.state_dict()
+        for name in reference:
+            assert np.array_equal(reference[name], restored[name]), name
+
+    def test_trained_step_counter_continues(self, tiny_dataset, tmp_path):
+        ckpt = str(tmp_path / "trainer.npz")
+        uninterrupted = train_gnn(
+            tiny_dataset.train, tiny_dataset.val, _config("bulk")
+        )
+        resumed = _train_interrupted_then_resumed(tiny_dataset, "bulk", ckpt)
+        assert resumed.trained_steps == uninterrupted.trained_steps
+
+    def test_describe_checkpoint(self, tiny_dataset, tmp_path):
+        ckpt = str(tmp_path / "trainer.npz")
+        train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            _config("shadow", epochs=2, checkpoint_every=2, checkpoint_path=ckpt),
+        )
+        info = describe_checkpoint(ckpt)
+        assert info["epochs_done"] == 2
+        assert info["mode"] == "shadow"
+        assert info["format_version"] == 1
+
+
+class TestResumeValidation:
+    def _checkpoint(self, dataset, tmp_path, mode="shadow"):
+        ckpt = str(tmp_path / "trainer.npz")
+        train_gnn(
+            dataset.train,
+            dataset.val,
+            _config(mode, epochs=2, checkpoint_every=2, checkpoint_path=ckpt),
+        )
+        return ckpt
+
+    def test_missing_checkpoint_raises(self, tiny_dataset, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            train_gnn(
+                tiny_dataset.train,
+                tiny_dataset.val,
+                _config("shadow", resume_from=str(tmp_path / "nope.npz")),
+            )
+
+    def test_config_mismatch_refused(self, tiny_dataset, tmp_path):
+        ckpt = self._checkpoint(tiny_dataset, tmp_path)
+        with pytest.raises(CheckpointError, match="different training configuration"):
+            train_gnn(
+                tiny_dataset.train,
+                tiny_dataset.val,
+                _config("shadow", resume_from=ckpt, lr=5e-3),
+            )
+
+    def test_mode_mismatch_refused(self, tiny_dataset, tmp_path):
+        ckpt = self._checkpoint(tiny_dataset, tmp_path)
+        with pytest.raises(CheckpointError, match="mode"):
+            train_gnn(
+                tiny_dataset.train,
+                tiny_dataset.val,
+                _config("full", resume_from=ckpt),
+            )
+
+    def test_fully_trained_checkpoint_refused(self, tiny_dataset, tmp_path):
+        ckpt = self._checkpoint(tiny_dataset, tmp_path)
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            load_trainer_checkpoint(ckpt, _config("shadow", epochs=2))
+
+
+@pytest.mark.faults
+class TestCheckpointCorruption:
+    def _checkpoint(self, dataset, tmp_path):
+        ckpt = str(tmp_path / "trainer.npz")
+        train_gnn(
+            dataset.train,
+            dataset.val,
+            _config("shadow", epochs=2, checkpoint_every=2, checkpoint_path=ckpt),
+        )
+        return ckpt
+
+    def test_truncation_detected(self, tiny_dataset, tmp_path):
+        ckpt = self._checkpoint(tiny_dataset, tmp_path)
+        truncate_file(ckpt, os.path.getsize(ckpt) // 2)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_trainer_checkpoint(ckpt, _config("shadow"))
+
+    def test_bit_flip_detected(self, tiny_dataset, tmp_path):
+        ckpt = self._checkpoint(tiny_dataset, tmp_path)
+        # flip one bit in the middle of the archive body
+        flip_bit(ckpt, os.path.getsize(ckpt) // 2, bit=3)
+        with pytest.raises(CheckpointError):
+            load_trainer_checkpoint(ckpt, _config("shadow"))
+
+    def test_garbage_file_detected(self, tiny_dataset, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_trainer_checkpoint(str(path), _config("shadow"))
+
+
+@pytest.mark.faults
+class TestCheckpointWriteFaults:
+    def test_transient_write_failure_retried(self, tiny_dataset, tmp_path):
+        """One injected I/O failure is absorbed by retry-with-backoff."""
+        ckpt = str(tmp_path / "trainer.npz")
+        plan = FaultPlan(io_faults=[IOFault(at_write=0, times=1)])
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            _config("shadow", epochs=2, checkpoint_every=2, checkpoint_path=ckpt),
+            fault_plan=plan,
+        )
+        assert result.checkpoints_written == 1
+        assert os.path.exists(ckpt)
+        # the retried checkpoint is complete and loadable
+        load_trainer_checkpoint(ckpt, _config("shadow", epochs=4))
+
+    def test_write_failure_exhaustion_surfaces_oserror(self, tiny_dataset, tmp_path):
+        ckpt = str(tmp_path / "trainer.npz")
+        plan = FaultPlan(io_faults=[IOFault(at_write=0, times=10)])
+        with pytest.raises(OSError, match="injected transient I/O error"):
+            train_gnn(
+                tiny_dataset.train,
+                tiny_dataset.val,
+                _config("shadow", epochs=2, checkpoint_every=1, checkpoint_path=ckpt),
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_retries=2),
+            )
+        # atomic write: the failed attempts left nothing behind
+        assert not os.path.exists(ckpt)
+
+    def test_failed_write_preserves_previous_checkpoint(self, tiny_dataset, tmp_path):
+        """A later failed write never damages the existing checkpoint."""
+        ckpt = str(tmp_path / "trainer.npz")
+        plan = FaultPlan(io_faults=[IOFault(at_write=1, times=10)])
+        with pytest.raises(OSError):
+            train_gnn(
+                tiny_dataset.train,
+                tiny_dataset.val,
+                _config("shadow", epochs=4, checkpoint_every=1, checkpoint_path=ckpt),
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_retries=1),
+            )
+        # epoch-1 checkpoint still intact and verifiable
+        state = load_trainer_checkpoint(ckpt, _config("shadow", epochs=4))
+        assert state.epochs_done == 1

@@ -5,6 +5,8 @@ import os
 import numpy as np
 import pytest
 
+from repro.faults import flip_bit, truncate_file
+from repro.io.serialization import CheckpointError, atomic_savez
 from repro.pipeline import (
     ExaTrkXPipeline,
     GNNTrainConfig,
@@ -74,6 +76,53 @@ class TestPersistence:
         path = str(tmp_path / "a" / "b" / "pipe.npz")
         save_pipeline(fitted, path)
         assert os.path.exists(path)
+
+
+@pytest.mark.faults
+class TestPersistenceDurability:
+    """Torn writes and silent corruption must surface as CheckpointError."""
+
+    def test_save_is_atomic_no_temp_left_behind(self, fitted, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        assert os.path.exists(path)
+        leftovers = [f for f in os.listdir(tmp_path) if f != "pipe.npz"]
+        assert leftovers == []
+
+    def test_truncated_archive_raises_checkpoint_error(self, fitted, geometry, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        truncate_file(path, os.path.getsize(path) // 3)
+        with pytest.raises(CheckpointError, match="pipe.npz"):
+            load_pipeline(path, geometry)
+
+    def test_bit_flip_raises_checkpoint_error(self, fitted, geometry, tmp_path):
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        flip_bit(path, os.path.getsize(path) // 2, bit=5)
+        with pytest.raises(CheckpointError):
+            load_pipeline(path, geometry)
+
+    def test_garbage_file_raises_checkpoint_error(self, geometry, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(CheckpointError, match="junk.npz"):
+            load_pipeline(str(path), geometry)
+
+    def test_missing_file_raises_checkpoint_error(self, geometry, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_pipeline(str(tmp_path / "never_saved.npz"), geometry)
+
+    def test_malformed_meta_raises_checkpoint_error(self, fitted, geometry, tmp_path):
+        """A 'meta' entry of the wrong length is caught before unpacking."""
+        path = str(tmp_path / "pipe.npz")
+        save_pipeline(fitted, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["meta"] = payload["meta"][:3]
+        atomic_savez(path, payload)
+        with pytest.raises(CheckpointError, match="meta"):
+            load_pipeline(path, geometry)
 
 
 class TestSeedSweep:

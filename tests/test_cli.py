@@ -104,3 +104,65 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tracking:" in out
+
+
+class TestFaultToleranceCLI:
+    def test_checkpoint_flags_registered(self):
+        args = build_parser().parse_args(
+            ["train", "--checkpoint-every", "2", "--resume", "ck.npz"]
+        )
+        assert args.checkpoint_every == 2
+        assert args.resume == "ck.npz"
+        assert args.checkpoint_path == "gnn_checkpoint.npz"
+
+    def test_train_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "trainer.npz")
+        common = [
+            "train", "--dataset", "tiny",
+            "--train-graphs", "2", "--val-graphs", "1",
+            "--mode", "shadow", "--batch-size", "32",
+            "--hidden", "8", "--layers", "1",
+            "--checkpoint-path", ckpt,
+        ]
+        rc = main(common + ["--epochs", "1", "--checkpoint-every", "1"])
+        assert rc == 0
+        assert "wrote 1 checkpoint(s)" in capsys.readouterr().out
+        rc = main(common + ["--epochs", "2", "--resume", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"resumed from {ckpt} at epoch 1" in out
+
+    def test_train_resume_from_corrupt_checkpoint_is_actionable(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"definitely not a checkpoint")
+        rc = main(
+            [
+                "train", "--dataset", "tiny",
+                "--train-graphs", "2", "--val-graphs", "1",
+                "--mode", "shadow", "--epochs", "2",
+                "--batch-size", "32", "--hidden", "8", "--layers", "1",
+                "--resume", str(bad),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "bad.npz" in err
+        assert "restart training" in err
+
+    def test_reconstruct_corrupt_pipeline_is_actionable(self, tmp_path, capsys):
+        corrupt = tmp_path / "pipe.npz"
+        corrupt.write_bytes(b"\x00" * 64)
+        rc = main(
+            [
+                "reconstruct", "--events", "4", "--particles", "5",
+                "--pipeline", str(corrupt),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "pipe.npz" in err
+        assert "corrupt" in err
