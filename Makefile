@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults bench examples docs clean
+.PHONY: test test-fast test-faults bench examples docs telemetry-smoke clean
 
 test:
 	pytest tests/
@@ -15,6 +15,16 @@ test-faults:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# End-to-end observability check: run a short traced training, validate
+# the exported trace/metrics against their schemas, and render the
+# per-phase table (mirrors the dedicated CI step).
+telemetry-smoke:
+	python -m repro.cli train --dataset tiny --mode shadow --epochs 2 \
+	  --train-graphs 2 --val-graphs 1 --world-size 2 \
+	  --trace-out /tmp/repro_trace.json --metrics-out /tmp/repro_metrics.json
+	python scripts/validate_telemetry.py /tmp/repro_trace.json /tmp/repro_metrics.json
+	python -m repro.cli telemetry summarize /tmp/repro_trace.json
 
 examples:
 	python examples/quickstart.py

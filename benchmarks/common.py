@@ -15,14 +15,17 @@ for a CPU test runner.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import List
+from typing import Iterator, List
 
 from repro.detector import TrackingDataset, dataset_config, make_dataset
+from repro.obs import RunTelemetry, use_telemetry
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 CACHE_DIR = os.path.join(BENCH_DIR, ".bench_cache")
 RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+TELEMETRY_DIR = os.path.join(RESULTS_DIR, "telemetry")
 
 # GNN-stage hyper-parameters for benches: same structure as the paper's
 # (ShaDow minibatch IGNN), scaled in width/depth/epochs for CPU.
@@ -57,6 +60,24 @@ def ctd_bench_dataset() -> TrackingDataset:
         ),
     )
     return make_dataset(cfg, cache_dir=CACHE_DIR)
+
+
+@contextmanager
+def bench_telemetry(name: str) -> Iterator[RunTelemetry]:
+    """Attach a tracer/metrics registry for the duration of one bench.
+
+    Every instrumented hot path (samplers, trainers, the simulated
+    communicator, pipeline stages) records into it, and on exit the
+    trace + metrics snapshot land under
+    ``benchmarks/results/telemetry/<name>.{trace,metrics}.json`` — a
+    machine-readable profile comparable across ``BENCH_*`` runs.
+    """
+    telemetry = RunTelemetry.for_run(bench=name)
+    with use_telemetry(telemetry):
+        yield telemetry
+    os.makedirs(TELEMETRY_DIR, exist_ok=True)
+    telemetry.write_trace(os.path.join(TELEMETRY_DIR, f"{name}.trace.json"))
+    telemetry.write_metrics(os.path.join(TELEMETRY_DIR, f"{name}.metrics.json"))
 
 
 def write_report(name: str, lines: List[str]) -> str:

@@ -11,7 +11,22 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import RESULTS_DIR, ctd_bench_dataset, ex3_bench_dataset  # noqa: E402
+from common import (  # noqa: E402
+    RESULTS_DIR,
+    bench_telemetry,
+    ctd_bench_dataset,
+    ex3_bench_dataset,
+)
+
+
+@pytest.fixture(autouse=True)
+def bench_profile(request):
+    """Every bench runs under an attached tracer: its per-phase profile is
+    exported to ``benchmarks/results/telemetry/<test>.trace.json`` so the
+    regenerated tables come with machine-readable timing evidence."""
+    name = request.node.name.replace("[", "-").replace("]", "").replace("/", "-")
+    with bench_telemetry(name) as telemetry:
+        yield telemetry
 
 
 @pytest.fixture(scope="session")
@@ -32,6 +47,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     tr.section("regenerated paper tables/figures (benchmarks/results/)")
     for fname in sorted(os.listdir(RESULTS_DIR)):
         path = os.path.join(RESULTS_DIR, fname)
+        if not os.path.isfile(path):  # e.g. telemetry/ trace exports
+            continue
         tr.write_line(f"----- {fname} -----")
         with open(path) as fh:
             for line in fh.read().splitlines():

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Validate exported telemetry files against their schemas.
+
+Usage::
+
+    python scripts/validate_telemetry.py TRACE.json [METRICS.json]
+
+Checks the trace is valid Chrome ``trace_event`` JSON (or a JSONL span
+log) with well-formed spans, and that the metrics snapshot carries the
+metadata / counters / gauges / histograms sections.  Exits non-zero on
+the first violation — the CI telemetry-smoke step runs this after a
+short traced training.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_chrome_trace(payload: dict, path: str) -> int:
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' missing or empty")
+    n_spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{path}: traceEvents[{i}] has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: traceEvents[{i}] missing {key!r}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                fail(f"{path}: traceEvents[{i}] has invalid 'dur'")
+            n_spans += 1
+    if n_spans == 0:
+        fail(f"{path}: no complete ('X') span events")
+    return n_spans
+
+
+def validate_jsonl(lines: list, path: str) -> int:
+    n_spans = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind not in ("span", "event"):
+            fail(f"{path}: line {i + 1} has unknown type {kind!r}")
+        if kind == "span":
+            for key in ("name", "t0", "t1", "dur", "id", "depth"):
+                if key not in rec:
+                    fail(f"{path}: line {i + 1} span missing {key!r}")
+            if rec["dur"] < 0:
+                fail(f"{path}: line {i + 1} span has negative duration")
+            n_spans += 1
+    if n_spans == 0:
+        fail(f"{path}: no span records")
+    return n_spans
+
+
+def validate_trace(path: str) -> None:
+    with open(path) as fh:
+        text = fh.read()
+    # Both formats start with "{": a Chrome trace is ONE JSON object, a
+    # JSONL log is one object per line — try whole-file JSON first.
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and payload.get("type") in ("span", "event"):
+        payload = None  # single-record JSONL
+    if isinstance(payload, dict):
+        n = validate_chrome_trace(payload, path)
+        kind = "chrome-trace"
+    else:
+        n = validate_jsonl(text.splitlines(), path)
+        kind = "jsonl"
+    print(f"OK: {path} ({kind}, {n} spans)")
+
+
+def validate_metrics(path: str) -> None:
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    for section in ("metadata", "counters", "gauges", "histograms"):
+        if section not in snapshot or not isinstance(snapshot[section], dict):
+            fail(f"{path}: missing or non-object section {section!r}")
+    for key in ("config_hash", "git"):
+        if key not in snapshot["metadata"]:
+            fail(f"{path}: metadata missing {key!r}")
+    for name, summary in snapshot["histograms"].items():
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p95"):
+            if key not in summary:
+                fail(f"{path}: histogram {name!r} missing {key!r}")
+    print(
+        f"OK: {path} ({len(snapshot['counters'])} counters, "
+        f"{len(snapshot['gauges'])} gauges, "
+        f"{len(snapshot['histograms'])} histograms)"
+    )
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    validate_trace(argv[0])
+    if len(argv) > 1:
+        validate_metrics(argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

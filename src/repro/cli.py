@@ -9,11 +9,17 @@ Four subcommands mirror the workflows of the paper's evaluation::
 
 ``repro train`` exercises the GNN stage alone (Figures 3/4);
 ``repro reconstruct`` runs the full five-stage pipeline end to end.
+
+``train`` / ``reconstruct`` / ``benchmark`` accept ``--trace-out`` and
+``--metrics-out`` to export run telemetry (Chrome-trace spans + metrics
+snapshot; see ``docs/observability.md``), and ``repro telemetry
+summarize trace.json`` renders the per-phase time table (Figure 3).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -76,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CHECKPOINT",
         help="resume training from a checkpoint written by --checkpoint-every",
     )
+    _add_telemetry_flags(p_train)
 
     p_reco = sub.add_parser("reconstruct", help="full pipeline: hits → tracks")
     p_reco.add_argument("--events", type=int, default=8)
@@ -94,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="after fitting, save the pipeline to PATH (atomic npz)",
     )
+    _add_telemetry_flags(p_reco)
 
     p_disp = sub.add_parser("display", help="render an event as an SVG file")
     p_disp.add_argument("--particles", type=int, default=20)
@@ -107,10 +115,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--depth", type=int, default=3)
     p_bench.add_argument("--fanout", type=int, default=6)
     p_bench.add_argument("--k", type=int, default=8)
+    _add_telemetry_flags(p_bench)
+
+    p_tel = sub.add_parser("telemetry", help="inspect exported telemetry files")
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    p_sum = tel_sub.add_parser(
+        "summarize",
+        help="per-phase time table from a trace file (the Figure-3 view)",
+    )
+    p_sum.add_argument("file", help="trace file (Chrome-trace .json or .jsonl)")
     return parser
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a span trace: Chrome trace_event JSON (.json, for "
+        "chrome://tracing / Perfetto) or JSONL (.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot (counters/gauges/histograms) as JSON",
+    )
+
+
 # ----------------------------------------------------------------------
+def _make_telemetry(args, config=None, seed=None, world_size=None):
+    """Build RunTelemetry when ``--trace-out``/``--metrics-out`` ask for it.
+
+    Returns ``None`` otherwise, so untraced runs keep the null-tracer
+    no-op fast path.
+    """
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    from .obs import RunTelemetry
+
+    return RunTelemetry.for_run(
+        config=config, seed=seed, world_size=world_size, command=args.command
+    )
+
+
+def _flush_telemetry(telemetry, args) -> None:
+    if telemetry is None:
+        return
+    if args.trace_out:
+        telemetry.write_trace(args.trace_out)
+        print(
+            f"wrote trace to {args.trace_out} "
+            f"({len(telemetry.tracer.spans)} spans; open in chrome://tracing "
+            "or https://ui.perfetto.dev)"
+        )
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
 def _cmd_simulate(args) -> int:
     from .detector import dataset_config, make_dataset, summarize
 
@@ -168,8 +231,14 @@ def _cmd_train(args) -> int:
             if key not in fields or fields[key] == flag_defaults.get(key):
                 fields[key] = value
     train_cfg = GNNTrainConfig(**fields)
+    from .obs import use_telemetry
+
+    telemetry = _make_telemetry(
+        args, config=train_cfg, seed=args.seed, world_size=args.world_size
+    )
     try:
-        result = train_gnn(dataset.train, dataset.val, train_cfg)
+        with use_telemetry(telemetry):
+            result = train_gnn(dataset.train, dataset.val, train_cfg)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(
@@ -198,6 +267,7 @@ def _cmd_train(args) -> int:
             f"wrote {result.checkpoints_written} checkpoint(s) to "
             f"{args.checkpoint_path}"
         )
+    _flush_telemetry(telemetry, args)
     return 0
 
 
@@ -213,6 +283,8 @@ def _cmd_reconstruct(args) -> int:
         save_pipeline,
     )
 
+    from .obs import use_telemetry
+
     geometry = DetectorGeometry.barrel_only()
     sim = EventSimulator(
         geometry, gun=ParticleGun(), particles_per_event=args.particles
@@ -222,47 +294,48 @@ def _cmd_reconstruct(args) -> int:
         for i in range(args.events)
     ]
     n_train = max(args.events - 3, 1)
-    if args.pipeline is not None:
-        try:
-            pipe = load_pipeline(args.pipeline, geometry)
-        except CheckpointError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            print(
-                "The pipeline file is corrupt or incomplete. Re-run "
-                "'repro reconstruct --save-pipeline PATH' (or restore the "
-                "file from a backup) and try again.",
-                file=sys.stderr,
-            )
-            return 2
-        print(f"loaded fitted pipeline from {args.pipeline}")
-    else:
-        pipe = ExaTrkXPipeline(
-            PipelineConfig(
-                embedding_dim=6,
-                embedding_epochs=20,
-                filter_epochs=20,
-                frnn_radius=0.3,
-                gnn=GNNTrainConfig(
-                    mode="bulk",
-                    epochs=args.gnn_epochs,
-                    batch_size=64,
-                    hidden=16,
-                    num_layers=2,
-                    depth=2,
-                    fanout=4,
-                    bulk_k=4,
-                ),
-            ),
-            geometry,
-        )
-        pipe.fit(events[:n_train], events[n_train : n_train + 1])
-        if args.save_pipeline is not None:
-            save_pipeline(pipe, args.save_pipeline)
-            print(f"saved fitted pipeline to {args.save_pipeline}")
-    for event in events[n_train + 1 :]:
-        print(f"\nevent {event.event_id}")
-        for line in diagnose_event(pipe, event).render():
-            print("  " + line)
+    config = PipelineConfig(
+        embedding_dim=6,
+        embedding_epochs=20,
+        filter_epochs=20,
+        frnn_radius=0.3,
+        gnn=GNNTrainConfig(
+            mode="bulk",
+            epochs=args.gnn_epochs,
+            batch_size=64,
+            hidden=16,
+            num_layers=2,
+            depth=2,
+            fanout=4,
+            bulk_k=4,
+        ),
+    )
+    telemetry = _make_telemetry(args, config=config, seed=args.seed)
+    with use_telemetry(telemetry):
+        if args.pipeline is not None:
+            try:
+                pipe = load_pipeline(args.pipeline, geometry)
+            except CheckpointError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                print(
+                    "The pipeline file is corrupt or incomplete. Re-run "
+                    "'repro reconstruct --save-pipeline PATH' (or restore the "
+                    "file from a backup) and try again.",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"loaded fitted pipeline from {args.pipeline}")
+        else:
+            pipe = ExaTrkXPipeline(config, geometry)
+            pipe.fit(events[:n_train], events[n_train : n_train + 1])
+            if args.save_pipeline is not None:
+                save_pipeline(pipe, args.save_pipeline)
+                print(f"saved fitted pipeline to {args.save_pipeline}")
+        for event in events[n_train + 1 :]:
+            print(f"\nevent {event.event_id}")
+            for line in diagnose_event(pipe, event).render():
+                print("  " + line)
+    _flush_telemetry(telemetry, args)
     return 0
 
 
@@ -270,6 +343,7 @@ def _cmd_benchmark(args) -> int:
     import time
 
     from .detector import dataset_config, make_dataset
+    from .obs import use_telemetry
     from .sampling import BulkShadowSampler, ShadowSampler
 
     graph = make_dataset(dataset_config(args.dataset).with_sizes(1, 0, 0)).train[0]
@@ -281,16 +355,36 @@ def _cmd_benchmark(args) -> int:
     ]
     seq = ShadowSampler(args.depth, args.fanout)
     bulk = BulkShadowSampler(args.depth, args.fanout)
-    t0 = time.perf_counter()
-    for b in batches:
-        seq.sample(graph, b, rng)
-    t_seq = (time.perf_counter() - t0) / args.k
-    t0 = time.perf_counter()
-    bulk.sample_bulk(graph, batches, rng)
-    t_bulk = (time.perf_counter() - t0) / args.k
+    telemetry = _make_telemetry(args, seed=0)
+    with use_telemetry(telemetry):
+        t0 = time.perf_counter()
+        for b in batches:
+            seq.sample(graph, b, rng)
+        t_seq = (time.perf_counter() - t0) / args.k
+        t0 = time.perf_counter()
+        bulk.sample_bulk(graph, batches, rng)
+        t_bulk = (time.perf_counter() - t0) / args.k
+    if telemetry is not None:
+        telemetry.metrics.gauge("bench.seq_ms_per_batch").set(1e3 * t_seq)
+        telemetry.metrics.gauge("bench.bulk_ms_per_batch").set(1e3 * t_bulk)
+        telemetry.metrics.gauge("bench.speedup").set(t_seq / t_bulk)
     print(f"graph: {graph.num_nodes} vertices / {graph.num_edges} edges")
     print(f"sequential ShaDow: {1e3 * t_seq:8.2f} ms/batch")
     print(f"bulk ShaDow (k={args.k}): {1e3 * t_bulk:6.2f} ms/batch  ({t_seq / t_bulk:.2f}x)")
+    _flush_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from .obs import summarize_trace
+
+    try:
+        lines = summarize_trace(args.file)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot summarize {args.file}: {exc}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -319,6 +413,7 @@ _COMMANDS = {
     "reconstruct": _cmd_reconstruct,
     "display": _cmd_display,
     "benchmark": _cmd_benchmark,
+    "telemetry": _cmd_telemetry,
 }
 
 

@@ -10,10 +10,11 @@ quantities the coalesced-all-reduce experiment reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
+from ..obs import get_tracer
 from .costmodel import CommCostModel, NVLINK_A100
 from .ring import RingAllReduceStats, ring_allreduce
 
@@ -33,6 +34,8 @@ class CommStats:
 
     num_allreduce_calls: int = 0
     bytes_reduced: int = 0
+    num_broadcast_calls: int = 0
+    bytes_broadcast: int = 0
     modeled_seconds: float = 0.0
     num_retries: int = 0
     retry_backoff_seconds: float = 0.0
@@ -42,9 +45,25 @@ class CommStats:
     def record_event(self, message: str) -> None:
         self.events.append(message)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (the telemetry-export view)."""
+        return {
+            "num_allreduce_calls": self.num_allreduce_calls,
+            "bytes_reduced": self.bytes_reduced,
+            "num_broadcast_calls": self.num_broadcast_calls,
+            "bytes_broadcast": self.bytes_broadcast,
+            "modeled_seconds": self.modeled_seconds,
+            "num_retries": self.num_retries,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "rank_failures": list(self.rank_failures),
+            "num_events": len(self.events),
+        }
+
     def reset(self) -> None:
         self.num_allreduce_calls = 0
         self.bytes_reduced = 0
+        self.num_broadcast_calls = 0
+        self.bytes_broadcast = 0
         self.modeled_seconds = 0.0
         self.num_retries = 0
         self.retry_backoff_seconds = 0.0
@@ -150,18 +169,47 @@ class SimCommunicator:
             raise ValueError(
                 f"expected {self.world_size} rank buffers, got {len(buffers)}"
             )
-        if self.fault_plan is not None:
-            self.fault_plan.before_collective(self.ranks)
-        out = self._run_allreduce(buffers, average)
         nbytes = buffers[0].nbytes
-        self.stats.num_allreduce_calls += 1
-        self.stats.bytes_reduced += nbytes
-        self.stats.modeled_seconds += self._modeled_time(nbytes)
+        with get_tracer().span(
+            "comm.allreduce",
+            category="comm",
+            nbytes=nbytes,
+            algorithm=self.algorithm,
+            world_size=self.world_size,
+        ) as span:
+            if self.fault_plan is not None:
+                self.fault_plan.before_collective(self.ranks)
+            out = self._run_allreduce(buffers, average)
+            modeled = self._modeled_time(nbytes)
+            self.stats.num_allreduce_calls += 1
+            self.stats.bytes_reduced += nbytes
+            self.stats.modeled_seconds += modeled
+            span.set(modeled_s=modeled)
         return out
 
     def broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
-        """Broadcast rank 0's buffer to every rank (model-state sync)."""
-        return [buffer.copy() for _ in range(self.world_size)]
+        """Broadcast rank 0's buffer to every rank (model-state sync).
+
+        Charged to the α–β model (binomial tree) and counted in
+        :attr:`stats`, so state syncs show up in comm accounting exactly
+        like all-reduces do.
+        """
+        nbytes = buffer.nbytes
+        with get_tracer().span(
+            "comm.broadcast",
+            category="comm",
+            nbytes=nbytes,
+            world_size=self.world_size,
+        ) as span:
+            if self.fault_plan is not None:
+                self.fault_plan.before_collective(self.ranks)
+            out = [buffer.copy() for _ in range(self.world_size)]
+            modeled = self.cost_model.broadcast_time(nbytes, self.world_size)
+            self.stats.num_broadcast_calls += 1
+            self.stats.bytes_broadcast += nbytes
+            self.stats.modeled_seconds += modeled
+            span.set(modeled_s=modeled)
+        return out
 
     def barrier(self) -> None:
         """No-op in the in-process simulation; kept for API parity."""

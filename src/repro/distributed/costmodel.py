@@ -50,6 +50,23 @@ class CommCostModel:
         p = world_size
         return 2.0 * (p - 1) * self.alpha + 2.0 * (p - 1) / p * nbytes * self.beta
 
+    def broadcast_time(self, nbytes: int, world_size: int) -> float:
+        """Modeled time of a binomial-tree broadcast of ``nbytes``.
+
+        Rank 0's buffer reaches all ``P`` ranks in ``ceil(log2 P)``
+        rounds, each forwarding the full payload:
+        ``T = ceil(log2 P) (α + nbytes β)`` — the standard tree form
+        NCCL uses for small/medium broadcasts.
+        """
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if world_size == 1:
+            return 0.0
+        rounds = (world_size - 1).bit_length()
+        return rounds * (self.alpha + nbytes * self.beta)
+
     def allreduce_sequence_time(self, sizes: Sequence[int], world_size: int) -> float:
         """Modeled time of one all-reduce call per buffer in ``sizes``
         (the naive per-parameter strategy)."""

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..faults import CommError, RetryPolicy, SimClock
 from ..nn import Module
+from ..obs import get_tracer
 from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
 from .comm import SimCommunicator
 
@@ -131,10 +132,23 @@ class DistributedDataParallel:
                     self.clock.sleep(delay)
                     self.comm.stats.num_retries += 1
                     self.comm.stats.retry_backoff_seconds += delay
+                    get_tracer().event(
+                        "comm.retry",
+                        category="fault",
+                        rank=err.rank,
+                        retry_index=retry_index,
+                        backoff_s=delay,
+                    )
                     retries_left -= 1
                 else:
                     failed = err.rank if err.rank is not None else self.global_ranks[-1]
                     self.drop_rank(failed)
+                    get_tracer().event(
+                        "comm.rank_evicted",
+                        category="fault",
+                        rank=failed,
+                        survivors=len(self.global_ranks),
+                    )
                     retries_left = self.retry_policy.max_retries
 
     def _sync_once(self) -> None:

@@ -1,0 +1,49 @@
+"""Unified run observability: tracing, metrics, and run telemetry.
+
+* :mod:`repro.obs.tracer` — hierarchical spans exported as JSONL or
+  Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — counters, gauges, streaming histograms;
+* :mod:`repro.obs.telemetry` — the process-wide :class:`RunTelemetry`
+  (tracer + metrics + run metadata) behind ``--trace-out`` /
+  ``--metrics-out``;
+* :mod:`repro.obs.summarize` — per-phase tables from exported traces
+  (``repro telemetry summarize``).
+
+See ``docs/observability.md`` for the exported schemas and how to
+reproduce the paper's Figure-3 breakdown from a trace.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import (
+    RunTelemetry,
+    config_hash,
+    get_telemetry,
+    get_tracer,
+    git_describe,
+    set_telemetry,
+    use_telemetry,
+)
+from .summarize import SpanRecord, load_trace, phase_totals, summarize_trace
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "get_tracer",
+    "config_hash",
+    "git_describe",
+    "SpanRecord",
+    "load_trace",
+    "phase_totals",
+    "summarize_trace",
+]

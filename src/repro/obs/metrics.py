@@ -1,0 +1,159 @@
+"""Run-level metrics: counters, gauges, and streaming histograms.
+
+Spans answer *where did the time go*; metrics answer *how much of
+everything happened* — all-reduce calls, bytes moved, retries, sampled
+subgraph sizes.  A :class:`MetricsRegistry` collects named instruments
+and snapshots them to one JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (calls, bytes, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins level (world size, best F1, modeled seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution with quantile readout.
+
+    Observations are kept in a bounded reservoir: once ``max_samples``
+    is reached every *second* sample is dropped and the stride doubles,
+    so long runs keep an unbiased-enough sketch at fixed memory while
+    ``count``/``sum``/``min``/``max`` stay exact.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_stride", "_seen", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self._seen % self._stride == 0:
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(value)
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the reservoir (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch.
+
+    A name is bound to one instrument kind; asking for the same name as
+    a different kind is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: Dict[str, Any]) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not kind and name in table:
+                raise ValueError(f"metric {name!r} already registered as another kind")
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_unique(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_unique(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        if name not in self._histograms:
+            self._check_unique(name, self._histograms)
+            self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return self._histograms[name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,133 @@
+"""Per-phase summaries of exported traces (the Figure-3 view).
+
+``repro telemetry summarize trace.json`` aggregates a trace file —
+Chrome ``trace_event`` JSON or the JSONL span log — into a per-phase
+time table: total seconds, call count, mean, and share of wall time,
+plus the paper's sampling/training split.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = ["SpanRecord", "load_trace", "phase_totals", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span as read back from a trace file (seconds)."""
+
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    depth: int
+
+
+def _from_chrome(payload: Dict[str, Any]) -> List[SpanRecord]:
+    spans = []
+    for ev in payload.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        spans.append(
+            SpanRecord(
+                name=ev["name"],
+                category=ev.get("cat", "span"),
+                start_s=float(ev["ts"]) / 1e6,
+                duration_s=float(ev.get("dur", 0.0)) / 1e6,
+                depth=int(args.get("depth", 0)),
+            )
+        )
+    return spans
+
+
+def _from_jsonl(lines: List[str]) -> List[SpanRecord]:
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("type") != "span":
+            continue
+        spans.append(
+            SpanRecord(
+                name=rec["name"],
+                category=rec.get("cat", "span"),
+                start_s=float(rec["t0"]),
+                duration_s=float(rec["dur"]),
+                depth=int(rec.get("depth", 0)),
+            )
+        )
+    return spans
+
+
+def load_trace(path: str) -> List[SpanRecord]:
+    """Read spans from a Chrome-trace JSON or JSONL file."""
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path} is empty")
+    # Both formats start with "{": a Chrome trace is ONE JSON object, a
+    # JSONL log is one object per line — try whole-file JSON first.
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return _from_jsonl(text.splitlines())
+    if isinstance(payload, dict) and payload.get("type") in ("span", "event"):
+        return _from_jsonl(text.splitlines())  # single-record JSONL
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: JSON object without 'traceEvents'")
+    return _from_chrome(payload)
+
+
+def phase_totals(spans: List[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: total seconds, count, mean."""
+    out: Dict[str, Dict[str, float]] = {}
+    for s in spans:
+        agg = out.setdefault(s.name, {"total_s": 0.0, "count": 0, "mean_s": 0.0})
+        agg["total_s"] += s.duration_s
+        agg["count"] += 1
+    for agg in out.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+    return out
+
+
+def _wall_seconds(spans: List[SpanRecord]) -> float:
+    if not spans:
+        return 0.0
+    start = min(s.start_s for s in spans)
+    end = max(s.start_s + s.duration_s for s in spans)
+    return end - start
+
+
+def summarize_trace(path: str) -> List[str]:
+    """Render the per-phase table for a trace file (list of lines)."""
+    spans = load_trace(path)
+    totals = phase_totals(spans)
+    wall = _wall_seconds(spans)
+    lines = [
+        f"trace: {path}  ({len(spans)} spans, wall {wall:.3f}s)",
+        f"{'phase':<24} | {'total':>9} | {'count':>6} | {'mean':>9} | {'% wall':>6}",
+    ]
+    for name, agg in sorted(totals.items(), key=lambda kv: -kv[1]["total_s"]):
+        pct = 100.0 * agg["total_s"] / wall if wall else 0.0
+        lines.append(
+            f"{name:<24} | {agg['total_s']:8.3f}s | {agg['count']:>6d} | "
+            f"{1e3 * agg['mean_s']:7.2f}ms | {pct:5.1f}%"
+        )
+    # the Figure-3 split: sampling vs training share of the epoch time
+    sampling = totals.get("sampling", {}).get("total_s", 0.0)
+    training = totals.get("training", {}).get("total_s", 0.0)
+    if sampling or training:
+        busy = sampling + training
+        lines.append(
+            f"Figure-3 split: sampling {sampling:.3f}s "
+            f"({100.0 * sampling / busy:.1f}%)  /  training {training:.3f}s "
+            f"({100.0 * training / busy:.1f}%)"
+        )
+    return lines

@@ -1,0 +1,306 @@
+"""Hierarchical span tracing.
+
+The paper's headline results are timing decompositions (Figure 3 splits
+epoch time into sampling vs. training; the coalesced all-reduce argument
+is a latency-accounting claim), so the runtime needs a structured record
+of *where time goes* rather than ad-hoc prints.  A :class:`Tracer`
+produces nested spans — ``epoch → batch → {sampling, forward, backward,
+allreduce}`` in the trainers — recorded to an in-memory buffer and
+exportable as JSONL event logs or Chrome ``trace_event`` JSON (loadable
+in ``chrome://tracing`` / Perfetto).
+
+When tracing is off the hot paths go through :data:`NULL_TRACER`, whose
+``span()`` returns a shared no-op context manager: no allocation, no
+timestamp reads, no buffer growth.  The no-op guarantee is verified by a
+test (``tests/obs/test_tracer.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed scope.  Used as a context manager handed out by
+    :meth:`Tracer.span`; closed spans land in the tracer's buffer.
+
+    Attributes
+    ----------
+    name, category:
+        Label and coarse grouping (``"stage"``, ``"comm"``, ...).
+    start_s, end_s:
+        ``perf_counter`` timestamps relative to the tracer's origin.
+    span_id, parent_id, depth:
+        Tree structure; ``parent_id`` is ``None`` for root spans.
+    attributes:
+        Arbitrary JSON-serialisable payload (``nbytes``, ``algorithm``,
+        ``modeled_s``, ...).
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "start_s",
+        "end_s",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attributes = attributes
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the (possibly still open) span."""
+        self.attributes.update(attrs)
+        return self
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._close(self)
+        return False
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSONL-ready dict."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "cat": self.category,
+            "t0": self.start_s,
+            "t1": self.end_s,
+            "dur": self.duration_s,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "attrs": self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur={self.duration_s:.6f}s, "
+            f"depth={self.depth}, attrs={self.attributes})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same no-op object.
+
+    Hot paths call ``get_tracer().span(...)`` unconditionally; with the
+    null tracer that is one attribute lookup and one shared object —
+    no timestamps, no allocation, no recording.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "span", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, category: str = "event", **attrs: Any) -> None:
+        return None
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    @property
+    def events(self) -> tuple:
+        return ()
+
+
+#: Process-wide shared null tracer (what :func:`repro.obs.get_tracer`
+#: returns when no telemetry is installed).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: hierarchical spans + instantaneous events.
+
+    Spans nest through a stack: a span opened while another is active
+    becomes its child (``parent_id`` / ``depth``).  Closed spans are
+    appended to :attr:`spans` in close order (children before parents).
+
+    The tracer is single-process / single-threaded by design — the
+    simulated-rank runtime runs every rank in one process, which is
+    exactly what makes one coherent trace per run possible.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._origin = clock()
+        self._next_id = 0
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+        self.events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "span", **attrs: Any) -> Span:
+        """Create a span; enter it (``with``) to start the clock."""
+        return Span(self, name, category, attrs)
+
+    def event(self, name: str, category: str = "event", **attrs: Any) -> None:
+        """Record an instantaneous event under the current span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self.events.append(
+            {
+                "type": "event",
+                "name": name,
+                "cat": category,
+                "t": self._clock() - self._origin,
+                "parent": parent,
+                "attrs": attrs,
+            }
+        )
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) ------------
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.depth = self._stack[-1].depth + 1
+        self._stack.append(span)
+        span.start_s = self._clock() - self._origin
+
+    def _close(self, span: Span) -> None:
+        span.end_s = self._clock() - self._origin
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order "
+                f"(open stack: {[s.name for s in self._stack]})"
+            )
+        self._stack.pop()
+        self.spans.append(span)
+
+    # -- queries -------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Summed duration of all *closed* spans with this name."""
+        return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def count(self, name: str) -> int:
+        return sum(1 for s in self.spans if s.name == name)
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    # -- export --------------------------------------------------------
+    def to_jsonl_lines(self) -> List[str]:
+        """One JSON object per line: spans (close order) then events."""
+        records: Iterable[Dict[str, Any]] = [s.to_record() for s in self.spans]
+        return [json.dumps(r) for r in records] + [
+            json.dumps(e) for e in self.events
+        ]
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for line in self.to_jsonl_lines():
+                fh.write(line + "\n")
+
+    def to_chrome_trace(self, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON object format.
+
+        Loadable in ``chrome://tracing`` and https://ui.perfetto.dev:
+        complete (``"X"``) events with microsecond ``ts``/``dur``, plus
+        instant (``"i"``) events.  Run metadata rides in ``otherData``.
+        """
+        trace_events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for s in self.spans:
+            trace_events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": s.start_s * 1e6,
+                    "dur": s.duration_s * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": dict(s.attributes, depth=s.depth, id=s.span_id,
+                                 parent=s.parent_id),
+                }
+            )
+        for e in self.events:
+            trace_events.append(
+                {
+                    "name": e["name"],
+                    "cat": e["cat"],
+                    "ph": "i",
+                    "ts": e["t"] * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "s": "t",
+                    "args": dict(e["attrs"]),
+                }
+            )
+        out: Dict[str, Any] = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+        }
+        if metadata:
+            out["otherData"] = dict(metadata)
+        return out
+
+    def write_chrome_trace(
+        self, path: str, metadata: Optional[Dict[str, Any]] = None
+    ) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(metadata), fh)

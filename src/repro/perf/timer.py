@@ -3,6 +3,13 @@
 Figure 3 decomposes epoch time into *sampling* and *training*; the
 trainers wrap those phases in named timer scopes and the bench harness
 reads the totals back.
+
+:class:`StageTimer` scopes also delegate to the active tracer
+(:func:`repro.obs.get_tracer`): every outermost scope of a stage emits
+one span with the stage's name, so the same stop/start pair feeds both
+the accumulated totals *and* the exported trace — the two systems can
+never disagree.  With telemetry off the delegation hits the shared null
+tracer and costs nothing.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+from ..obs import get_tracer
 
 __all__ = ["Timer", "StageTimer"]
 
@@ -39,6 +48,16 @@ class Timer:
         self._running = False
         return elapsed
 
+    def elapsed(self) -> float:
+        """Accumulated time, including the currently running interval.
+
+        Unlike :attr:`total` this is readable while the timer runs, so
+        progress reporting can observe a live stage without stopping it.
+        """
+        if self._running:
+            return self.total + (time.perf_counter() - self._start)
+        return self.total
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -53,6 +72,12 @@ class Timer:
 class StageTimer:
     """Named timer registry with context-manager scopes.
 
+    Scopes are re-entrant per name: nesting ``scope("epoch")`` inside an
+    open ``scope("epoch")`` is legal and only the *outermost* entry
+    starts/stops the underlying timer (so totals never double-count a
+    nested interval).  Each outermost scope also emits one tracer span
+    named after the stage.
+
     Example::
 
         timers = StageTimer()
@@ -63,8 +88,10 @@ class StageTimer:
         timers.total("sampling")
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._timers: Dict[str, Timer] = {}
+        self._depths: Dict[str, int] = {}
+        self._tracer = tracer
 
     def __getitem__(self, name: str) -> Timer:
         if name not in self._timers:
@@ -74,11 +101,23 @@ class StageTimer:
     @contextmanager
     def scope(self, name: str) -> Iterator[None]:
         t = self[name]
+        depth = self._depths.get(name, 0)
+        self._depths[name] = depth + 1
+        if depth:
+            # re-entrant: the outer scope already holds the stopwatch
+            try:
+                yield
+            finally:
+                self._depths[name] -= 1
+            return
+        tracer = self._tracer if self._tracer is not None else get_tracer()
         t.start()
         try:
-            yield
+            with tracer.span(name, category="stage"):
+                yield
         finally:
             t.stop()
+            self._depths[name] -= 1
 
     def total(self, name: str) -> float:
         return self[name].total

@@ -18,6 +18,7 @@ import numpy as np
 from ..detector import Event
 from ..graph import EventGraph
 from ..metrics import TrackingScore, match_tracks, roc_auc
+from ..obs import get_tracer
 from .pipeline import ExaTrkXPipeline
 from .track_building import build_tracks
 
@@ -99,26 +100,34 @@ def diagnose_event(pipeline: ExaTrkXPipeline, event: Event) -> EventDiagnostics:
     """
     if pipeline.construction is None:
         raise RuntimeError("pipeline not fitted")
+    tracer = get_tracer()
     stages: List[StageReport] = []
 
-    constructed = pipeline.construction.build(event)
-    stages.append(_stage_report("graph construction", event, constructed))
+    with tracer.span(
+        "pipeline.diagnose_event", category="pipeline", event=event.event_id
+    ):
+        with tracer.span("pipeline.graph_construction", category="pipeline"):
+            constructed = pipeline.construction.build(event)
+        stages.append(_stage_report("graph construction", event, constructed))
 
-    filtered, _ = pipeline.filter.prune(constructed)
-    stages.append(_stage_report("filter MLP", event, filtered))
+        with tracer.span("pipeline.filter", category="pipeline"):
+            filtered, _ = pipeline.filter.prune(constructed)
+        stages.append(_stage_report("filter MLP", event, filtered))
 
-    auc: Optional[float] = None
-    if filtered.num_edges and filtered.edge_labels is not None:
-        scores = pipeline.gnn.model.predict_proba(filtered)
-        labels = filtered.edge_labels
-        if 0 < labels.sum() < labels.size:
-            auc = roc_auc(scores, labels)
+        auc: Optional[float] = None
+        if filtered.num_edges and filtered.edge_labels is not None:
+            scores = pipeline.gnn.model.predict_proba(filtered)
+            labels = filtered.edge_labels
+            if 0 < labels.sum() < labels.size:
+                auc = roc_auc(scores, labels)
 
-    pruned, _ = pipeline.gnn.prune(filtered)
-    stages.append(_stage_report("interaction GNN", event, pruned))
+        with tracer.span("pipeline.gnn", category="pipeline"):
+            pruned, _ = pipeline.gnn.prune(filtered)
+        stages.append(_stage_report("interaction GNN", event, pruned))
 
-    candidates = build_tracks(pruned, min_hits=pipeline.config.min_track_hits)
-    tracking = match_tracks(
-        candidates, event.particle_ids, min_hits=pipeline.config.min_track_hits
-    )
+        with tracer.span("pipeline.track_building", category="pipeline"):
+            candidates = build_tracks(pruned, min_hits=pipeline.config.min_track_hits)
+        tracking = match_tracks(
+            candidates, event.particle_ids, min_hits=pipeline.config.min_track_hits
+        )
     return EventDiagnostics(stages=stages, gnn_auc=auc, tracking=tracking)

@@ -17,6 +17,7 @@ from ..detector import Event
 from ..detector.geometry import DetectorGeometry
 from ..graph import EventGraph
 from ..metrics import TrackingScore, match_tracks
+from ..obs import get_tracer
 from .config import PipelineConfig
 from .embedding_stage import EmbeddingStage
 from .filter_stage import FilterStage
@@ -83,51 +84,62 @@ class ExaTrkXPipeline:
     ) -> PipelineReport:
         """Train every learned stage; returns fit diagnostics."""
         rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        tracer = get_tracer()
 
-        # Stages 1–2: candidate-graph construction strategy
-        if self.config.construction == "module_map":
-            from ..detector import ModuleMap, ModuleMapConfig
+        with tracer.span(
+            "pipeline.fit", category="pipeline", events=len(train_events)
+        ):
+            # Stages 1–2: candidate-graph construction strategy
+            with tracer.span(
+                "pipeline.embedding", category="pipeline",
+                strategy=self.config.construction,
+            ):
+                if self.config.construction == "module_map":
+                    from ..detector import ModuleMap, ModuleMapConfig
 
-            mm = ModuleMap(
-                self.geometry,
-                ModuleMapConfig(
-                    num_phi_sectors=self.config.module_map_phi_sectors,
-                    num_z_sectors=self.config.module_map_z_sectors,
-                    feature_scheme=self.config.feature_scheme,
-                ),
-            ).fit(train_events)
-            self.construction = _ModuleMapConstruction(mm)
-        else:
-            self.embedding.fit(train_events, rng)
-            self.construction = GraphConstructionStage(
-                self.config, self.geometry, self.embedding
-            )
+                    mm = ModuleMap(
+                        self.geometry,
+                        ModuleMapConfig(
+                            num_phi_sectors=self.config.module_map_phi_sectors,
+                            num_z_sectors=self.config.module_map_z_sectors,
+                            feature_scheme=self.config.feature_scheme,
+                        ),
+                    ).fit(train_events)
+                    self.construction = _ModuleMapConstruction(mm)
+                else:
+                    self.embedding.fit(train_events, rng)
+                    self.construction = GraphConstructionStage(
+                        self.config, self.geometry, self.embedding
+                    )
 
-        train_graphs = [self.construction.build(e) for e in train_events]
-        val_graphs = [self.construction.build(e) for e in val_events]
-        effs = [
-            self.construction.edge_efficiency(e, g)
-            for e, g in zip(train_events, train_graphs)
-        ]
-        self.report.graph_edge_efficiency = float(np.mean(effs))
+            with tracer.span("pipeline.graph_construction", category="pipeline"):
+                train_graphs = [self.construction.build(e) for e in train_events]
+                val_graphs = [self.construction.build(e) for e in val_events]
+            effs = [
+                self.construction.edge_efficiency(e, g)
+                for e, g in zip(train_events, train_graphs)
+            ]
+            self.report.graph_edge_efficiency = float(np.mean(effs))
 
-        # Stage 3: filter
-        self.filter.fit(train_graphs, rng)
-        pruned_train, recalls, kept = [], [], []
-        for g in train_graphs:
-            pg, keep = self.filter.prune(g)
-            pruned_train.append(pg)
-            recalls.append(self.filter.segment_recall(g, keep))
-            kept.append(keep.mean() if keep.size else 1.0)
-        pruned_val = [self.filter.prune(g)[0] for g in val_graphs]
-        self.report.filter_segment_recall = float(np.mean(recalls))
-        self.report.filter_kept_fraction = float(np.mean(kept))
+            # Stage 3: filter
+            with tracer.span("pipeline.filter", category="pipeline"):
+                self.filter.fit(train_graphs, rng)
+                pruned_train, recalls, kept = [], [], []
+                for g in train_graphs:
+                    pg, keep = self.filter.prune(g)
+                    pruned_train.append(pg)
+                    recalls.append(self.filter.segment_recall(g, keep))
+                    kept.append(keep.mean() if keep.size else 1.0)
+                pruned_val = [self.filter.prune(g)[0] for g in val_graphs]
+            self.report.filter_segment_recall = float(np.mean(recalls))
+            self.report.filter_kept_fraction = float(np.mean(kept))
 
-        # Stage 4: GNN
-        self.gnn.fit(pruned_train, pruned_val)
-        final = self.gnn.result.history.final
-        self.report.gnn_final_precision = final.val_precision
-        self.report.gnn_final_recall = final.val_recall
+            # Stage 4: GNN
+            with tracer.span("pipeline.gnn", category="pipeline"):
+                self.gnn.fit(pruned_train, pruned_val)
+            final = self.gnn.result.history.final
+            self.report.gnn_final_precision = final.val_precision
+            self.report.gnn_final_recall = final.val_recall
         return self.report
 
     # ------------------------------------------------------------------
@@ -135,20 +147,30 @@ class ExaTrkXPipeline:
         """Run inference: hits → track candidates (hit-index arrays)."""
         if self.construction is None:
             raise RuntimeError("pipeline not fitted")
-        graph = self.construction.build(event)
-        graph, _ = self.filter.prune(graph)
-        if self.config.track_builder == "walkthrough":
-            from .track_building import build_tracks_walkthrough
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.reconstruct", category="pipeline", event=event.event_id
+        ):
+            with tracer.span("pipeline.graph_construction", category="pipeline"):
+                graph = self.construction.build(event)
+            with tracer.span("pipeline.filter", category="pipeline"):
+                graph, _ = self.filter.prune(graph)
+            if self.config.track_builder == "walkthrough":
+                from .track_building import build_tracks_walkthrough
 
-            scores = self.gnn.model.predict_proba(graph)
-            return build_tracks_walkthrough(
-                graph,
-                scores,
-                min_hits=self.config.min_track_hits,
-                min_score=self.config.gnn.threshold,
-            )
-        graph, _ = self.gnn.prune(graph)
-        return build_tracks(graph, min_hits=self.config.min_track_hits)
+                with tracer.span("pipeline.gnn", category="pipeline"):
+                    scores = self.gnn.model.predict_proba(graph)
+                with tracer.span("pipeline.track_building", category="pipeline"):
+                    return build_tracks_walkthrough(
+                        graph,
+                        scores,
+                        min_hits=self.config.min_track_hits,
+                        min_score=self.config.gnn.threshold,
+                    )
+            with tracer.span("pipeline.gnn", category="pipeline"):
+                graph, _ = self.gnn.prune(graph)
+            with tracer.span("pipeline.track_building", category="pipeline"):
+                return build_tracks(graph, min_hits=self.config.min_track_hits)
 
     def score_event(self, event: Event) -> TrackingScore:
         """Reconstruct and score one event against its truth."""

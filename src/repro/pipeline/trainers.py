@@ -36,6 +36,7 @@ from ..memory import ActivationMemoryModel
 from ..metrics import EpochRecord, TrainingHistory, pooled_precision_recall
 from ..models import IGNNConfig, InteractionGNN
 from ..nn import Adam, BCEWithLogitsLoss
+from ..obs import get_telemetry, get_tracer
 from ..perf import StageTimer
 from ..sampling import (
     BulkShadowSampler,
@@ -159,14 +160,20 @@ class _FaultToleranceRuntime:
         """Restore checkpointed state into every replica; None if fresh."""
         if self.config.resume_from is None:
             return None
-        state = load_trainer_checkpoint(self.config.resume_from, self.config)
-        for m in models:
-            m.load_state_dict(state.model_state)
-        for opt in optimizers:
-            opt.load_state_dict(state.optimizer_state)
-        governor.load_state_dict(state.governor_state, state.best_state)
-        rng.bit_generator.state = state.rng_state
-        self.resumed_epoch = state.epochs_done
+        with get_tracer().span(
+            "checkpoint.resume",
+            category="checkpoint",
+            path=self.config.resume_from,
+        ) as span:
+            state = load_trainer_checkpoint(self.config.resume_from, self.config)
+            for m in models:
+                m.load_state_dict(state.model_state)
+            for opt in optimizers:
+                opt.load_state_dict(state.optimizer_state)
+            governor.load_state_dict(state.governor_state, state.best_state)
+            rng.bit_generator.state = state.rng_state
+            self.resumed_epoch = state.epochs_done
+            span.set(epochs_done=state.epochs_done)
         return state
 
     def maybe_checkpoint(
@@ -197,14 +204,20 @@ class _FaultToleranceRuntime:
             skipped_graphs=skipped,
             checkpointed_steps=checkpointed_steps,
         )
-        call_with_retries(
-            lambda: save_trainer_checkpoint(
-                cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
-            ),
-            self.retry_policy,
-            self.clock,
-            retry_on=(OSError,),
-        )
+        with get_tracer().span(
+            "checkpoint.save",
+            category="checkpoint",
+            epoch=epoch,
+            path=cfg.checkpoint_path,
+        ):
+            call_with_retries(
+                lambda: save_trainer_checkpoint(
+                    cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
+                ),
+                self.retry_policy,
+                self.clock,
+                retry_on=(OSError,),
+            )
         self.checkpoints_written += 1
 
 
@@ -256,14 +269,17 @@ def _step(
         than silently poison the replicas (under DDP a NaN gradient
         spreads to every rank at the next all-reduce).
     """
-    logits = model(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
-    loss = loss_fn(logits, graph.edge_labels.astype(np.float32))
+    tracer = get_tracer()
+    with tracer.span("forward", category="train", edges=graph.num_edges):
+        logits = model(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
+        loss = loss_fn(logits, graph.edge_labels.astype(np.float32))
     if not np.isfinite(loss.item()):
         raise FloatingPointError(
             f"non-finite training loss ({loss.item()}) on event "
             f"{graph.event_id} — check the learning rate / input features"
         )
-    loss.backward()
+    with tracer.span("backward", category="train"):
+        loss.backward()
     return loss
 
 
@@ -460,34 +476,38 @@ def _train_minibatch(
                 # *sum over ranks*; benches divide by P when projecting.
                 # After an elastic rank eviction the batch is re-sharded
                 # over the survivors, so no shard is silently dropped.
-                live = list(ddp.global_ranks)
-                rank_sampled: dict = {}
-                with timers.scope("sampling"):
-                    for slot, grank in enumerate(live):
-                        shards = [
-                            shard_batch(b, slot, len(live)) for b in batch_group
-                        ]
-                        # bulk samplers fuse the group into one stacked
-                        # step; sequential samplers' default sample_bulk
-                        # falls back to one call per batch
-                        rank_sampled[grank] = sampler.sample_bulk(
-                            graph, shards, rng
-                        )
-                # one optimisation step per batch in the group
-                for bi in range(len(batch_group)):
-                    with timers.scope("training"):
-                        for grank, model in zip(ddp.global_ranks, ddp.models):
-                            optimizers[grank].zero_grad()
-                            sb = rank_sampled[grank][bi]
-                            loss = _step(model, sb.graph, loss_fn)
-                            if grank == ddp.global_ranks[0]:
-                                losses.append(loss.item())
-                        # may evict permanently failed ranks (elastic
-                        # recovery) or retry transient comm faults
-                        ddp.synchronize_gradients()
-                        for grank in ddp.global_ranks:
-                            optimizers[grank].step()
-                    steps += 1
+                with get_tracer().span(
+                    "batch", category="train", group_size=len(batch_group)
+                ):
+                    live = list(ddp.global_ranks)
+                    rank_sampled: dict = {}
+                    with timers.scope("sampling"):
+                        for slot, grank in enumerate(live):
+                            shards = [
+                                shard_batch(b, slot, len(live)) for b in batch_group
+                            ]
+                            # bulk samplers fuse the group into one stacked
+                            # step; sequential samplers' default sample_bulk
+                            # falls back to one call per batch
+                            rank_sampled[grank] = sampler.sample_bulk(
+                                graph, shards, rng
+                            )
+                    # one optimisation step per batch in the group
+                    for bi in range(len(batch_group)):
+                        with timers.scope("training"):
+                            for grank, model in zip(ddp.global_ranks, ddp.models):
+                                optimizers[grank].zero_grad()
+                                sb = rank_sampled[grank][bi]
+                                loss = _step(model, sb.graph, loss_fn)
+                                if grank == ddp.global_ranks[0]:
+                                    losses.append(loss.item())
+                            # may evict permanently failed ranks (elastic
+                            # recovery) or retry transient comm faults
+                            with get_tracer().span("allreduce", category="train"):
+                                ddp.synchronize_gradients()
+                            for grank in ddp.global_ranks:
+                                optimizers[grank].step()
+                        steps += 1
         lead = ddp.models[0]
         precision, recall = (
             evaluate_edge_classifier(lead, val_graphs, config.threshold)
@@ -570,9 +590,15 @@ def train_gnn(
     )
     loss_fn = BCEWithLogitsLoss(pos_weight=pos_weight)
     if config.mode == "full":
-        return _train_full_graph(
+        result = _train_full_graph(
             train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
         )
-    return _train_minibatch(
-        train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
-    )
+    else:
+        result = _train_minibatch(
+            train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
+        )
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        # snapshot training + comm counters into the exported metrics
+        telemetry.record_training(result)
+    return result

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..graph import EventGraph
 from ..graph.subgraph import InducedSubgraph
+from ..obs import get_tracer
 
 __all__ = ["SampledBatch", "Sampler", "stack_components"]
 
@@ -82,7 +83,13 @@ class Sampler:
         """Sample several batches.  Default: one `sample` call per batch
         (sequential); bulk samplers override this with a single fused
         sampling step (the paper's k-batch stacking, Eq. 1)."""
-        return [self.sample(graph, b, rng) for b in batches]
+        with get_tracer().span(
+            "sampler.sample_bulk",
+            category="sampling",
+            sampler=type(self).__name__,
+            k=len(batches),
+        ):
+            return [self.sample(graph, b, rng) for b in batches]
 
 
 def stack_components(

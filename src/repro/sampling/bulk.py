@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph import EventGraph
+from ..obs import get_tracer
 from .base import SampledBatch, Sampler
 
 __all__ = ["BulkShadowSampler", "sample_rows_csr"]
@@ -105,6 +106,27 @@ class BulkShadowSampler(Sampler):
         rng: np.random.Generator,
     ) -> List[SampledBatch]:
         """Sample ``k`` stacked minibatches in one bulk pass (Eq. 1)."""
+        with get_tracer().span(
+            "sampler.sample_bulk",
+            category="sampling",
+            sampler=type(self).__name__,
+            k=len(batches),
+            depth=self.depth,
+            fanout=self.fanout,
+        ) as span:
+            results = self._sample_bulk_impl(graph, batches, rng)
+            span.set(
+                nodes=sum(r.graph.num_nodes for r in results),
+                edges=sum(r.graph.num_edges for r in results),
+            )
+        return results
+
+    def _sample_bulk_impl(
+        self,
+        graph: EventGraph,
+        batches: Sequence[np.ndarray],
+        rng: np.random.Generator,
+    ) -> List[SampledBatch]:
         batches = [np.asarray(b, dtype=np.int64) for b in batches]
         if not batches or any(b.size == 0 for b in batches):
             raise ValueError("need at least one non-empty batch")

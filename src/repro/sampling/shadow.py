@@ -21,6 +21,7 @@ import scipy.sparse as sp
 
 from ..graph import EventGraph
 from ..graph.subgraph import induced_subgraph
+from ..obs import get_tracer
 from .base import SampledBatch, Sampler, stack_components
 
 __all__ = ["ShadowSampler"]
@@ -51,11 +52,21 @@ class ShadowSampler(Sampler):
         batch = np.asarray(batch, dtype=np.int64)
         if batch.size == 0:
             raise ValueError("empty batch")
-        adj = graph.to_csr(symmetric=True)
-        subgraphs = [
-            induced_subgraph(graph, self._walk(adj, int(root), rng)) for root in batch
-        ]
-        out = stack_components(graph, subgraphs)
+        with get_tracer().span(
+            "sampler.sample",
+            category="sampling",
+            sampler=type(self).__name__,
+            roots=int(batch.size),
+            depth=self.depth,
+            fanout=self.fanout,
+        ) as span:
+            adj = graph.to_csr(symmetric=True)
+            subgraphs = [
+                induced_subgraph(graph, self._walk(adj, int(root), rng))
+                for root in batch
+            ]
+            out = stack_components(graph, subgraphs)
+            span.set(nodes=out.graph.num_nodes, edges=out.graph.num_edges)
         # root of component i is the vertex whose parent id equals batch[i];
         # record its compact id for models that score roots.
         roots = np.empty(len(batch), dtype=np.int64)

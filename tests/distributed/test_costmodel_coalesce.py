@@ -59,6 +59,28 @@ class TestCostModel:
         with pytest.raises(ValueError):
             NVLINK_A100.allreduce_time(-1, 2)
 
+    def test_broadcast_single_rank_free(self):
+        assert NVLINK_A100.broadcast_time(10**6, 1) == 0.0
+
+    def test_broadcast_binomial_tree_rounds(self):
+        """ceil(log2 P) rounds of (α + nβ): P=4 → 2 rounds, P=5 → 3."""
+        m = CommCostModel(alpha=10e-6, beta=1e-11)
+        nbytes = 1024
+        per_round = 10e-6 + nbytes * 1e-11
+        assert m.broadcast_time(nbytes, 4) == pytest.approx(2 * per_round)
+        assert m.broadcast_time(nbytes, 5) == pytest.approx(3 * per_round)
+
+    def test_broadcast_monotone_in_world_size(self):
+        times = [NVLINK_A100.broadcast_time(4096, p) for p in (2, 4, 16)]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_broadcast_validations(self):
+        with pytest.raises(ValueError):
+            NVLINK_A100.broadcast_time(100, 0)
+        with pytest.raises(ValueError):
+            NVLINK_A100.broadcast_time(-1, 2)
+
 
 class TestCoalesce:
     def test_round_trip_preserves_values_and_shapes(self):

@@ -130,7 +130,62 @@ class TestBroadcast:
         out[0][0] = 99
         assert buf[0] == 0  # copies, not views
 
+    def test_broadcast_charges_cost_and_counters(self):
+        """State syncs must show up in comm accounting like all-reduces do."""
+        comm = SimCommunicator(4)
+        buf = np.arange(8, dtype=np.float32)
+        comm.broadcast(buf)
+        assert comm.stats.num_broadcast_calls == 1
+        assert comm.stats.bytes_broadcast == buf.nbytes
+        assert comm.stats.modeled_seconds == pytest.approx(
+            comm.cost_model.broadcast_time(buf.nbytes, 4)
+        )
+        assert comm.stats.modeled_seconds > 0.0
+
+    def test_broadcast_consults_fault_plan(self):
+        from repro.faults import CommError, CommFault, FaultPlan
+
+        plan = FaultPlan(comm_faults=[CommFault(at_call=0, rank=1, transient=True)])
+        comm = SimCommunicator(2, fault_plan=plan)
+        with pytest.raises(CommError):
+            comm.broadcast(np.ones(4, dtype=np.float32))
+
     def test_allreduce_world_size_checked(self):
         comm = SimCommunicator(2)
         with pytest.raises(ValueError):
             comm.allreduce([np.ones(3)])
+
+
+class TestCommStatsDict:
+    def test_to_dict_snapshot(self):
+        comm = SimCommunicator(2)
+        comm.allreduce([np.ones(4, dtype=np.float32)] * 2)
+        comm.broadcast(np.ones(2, dtype=np.float32))
+        snap = comm.stats.to_dict()
+        assert snap["num_allreduce_calls"] == 1
+        assert snap["num_broadcast_calls"] == 1
+        assert snap["bytes_reduced"] == 16
+        assert snap["bytes_broadcast"] == 8
+        assert snap["modeled_seconds"] > 0.0
+        assert snap["rank_failures"] == []
+        assert set(snap) == {
+            "num_allreduce_calls", "bytes_reduced", "num_broadcast_calls",
+            "bytes_broadcast", "modeled_seconds", "num_retries",
+            "retry_backoff_seconds", "rank_failures", "num_events",
+        }
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        comm = SimCommunicator(3)
+        comm.remove_rank(2)
+        snap = comm.stats.to_dict()
+        assert json.loads(json.dumps(snap))["rank_failures"] == [2]
+        assert snap["num_events"] == 1
+
+    def test_reset_clears_broadcast_counters(self):
+        comm = SimCommunicator(2)
+        comm.broadcast(np.ones(2, dtype=np.float32))
+        comm.stats.reset()
+        assert comm.stats.num_broadcast_calls == 0
+        assert comm.stats.bytes_broadcast == 0

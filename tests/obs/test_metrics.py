@@ -1,0 +1,112 @@
+"""Metrics: counters, gauges, streaming histogram quantiles, registry."""
+
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("calls")
+        c.add()
+        c.add(4)
+        assert c.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("calls").add(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("level")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in [2.0, 4.0, 6.0]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 12.0
+        assert h.min == 2.0
+        assert h.max == 6.0
+        assert h.mean == 4.0
+
+    def test_quantiles_uniform(self):
+        h = Histogram("lat")
+        for v in range(101):  # 0..100
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == pytest.approx(50.0)
+        assert h.quantile(0.95) == pytest.approx(95.0)
+
+    def test_quantile_interpolates(self):
+        h = Histogram("lat")
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.25) == pytest.approx(2.5)
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_empty_summary(self):
+        s = Histogram("lat").summary()
+        assert s["count"] == 0
+        assert s["p95"] == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+
+    def test_reservoir_bounds_memory_keeps_exact_aggregates(self):
+        h = Histogram("lat", max_samples=64)
+        rng = random.Random(0)
+        values = [rng.random() for _ in range(10_000)]
+        for v in values:
+            h.observe(v)
+        assert h.count == 10_000
+        assert h.sum == pytest.approx(sum(values))
+        assert h.min == min(values)
+        assert h.max == max(values)
+        assert len(h._samples) <= 2 * 64
+        # decimated reservoir still tracks the true distribution
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.15)
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_kind_name_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_to_dict_sections_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z.calls").add(2)
+        reg.counter("a.calls").add(1)
+        reg.gauge("level").set(9)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.to_dict()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert list(snap["counters"]) == ["a.calls", "z.calls"]
+        assert snap["gauges"]["level"] == 9.0
+        assert snap["histograms"]["lat"]["count"] == 1

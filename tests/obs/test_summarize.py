@@ -1,0 +1,125 @@
+"""Trace summarisation + traced training integration (the Figure-3 view)."""
+
+import pytest
+
+from repro.obs import (
+    RunTelemetry,
+    load_trace,
+    phase_totals,
+    summarize_trace,
+    use_telemetry,
+)
+from repro.pipeline import GNNTrainConfig, train_gnn
+
+SMALL = dict(
+    epochs=2, batch_size=32, hidden=8, num_layers=2, mlp_layers=2,
+    depth=2, fanout=3, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def splits(tiny_dataset):
+    return tiny_dataset.train, tiny_dataset.val
+
+
+@pytest.fixture(scope="module")
+def traced_run(tiny_dataset):
+    """One traced shadow-mode training shared by the integration tests."""
+    telemetry = RunTelemetry.for_run(seed=0, world_size=2)
+    with use_telemetry(telemetry):
+        result = train_gnn(
+            tiny_dataset.train,
+            tiny_dataset.val,
+            GNNTrainConfig(mode="shadow", world_size=2, **SMALL),
+        )
+    return telemetry, result
+
+
+class TestPhaseTotals:
+    def _synthetic(self, tmp_path, fmt):
+        telemetry = RunTelemetry.for_run(seed=3)
+        tracer = telemetry.tracer
+        with tracer.span("epoch"):
+            with tracer.span("sampling"):
+                pass
+            with tracer.span("sampling"):
+                pass
+            with tracer.span("training"):
+                pass
+        path = str(tmp_path / ("t.jsonl" if fmt == "jsonl" else "t.json"))
+        telemetry.write_trace(path)
+        return path
+
+    @pytest.mark.parametrize("fmt", ["chrome", "jsonl"])
+    def test_load_trace_both_formats(self, tmp_path, fmt):
+        path = self._synthetic(tmp_path, fmt)
+        spans = load_trace(path)
+        assert {s.name for s in spans} == {"epoch", "sampling", "training"}
+        totals = phase_totals(spans)
+        assert totals["sampling"]["count"] == 2
+        assert totals["epoch"]["total_s"] >= totals["training"]["total_s"]
+        assert totals["sampling"]["mean_s"] == pytest.approx(
+            totals["sampling"]["total_s"] / 2
+        )
+
+    def test_load_trace_rejects_empty_and_unknown(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(str(empty))
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"not_a_trace": []}')
+        with pytest.raises(ValueError):
+            load_trace(str(bogus))
+
+    def test_summarize_renders_table_and_split(self, tmp_path):
+        path = self._synthetic(tmp_path, "chrome")
+        lines = summarize_trace(path)
+        assert lines[0].startswith("trace:")
+        assert "phase" in lines[1]
+        assert any(line.startswith("sampling") for line in lines)
+        assert lines[-1].startswith("Figure-3 split: sampling")
+
+
+class TestTracedTraining:
+    def test_shadow_mode_emits_stage_spans_per_epoch(self, traced_run):
+        telemetry, _ = traced_run
+        tracer = telemetry.tracer
+        epochs = SMALL["epochs"]
+        assert tracer.count("epoch") == epochs
+        assert tracer.count("sampling") >= epochs
+        assert tracer.count("training") >= epochs
+        # the acceptance nesting: epoch -> batch -> {forward, backward, allreduce}
+        for name in ("batch", "forward", "backward", "allreduce"):
+            assert tracer.count(name) > 0, name
+        batch = tracer.find("batch")[0]
+        child_names = {c.name for c in tracer.children_of(batch)}
+        assert {"sampling", "training"} <= child_names
+        epoch = tracer.find("epoch")[0]
+        assert {c.name for c in tracer.children_of(epoch)} >= {"batch"}
+        # sampler internals are traced beneath the sampling stage
+        assert tracer.count("sampler.sample") > 0
+        assert tracer.count("comm.allreduce") > 0
+
+    def test_trace_totals_match_stagetimer_within_1pct(self, traced_run, tmp_path):
+        """Acceptance: the summarized sampling/training split must agree
+        with the StageTimer totals the training result reports."""
+        telemetry, result = traced_run
+        path = str(tmp_path / "t.json")
+        telemetry.write_trace(path)
+        totals = phase_totals(load_trace(path))
+        timer_totals = result.timers.totals()
+        for stage in ("sampling", "training"):
+            trace_s = totals[stage]["total_s"]
+            timer_s = timer_totals[stage]
+            assert trace_s == pytest.approx(timer_s, rel=0.01), stage
+
+    def test_training_metrics_recorded(self, traced_run):
+        telemetry, result = traced_run
+        snap = telemetry.metrics_snapshot()
+        gauges = snap["gauges"]
+        assert gauges["train.epochs"] == SMALL["epochs"]
+        assert gauges["train.steps"] == result.trained_steps
+        assert gauges["comm.num_allreduce_calls"] > 0
+        assert snap["histograms"]["train.epoch_seconds"]["count"] == SMALL["epochs"]
+        assert gauges["train.stage_seconds.sampling"] > 0

@@ -166,3 +166,84 @@ class TestFaultToleranceCLI:
         assert "error:" in err
         assert "pipe.npz" in err
         assert "corrupt" in err
+
+
+class TestTelemetryCLI:
+    def test_trace_flags_registered(self):
+        for cmd in ("train", "reconstruct", "benchmark"):
+            args = build_parser().parse_args([cmd, "--trace-out", "t.json", "--metrics-out", "m.json"])
+            assert args.trace_out == "t.json"
+            assert args.metrics_out == "m.json"
+
+    def test_telemetry_summarize_requires_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
+    def test_train_trace_out_smoke(self, tmp_path, capsys):
+        """Acceptance path: traced training produces a Chrome-trace-valid
+        file with the epoch→batch→{sampling,forward,backward,allreduce}
+        nesting, and metrics carrying comm counters."""
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = main(
+            [
+                "train", "--dataset", "tiny",
+                "--train-graphs", "2", "--val-graphs", "1",
+                "--mode", "shadow", "--epochs", "2", "--world-size", "2",
+                "--batch-size", "32", "--hidden", "8", "--layers", "1",
+                "--trace-out", str(trace), "--metrics-out", str(metrics),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        for required in ("epoch", "batch", "sampling", "forward", "backward", "allreduce"):
+            assert required in names, required
+        by_id = {e["args"]["id"]: e for e in events if e.get("ph") == "X"}
+        batch = next(e for e in events if e.get("ph") == "X" and e["name"] == "batch")
+        assert by_id[batch["args"]["parent"]]["name"] == "epoch"
+        assert payload["otherData"]["world_size"] == 2
+        assert payload["otherData"]["command"] == "train"
+
+        snap = json.loads(metrics.read_text())
+        assert snap["gauges"]["comm.num_allreduce_calls"] > 0
+        assert snap["gauges"]["train.epochs"] == 2
+        assert "config_hash" in snap["metadata"]
+
+    def test_telemetry_summarize_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        rc = main(
+            [
+                "train", "--dataset", "tiny",
+                "--train-graphs", "2", "--val-graphs", "1",
+                "--mode", "shadow", "--epochs", "1",
+                "--batch-size", "32", "--hidden", "8", "--layers", "1",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["telemetry", "summarize", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "Figure-3 split: sampling" in out
+
+    def test_telemetry_summarize_missing_file_is_actionable(self, tmp_path, capsys):
+        rc = main(["telemetry", "summarize", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_telemetry_summarize_garbage_file_is_actionable(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not_a_trace": 1}')
+        rc = main(["telemetry", "summarize", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
