@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults bench examples docs telemetry-smoke clean
+.PHONY: test test-fast test-faults bench examples docs telemetry-smoke prefetch-smoke clean
 
 test:
 	pytest tests/
@@ -25,6 +25,18 @@ telemetry-smoke:
 	  --trace-out /tmp/repro_trace.json --metrics-out /tmp/repro_metrics.json
 	python scripts/validate_telemetry.py /tmp/repro_trace.json /tmp/repro_metrics.json
 	python -m repro.cli telemetry summarize /tmp/repro_trace.json
+
+# End-to-end async-pipeline check: run a short prefetched training,
+# validate the exported queue-depth / stall instruments and spans, and
+# assert workers=0 vs workers=4 weight bit-identity (mirrors the
+# dedicated CI step).
+prefetch-smoke:
+	python -m repro.cli train --dataset tiny --mode bulk --epochs 2 \
+	  --train-graphs 2 --val-graphs 1 --prefetch-workers 4 \
+	  --trace-out /tmp/repro_prefetch_trace.json \
+	  --metrics-out /tmp/repro_prefetch_metrics.json
+	python scripts/validate_prefetch.py --determinism \
+	  /tmp/repro_prefetch_metrics.json /tmp/repro_prefetch_trace.json
 
 examples:
 	python examples/quickstart.py

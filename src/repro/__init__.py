@@ -18,7 +18,9 @@ The package implements, from scratch on NumPy/SciPy:
 * :mod:`repro.pipeline` — the five Exa.TrkX stages end to end;
 * :mod:`repro.metrics` — edge precision/recall and track-level scores;
 * :mod:`repro.obs` — run telemetry: hierarchical span tracing, a metrics
-  registry, and Chrome-trace/JSONL export (``docs/observability.md``).
+  registry, and Chrome-trace/JSONL export (``docs/observability.md``);
+* :mod:`repro.data` — asynchronous prefetching batch pipeline that
+  overlaps sampler work with training compute (``docs/data_pipeline.md``).
 
 See ``DESIGN.md`` for the full system inventory and the per-experiment
 index mapping each paper table/figure to a benchmark.
@@ -26,7 +28,7 @@ index mapping each paper table/figure to a benchmark.
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, graph, detector, models, sampling, distributed, memory, metrics, obs, perf, pipeline, io, baselines, faults  # noqa: E402,F401
+from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, pipeline, io, baselines, faults  # noqa: E402,F401
 
 __all__ = [
     "__version__",
@@ -36,6 +38,7 @@ __all__ = [
     "detector",
     "models",
     "sampling",
+    "data",
     "distributed",
     "memory",
     "metrics",

@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CHECKPOINT",
         help="resume training from a checkpoint written by --checkpoint-every",
     )
+    p_train.add_argument(
+        "--prefetch-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="background sampling threads (0 = synchronous); batch "
+        "contents are bit-identical at any worker count",
+    )
+    p_train.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bound on in-flight prefetched bulk steps",
+    )
     _add_telemetry_flags(p_train)
 
     p_reco = sub.add_parser("reconstruct", help="full pipeline: hits → tracks")
@@ -207,6 +222,8 @@ def _cmd_train(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
         resume_from=args.resume,
+        prefetch_workers=args.prefetch_workers,
+        prefetch_depth=args.prefetch_depth,
     )
     if args.config is not None:
         import json
@@ -225,7 +242,7 @@ def _cmd_train(args) -> int:
             "num_layers": 2, "depth": 2, "fanout": 4, "bulk_k": 4,
             "world_size": 1, "allreduce": "coalesced", "seed": 0,
             "checkpoint_every": None, "checkpoint_path": "gnn_checkpoint.npz",
-            "resume_from": None,
+            "resume_from": None, "prefetch_workers": 0, "prefetch_depth": 2,
         }
         for key, value in from_file.items():
             if key not in fields or fields[key] == flag_defaults.get(key):

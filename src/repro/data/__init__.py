@@ -1,0 +1,21 @@
+"""Asynchronous data pipeline: epoch planning and batch prefetching.
+
+See :mod:`repro.data.prefetch` for the design and the determinism
+contract, and ``docs/data_pipeline.md`` for the operator's view.
+"""
+
+from .prefetch import (
+    EpochPlan,
+    PlannedStep,
+    PrefetchLoader,
+    PrefetchStats,
+    sample_step,
+)
+
+__all__ = [
+    "EpochPlan",
+    "PlannedStep",
+    "PrefetchLoader",
+    "PrefetchStats",
+    "sample_step",
+]

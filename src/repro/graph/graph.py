@@ -133,11 +133,16 @@ class EventGraph:
         return self._cache[key]
 
     def degrees(self, symmetric: bool = True) -> np.ndarray:
-        """Vertex degrees (undirected by default)."""
-        deg = np.bincount(self.rows, minlength=self.num_nodes)
-        if symmetric:
-            deg = deg + np.bincount(self.cols, minlength=self.num_nodes)
-        return deg
+        """Vertex degrees (undirected by default).
+
+        Computed from the deduplicated binary adjacency of :meth:`to_csr`
+        so duplicate edges count once and a self-loop counts once — the
+        samplers walk that adjacency, and degree-based fanout bounds must
+        agree with what they actually see.
+        """
+        return np.asarray(
+            np.diff(self.to_csr(symmetric=symmetric).indptr), dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # label helpers

@@ -18,6 +18,7 @@ test (``tests/obs/test_tracer.py``).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -49,6 +50,7 @@ class Span:
         "span_id",
         "parent_id",
         "depth",
+        "tid",
         "attributes",
         "_tracer",
     )
@@ -69,6 +71,7 @@ class Span:
         self.span_id = -1
         self.parent_id: Optional[int] = None
         self.depth = 0
+        self.tid = 0
 
     @property
     def duration_s(self) -> float:
@@ -102,6 +105,7 @@ class Span:
             "id": self.span_id,
             "parent": self.parent_id,
             "depth": self.depth,
+            "tid": self.tid,
             "attrs": self.attributes,
         }
 
@@ -163,13 +167,18 @@ NULL_TRACER = NullTracer()
 class Tracer:
     """Recording tracer: hierarchical spans + instantaneous events.
 
-    Spans nest through a stack: a span opened while another is active
-    becomes its child (``parent_id`` / ``depth``).  Closed spans are
-    appended to :attr:`spans` in close order (children before parents).
+    Spans nest through a *per-thread* stack: a span opened while another
+    is active on the same thread becomes its child (``parent_id`` /
+    ``depth``).  Closed spans are appended to :attr:`spans` in close
+    order (children before parents).
 
-    The tracer is single-process / single-threaded by design — the
-    simulated-rank runtime runs every rank in one process, which is
-    exactly what makes one coherent trace per run possible.
+    The tracer is single-process but thread-aware: the prefetching data
+    pipeline (:mod:`repro.data`) samples on worker threads, and their
+    sampler spans must land in the same trace as the main-thread compute
+    spans without corrupting either thread's nesting.  Each OS thread
+    gets a compact lane id (``tid``, main/creator thread = 0) carried on
+    every span and used as the Chrome-trace ``tid`` — Perfetto then shows
+    sampling overlapping compute on separate tracks.
     """
 
     enabled = True
@@ -178,9 +187,26 @@ class Tracer:
         self._clock = clock
         self._origin = clock()
         self._next_id = 0
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {threading.get_ident(): 0}
         self.spans: List[Span] = []
         self.events: List[Dict[str, Any]] = []
+
+    # -- per-thread state ----------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
 
     # ------------------------------------------------------------------
     def span(self, name: str, category: str = "span", **attrs: Any) -> Span:
@@ -189,37 +215,44 @@ class Tracer:
 
     def event(self, name: str, category: str = "event", **attrs: Any) -> None:
         """Record an instantaneous event under the current span."""
-        parent = self._stack[-1].span_id if self._stack else None
-        self.events.append(
-            {
-                "type": "event",
-                "name": name,
-                "cat": category,
-                "t": self._clock() - self._origin,
-                "parent": parent,
-                "attrs": attrs,
-            }
-        )
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        record = {
+            "type": "event",
+            "name": name,
+            "cat": category,
+            "t": self._clock() - self._origin,
+            "parent": parent,
+            "tid": self._tid(),
+            "attrs": attrs,
+        }
+        with self._lock:
+            self.events.append(record)
 
     # -- span lifecycle (called by Span.__enter__/__exit__) ------------
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
-            span.depth = self._stack[-1].depth + 1
-        self._stack.append(span)
+        stack = self._stack()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.tid = self._tid()
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.depth = stack[-1].depth + 1
+        stack.append(span)
         span.start_s = self._clock() - self._origin
 
     def _close(self, span: Span) -> None:
         span.end_s = self._clock() - self._origin
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
             raise RuntimeError(
                 f"span {span.name!r} closed out of order "
-                f"(open stack: {[s.name for s in self._stack]})"
+                f"(open stack: {[s.name for s in stack]})"
             )
-        self._stack.pop()
-        self.spans.append(span)
+        stack.pop()
+        with self._lock:
+            self.spans.append(span)
 
     # -- queries -------------------------------------------------------
     def total(self, name: str) -> float:
@@ -273,7 +306,7 @@ class Tracer:
                     "ts": s.start_s * 1e6,
                     "dur": s.duration_s * 1e6,
                     "pid": 0,
-                    "tid": 0,
+                    "tid": s.tid,
                     "args": dict(s.attributes, depth=s.depth, id=s.span_id,
                                  parent=s.parent_id),
                 }
@@ -286,7 +319,7 @@ class Tracer:
                     "ph": "i",
                     "ts": e["t"] * 1e6,
                     "pid": 0,
-                    "tid": 0,
+                    "tid": e.get("tid", 0),
                     "s": "t",
                     "args": dict(e["attrs"]),
                 }

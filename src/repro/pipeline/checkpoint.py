@@ -55,8 +55,19 @@ FORMAT_VERSION = 1
 _KIND = "repro.gnn-trainer"
 # Fields allowed to differ between the checkpointing run and the
 # resuming run; everything else participates in training math and must
-# match exactly for the deterministic-resume guarantee to hold.
-_RESUME_EXEMPT_FIELDS = ("checkpoint_every", "checkpoint_path", "resume_from", "epochs")
+# match exactly for the deterministic-resume guarantee to hold.  The
+# prefetch knobs are exempt by the data-pipeline determinism contract:
+# batch contents are bit-identical at any worker count / queue depth.
+_RESUME_EXEMPT_FIELDS = (
+    "checkpoint_every",
+    "checkpoint_path",
+    "resume_from",
+    "epochs",
+    "checkpoint_every_steps",
+    "max_steps",
+    "prefetch_workers",
+    "prefetch_depth",
+)
 
 
 @dataclass
@@ -73,6 +84,12 @@ class TrainerState:
     trained_steps: int = 0
     skipped_graphs: int = 0
     checkpointed_steps: int = 0
+    # Mid-epoch cursor (minibatch regimes): how many bulk steps of the
+    # current epoch were already consumed, and the losses they produced.
+    # ``rng_state`` is then the *epoch-start* state, from which the
+    # resuming run rebuilds the identical EpochPlan and skips ahead.
+    step_in_epoch: int = 0
+    epoch_losses: List[float] = field(default_factory=list)
 
 
 def _text_entry(text: str) -> np.ndarray:
@@ -128,6 +145,8 @@ def save_trainer_checkpoint(
         "skipped_graphs": state.skipped_graphs,
         "checkpointed_steps": state.checkpointed_steps,
         "rng_state": state.rng_state,
+        "step_in_epoch": state.step_in_epoch,
+        "epoch_losses": list(state.epoch_losses),
         "governor": state.governor_state,
         "history": _history_to_jsonable(state.history),
         "has_best_state": state.best_state is not None,
@@ -199,7 +218,7 @@ def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
                 f"{FORMAT_VERSION}"
             )
         _check_config(path, saved_config, config)
-        if meta["epochs_done"] >= config.epochs:
+        if meta["epochs_done"] >= config.epochs and not meta.get("step_in_epoch"):
             raise CheckpointError(
                 f"checkpoint {path!r} already covers {meta['epochs_done']} "
                 f"epochs; nothing to resume for an epoch budget of "
@@ -220,6 +239,10 @@ def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
             trained_steps=int(meta["trained_steps"]),
             skipped_graphs=int(meta["skipped_graphs"]),
             checkpointed_steps=int(meta["checkpointed_steps"]),
+            # absent in pre-mid-epoch-checkpoint archives (same format
+            # version; the keys default to "epoch boundary")
+            step_in_epoch=int(meta.get("step_in_epoch", 0)),
+            epoch_losses=[float(x) for x in meta.get("epoch_losses", [])],
         )
 
 
@@ -233,6 +256,7 @@ def describe_checkpoint(path: str) -> Dict[str, Any]:
         "format_version": meta.get("format_version"),
         "epochs_done": meta.get("epochs_done"),
         "trained_steps": meta.get("trained_steps"),
+        "step_in_epoch": meta.get("step_in_epoch", 0),
         "mode": config.get("mode"),
         "world_size": config.get("world_size"),
         "seed": config.get("seed"),

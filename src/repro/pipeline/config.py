@@ -57,6 +57,25 @@ class GNNTrainConfig:
         Path of a checkpoint written by a previous (interrupted) run of
         the *same configuration*; training continues from the epoch after
         the checkpoint instead of starting over.
+    prefetch_workers:
+        Background sampling threads for the minibatch regimes (see
+        :mod:`repro.data`).  ``0`` (default) samples synchronously on
+        the trainer thread; any value keeps batch contents bit-identical
+        (the determinism contract of the prefetch pipeline), so it is a
+        pure throughput knob and may differ between a checkpointing run
+        and the run resuming it.
+    prefetch_depth:
+        Bound on in-flight prefetched bulk steps (double-buffer depth).
+    checkpoint_every_steps:
+        Additionally checkpoint every this many *bulk steps* within an
+        epoch (minibatch regimes; ``None`` = epoch boundaries only).
+        Requires ``checkpoint_path``.  Mid-epoch checkpoints record the
+        loader cursor so a resumed run replays the identical epoch plan
+        and continues bit-exactly from the next step.
+    max_steps:
+        Hard stop after this many optimisation steps, mid-epoch if
+        necessary (``None`` = run the full epoch budget).  Useful for
+        smoke runs and for exercising mid-epoch crash/resume.
     """
 
     mode: str = "bulk"
@@ -86,6 +105,11 @@ class GNNTrainConfig:
     checkpoint_every: Optional[int] = None  # epochs between checkpoints
     checkpoint_path: Optional[str] = None  # where checkpoints are written
     resume_from: Optional[str] = None  # checkpoint to continue from
+    # Async data pipeline (see docs/data_pipeline.md):
+    prefetch_workers: int = 0  # background sampling threads (0 = sync)
+    prefetch_depth: int = 2  # in-flight prefetched bulk steps
+    checkpoint_every_steps: Optional[int] = None  # mid-epoch checkpoint cadence
+    max_steps: Optional[int] = None  # stop after N optimisation steps
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "shadow", "bulk", "nodewise", "saint"):
@@ -107,6 +131,17 @@ class GNNTrainConfig:
                 raise ValueError("checkpoint_every must be >= 1")
             if self.checkpoint_path is None:
                 raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.prefetch_workers < 0:
+            raise ValueError("prefetch_workers must be >= 0")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        if self.checkpoint_every_steps is not None:
+            if self.checkpoint_every_steps < 1:
+                raise ValueError("checkpoint_every_steps must be >= 1")
+            if self.checkpoint_path is None:
+                raise ValueError("checkpoint_every_steps requires checkpoint_path")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
 
     def replace(self, **kwargs) -> "GNNTrainConfig":
         """Copy with overrides."""

@@ -19,11 +19,13 @@ and the loss (BCE-with-logits with a class-balance ``pos_weight``).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..data import EpochPlan, PrefetchLoader
 from ..distributed import (
     CommStats,
     DistributedDataParallel,
@@ -31,20 +33,14 @@ from ..distributed import (
     replicate_model,
 )
 from ..faults import FaultPlan, RetryPolicy, SimClock, call_with_retries
-from ..graph import EventGraph, shard_batch
+from ..graph import EventGraph
 from ..memory import ActivationMemoryModel
 from ..metrics import EpochRecord, TrainingHistory, pooled_precision_recall
 from ..models import IGNNConfig, InteractionGNN
 from ..nn import Adam, BCEWithLogitsLoss
 from ..obs import get_telemetry, get_tracer
 from ..perf import StageTimer
-from ..sampling import (
-    BulkShadowSampler,
-    SampledBatch,
-    ShadowSampler,
-    epoch_batches,
-    group_batches,
-)
+from ..sampling import BulkShadowSampler, SampledBatch, ShadowSampler
 from ..tensor import Tensor, no_grad
 from .checkpoint import TrainerState, load_trainer_checkpoint, save_trainer_checkpoint
 from .config import GNNTrainConfig
@@ -208,6 +204,61 @@ class _FaultToleranceRuntime:
             "checkpoint.save",
             category="checkpoint",
             epoch=epoch,
+            path=cfg.checkpoint_path,
+        ):
+            call_with_retries(
+                lambda: save_trainer_checkpoint(
+                    cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
+                ),
+                self.retry_policy,
+                self.clock,
+                retry_on=(OSError,),
+            )
+        self.checkpoints_written += 1
+
+    def maybe_step_checkpoint(
+        self,
+        epoch: int,
+        step_in_epoch: int,
+        model,
+        optimizer: Adam,
+        epoch_rng_state: Dict[str, Any],
+        history: TrainingHistory,
+        governor: _TrainingGovernor,
+        steps: int,
+        epoch_losses: Sequence[float],
+    ) -> None:
+        """Write a mid-epoch checkpoint every ``checkpoint_every_steps``.
+
+        Unlike the epoch-boundary checkpoint, the archive records the
+        *epoch-start* RNG state plus the loader cursor (bulk steps
+        consumed) and the partial-epoch losses; the resuming run rebuilds
+        the identical :class:`~repro.data.EpochPlan` and skips ahead.
+        """
+        cfg = self.config
+        if (
+            cfg.checkpoint_every_steps is None
+            or step_in_epoch == 0
+            or step_in_epoch % cfg.checkpoint_every_steps != 0
+        ):
+            return
+        state = TrainerState(
+            epochs_done=epoch,
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=epoch_rng_state,
+            history=history,
+            governor_state=governor.state_dict(),
+            best_state=governor.best_state,
+            trained_steps=steps,
+            step_in_epoch=step_in_epoch,
+            epoch_losses=list(epoch_losses),
+        )
+        with get_tracer().span(
+            "checkpoint.save",
+            category="checkpoint",
+            epoch=epoch,
+            step=step_in_epoch,
             path=cfg.checkpoint_path,
         ):
             call_with_retries(
@@ -451,8 +502,13 @@ def _train_minibatch(
     rng = np.random.default_rng(config.seed)
     governor = _TrainingGovernor(config, list(optimizers.values()))
     runtime = _FaultToleranceRuntime(config, fault_plan, retry_policy, clock)
+    loader = PrefetchLoader(
+        sampler, workers=config.prefetch_workers, depth=config.prefetch_depth
+    )
     steps = 0
     start_epoch = 0
+    resume_step = 0
+    resume_losses: List[float] = []
     resumed = runtime.resume(
         ddp.models, list(optimizers.values()), rng, governor
     )
@@ -460,40 +516,50 @@ def _train_minibatch(
         start_epoch = resumed.epochs_done
         history = resumed.history
         steps = resumed.trained_steps
+        # mid-epoch checkpoint: rng_state above is the epoch-start state;
+        # rebuild the interrupted epoch's plan and skip the consumed steps
+        resume_step = resumed.step_in_epoch
+        resume_losses = list(resumed.epoch_losses)
 
+    budget_exhausted = False
     for epoch in range(start_epoch, config.epochs):
-        losses = []
+        # Snapshot before the plan consumes the RNG: a mid-epoch
+        # checkpoint stores this state so the resuming run can rebuild
+        # the identical plan (EpochPlan.build is the epoch's only RNG
+        # consumer — see repro.data.prefetch).
+        epoch_rng_state = copy.deepcopy(rng.bit_generator.state)
+        first = epoch == start_epoch
+        losses = list(resume_losses) if first else []
+        start_step = resume_step if first else 0
+        step_in_epoch = start_step
         epoch_t0 = timers.total("epoch")
         sample_t0 = timers.total("sampling")
         train_t0 = timers.total("training")
         comm_t0 = comm.stats.modeled_seconds
         with timers.scope("epoch"):
-            batches = epoch_batches(train_graphs, config.batch_size, rng)
-            for graph, batch_group in group_batches(batches, k):
-                # Each live rank samples & trains its shard of every
-                # batch in the group.  Ranks execute sequentially here
-                # (one CPU), so measured sampling/training time is the
-                # *sum over ranks*; benches divide by P when projecting.
-                # After an elastic rank eviction the batch is re-sharded
-                # over the survivors, so no shard is silently dropped.
-                with get_tracer().span(
-                    "batch", category="train", group_size=len(batch_group)
-                ):
-                    live = list(ddp.global_ranks)
-                    rank_sampled: dict = {}
+            plan = EpochPlan.build(train_graphs, config.batch_size, k, rng)
+            # Each live rank samples & trains its shard of every batch
+            # in a step's group.  Ranks execute sequentially here (one
+            # CPU), so measured sampling/training time is the *sum over
+            # ranks*; benches divide by P when projecting.  After an
+            # elastic rank eviction the loader re-shards queued steps
+            # over the survivors, so no shard is silently dropped.
+            # With prefetch workers the "sampling" scope measures only
+            # the trainer-thread *stall* — sampler work hidden behind
+            # training compute no longer shows up in epoch time.
+            stepper = loader.iter_epoch(
+                plan, lambda: tuple(ddp.global_ranks), start=start_step
+            )
+            while True:
+                with get_tracer().span("batch", category="train") as batch_span:
                     with timers.scope("sampling"):
-                        for slot, grank in enumerate(live):
-                            shards = [
-                                shard_batch(b, slot, len(live)) for b in batch_group
-                            ]
-                            # bulk samplers fuse the group into one stacked
-                            # step; sequential samplers' default sample_bulk
-                            # falls back to one call per batch
-                            rank_sampled[grank] = sampler.sample_bulk(
-                                graph, shards, rng
-                            )
+                        item = next(stepper, None)
+                    if item is None:
+                        break
+                    step, rank_sampled = item
+                    batch_span.set(group_size=len(step.batches))
                     # one optimisation step per batch in the group
-                    for bi in range(len(batch_group)):
+                    for bi in range(len(step.batches)):
                         with timers.scope("training"):
                             for grank, model in zip(ddp.global_ranks, ddp.models):
                                 optimizers[grank].zero_grad()
@@ -508,6 +574,19 @@ def _train_minibatch(
                             for grank in ddp.global_ranks:
                                 optimizers[grank].step()
                         steps += 1
+                step_in_epoch += 1
+                runtime.maybe_step_checkpoint(
+                    epoch, step_in_epoch, ddp.models[0],
+                    optimizers[ddp.global_ranks[0]], epoch_rng_state,
+                    history, governor, steps, losses,
+                )
+                if config.max_steps is not None and steps >= config.max_steps:
+                    budget_exhausted = True
+                    break
+        if budget_exhausted and step_in_epoch < len(plan):
+            # stopped mid-epoch: no epoch record — exactly the state a
+            # crash would leave, with the step checkpoint as resume point
+            break
         lead = ddp.models[0]
         precision, recall = (
             evaluate_edge_classifier(lead, val_graphs, config.threshold)
@@ -531,7 +610,7 @@ def _train_minibatch(
             epoch, lead, optimizers[ddp.global_ranks[0]], rng, history,
             governor, steps,
         )
-        if stop:
+        if stop or budget_exhausted:
             break
     governor.finalize(ddp.models[0])
     if config.restore_best and governor.best_state is not None:

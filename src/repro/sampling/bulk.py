@@ -33,6 +33,13 @@ from .base import SampledBatch, Sampler
 
 __all__ = ["BulkShadowSampler", "sample_rows_csr"]
 
+# Above this many rows the composite float key "row + U[0,1)" keeps fewer
+# than ~30 bits of within-row randomness (float64 spends its mantissa on
+# the row index), biasing selection toward CSR order on ties; fall back
+# to an exact two-key lexsort there.  Both paths draw the same random
+# keys, so results are identical wherever the composite key is exact.
+_COMPOSITE_KEY_MAX_ROWS = 1 << 22
+
 
 def sample_rows_csr(
     P: sp.csr_matrix, fanout: int, rng: np.random.Generator
@@ -55,10 +62,17 @@ def sample_rows_csr(
     if P.nnz == 0:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
     row_of = np.repeat(np.arange(P.shape[0], dtype=np.int64), nnz_per_row)
-    # Composite sort key "row + U[0,1)" orders by row, random inside each
-    # row — one float argsort instead of a (slower) two-key lexsort.
-    composite = row_of + rng.random(P.nnz)
-    order = np.argsort(composite, kind="stable")
+    keys = rng.random(P.nnz)
+    if P.shape[0] <= _COMPOSITE_KEY_MAX_ROWS:
+        # Composite sort key "row + U[0,1)" orders by row, random inside
+        # each row — one float argsort instead of a (slower) two-key
+        # lexsort.
+        order = np.argsort(row_of + keys, kind="stable")
+    else:
+        # Stacked k·b row counts can grow past the point where the
+        # composite key's fraction keeps enough precision; sort the raw
+        # keys row-segmented instead.
+        order = np.lexsort((keys, row_of))
     # Entries are now grouped by row (group i starts at indptr[i]) with a
     # random permutation inside each group; rank within group:
     rank = np.arange(P.nnz, dtype=np.int64) - np.repeat(P.indptr[:-1], nnz_per_row)
@@ -242,16 +256,22 @@ class BulkShadowSampler(Sampler):
                 bc = pos[in_block]
             # Keep only entries matching *directed* parent edges u→v (the
             # symmetric mirror (v, u) is dropped) and recover edge ids.
+            # A (u, v) key can match several parent edges (duplicate edges
+            # in the event graph); every instance is emitted, matching the
+            # sequential sampler and the block-mask path.
             parent_keys = graph.rows.astype(np.int64) * n + graph.cols.astype(np.int64)
             key_order = np.argsort(parent_keys, kind="stable")
             sorted_keys = parent_keys[key_order]
             edge_keys = sel_vertex[br] * np.int64(n) + sel_vertex[bc]
-            epos = np.minimum(
-                np.searchsorted(sorted_keys, edge_keys), len(sorted_keys) - 1
+            lo_pos = np.searchsorted(sorted_keys, edge_keys, side="left")
+            hi_pos = np.searchsorted(sorted_keys, edge_keys, side="right")
+            counts = hi_pos - lo_pos  # 0 where (u, v) is not a parent edge
+            rep = np.repeat(np.arange(edge_keys.shape[0], dtype=np.int64), counts)
+            within = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
             )
-            hit = sorted_keys[epos] == edge_keys
-            edge_parent_all = key_order[epos[hit]]
-            sub_rows_all, sub_cols_all = br[hit], bc[hit]
+            edge_parent_all = key_order[lo_pos[rep] + within]
+            sub_rows_all, sub_cols_all = br[rep], bc[rep]
 
         # Global compact id of every root: its position among the sorted
         # (root, vertex) selection keys (each root is guaranteed present in

@@ -90,6 +90,22 @@ class TestViews:
         assert np.array_equal(g.degrees(symmetric=True), [1, 2, 2, 1])
         assert np.array_equal(g.degrees(symmetric=False), [1, 1, 1, 0])
 
+    def test_degrees_match_dedup_csr_with_duplicates_and_self_loops(self):
+        """Regression: degrees() must agree with the deduplicated binary
+        adjacency the samplers walk (duplicate edges count once, a
+        self-loop counts once), not with the raw edge list."""
+        ei = np.array([[0, 0, 1, 1, 2], [1, 1, 1, 2, 0]])  # dup 0→1, loop 1→1
+        g = EventGraph(
+            edge_index=ei,
+            x=np.zeros((3, 2), dtype=np.float32),
+            y=np.zeros((5, 1), dtype=np.float32),
+        )
+        for symmetric in (True, False):
+            expected = np.diff(g.to_csr(symmetric=symmetric).indptr)
+            assert np.array_equal(g.degrees(symmetric=symmetric), expected)
+        # undirected: 0–{1,2}, 1–{0,1,2}, 2–{0,1}
+        assert g.degrees(symmetric=True).tolist() == [2, 3, 2]
+
     def test_true_edge_fraction(self):
         assert tiny_graph().true_edge_fraction() == pytest.approx(2 / 3)
 

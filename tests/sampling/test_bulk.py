@@ -67,6 +67,40 @@ class TestSampleRowsCSR:
         rows, cols = sample_rows_csr(P, 2, np.random.default_rng(0))
         assert rows.size == 0 and cols.size == 0
 
+    def test_lexsort_path_matches_composite_path(self, monkeypatch):
+        """Above the row-count threshold the segmented lexsort takes over;
+        both paths draw the same keys, so where the composite key is
+        exact the selections must be bit-identical."""
+        import repro.sampling.bulk as bulk_mod
+
+        P = sp.random(50, 40, density=0.3, format="csr", random_state=5)
+        a = sample_rows_csr(P, 3, np.random.default_rng(11))
+        monkeypatch.setattr(bulk_mod, "_COMPOSITE_KEY_MAX_ROWS", 0)
+        b = sample_rows_csr(P, 3, np.random.default_rng(11))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_uniform_selection_for_large_row_indices(self, monkeypatch):
+        """Regression for the composite-key precision bug: rows with
+        large indices must still select neighbours uniformly (the old
+        ``row + U[0,1)`` key loses fractional precision as row indices
+        grow, biasing ties toward CSR order)."""
+        import repro.sampling.bulk as bulk_mod
+
+        monkeypatch.setattr(bulk_mod, "_COMPOSITE_KEY_MAX_ROWS", 0)
+        n_rows, last = 4096, 4095
+        # only the last (largest-index) row is populated, with 3 columns
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        indptr[last + 1 :] = 3
+        P = sp.csr_matrix(
+            (np.ones(3), np.array([0, 1, 2]), indptr), shape=(n_rows, 3)
+        )
+        rng = np.random.default_rng(0)
+        counts = np.zeros(3)
+        for _ in range(3000):
+            _, cols = sample_rows_csr(P, 1, rng)
+            counts[cols[0]] += 1
+        assert np.all(np.abs(counts / 3000 - 1 / 3) < 0.05)
+
     def test_invalid_fanout(self):
         with pytest.raises(ValueError):
             sample_rows_csr(sp.csr_matrix((2, 2)), 0, np.random.default_rng(0))

@@ -15,6 +15,8 @@ class TestParser:
         args = build_parser().parse_args(["train"])
         assert args.mode == "bulk"
         assert args.world_size == 1
+        assert args.prefetch_workers == 0
+        assert args.prefetch_depth == 2
 
     def test_invalid_mode_rejected(self):
         with pytest.raises(SystemExit):
@@ -52,6 +54,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "precision" in out
         assert "all-reduce" in out
+
+    def test_train_with_prefetch_workers(self, capsys):
+        rc = main(
+            [
+                "train", "--dataset", "tiny",
+                "--train-graphs", "2", "--val-graphs", "1",
+                "--mode", "bulk", "--epochs", "1",
+                "--batch-size", "32", "--hidden", "8", "--layers", "1",
+                "--prefetch-workers", "2",
+            ]
+        )
+        assert rc == 0
+        assert "precision" in capsys.readouterr().out
 
     def test_benchmark_reports_speedup(self, capsys):
         rc = main(
