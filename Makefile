@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults bench examples docs telemetry-smoke prefetch-smoke clean
+.PHONY: test test-fast test-faults bench examples docs telemetry-smoke prefetch-smoke serve-smoke clean
 
 test:
 	pytest tests/
@@ -37,6 +37,12 @@ prefetch-smoke:
 	  --metrics-out /tmp/repro_prefetch_metrics.json
 	python scripts/validate_prefetch.py --determinism \
 	  /tmp/repro_prefetch_metrics.json /tmp/repro_prefetch_trace.json
+
+# End-to-end serving check: batched-vs-sequential parity, stage-cache
+# hits on replay, deterministic overload shedding/degradation, and the
+# serve.* metrics schema (mirrors the dedicated CI step).
+serve-smoke:
+	python scripts/validate_serving.py /tmp/repro_serving_metrics.json
 
 examples:
 	python examples/quickstart.py

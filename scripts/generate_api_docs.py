@@ -20,7 +20,11 @@ MODULES = [
     "repro.distributed",
     "repro.memory",
     "repro.pipeline",
+    "repro.data",
+    "repro.serve",
     "repro.metrics",
+    "repro.obs",
+    "repro.faults",
     "repro.perf",
     "repro.io",
     "repro.baselines",

@@ -20,7 +20,10 @@ The package implements, from scratch on NumPy/SciPy:
 * :mod:`repro.obs` — run telemetry: hierarchical span tracing, a metrics
   registry, and Chrome-trace/JSONL export (``docs/observability.md``);
 * :mod:`repro.data` — asynchronous prefetching batch pipeline that
-  overlaps sampler work with training compute (``docs/data_pipeline.md``).
+  overlaps sampler work with training compute (``docs/data_pipeline.md``);
+* :mod:`repro.serve` — inference serving engine: dynamic micro-batching,
+  keyed stage caching, and load-shedding with a degraded GNN-skip mode
+  (``docs/serving.md``).
 
 See ``DESIGN.md`` for the full system inventory and the per-experiment
 index mapping each paper table/figure to a benchmark.
@@ -28,7 +31,7 @@ index mapping each paper table/figure to a benchmark.
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, pipeline, io, baselines, faults  # noqa: E402,F401
+from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, pipeline, io, baselines, faults, serve  # noqa: E402,F401
 
 __all__ = [
     "__version__",
@@ -47,4 +50,5 @@ __all__ = [
     "pipeline",
     "io",
     "faults",
+    "serve",
 ]

@@ -10,10 +10,16 @@ Four subcommands mirror the workflows of the paper's evaluation::
 ``repro train`` exercises the GNN stage alone (Figures 3/4);
 ``repro reconstruct`` runs the full five-stage pipeline end to end.
 
-``train`` / ``reconstruct`` / ``benchmark`` accept ``--trace-out`` and
-``--metrics-out`` to export run telemetry (Chrome-trace spans + metrics
-snapshot; see ``docs/observability.md``), and ``repro telemetry
-summarize trace.json`` renders the per-phase time table (Figure 3).
+``repro serve`` wraps a fitted pipeline in the micro-batching inference
+engine (``docs/serving.md``) and ``repro loadgen`` drives it with an
+open-loop arrival schedule to measure shedding and degraded serving
+under overload.
+
+``train`` / ``reconstruct`` / ``benchmark`` / ``serve`` / ``loadgen``
+accept ``--trace-out`` and ``--metrics-out`` to export run telemetry
+(Chrome-trace spans + metrics snapshot; see ``docs/observability.md``),
+and ``repro telemetry summarize trace.json`` renders the per-phase time
+table (Figure 3).
 """
 
 from __future__ import annotations
@@ -28,10 +34,25 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _version() -> str:
+    """Package version: installed metadata, else the source tree's own."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GNN particle-track reconstruction (IPPS 2025 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -100,16 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p_train)
 
     p_reco = sub.add_parser("reconstruct", help="full pipeline: hits → tracks")
-    p_reco.add_argument("--events", type=int, default=8)
-    p_reco.add_argument("--particles", type=int, default=25)
-    p_reco.add_argument("--gnn-epochs", type=int, default=6)
-    p_reco.add_argument("--seed", type=int, default=0)
-    p_reco.add_argument(
-        "--pipeline",
-        default=None,
-        metavar="PATH",
-        help="load a fitted pipeline from PATH instead of training",
-    )
+    _add_pipeline_flags(p_reco)
     p_reco.add_argument(
         "--save-pipeline",
         default=None,
@@ -117,6 +129,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="after fitting, save the pipeline to PATH (atomic npz)",
     )
     _add_telemetry_flags(p_reco)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve reconstruction requests (micro-batching engine)"
+    )
+    _add_pipeline_flags(p_serve)
+    _add_engine_flags(p_serve)
+    p_serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serve the test events N times (replays exercise the stage cache)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads (0 = synchronous engine)",
+    )
+    _add_telemetry_flags(p_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="open-loop load generator against the serving engine"
+    )
+    _add_pipeline_flags(p_load)
+    _add_engine_flags(p_load)
+    p_load.add_argument(
+        "--rate", type=float, default=100.0, help="offered request rate (req/s)"
+    )
+    p_load.add_argument("--requests", type=int, default=64, metavar="N")
+    p_load.add_argument(
+        "--arrival",
+        choices=("uniform", "poisson"),
+        default="poisson",
+        help="arrival process for the open-loop schedule",
+    )
+    p_load.add_argument(
+        "--service-time-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="fixed modelled batch service time on the simulated clock "
+        "(default: measured wall time — realistic but not bit-reproducible)",
+    )
+    _add_telemetry_flags(p_load)
 
     p_disp = sub.add_parser("display", help="render an event as an SVG file")
     p_disp.add_argument("--particles", type=int, default=20)
@@ -140,6 +198,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("file", help="trace file (Chrome-trace .json or .jsonl)")
     return parser
+
+
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that needs a fitted pipeline."""
+    parser.add_argument("--events", type=int, default=8)
+    parser.add_argument("--particles", type=int, default=25)
+    parser.add_argument("--gnn-epochs", type=int, default=6)
+    parser.add_argument("--embedding-epochs", type=int, default=20)
+    parser.add_argument("--filter-epochs", type=int, default=20)
+    parser.add_argument(
+        "--track-builder",
+        choices=("cc", "walkthrough"),
+        default=None,
+        help="track-building algorithm (default: cc when fitting; a loaded "
+        "pipeline keeps its own unless overridden)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="PATH",
+        help="load a fitted pipeline from PATH instead of training",
+    )
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Serving-engine knobs (``repro serve`` / ``repro loadgen``)."""
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="micro-batch flush threshold (events)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch deadline: dispatch once the oldest request waited MS",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission bound: requests beyond N queued are shed",
+    )
+    parser.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="serve a batch degraded (skip the GNN) when its oldest request "
+        "already waited longer than MS at dispatch",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=128,
+        metavar="N",
+        help="stage-cache entries (0 disables caching)",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -288,34 +409,27 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_reconstruct(args) -> int:
-    from .detector import DetectorGeometry, EventSimulator, ParticleGun
-    from .pipeline import (
-        CheckpointError,
-        ExaTrkXPipeline,
-        GNNTrainConfig,
-        PipelineConfig,
-        diagnose_event,
-        load_pipeline,
-        save_pipeline,
-    )
+def _simulated_events(args, geometry):
+    from .detector import EventSimulator, ParticleGun
 
-    from .obs import use_telemetry
-
-    geometry = DetectorGeometry.barrel_only()
     sim = EventSimulator(
         geometry, gun=ParticleGun(), particles_per_event=args.particles
     )
-    events = [
+    return [
         sim.generate(np.random.default_rng(args.seed + i), event_id=i)
         for i in range(args.events)
     ]
-    n_train = max(args.events - 3, 1)
-    config = PipelineConfig(
+
+
+def _pipeline_config(args):
+    from .pipeline import GNNTrainConfig, PipelineConfig
+
+    return PipelineConfig(
         embedding_dim=6,
-        embedding_epochs=20,
-        filter_epochs=20,
+        embedding_epochs=args.embedding_epochs,
+        filter_epochs=args.filter_epochs,
         frnn_radius=0.3,
+        track_builder=args.track_builder or "cc",
         gnn=GNNTrainConfig(
             mode="bulk",
             epochs=args.gnn_epochs,
@@ -327,31 +441,162 @@ def _cmd_reconstruct(args) -> int:
             bulk_k=4,
         ),
     )
+
+
+def _obtain_pipeline(args, config, geometry, events, n_train):
+    """Load a fitted pipeline (``--pipeline``) or fit one on the events.
+
+    Returns the pipeline, or ``None`` after printing an error (the
+    caller exits 2).  ``--track-builder`` overrides a loaded pipeline's
+    builder — everything up to the GNN is builder-independent, so one
+    saved pipeline serves both modes.
+    """
+    from .pipeline import CheckpointError, ExaTrkXPipeline, load_pipeline
+
+    if args.pipeline is not None:
+        try:
+            pipe = load_pipeline(args.pipeline, geometry)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "The pipeline file is corrupt or incomplete. Re-run "
+                "'repro reconstruct --save-pipeline PATH' (or restore the "
+                "file from a backup) and try again.",
+                file=sys.stderr,
+            )
+            return None
+        print(f"loaded fitted pipeline from {args.pipeline}")
+        if (
+            args.track_builder is not None
+            and pipe.config.track_builder != args.track_builder
+        ):
+            import dataclasses
+
+            pipe.config = dataclasses.replace(
+                pipe.config, track_builder=args.track_builder
+            )
+            print(f"track builder overridden to {args.track_builder}")
+        return pipe
+    pipe = ExaTrkXPipeline(config, geometry)
+    pipe.fit(events[:n_train], events[n_train : n_train + 1])
+    return pipe
+
+
+def _cmd_reconstruct(args) -> int:
+    from .detector import DetectorGeometry
+    from .obs import use_telemetry
+    from .pipeline import diagnose_event, save_pipeline
+
+    geometry = DetectorGeometry.barrel_only()
+    events = _simulated_events(args, geometry)
+    n_train = max(args.events - 3, 1)
+    config = _pipeline_config(args)
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
     with use_telemetry(telemetry):
-        if args.pipeline is not None:
-            try:
-                pipe = load_pipeline(args.pipeline, geometry)
-            except CheckpointError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                print(
-                    "The pipeline file is corrupt or incomplete. Re-run "
-                    "'repro reconstruct --save-pipeline PATH' (or restore the "
-                    "file from a backup) and try again.",
-                    file=sys.stderr,
-                )
-                return 2
-            print(f"loaded fitted pipeline from {args.pipeline}")
-        else:
-            pipe = ExaTrkXPipeline(config, geometry)
-            pipe.fit(events[:n_train], events[n_train : n_train + 1])
-            if args.save_pipeline is not None:
-                save_pipeline(pipe, args.save_pipeline)
-                print(f"saved fitted pipeline to {args.save_pipeline}")
+        pipe = _obtain_pipeline(args, config, geometry, events, n_train)
+        if pipe is None:
+            return 2
+        if args.pipeline is None and args.save_pipeline is not None:
+            save_pipeline(pipe, args.save_pipeline)
+            print(f"saved fitted pipeline to {args.save_pipeline}")
         for event in events[n_train + 1 :]:
             print(f"\nevent {event.event_id}")
             for line in diagnose_event(pipe, event).render():
                 print("  " + line)
+    _flush_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .detector import DetectorGeometry
+    from .obs import use_telemetry
+    from .serve import InferenceEngine, ServeConfig
+
+    geometry = DetectorGeometry.barrel_only()
+    events = _simulated_events(args, geometry)
+    n_train = max(args.events - 3, 1)
+    config = _pipeline_config(args)
+    serve_cfg = ServeConfig(
+        max_batch_events=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_events=args.max_queue,
+        workers=args.workers,
+        latency_budget_ms=args.latency_budget_ms,
+        cache_capacity=args.cache_capacity,
+    )
+    telemetry = _make_telemetry(args, config=config, seed=args.seed)
+    with use_telemetry(telemetry):
+        pipe = _obtain_pipeline(args, config, geometry, events, n_train)
+        if pipe is None:
+            return 2
+        test_events = events[n_train + 1 :] or events[-1:]
+        stream = [e for _ in range(args.repeat) for e in test_events]
+        with InferenceEngine(pipe, serve_cfg) as engine:
+            requests = engine.process(stream)
+        done = [r for r in requests if r.status == "done"]
+        for r in done:
+            flags = "".join(
+                [" cache-hit" if r.cache_hit else "", " DEGRADED" if r.degraded else ""]
+            )
+            print(
+                f"event {r.event.event_id}: {len(r.tracks)} tracks  "
+                f"({r.latency_ms:.2f} ms{flags})"
+            )
+        stats = engine.stats
+        print(
+            f"\nserved {stats.completed}/{stats.submitted} requests in "
+            f"{stats.batches} batches  (shed {stats.shed}, degraded "
+            f"{stats.degraded}, cache {stats.cache_hits} hit / "
+            f"{stats.cache_misses} miss)"
+        )
+        if done:
+            lat = np.array([r.latency_ms for r in done])
+            print(
+                f"latency ms: p50={np.percentile(lat, 50):.2f}  "
+                f"p95={np.percentile(lat, 95):.2f}  "
+                f"p99={np.percentile(lat, 99):.2f}"
+            )
+    _flush_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .detector import DetectorGeometry
+    from .faults import SimClock
+    from .obs import use_telemetry
+    from .serve import InferenceEngine, LoadGenConfig, ServeConfig, run_loadgen
+
+    geometry = DetectorGeometry.barrel_only()
+    events = _simulated_events(args, geometry)
+    n_train = max(args.events - 3, 1)
+    config = _pipeline_config(args)
+    serve_cfg = ServeConfig(
+        max_batch_events=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_events=args.max_queue,
+        workers=0,  # the generator drives a synchronous engine
+        latency_budget_ms=args.latency_budget_ms,
+        cache_capacity=args.cache_capacity,
+        sim_service_time_s=(
+            1e-3 * args.service_time_ms if args.service_time_ms is not None else None
+        ),
+    )
+    load_cfg = LoadGenConfig(
+        rate=args.rate,
+        num_requests=args.requests,
+        arrival=args.arrival,
+        seed=args.seed,
+    )
+    telemetry = _make_telemetry(args, config=config, seed=args.seed)
+    with use_telemetry(telemetry):
+        pipe = _obtain_pipeline(args, config, geometry, events, n_train)
+        if pipe is None:
+            return 2
+        test_events = events[n_train + 1 :] or events[-1:]
+        engine = InferenceEngine(pipe, serve_cfg, clock=SimClock())
+        report = run_loadgen(engine, test_events, load_cfg)
+        for line in report.lines():
+            print(line)
     _flush_telemetry(telemetry, args)
     return 0
 
@@ -428,6 +673,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "reconstruct": _cmd_reconstruct,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "display": _cmd_display,
     "benchmark": _cmd_benchmark,
     "telemetry": _cmd_telemetry,

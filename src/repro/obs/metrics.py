@@ -101,7 +101,7 @@ class Histogram:
     def summary(self) -> Dict[str, float]:
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -110,6 +110,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -126,3 +126,25 @@ class EmbeddingStage:
             raise RuntimeError("embedding stage not fitted")
         x = vertex_features(event, self.geometry, self.config.feature_scheme)
         return self.net.embed(x)
+
+    def embed_many(self, events: Sequence[Event]) -> List[np.ndarray]:
+        """Embed several events through ONE fused forward pass.
+
+        Hit features of all events are concatenated row-wise, pushed
+        through the network once, and split back per event.  Under
+        :func:`repro.tensor.row_stable_matmul` (the serving engine's
+        inference context) every row is bit-identical to what
+        :meth:`embed` produces for that event alone — the MLP is
+        row-wise, so batching only amortises the per-call overhead.
+        """
+        if self.net is None:
+            raise RuntimeError("embedding stage not fitted")
+        if not events:
+            return []
+        feats = [
+            vertex_features(e, self.geometry, self.config.feature_scheme)
+            for e in events
+        ]
+        z = self.net.embed(np.concatenate(feats, axis=0))
+        splits = np.cumsum([f.shape[0] for f in feats])[:-1]
+        return [np.ascontiguousarray(part) for part in np.split(z, splits)]

@@ -79,6 +79,59 @@ class FilterStage:
         keep = scores >= self.config.filter_threshold
         return graph.edge_mask_subgraph(keep), keep
 
+    def prune_many(
+        self, graphs: Sequence[EventGraph]
+    ) -> List[Tuple[EventGraph, np.ndarray, np.ndarray]]:
+        """Prune several graphs with ONE fused filter forward pass.
+
+        Node/edge features are concatenated block-diagonally (edge
+        endpoint indices offset per graph) and scored in a single MLP
+        call; scores are split back per graph and thresholded exactly as
+        :meth:`prune` does.  The filter MLP is row-wise over edges, so
+        under :func:`repro.tensor.row_stable_matmul` each edge's score is
+        bit-identical to the per-graph call.
+
+        Returns one ``(pruned_graph, keep_mask, scores)`` triple per
+        input graph — ``scores`` are the pre-threshold filter
+        probabilities over the *input* edges, which the serving engine's
+        degraded mode reuses in place of GNN scores.
+        """
+        if self.net is None:
+            raise RuntimeError("filter stage not fitted")
+        nonempty = [g for g in graphs if g.num_edges > 0]
+        if nonempty:
+            offsets = np.cumsum([0] + [g.num_nodes for g in nonempty])
+            big_x = np.concatenate([g.x for g in nonempty], axis=0)
+            big_y = np.concatenate([g.y for g in nonempty], axis=0)
+            big_rows = np.concatenate(
+                [g.rows + off for g, off in zip(nonempty, offsets)]
+            )
+            big_cols = np.concatenate(
+                [g.cols + off for g, off in zip(nonempty, offsets)]
+            )
+            self.net.eval()
+            from ..tensor import no_grad
+
+            with no_grad():
+                logits = self.net(
+                    Tensor(big_x), Tensor(big_y), big_rows, big_cols
+                )
+            self.net.train()
+            all_scores = 1.0 / (
+                1.0 + np.exp(-np.clip(logits.numpy(), -60, 60))
+            )
+            edge_splits = np.cumsum([g.num_edges for g in nonempty])[:-1]
+            per_graph = iter(np.split(all_scores, edge_splits))
+        out: List[Tuple[EventGraph, np.ndarray, np.ndarray]] = []
+        for g in graphs:
+            if g.num_edges == 0:
+                out.append((g, np.zeros(0, dtype=bool), np.zeros(0)))
+                continue
+            scores = np.ascontiguousarray(next(per_graph))
+            keep = scores >= self.config.filter_threshold
+            out.append((g.edge_mask_subgraph(keep), keep, scores))
+        return out
+
     def segment_recall(self, graph: EventGraph, keep: np.ndarray) -> float:
         """Fraction of true edges surviving the filter."""
         labels = graph.edge_labels.astype(bool)

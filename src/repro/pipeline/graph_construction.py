@@ -8,7 +8,7 @@ higher-radius hit (tracks propagate outward).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -34,9 +34,15 @@ class GraphConstructionStage:
         self.geometry = geometry
         self.embedding = embedding
 
-    def build(self, event: Event) -> EventGraph:
-        """Construct the labelled candidate graph of one event."""
-        z = self.embedding.embed(event)
+    def build(self, event: Event, z: Optional[np.ndarray] = None) -> EventGraph:
+        """Construct the labelled candidate graph of one event.
+
+        ``z`` lets a caller supply precomputed embeddings (the batched
+        serving path embeds a whole micro-batch in one forward pass);
+        everything downstream of the embedding is per-event regardless.
+        """
+        if z is None:
+            z = self.embedding.embed(event)
         edge_index = fixed_radius_graph(
             z,
             radius=self.config.frnn_radius,
@@ -59,6 +65,17 @@ class GraphConstructionStage:
             particle_ids=event.particle_ids,
             event_id=event.event_id,
         )
+
+    def build_many(self, events: Sequence[Event]) -> List[EventGraph]:
+        """Construct several events' graphs with ONE fused embedding pass.
+
+        The embedding forward runs once over the concatenated hit arrays
+        (:meth:`EmbeddingStage.embed_many`); the FRNN search, edge
+        orientation, feature attachment, and truth labelling stay
+        strictly per-event, so no cross-event edges can ever appear.
+        """
+        zs = self.embedding.embed_many(events)
+        return [self.build(event, z=z) for event, z in zip(events, zs)]
 
     def edge_efficiency(self, event: Event, graph: Optional[EventGraph] = None) -> float:
         """Fraction of truth segments present in the constructed graph —

@@ -18,6 +18,7 @@ from ..detector.geometry import DetectorGeometry
 from ..graph import EventGraph
 from ..metrics import TrackingScore, match_tracks
 from ..obs import get_tracer
+from ..tensor import row_stable_matmul
 from .config import PipelineConfig
 from .embedding_stage import EmbeddingStage
 from .filter_stage import FilterStage
@@ -144,37 +145,55 @@ class ExaTrkXPipeline:
 
     # ------------------------------------------------------------------
     def reconstruct(self, event: Event) -> List[np.ndarray]:
-        """Run inference: hits → track candidates (hit-index arrays)."""
+        """Run inference: hits → track candidates (hit-index arrays).
+
+        Inference runs under :func:`repro.tensor.row_stable_matmul`, so
+        an event's result is bit-identical whether it is reconstructed
+        alone or inside a serving micro-batch (:mod:`repro.serve`).
+        """
         if self.construction is None:
             raise RuntimeError("pipeline not fitted")
         tracer = get_tracer()
         with tracer.span(
             "pipeline.reconstruct", category="pipeline", event=event.event_id
-        ):
+        ), row_stable_matmul():
             with tracer.span("pipeline.graph_construction", category="pipeline"):
                 graph = self.construction.build(event)
             with tracer.span("pipeline.filter", category="pipeline"):
                 graph, _ = self.filter.prune(graph)
-            if self.config.track_builder == "walkthrough":
-                from .track_building import build_tracks_walkthrough
+            return self.finish_from_filtered(graph)
 
-                with tracer.span("pipeline.gnn", category="pipeline"):
-                    scores = self.gnn.model.predict_proba(graph)
-                with tracer.span("pipeline.track_building", category="pipeline"):
-                    return build_tracks_walkthrough(
-                        graph,
-                        scores,
-                        min_hits=self.config.min_track_hits,
-                        min_score=self.config.gnn.threshold,
-                    )
+    def finish_from_filtered(self, graph: EventGraph) -> List[np.ndarray]:
+        """Stages 4–5 on a filter-pruned graph: GNN scoring + building.
+
+        The tail of :meth:`reconstruct`, exposed separately so the
+        serving engine (:mod:`repro.serve`) runs the exact same code on
+        graphs it obtained from its batched/cached upstream stages.
+        """
+        tracer = get_tracer()
+        if self.config.track_builder == "walkthrough":
+            from .track_building import build_tracks_walkthrough
+
             with tracer.span("pipeline.gnn", category="pipeline"):
-                graph, _ = self.gnn.prune(graph)
+                scores = self.gnn.model.predict_proba(graph)
             with tracer.span("pipeline.track_building", category="pipeline"):
-                return build_tracks(graph, min_hits=self.config.min_track_hits)
+                return build_tracks_walkthrough(
+                    graph,
+                    scores,
+                    min_hits=self.config.min_track_hits,
+                    min_score=self.config.gnn.threshold,
+                )
+        with tracer.span("pipeline.gnn", category="pipeline"):
+            graph, _ = self.gnn.prune(graph)
+        with tracer.span("pipeline.track_building", category="pipeline"):
+            return build_tracks(graph, min_hits=self.config.min_track_hits)
 
     def score_event(self, event: Event) -> TrackingScore:
         """Reconstruct and score one event against its truth."""
-        candidates = self.reconstruct(event)
-        return match_tracks(
-            candidates, event.particle_ids, min_hits=self.config.min_track_hits
-        )
+        with get_tracer().span(
+            "pipeline.score", category="pipeline", event=event.event_id
+        ):
+            candidates = self.reconstruct(event)
+            return match_tracks(
+                candidates, event.particle_ids, min_hits=self.config.min_track_hits
+            )

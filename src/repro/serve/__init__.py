@@ -1,0 +1,38 @@
+"""Inference serving engine: micro-batching, stage caching, load-shedding.
+
+``repro.serve`` turns a fitted :class:`~repro.pipeline.ExaTrkXPipeline`
+into a request-serving system: a bounded :class:`RequestQueue` feeding a
+dynamic micro-batcher (fused embedding/filter forwards over concatenated
+per-batch arrays), a keyed :class:`StageCache` so replayed events skip
+the upstream stages, and admission control with load-shedding plus a
+degraded GNN-skip mode under latency pressure.  Batched results are
+bit-identical to looped :meth:`~repro.pipeline.ExaTrkXPipeline.reconstruct`
+(see :mod:`repro.serve.engine` for the determinism contract), and
+:mod:`repro.serve.loadgen` provides an open-loop generator for overload
+experiments.
+"""
+
+from .cache import CachedStages, StageCache, event_fingerprint
+from .engine import (
+    InferenceEngine,
+    RequestQueue,
+    ServeConfig,
+    ServeRequest,
+    ServeStats,
+)
+from .loadgen import LoadGenConfig, LoadGenReport, arrival_times, run_loadgen
+
+__all__ = [
+    "CachedStages",
+    "StageCache",
+    "event_fingerprint",
+    "InferenceEngine",
+    "RequestQueue",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeStats",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "arrival_times",
+    "run_loadgen",
+]

@@ -1,0 +1,107 @@
+"""Keyed stage cache: event-content hash → upstream stage outputs.
+
+Production tracking serves many *replayed* events — calibration reruns,
+trigger-menu sweeps, A/B comparisons of downstream settings — where the
+hits are byte-identical to a request already answered.  The expensive
+upstream stages (embedding forward, FRNN search, feature attachment,
+filter forward) are pure functions of the hit content, so their outputs
+can be memoised under a content fingerprint and reused: a cache hit
+enters the pipeline directly at the GNN stage.
+
+The fingerprint hashes the raw hit arrays (positions, layer ids), NOT
+``event_id`` — two events with the same hits share an entry whatever
+they are called, and an event whose hits changed never matches a stale
+entry.
+
+The cache is a bounded LRU, safe for concurrent access from the serving
+worker pool; graphs stored in it are treated as immutable by every
+consumer (pruning produces new graphs via ``edge_mask_subgraph``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..detector import Event
+from ..graph import EventGraph
+
+__all__ = ["CachedStages", "StageCache", "event_fingerprint"]
+
+
+def event_fingerprint(event: Event) -> str:
+    """Content hash of one event's hits (positions + layer ids).
+
+    The arrays are hashed in a fixed byte order, so the fingerprint is
+    stable across processes and runs; particle ids and truth ordering
+    are deliberately excluded — they do not influence reconstruction.
+    """
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(event.positions, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(event.layer_ids, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedStages:
+    """Upstream stage outputs memoised for one event fingerprint.
+
+    ``graph`` is the labelled candidate graph (construction output);
+    ``filtered`` / ``filter_keep`` / ``filter_scores`` are the filter
+    stage's pruned graph, keep mask, and pre-threshold scores.
+    """
+
+    graph: EventGraph
+    filtered: EventGraph
+    filter_keep: np.ndarray
+    filter_scores: np.ndarray
+
+
+class StageCache:
+    """Bounded LRU over :class:`CachedStages`, keyed by event fingerprint.
+
+    ``capacity`` is the maximum number of events retained; the least
+    recently *used* entry is evicted first.  ``hits``/``misses`` count
+    lookups over the cache lifetime (the serving engine additionally
+    exports them as ``serve.cache.*`` counters).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedStages]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[CachedStages]:
+        """Look up a fingerprint; refreshes recency on hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, entry: CachedStages) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> Tuple[int, int]:
+        """Return ``(hits, misses)``."""
+        return self.hits, self.misses

@@ -1,0 +1,570 @@
+"""The inference serving engine: micro-batching, caching, load-shedding.
+
+Training got prefetching, checkpointing, and telemetry; this module is
+the serving-side counterpart.  An :class:`InferenceEngine` owns a fitted
+:class:`~repro.pipeline.ExaTrkXPipeline` and answers reconstruction
+requests through a bounded :class:`RequestQueue`:
+
+* a **dynamic micro-batcher** groups queued requests and flushes on
+  whichever comes first — ``max_batch_events`` requests waiting, or the
+  oldest request waiting ``max_wait_ms`` — so the embedding and filter
+  forward passes run ONCE over the concatenated per-batch hit/edge
+  arrays instead of once per event;
+* a **keyed stage cache** (:class:`~repro.serve.cache.StageCache`)
+  memoises construction/filter outputs under an event-content hash, so
+  replayed events enter the pipeline directly at the GNN stage;
+* **admission control**: when the queue is full a new request is shed
+  immediately (cheap rejection beats queueing past the deadline), and
+  when the per-request latency budget is already blown at dispatch the
+  batch is served **degraded** — the GNN stage is skipped and tracks are
+  built from filter scores alone.
+
+Determinism contract
+--------------------
+Batched execution is bit-identical to looped
+:meth:`~repro.pipeline.ExaTrkXPipeline.reconstruct`: both run under
+:func:`repro.tensor.row_stable_matmul`, whose per-row results do not
+depend on what else is in the batch, and everything downstream of the
+fused forwards (FRNN, GNN, track building) is strictly per-event.  Batch
+*composition* therefore never influences results — only latency.
+
+Time is read from an injectable clock (:class:`repro.faults.SimClock`
+compatible), so overload, shedding, and degraded-mode decisions are
+deterministic and injectable in tests; ``workers=0`` runs the engine
+synchronously (the caller pumps), ``workers>=1`` starts a background
+micro-batcher thread feeding a worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from ..detector import Event
+from ..graph import EventGraph
+from ..obs import get_telemetry, get_tracer
+from ..pipeline import ExaTrkXPipeline, GraphConstructionStage
+from ..pipeline.track_building import build_tracks, build_tracks_walkthrough
+from ..tensor import row_stable_matmul
+from .cache import CachedStages, StageCache, event_fingerprint
+
+__all__ = ["ServeConfig", "ServeStats", "ServeRequest", "RequestQueue", "InferenceEngine"]
+
+
+class _WallClock:
+    """Minimal wall clock with the :class:`repro.faults.SimClock` shape."""
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving engine knobs.
+
+    Parameters
+    ----------
+    max_batch_events:
+        Micro-batch flush threshold: a batch dispatches as soon as this
+        many requests are queued.
+    max_wait_ms:
+        Micro-batch deadline: a batch also dispatches once its oldest
+        request has waited this long, whatever the batch size — bounding
+        the batching-induced latency at low load.
+    max_queue_events:
+        Admission bound.  A request arriving while this many are queued
+        is shed immediately (``status == "shed"``).
+    workers:
+        ``0`` — synchronous engine: the caller drives batching through
+        :meth:`InferenceEngine.pump` / :meth:`~InferenceEngine.flush`
+        (deterministic; what the tests and the load generator use).
+        ``>= 1`` — a background micro-batcher thread dispatches batches
+        to a pool of this many worker threads.
+    latency_budget_ms:
+        Per-request latency budget.  If the oldest request of a batch
+        has already waited longer than this at dispatch, the whole batch
+        is served in degraded mode (GNN skipped, filter-score tracks);
+        ``None`` disables degradation.
+    degraded_threshold:
+        Filter-score threshold used in place of the GNN threshold when
+        serving degraded (the filter's threshold is tuned loose, so the
+        degraded path re-cuts at this stricter value).
+    cache_capacity:
+        Stage-cache entries (events) retained; ``0`` disables caching.
+    sim_service_time_s:
+        Only meaningful on a simulated clock: each dispatched batch
+        advances the clock by this many seconds (``None`` = advance by
+        the measured wall-clock processing time).  A fixed value makes
+        overload experiments fully deterministic.
+    """
+
+    max_batch_events: int = 8
+    max_wait_ms: float = 5.0
+    max_queue_events: int = 64
+    workers: int = 0
+    latency_budget_ms: Optional[float] = None
+    degraded_threshold: float = 0.5
+    cache_capacity: int = 128
+    sim_service_time_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_events < 1:
+            raise ValueError("max_batch_events must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue_events < 1:
+            raise ValueError("max_queue_events must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.latency_budget_ms is not None and self.latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        if not 0.0 <= self.degraded_threshold <= 1.0:
+            raise ValueError("degraded_threshold must be in [0, 1]")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+
+
+@dataclass
+class ServeRequest:
+    """One reconstruction request and, eventually, its result.
+
+    ``status`` moves ``"queued" → "done"`` (or is ``"shed"`` from the
+    start); ``tracks`` holds the hit-index arrays once done.  Timestamps
+    are engine-clock seconds.
+    """
+
+    event: Event
+    t_submit: float
+    status: str = "queued"
+    tracks: Optional[List[np.ndarray]] = None
+    degraded: bool = False
+    cache_hit: bool = False
+    t_dispatch: float = 0.0
+    t_done: float = 0.0
+    _completed: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return 1e3 * (self.t_dispatch - self.t_submit)
+
+    @property
+    def latency_ms(self) -> float:
+        return 1e3 * (self.t_done - self.t_submit)
+
+    def result(self, timeout: Optional[float] = None) -> List[np.ndarray]:
+        """Block until the request completes; raises if it was shed."""
+        if self.status == "shed":
+            raise RuntimeError("request was shed by admission control")
+        if not self._completed.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        assert self.tracks is not None
+        return self.tracks
+
+
+class RequestQueue:
+    """Bounded FIFO of pending requests, safe for concurrent access.
+
+    ``offer`` rejects (returns ``False``) when the queue is at capacity
+    — the caller sheds the request; ``pop_batch`` removes up to
+    ``max_n`` oldest requests atomically.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self.not_empty = threading.Condition(self._lock)
+        self._items: Deque[ServeRequest] = deque()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def offer(self, request: ServeRequest) -> bool:
+        with self.not_empty:
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(request)
+            self.not_empty.notify()
+            return True
+
+    def oldest_submit_time(self) -> Optional[float]:
+        with self._lock:
+            return self._items[0].t_submit if self._items else None
+
+    def pop_batch(self, max_n: int) -> List[ServeRequest]:
+        with self._lock:
+            batch = []
+            while self._items and len(batch) < max_n:
+                batch.append(self._items.popleft())
+            return batch
+
+
+@dataclass
+class ServeStats:
+    """Engine-lifetime aggregates (also exported as ``serve.*`` metrics)."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    degraded: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class InferenceEngine:
+    """Serve reconstruction requests over a fitted pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted :class:`~repro.pipeline.ExaTrkXPipeline`.
+    config:
+        Engine knobs (:class:`ServeConfig`).
+    clock:
+        Any object with a ``now`` attribute in seconds
+        (:class:`repro.faults.SimClock` compatible).  Defaults to the
+        wall clock; inject a :class:`~repro.faults.SimClock` with
+        ``workers=0`` for deterministic batching/shedding/degradation.
+
+    Telemetry: every dispatched batch records a ``serve.batch`` span
+    with nested ``serve.stage.construction`` / ``serve.stage.filter`` /
+    ``serve.stage.gnn`` spans (the GNN span wraps the per-event
+    ``pipeline.gnn`` / ``pipeline.track_building`` spans), and the run
+    metrics gain ``serve.*`` counters, queue-depth gauges, and
+    latency/batch-size histograms.
+    """
+
+    def __init__(
+        self,
+        pipeline: ExaTrkXPipeline,
+        config: Optional[ServeConfig] = None,
+        clock=None,
+    ) -> None:
+        if pipeline.construction is None:
+            raise RuntimeError("pipeline not fitted")
+        self.pipeline = pipeline
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else _WallClock()
+        self.queue = RequestQueue(self.config.max_queue_events)
+        self.cache: Optional[StageCache] = (
+            StageCache(self.config.cache_capacity)
+            if self.config.cache_capacity > 0
+            else None
+        )
+        self.stats = ServeStats()
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[threading.Thread] = None
+        if self.config.workers > 0:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers, thread_name_prefix="repro-serve"
+            )
+            self._batcher = threading.Thread(
+                target=self._batcher_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._batcher.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Drain queued requests, stop the batcher, and shut the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None:
+            with self.queue.not_empty:
+                self.queue.not_empty.notify_all()
+            self._batcher.join()
+            self._batcher = None
+        else:
+            self.flush()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission / admission control --------------------------------
+    def submit(self, event: Event) -> ServeRequest:
+        """Enqueue one reconstruction request.
+
+        Returns immediately; the request completes asynchronously
+        (threaded mode) or on the next :meth:`pump` / :meth:`flush`
+        (synchronous mode).  When the queue is full the request is shed:
+        ``status == "shed"`` and no reconstruction ever runs for it.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        request = ServeRequest(event=event, t_submit=self.clock.now)
+        with self._stats_lock:
+            self.stats.submitted += 1
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("serve.requests.submitted").add(1)
+        if not self.queue.offer(request):
+            request.status = "shed"
+            with self._stats_lock:
+                self.stats.shed += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("serve.requests.shed").add(1)
+            get_tracer().event(
+                "serve.shed", category="serve", event=event.event_id
+            )
+            return request
+        if telemetry is not None:
+            telemetry.metrics.gauge("serve.queue_depth").set(len(self.queue))
+        return request
+
+    def process(self, events: Sequence[Event]) -> List[ServeRequest]:
+        """Convenience: submit every event, flush, and return requests.
+
+        In synchronous mode the returned requests are already complete
+        (or shed); in threaded mode this blocks until they are.
+        """
+        requests = [self.submit(e) for e in events]
+        if self.config.workers == 0:
+            self.flush()
+        else:
+            for r in requests:
+                if r.status != "shed":
+                    r.result()
+        return requests
+
+    # -- synchronous pumping (workers == 0) ----------------------------
+    def next_due_time(self) -> Optional[float]:
+        """Earliest clock time at which a batch should dispatch.
+
+        ``None`` when the queue is empty.  A full batch is due
+        immediately (its oldest submit time); a partial batch is due
+        when its oldest request's ``max_wait_ms`` deadline expires.
+        """
+        oldest = self.queue.oldest_submit_time()
+        if oldest is None:
+            return None
+        if len(self.queue) >= self.config.max_batch_events:
+            return oldest
+        return oldest + 1e-3 * self.config.max_wait_ms
+
+    def pump(self) -> int:
+        """Dispatch ONE batch if one is due; returns its size (0 if not).
+
+        Synchronous mode only.  "Due" means a full batch is waiting or
+        the oldest request's batching deadline has expired at the
+        current clock time.
+        """
+        due = self.next_due_time()
+        if due is None or due > self.clock.now:
+            return 0
+        batch = self.queue.pop_batch(self.config.max_batch_events)
+        if batch:
+            self._process_batch(batch)
+        return len(batch)
+
+    def flush(self) -> int:
+        """Dispatch everything queued, deadline or not; returns count."""
+        total = 0
+        while True:
+            batch = self.queue.pop_batch(self.config.max_batch_events)
+            if not batch:
+                return total
+            self._process_batch(batch)
+            total += len(batch)
+
+    # -- threaded micro-batcher (workers >= 1) -------------------------
+    def _batcher_loop(self) -> None:
+        cfg = self.config
+        while True:
+            with self.queue.not_empty:
+                while len(self.queue._items) == 0 and not self._closed:
+                    self.queue.not_empty.wait(timeout=0.05)
+                if self._closed and not self.queue._items:
+                    return
+                # batch is dispatched when full, or when the oldest
+                # request's deadline expires — whichever happens first
+                while (
+                    len(self.queue._items) < cfg.max_batch_events
+                    and not self._closed
+                ):
+                    oldest = self.queue._items[0].t_submit if self.queue._items else None
+                    if oldest is None:
+                        break
+                    remaining = oldest + 1e-3 * cfg.max_wait_ms - self.clock.now
+                    if remaining <= 0:
+                        break
+                    self.queue.not_empty.wait(timeout=min(remaining, 0.05))
+            batch = self.queue.pop_batch(cfg.max_batch_events)
+            if batch:
+                assert self._executor is not None
+                self._executor.submit(self._process_batch, batch)
+
+    # -- batch execution ------------------------------------------------
+    def _process_batch(self, batch: List[ServeRequest]) -> None:
+        """Run one micro-batch through the stages; fills in every request."""
+        cfg = self.config
+        tracer = get_tracer()
+        t_dispatch = self.clock.now
+        for request in batch:
+            request.t_dispatch = t_dispatch
+        oldest_wait_ms = 1e3 * (t_dispatch - batch[0].t_submit)
+        degraded = (
+            cfg.latency_budget_ms is not None
+            and oldest_wait_ms > cfg.latency_budget_ms
+        )
+        t0_wall = time.perf_counter()
+        with tracer.span(
+            "serve.batch",
+            category="serve",
+            size=len(batch),
+            degraded=degraded,
+            oldest_wait_ms=oldest_wait_ms,
+        ), row_stable_matmul():
+            stages = self._upstream_stages(batch)
+            with tracer.span("serve.stage.gnn", category="serve", degraded=degraded):
+                for request, staged in zip(batch, stages):
+                    if degraded:
+                        request.tracks = self._degraded_tracks(staged)
+                        request.degraded = True
+                    else:
+                        request.tracks = self.pipeline.finish_from_filtered(
+                            staged.filtered
+                        )
+        service_wall_s = time.perf_counter() - t0_wall
+        if not isinstance(self.clock, _WallClock):
+            # simulated clock: model the service time explicitly so
+            # queueing dynamics (and thus shedding/degradation) are
+            # reproducible — fixed when configured, measured otherwise
+            self.clock.now = t_dispatch + (
+                cfg.sim_service_time_s
+                if cfg.sim_service_time_s is not None
+                else service_wall_s
+            )
+        t_done = self.clock.now
+        for request in batch:
+            request.t_done = t_done
+            request.status = "done"
+            request._completed.set()
+        self._record_batch(batch, degraded)
+
+    def _upstream_stages(self, batch: List[ServeRequest]) -> List[CachedStages]:
+        """Construction + filter for a batch, through the stage cache.
+
+        Cache misses are built with the fused batched stage paths
+        (:meth:`GraphConstructionStage.build_many`,
+        :meth:`FilterStage.prune_many`); hits skip both stages.
+        """
+        tracer = get_tracer()
+        keys = [event_fingerprint(r.event) for r in batch]
+        staged: List[Optional[CachedStages]] = [None] * len(batch)
+        miss_idx: List[int] = []
+        seen_in_batch: dict = {}
+        for i, key in enumerate(keys):
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is not None:
+                staged[i] = entry
+                batch[i].cache_hit = True
+            elif key in seen_in_batch:
+                # duplicate within the batch: computed once, shared —
+                # counts as a hit (the work is skipped either way)
+                batch[i].cache_hit = True
+            else:
+                seen_in_batch[key] = i
+                miss_idx.append(i)
+        if miss_idx:
+            miss_events = [batch[i].event for i in miss_idx]
+            construction = self.pipeline.construction
+            with tracer.span(
+                "serve.stage.construction", category="serve", events=len(miss_events)
+            ):
+                if isinstance(construction, GraphConstructionStage):
+                    graphs = construction.build_many(miss_events)
+                else:  # module-map construction has no fused forward
+                    graphs = [construction.build(e) for e in miss_events]
+            with tracer.span(
+                "serve.stage.filter", category="serve", graphs=len(graphs)
+            ):
+                pruned = self.pipeline.filter.prune_many(graphs)
+            for i, graph, (filtered, keep, scores) in zip(miss_idx, graphs, pruned):
+                entry = CachedStages(
+                    graph=graph,
+                    filtered=filtered,
+                    filter_keep=keep,
+                    filter_scores=scores,
+                )
+                staged[i] = entry
+                if self.cache is not None:
+                    self.cache.put(keys[i], entry)
+        for i, key in enumerate(keys):  # resolve in-batch duplicates
+            if staged[i] is None:
+                staged[i] = staged[seen_in_batch[key]]
+        hits = len(batch) - len(miss_idx)
+        with self._stats_lock:
+            self.stats.cache_hits += hits
+            self.stats.cache_misses += len(miss_idx)
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            if hits:
+                telemetry.metrics.counter("serve.cache.hits").add(hits)
+            if miss_idx:
+                telemetry.metrics.counter("serve.cache.misses").add(len(miss_idx))
+        return [s for s in staged if s is not None]
+
+    def _degraded_tracks(self, staged: CachedStages) -> List[np.ndarray]:
+        """Budget-exceeded fallback: tracks from filter scores, no GNN.
+
+        The filter-pruned graph is re-cut at ``degraded_threshold`` and
+        handed to the configured track builder with filter scores
+        standing in for GNN scores — a strictly cheaper approximation
+        whose cost is independent of the GNN's depth.
+        """
+        config = self.pipeline.config
+        filtered = staged.filtered
+        kept_scores = staged.filter_scores[staged.filter_keep]
+        if config.track_builder == "walkthrough":
+            return build_tracks_walkthrough(
+                filtered,
+                kept_scores,
+                min_hits=config.min_track_hits,
+                min_score=self.config.degraded_threshold,
+            )
+        keep = kept_scores >= self.config.degraded_threshold
+        graph: EventGraph = filtered.edge_mask_subgraph(keep)
+        return build_tracks(graph, min_hits=config.min_track_hits)
+
+    # -- accounting -----------------------------------------------------
+    def _record_batch(self, batch: List[ServeRequest], degraded: bool) -> None:
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.completed += len(batch)
+            if degraded:
+                self.stats.degraded += len(batch)
+        telemetry = get_telemetry()
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        with self._stats_lock:
+            metrics.counter("serve.batches").add(1)
+            metrics.counter("serve.requests.completed").add(len(batch))
+            if degraded:
+                metrics.counter("serve.requests.degraded").add(len(batch))
+            metrics.histogram("serve.batch_size").observe(len(batch))
+            for request in batch:
+                metrics.histogram("serve.latency_ms").observe(request.latency_ms)
+                metrics.histogram("serve.queue_wait_ms").observe(
+                    request.queue_wait_ms
+                )
+            metrics.gauge("serve.queue_depth").set(len(self.queue))

@@ -20,6 +20,7 @@ from .tensor import (
     unbroadcast,
 )
 from . import ops
+from .ops import is_row_stable_matmul, row_stable_matmul
 from .gradcheck import gradcheck
 
 __all__ = [
@@ -32,4 +33,6 @@ __all__ = [
     "unbroadcast",
     "ops",
     "gradcheck",
+    "row_stable_matmul",
+    "is_row_stable_matmul",
 ]

@@ -18,6 +18,8 @@ Gradient formulas are checked against central finite differences in
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +34,8 @@ __all__ = [
     "neg",
     "pow",
     "matmul",
+    "row_stable_matmul",
+    "is_row_stable_matmul",
     "sum",
     "mean",
     "reshape",
@@ -177,10 +181,49 @@ def clip(a: Tensor, lo: Optional[float], hi: Optional[float]) -> Tensor:
 # ----------------------------------------------------------------------
 # linear algebra and shape ops
 # ----------------------------------------------------------------------
+# Row-stable matmul mode.  BLAS GEMM picks its blocking by matrix shape,
+# so row i of ``x @ W`` can round differently depending on how many other
+# rows are in the batch — which breaks bit-identity between per-event and
+# concatenated-batch inference.  Under ``row_stable_matmul()`` the forward
+# product is computed with ``np.einsum``, whose per-row accumulation order
+# is independent of the row count: the same input row always produces the
+# same output bits, whatever it is batched with.  The backward pass is
+# unaffected (training stays on BLAS).
+_ROW_STABLE_STATE = threading.local()
+
+
+def is_row_stable_matmul() -> bool:
+    """Whether matmul forwards on this thread use the row-stable kernel."""
+    return getattr(_ROW_STABLE_STATE, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def row_stable_matmul():
+    """Scope in which 2-D matmul forwards are bitwise row-stable.
+
+    Inference paths that must produce identical results per event whether
+    events are processed one at a time or concatenated into a batch (the
+    serving engine's parity contract, see :mod:`repro.serve`) run under
+    this context.  Slower than BLAS; never use it for training.
+
+    Re-entrant, and scoped to the calling thread: each serving worker
+    enters its own scope, so concurrent threads outside any scope keep
+    the fast BLAS kernel.
+    """
+    _ROW_STABLE_STATE.depth = getattr(_ROW_STABLE_STATE, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _ROW_STABLE_STATE.depth -= 1
+
+
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix product ``a @ b`` for 1-D or 2-D operands."""
     a, b = astensor(a), astensor(b)
-    out = a.data @ b.data
+    if is_row_stable_matmul() and a.ndim == 2 and b.ndim == 2:
+        out = np.einsum("ij,jk->ik", a.data, b.data)
+    else:
+        out = a.data @ b.data
 
     def backward(grad: np.ndarray):
         ga = gb = None

@@ -30,6 +30,7 @@ Only the operations the pipeline needs are implemented; they live in
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,27 +47,31 @@ __all__ = [
 
 DEFAULT_DTYPE = np.float32
 
-# Global autograd switch, toggled by the `no_grad` context manager.  The
+# Autograd switch, toggled by the `no_grad` context manager.  The
 # pipeline's inference paths run under `no_grad()` so that sampling-heavy
-# evaluation loops do not accumulate graph nodes.
-_GRAD_ENABLED = True
+# evaluation loops do not accumulate graph nodes.  The switch is a
+# per-thread nesting depth, not a process-wide boolean: the serving
+# engine's worker pool runs inference scopes concurrently, and a
+# save/restore global would let out-of-order exits re-enable grad inside
+# another worker's scope or leave it disabled for the whole process.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "no_grad_depth", 0) == 0
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph recording (like ``torch.no_grad``).
+
+    Re-entrant, and scoped to the calling thread."""
+    _GRAD_STATE.no_grad_depth = getattr(_GRAD_STATE, "no_grad_depth", 0) + 1
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_STATE.no_grad_depth -= 1
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -187,7 +192,7 @@ class Tensor:
         inference cheap.
         """
         parents = tuple(parents)
-        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        req = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=req)
         if req:
             out._parents = parents

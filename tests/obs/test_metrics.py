@@ -63,7 +63,9 @@ class TestHistogram:
     def test_summary_keys(self):
         h = Histogram("lat")
         h.observe(1.0)
-        assert set(h.summary()) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+        assert set(h.summary()) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99"
+        }
 
     def test_reservoir_bounds_memory_keeps_exact_aggregates(self):
         h = Histogram("lat", max_samples=64)

@@ -1,0 +1,73 @@
+"""Stage cache: content fingerprinting and bounded LRU behaviour."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import StageCache, event_fingerprint
+from repro.serve.cache import CachedStages
+
+
+def _entry() -> CachedStages:
+    return CachedStages(
+        graph=None, filtered=None, filter_keep=np.zeros(0, bool), filter_scores=np.zeros(0)
+    )
+
+
+class TestEventFingerprint:
+    def test_same_hits_same_fingerprint(self, serve_events):
+        event = serve_events[0]
+        assert event_fingerprint(event) == event_fingerprint(event)
+
+    def test_different_events_differ(self, serve_events):
+        prints = {event_fingerprint(e) for e in serve_events}
+        assert len(prints) == len(serve_events)
+
+    def test_event_id_is_ignored(self, serve_events):
+        event = serve_events[0]
+        renamed = dataclasses.replace(event, event_id=999)
+        assert event_fingerprint(renamed) == event_fingerprint(event)
+
+    def test_moving_one_hit_changes_fingerprint(self, serve_events):
+        event = serve_events[0]
+        positions = event.positions.copy()
+        positions[0, 0] += 1e-6
+        moved = dataclasses.replace(event, positions=positions)
+        assert event_fingerprint(moved) != event_fingerprint(event)
+
+
+class TestStageCache:
+    def test_get_put_round_trip(self):
+        cache = StageCache(capacity=4)
+        entry = _entry()
+        assert cache.get("k") is None
+        cache.put("k", entry)
+        assert cache.get("k") is entry
+        assert cache.stats() == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = StageCache(capacity=2)
+        a, b, c = _entry(), _entry(), _entry()
+        cache.put("a", a)
+        cache.put("b", b)
+        cache.get("a")  # refresh: b is now least recently used
+        cache.put("c", c)
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = StageCache(capacity=2)
+        first, second = _entry(), _entry()
+        cache.put("k", first)
+        cache.put("k", second)
+        assert len(cache) == 1
+        assert cache.get("k") is second
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            StageCache(capacity=0)

@@ -1,0 +1,222 @@
+"""InferenceEngine mechanics: batching, shedding, degradation, telemetry.
+
+Everything here runs the synchronous engine (``workers=0``) on a
+:class:`repro.faults.SimClock`, so batch formation, admission control,
+and the latency-budget degradation are exact and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import SimClock
+from repro.obs import RunTelemetry, use_telemetry
+from repro.pipeline import ExaTrkXPipeline, PipelineConfig
+from repro.serve import InferenceEngine, ServeConfig
+
+
+def make_engine(pipe, clock=None, **overrides):
+    defaults = dict(max_batch_events=2, max_wait_ms=10.0, max_queue_events=4)
+    defaults.update(overrides)
+    return InferenceEngine(pipe, ServeConfig(**defaults), clock=clock)
+
+
+class TestMicroBatching:
+    def test_partial_batch_waits_for_deadline(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=3)
+        request = engine.submit(serve_events[0])
+        assert engine.pump() == 0  # one queued, deadline not reached
+        assert request.status == "queued"
+        clock.now += 0.011  # past max_wait_ms
+        assert engine.pump() == 1
+        assert request.status == "done"
+
+    def test_full_batch_dispatches_immediately(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=2)
+        engine.submit(serve_events[0])
+        engine.submit(serve_events[1])
+        assert engine.pump() == 2  # full batch is due with no wait
+
+    def test_flush_drains_everything(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=2)
+        requests = [engine.submit(e) for e in serve_events[:3]]
+        assert engine.flush() == 3
+        assert [r.status for r in requests] == ["done"] * 3
+        assert engine.stats.batches == 2  # 2 + 1
+
+    def test_next_due_time(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=2)
+        assert engine.next_due_time() is None
+        engine.submit(serve_events[0])
+        assert engine.next_due_time() == pytest.approx(0.010)  # deadline
+        engine.submit(serve_events[1])
+        assert engine.next_due_time() == pytest.approx(0.0)  # full now
+
+
+class TestAdmissionControl:
+    def test_overflow_is_shed(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_queue_events=2)
+        requests = [engine.submit(serve_events[i % len(serve_events)]) for i in range(4)]
+        assert [r.status for r in requests] == ["queued", "queued", "shed", "shed"]
+        assert engine.stats.shed == 2
+        engine.flush()
+        assert engine.stats.completed == 2
+
+    def test_shed_request_result_raises(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_queue_events=1)
+        engine.submit(serve_events[0])
+        shed = engine.submit(serve_events[1])
+        with pytest.raises(RuntimeError, match="shed"):
+            shed.result()
+        assert shed.tracks is None
+
+
+class TestDegradedMode:
+    def test_blown_budget_skips_gnn(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(
+            serve_pipeline,
+            clock,
+            latency_budget_ms=50.0,
+            sim_service_time_s=0.0,
+        )
+        fresh = engine.submit(serve_events[0])
+        engine.flush()  # within budget: full pipeline
+        clock.now += 10.0
+        stale = engine.submit(serve_events[1])
+        clock.now += 10.0  # waited 10 s >> 50 ms budget
+        engine.flush()
+        assert fresh.degraded is False
+        assert stale.degraded is True
+        assert isinstance(stale.tracks, list)
+        assert engine.stats.degraded == 1
+
+    def test_degraded_walkthrough_builder(self, serve_pipeline, serve_events):
+        from .conftest import track_builder
+
+        clock = SimClock()
+        with track_builder(serve_pipeline, "walkthrough"):
+            engine = make_engine(
+                serve_pipeline, clock, latency_budget_ms=1.0, sim_service_time_s=0.0
+            )
+            request = engine.submit(serve_events[0])
+            clock.now += 1.0
+            engine.flush()
+        assert request.degraded is True
+        assert isinstance(request.tracks, list)
+
+    def test_no_budget_means_never_degraded(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, latency_budget_ms=None)
+        request = engine.submit(serve_events[0])
+        clock.now += 100.0
+        engine.flush()
+        assert request.degraded is False
+
+
+class TestStageCacheIntegration:
+    def test_replay_hits_cache(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=8)
+        engine.process(serve_events[:2])
+        replay = engine.process(serve_events[:2])
+        assert all(r.cache_hit for r in replay)
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.cache_misses == 2
+
+    def test_in_batch_duplicates_computed_once(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, max_batch_events=4)
+        requests = engine.process([serve_events[0]] * 3)
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 2
+        tracks = [r.tracks for r in requests]
+        assert all(len(t) == len(tracks[0]) for t in tracks)
+
+    def test_cache_disabled(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = make_engine(serve_pipeline, clock, cache_capacity=0)
+        assert engine.cache is None
+        engine.process(serve_events[:2])
+        replay = engine.process(serve_events[:2])
+        assert not any(r.cache_hit for r in replay)
+
+
+class TestTelemetryWiring:
+    def test_serve_metrics_and_spans_exported(self, serve_pipeline, serve_events):
+        telemetry = RunTelemetry()
+        clock = SimClock()
+        with use_telemetry(telemetry):
+            engine = make_engine(
+                serve_pipeline, clock, max_queue_events=2, max_batch_events=2
+            )
+            for i in range(4):  # 2 queued + 2 shed
+                engine.submit(serve_events[i % len(serve_events)])
+            engine.flush()
+            engine.process(serve_events[:2])  # replay: cache hits
+        metrics = telemetry.metrics.to_dict()
+        assert metrics["counters"]["serve.requests.submitted"] == 6
+        assert metrics["counters"]["serve.requests.completed"] == 4
+        assert metrics["counters"]["serve.requests.shed"] == 2
+        assert metrics["counters"]["serve.cache.hits"] == 2
+        assert metrics["counters"]["serve.cache.misses"] == 2
+        latency = metrics["histograms"]["serve.latency_ms"]
+        assert latency["count"] == 4
+        assert "p99" in latency
+        span_names = {s.name for s in telemetry.tracer.spans}
+        assert {
+            "serve.batch",
+            "serve.stage.construction",
+            "serve.stage.filter",
+            "serve.stage.gnn",
+            "pipeline.gnn",
+        } <= span_names
+
+    def test_pipeline_score_span_recorded(self, serve_pipeline, serve_events):
+        telemetry = RunTelemetry()
+        with use_telemetry(telemetry):
+            serve_pipeline.score_event(serve_events[0])
+        assert "pipeline.score" in {s.name for s in telemetry.tracer.spans}
+
+
+class TestLifecycleAndValidation:
+    def test_unfitted_pipeline_rejected(self, geometry):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            InferenceEngine(ExaTrkXPipeline(PipelineConfig(), geometry))
+
+    def test_submit_after_close_rejected(self, serve_pipeline, serve_events):
+        engine = make_engine(serve_pipeline, SimClock())
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit(serve_events[0])
+
+    def test_close_drains_pending_and_is_idempotent(
+        self, serve_pipeline, serve_events
+    ):
+        engine = make_engine(serve_pipeline, SimClock())
+        request = engine.submit(serve_events[0])
+        engine.close()
+        engine.close()
+        assert request.status == "done"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(max_batch_events=0),
+            dict(max_wait_ms=-1.0),
+            dict(max_queue_events=0),
+            dict(workers=-1),
+            dict(latency_budget_ms=0.0),
+            dict(degraded_threshold=1.5),
+            dict(cache_capacity=-1),
+        ],
+    )
+    def test_config_validation(self, bad):
+        with pytest.raises(ValueError):
+            ServeConfig(**bad)

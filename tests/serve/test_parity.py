@@ -1,0 +1,80 @@
+"""Batched serving is bit-identical to the sequential pipeline.
+
+The serving engine's contract (mirroring the bulk-sampler parity suite
+in ``tests/sampling/test_parity.py``): whatever micro-batches form,
+every request's tracks are exactly — not approximately — what a looped
+``Pipeline.reconstruct`` would have produced for that event alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, ServeConfig
+
+from .conftest import track_builder
+
+
+def _assert_tracks_equal(expected, actual, context=""):
+    assert len(expected) == len(actual), context
+    for a, b in zip(expected, actual):
+        assert np.array_equal(a, b), context
+
+
+class TestBatchedSequentialParity:
+    def test_cc_builder_bit_identical(self, serve_pipeline, serve_events):
+        sequential = [serve_pipeline.reconstruct(e) for e in serve_events]
+        with InferenceEngine(
+            serve_pipeline, ServeConfig(max_batch_events=len(serve_events))
+        ) as engine:
+            requests = engine.process(serve_events)
+        assert all(r.status == "done" for r in requests)
+        for event, seq, req in zip(serve_events, sequential, requests):
+            _assert_tracks_equal(seq, req.tracks, f"event {event.event_id}")
+
+    def test_walkthrough_builder_bit_identical(self, serve_pipeline, serve_events):
+        with track_builder(serve_pipeline, "walkthrough"):
+            sequential = [serve_pipeline.reconstruct(e) for e in serve_events]
+            with InferenceEngine(
+                serve_pipeline, ServeConfig(max_batch_events=len(serve_events))
+            ) as engine:
+                requests = engine.process(serve_events)
+            for event, seq, req in zip(serve_events, sequential, requests):
+                _assert_tracks_equal(seq, req.tracks, f"event {event.event_id}")
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 5])
+    def test_results_independent_of_batch_composition(
+        self, serve_pipeline, serve_events, batch_size
+    ):
+        """Row-stable inference kernels make batching invisible to results:
+        the same events produce the same bits at every batch size."""
+        sequential = [serve_pipeline.reconstruct(e) for e in serve_events]
+        with InferenceEngine(
+            serve_pipeline,
+            ServeConfig(max_batch_events=batch_size, cache_capacity=0),
+        ) as engine:
+            requests = engine.process(serve_events)
+        for seq, req in zip(sequential, requests):
+            _assert_tracks_equal(seq, req.tracks, f"batch_size={batch_size}")
+
+    def test_cache_hits_bit_identical_to_fresh_compute(
+        self, serve_pipeline, serve_events
+    ):
+        with InferenceEngine(serve_pipeline, ServeConfig()) as engine:
+            first = engine.process(serve_events)
+            replay = engine.process(serve_events)
+        assert all(r.cache_hit for r in replay)
+        assert not any(r.cache_hit for r in first)
+        for a, b in zip(first, replay):
+            _assert_tracks_equal(a.tracks, b.tracks)
+
+    def test_threaded_engine_bit_identical(self, serve_pipeline, serve_events):
+        sequential = [serve_pipeline.reconstruct(e) for e in serve_events]
+        with InferenceEngine(
+            serve_pipeline,
+            ServeConfig(max_batch_events=2, max_wait_ms=2.0, workers=2),
+        ) as engine:
+            requests = engine.process(serve_events)
+        for seq, req in zip(sequential, requests):
+            _assert_tracks_equal(seq, req.tracks)

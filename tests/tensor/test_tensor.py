@@ -131,6 +131,42 @@ class TestNoGrad:
             pass
         assert is_grad_enabled()
 
+    def test_no_grad_is_reentrant(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_is_per_thread(self):
+        """Overlapping scopes from concurrent threads (the serving worker
+        pool runs inference under ``no_grad`` per batch) must not leak:
+        an out-of-order exit must neither re-enable recording inside
+        another thread's live scope nor leave grad disabled process-wide."""
+        import threading
+
+        entered_b = threading.Event()
+        release_b = threading.Event()
+        b_state = {}
+
+        def hold_scope():
+            with no_grad():
+                entered_b.set()
+                release_b.wait(timeout=10.0)
+                b_state["disabled_inside"] = not is_grad_enabled()
+            b_state["enabled_after"] = is_grad_enabled()
+
+        with no_grad():
+            worker = threading.Thread(target=hold_scope)
+            worker.start()
+            assert entered_b.wait(timeout=10.0)
+        assert is_grad_enabled()  # A's exit restores A's thread...
+        release_b.set()
+        worker.join(timeout=10.0)
+        # ...without touching B's scope, and nothing leaks afterwards.
+        assert b_state == {"disabled_inside": True, "enabled_after": True}
+        assert is_grad_enabled()
+
     def test_detach_breaks_graph(self):
         x = Tensor(np.array([1.0]), requires_grad=True)
         y = ops.mul(x, x).detach()

@@ -23,9 +23,37 @@ class TestParser:
             build_parser().parse_args(["train", "--mode", "quantum"])
 
     def test_all_subcommands_registered(self):
-        for cmd in ("simulate", "train", "reconstruct", "benchmark"):
+        for cmd in ("simulate", "train", "reconstruct", "benchmark", "serve", "loadgen"):
             args = build_parser().parse_args([cmd])
             assert args.command == cmd
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 5.0
+        assert args.max_queue == 64
+        assert args.latency_budget_ms is None
+        assert args.repeat == 2
+        assert args.workers == 1
+        assert args.track_builder is None
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.rate == 100.0
+        assert args.arrival == "poisson"
+        assert args.service_time_ms is None
+
+    def test_reconstruct_rejects_bad_track_builder(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reconstruct", "--track-builder", "dfs"])
 
 
 class TestCommands:
@@ -119,6 +147,109 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tracking:" in out
+
+    def test_reconstruct_walkthrough_builder(self, capsys):
+        rc = main(
+            [
+                "reconstruct", "--events", "5", "--particles", "10",
+                "--gnn-epochs", "2", "--embedding-epochs", "4",
+                "--filter-epochs", "4", "--track-builder", "walkthrough",
+            ]
+        )
+        assert rc == 0
+        assert "tracking:" in capsys.readouterr().out
+
+    def test_reconstruct_track_builder_overrides_loaded_pipeline(
+        self, tmp_path, capsys
+    ):
+        saved = str(tmp_path / "pipe.npz")
+        common = [
+            "--events", "5", "--particles", "10", "--gnn-epochs", "2",
+            "--embedding-epochs", "4", "--filter-epochs", "4",
+        ]
+        rc = main(["reconstruct", *common, "--save-pipeline", saved])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "reconstruct", *common,
+                "--pipeline", saved, "--track-builder", "walkthrough",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "track builder overridden to walkthrough" in out
+        assert "tracking:" in out
+
+
+class TestServingCLI:
+    COMMON = [
+        "--events", "5", "--particles", "10", "--gnn-epochs", "2",
+        "--embedding-epochs", "4", "--filter-epochs", "4",
+    ]
+
+    def test_serve_reports_cache_hits(self, capsys):
+        rc = main(["serve", *self.COMMON, "--repeat", "2", "--workers", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "cache 2 hit" in out  # two test events, each served twice
+        assert "latency ms" in out
+
+    def test_serve_threaded_with_saved_pipeline(self, tmp_path, capsys):
+        saved = str(tmp_path / "pipe.npz")
+        rc = main(
+            ["reconstruct", *self.COMMON, "--save-pipeline", saved]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            ["serve", *self.COMMON, "--pipeline", saved, "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"loaded fitted pipeline from {saved}" in out
+        assert "served" in out
+
+    def test_loadgen_overload_sheds(self, capsys):
+        rc = main(
+            [
+                "loadgen", *self.COMMON,
+                "--rate", "500", "--requests", "40",
+                "--max-batch", "4", "--max-queue", "8",
+                "--service-time-ms", "50",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered      40 requests" in out
+        assert "shed" in out
+        shed = int(next(l for l in out.splitlines() if l.startswith("shed")).split()[1])
+        assert shed > 0
+
+    def test_serve_exports_telemetry(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = main(
+            [
+                "serve", *self.COMMON, "--repeat", "2", "--workers", "0",
+                "--trace-out", str(trace), "--metrics-out", str(metrics),
+            ]
+        )
+        assert rc == 0
+        names = {
+            e["name"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert "serve.batch" in names
+        assert "serve.stage.filter" in names
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["serve.requests.completed"] == 4
+        assert snap["counters"]["serve.cache.hits"] == 2
+        assert "p99" in snap["histograms"]["serve.latency_ms"]
 
 
 class TestFaultToleranceCLI:
