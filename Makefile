@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults bench examples docs telemetry-smoke prefetch-smoke serve-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke clean
 
 test:
 	pytest tests/
@@ -12,6 +12,11 @@ test-fast:
 # warnings promoted to errors (mirrors the dedicated CI step).
 test-faults:
 	pytest tests/ -m faults -W error
+
+# Guardrail suite: quarantine, watchdog rollback, circuit breaker,
+# graceful shutdown (mirrors the dedicated CI step).
+test-guard:
+	pytest tests/ -m guard -W error
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -43,6 +48,12 @@ prefetch-smoke:
 # serve.* metrics schema (mirrors the dedicated CI step).
 serve-smoke:
 	python scripts/validate_serving.py /tmp/repro_serving_metrics.json
+
+# End-to-end guardrail chaos check: watchdog rollback on NaN loss,
+# checkpoint fallback past a bit-flipped file, breaker open/degraded/
+# recover with zero hung requests (mirrors the dedicated CI step).
+guard-smoke:
+	python scripts/validate_guardrails.py /tmp/repro_guard_metrics.json
 
 examples:
 	python examples/quickstart.py

@@ -21,6 +21,7 @@ MODULES = [
     "repro.memory",
     "repro.pipeline",
     "repro.data",
+    "repro.guard",
     "repro.serve",
     "repro.metrics",
     "repro.obs",

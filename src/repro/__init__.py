@@ -23,7 +23,10 @@ The package implements, from scratch on NumPy/SciPy:
   overlaps sampler work with training compute (``docs/data_pipeline.md``);
 * :mod:`repro.serve` — inference serving engine: dynamic micro-batching,
   keyed stage caching, and load-shedding with a degraded GNN-skip mode
-  (``docs/serving.md``).
+  (``docs/serving.md``);
+* :mod:`repro.guard` — end-to-end guardrails: input quarantine, the
+  training stability watchdog (rollback + LR backoff), and the serving
+  circuit breaker (``docs/resilience.md``).
 
 See ``DESIGN.md`` for the full system inventory and the per-experiment
 index mapping each paper table/figure to a benchmark.
@@ -31,7 +34,7 @@ index mapping each paper table/figure to a benchmark.
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, pipeline, io, baselines, faults, serve  # noqa: E402,F401
+from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, guard, pipeline, io, baselines, faults, serve  # noqa: E402,F401
 
 __all__ = [
     "__version__",
@@ -47,6 +50,7 @@ __all__ = [
     "metrics",
     "obs",
     "perf",
+    "guard",
     "pipeline",
     "io",
     "faults",

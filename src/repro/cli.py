@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import List, Optional
 
@@ -117,6 +118,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="bound on in-flight prefetched bulk steps",
+    )
+    p_train.add_argument(
+        "--validate-inputs",
+        action="store_true",
+        help="quarantine malformed training graphs instead of crashing",
+    )
+    p_train.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retain the last N checkpoints (history copies enable "
+        "fallback resume when the newest one is corrupt)",
+    )
+    p_train.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="enable the training stability watchdog: on NaN/Inf or a "
+        "loss spike, roll back to the last checkpoint with LR backoff",
+    )
+    p_train.add_argument(
+        "--watchdog-window", type=int, default=8, metavar="N",
+        help="rolling loss window for spike detection",
+    )
+    p_train.add_argument(
+        "--watchdog-spike-factor", type=float, default=10.0, metavar="X",
+        help="divergence when loss exceeds X times the rolling median",
+    )
+    p_train.add_argument(
+        "--watchdog-max-rollbacks", type=int, default=2, metavar="N",
+        help="rollback budget before training gives up",
+    )
+    p_train.add_argument(
+        "--watchdog-lr-backoff", type=float, default=0.5, metavar="F",
+        help="multiply the learning rate by F on each rollback",
     )
     _add_telemetry_flags(p_train)
 
@@ -261,6 +297,46 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="stage-cache entries (0 disables caching)",
     )
+    parser.add_argument(
+        "--validate-inputs",
+        action="store_true",
+        help="quarantine malformed events at submit instead of crashing",
+    )
+    parser.add_argument(
+        "--quarantine-log",
+        default=None,
+        metavar="PATH",
+        help="append quarantined-request records to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="fail requests still queued after MS with a typed timeout",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="open the GNN circuit breaker after N consecutive stage "
+        "failures (default: breaker disabled)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="open-state cooldown before the half-open probe",
+    )
+    parser.add_argument(
+        "--breaker-probes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="successful half-open probes required to close the breaker",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -322,6 +398,7 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_train(args) -> int:
     from .detector import dataset_config, make_dataset
+    from .guard import TrainingUnstableError
     from .pipeline import CheckpointError, GNNTrainConfig, train_gnn
 
     cfg = dataset_config(args.dataset).with_sizes(
@@ -345,6 +422,13 @@ def _cmd_train(args) -> int:
         resume_from=args.resume,
         prefetch_workers=args.prefetch_workers,
         prefetch_depth=args.prefetch_depth,
+        validate_inputs=args.validate_inputs,
+        keep_last=args.keep_last,
+        watchdog=args.watchdog,
+        watchdog_window=args.watchdog_window,
+        watchdog_spike_factor=args.watchdog_spike_factor,
+        watchdog_max_rollbacks=args.watchdog_max_rollbacks,
+        watchdog_lr_backoff=args.watchdog_lr_backoff,
     )
     if args.config is not None:
         import json
@@ -364,6 +448,9 @@ def _cmd_train(args) -> int:
             "world_size": 1, "allreduce": "coalesced", "seed": 0,
             "checkpoint_every": None, "checkpoint_path": "gnn_checkpoint.npz",
             "resume_from": None, "prefetch_workers": 0, "prefetch_depth": 2,
+            "validate_inputs": False, "keep_last": None, "watchdog": False,
+            "watchdog_window": 8, "watchdog_spike_factor": 10.0,
+            "watchdog_max_rollbacks": 2, "watchdog_lr_backoff": 0.5,
         }
         for key, value in from_file.items():
             if key not in fields or fields[key] == flag_defaults.get(key):
@@ -385,8 +472,30 @@ def _cmd_train(args) -> int:
             file=sys.stderr,
         )
         return 2
+    except TrainingUnstableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "Training diverged beyond the watchdog's rollback budget. "
+            "Lower the learning rate or raise --watchdog-max-rollbacks.",
+            file=sys.stderr,
+        )
+        return 3
+    except KeyboardInterrupt:
+        print("\ninterrupted — stopping training", file=sys.stderr)
+        if train_cfg.checkpoint_every is not None:
+            print(
+                f"resume with: repro train --resume {train_cfg.checkpoint_path}",
+                file=sys.stderr,
+            )
+        _flush_telemetry(telemetry, args)
+        return 130
     if result.resumed_epoch is not None:
         print(f"resumed from {args.resume} at epoch {result.resumed_epoch}")
+    if result.resume_fallback_path is not None:
+        print(
+            "warning: requested checkpoint was corrupt; resumed from "
+            f"verified fallback {result.resume_fallback_path}"
+        )
     print(f"{'epoch':>5} | {'loss':>8} | {'precision':>9} | {'recall':>7} | {'time':>6}")
     for r in result.history.records:
         print(
@@ -400,6 +509,13 @@ def _cmd_train(args) -> int:
         )
     if result.skipped_graphs:
         print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
+    if result.quarantined_graphs:
+        print(f"quarantined {result.quarantined_graphs} malformed graph(s)")
+    if result.watchdog_rollbacks:
+        print(
+            f"watchdog: {result.watchdog_rollbacks} rollback(s) with LR "
+            "backoff (see docs/resilience.md)"
+        )
     if result.checkpoints_written:
         print(
             f"wrote {result.checkpoints_written} checkpoint(s) to "
@@ -523,39 +639,58 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         latency_budget_ms=args.latency_budget_ms,
         cache_capacity=args.cache_capacity,
+        validate_inputs=args.validate_inputs,
+        quarantine_log=args.quarantine_log,
+        request_timeout_ms=args.request_timeout_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        breaker_probes=args.breaker_probes,
     )
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
-    with use_telemetry(telemetry):
-        pipe = _obtain_pipeline(args, config, geometry, events, n_train)
-        if pipe is None:
-            return 2
-        test_events = events[n_train + 1 :] or events[-1:]
-        stream = [e for _ in range(args.repeat) for e in test_events]
-        with InferenceEngine(pipe, serve_cfg) as engine:
-            requests = engine.process(stream)
-        done = [r for r in requests if r.status == "done"]
-        for r in done:
-            flags = "".join(
-                [" cache-hit" if r.cache_hit else "", " DEGRADED" if r.degraded else ""]
-            )
+    try:
+        with use_telemetry(telemetry):
+            pipe = _obtain_pipeline(args, config, geometry, events, n_train)
+            if pipe is None:
+                return 2
+            test_events = events[n_train + 1 :] or events[-1:]
+            stream = [e for _ in range(args.repeat) for e in test_events]
+            # The with-block drains in-flight requests on any exit path
+            # (including SIGTERM/ctrl-C), so no request is left hanging.
+            with InferenceEngine(pipe, serve_cfg) as engine:
+                requests = engine.process(stream)
+            done = [r for r in requests if r.status == "done"]
+            for r in done:
+                flags = "".join(
+                    [" cache-hit" if r.cache_hit else "", " DEGRADED" if r.degraded else ""]
+                )
+                print(
+                    f"event {r.event.event_id}: {len(r.tracks)} tracks  "
+                    f"({r.latency_ms:.2f} ms{flags})"
+                )
+            stats = engine.stats
             print(
-                f"event {r.event.event_id}: {len(r.tracks)} tracks  "
-                f"({r.latency_ms:.2f} ms{flags})"
+                f"\nserved {stats.completed}/{stats.submitted} requests in "
+                f"{stats.batches} batches  (shed {stats.shed}, degraded "
+                f"{stats.degraded}, cache {stats.cache_hits} hit / "
+                f"{stats.cache_misses} miss)"
             )
-        stats = engine.stats
-        print(
-            f"\nserved {stats.completed}/{stats.submitted} requests in "
-            f"{stats.batches} batches  (shed {stats.shed}, degraded "
-            f"{stats.degraded}, cache {stats.cache_hits} hit / "
-            f"{stats.cache_misses} miss)"
-        )
-        if done:
-            lat = np.array([r.latency_ms for r in done])
-            print(
-                f"latency ms: p50={np.percentile(lat, 50):.2f}  "
-                f"p95={np.percentile(lat, 95):.2f}  "
-                f"p99={np.percentile(lat, 99):.2f}"
-            )
+            if stats.quarantined or stats.timed_out or stats.failed:
+                print(
+                    f"guardrails: quarantined {stats.quarantined}, "
+                    f"timed out {stats.timed_out}, failed {stats.failed}, "
+                    f"breaker-degraded {stats.breaker_degraded}"
+                )
+            if done:
+                lat = np.array([r.latency_ms for r in done])
+                print(
+                    f"latency ms: p50={np.percentile(lat, 50):.2f}  "
+                    f"p95={np.percentile(lat, 95):.2f}  "
+                    f"p99={np.percentile(lat, 99):.2f}"
+                )
+    except KeyboardInterrupt:
+        print("\ninterrupted — engine drained, exiting", file=sys.stderr)
+        _flush_telemetry(telemetry, args)
+        return 130
     _flush_telemetry(telemetry, args)
     return 0
 
@@ -580,6 +715,12 @@ def _cmd_loadgen(args) -> int:
         sim_service_time_s=(
             1e-3 * args.service_time_ms if args.service_time_ms is not None else None
         ),
+        validate_inputs=args.validate_inputs,
+        quarantine_log=args.quarantine_log,
+        request_timeout_ms=args.request_timeout_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        breaker_probes=args.breaker_probes,
     )
     load_cfg = LoadGenConfig(
         rate=args.rate,
@@ -588,15 +729,23 @@ def _cmd_loadgen(args) -> int:
         seed=args.seed,
     )
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
-    with use_telemetry(telemetry):
-        pipe = _obtain_pipeline(args, config, geometry, events, n_train)
-        if pipe is None:
-            return 2
-        test_events = events[n_train + 1 :] or events[-1:]
-        engine = InferenceEngine(pipe, serve_cfg, clock=SimClock())
-        report = run_loadgen(engine, test_events, load_cfg)
-        for line in report.lines():
-            print(line)
+    engine = None
+    try:
+        with use_telemetry(telemetry):
+            pipe = _obtain_pipeline(args, config, geometry, events, n_train)
+            if pipe is None:
+                return 2
+            test_events = events[n_train + 1 :] or events[-1:]
+            engine = InferenceEngine(pipe, serve_cfg, clock=SimClock())
+            report = run_loadgen(engine, test_events, load_cfg)
+            for line in report.lines():
+                print(line)
+    except KeyboardInterrupt:
+        if engine is not None:
+            engine.close()
+        print("\ninterrupted — engine drained, exiting", file=sys.stderr)
+        _flush_telemetry(telemetry, args)
+        return 130
     _flush_telemetry(telemetry, args)
     return 0
 
@@ -681,10 +830,34 @@ _COMMANDS = {
 }
 
 
+def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - trivial
+    raise KeyboardInterrupt
+
+
+def _install_sigterm_handler() -> None:
+    """Route SIGTERM through the KeyboardInterrupt cleanup paths.
+
+    ``kill <pid>`` then drains the serving engine / reports the last
+    checkpoint exactly like ctrl-C, instead of dying mid-batch.  Only
+    possible from the main thread; embedded callers keep their handler.
+    """
+    try:
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:  # not the main thread
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (console script ``repro``)."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _install_sigterm_handler()
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # Backstop for commands without their own cleanup: exit with the
+        # conventional 128+SIGINT code and no stack trace.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -20,6 +20,12 @@ Components
   deterministic schedule of failures, consulted by
   :class:`repro.distributed.SimCommunicator` (collectives) and the
   trainer checkpoint writer (I/O).
+* :class:`NumericFault` — inject NaN into a planned training step's loss
+  or gradients, so the stability watchdog's rollback path
+  (:mod:`repro.guard.watchdog`) is reproducibly testable.
+* :class:`StageFault` / :class:`StageError` — fail a planned invocation
+  of a named serving stage, exercising the circuit breaker
+  (:mod:`repro.guard.breaker`).
 * :class:`SimClock`, :class:`RetryPolicy`, :func:`call_with_retries` —
   retry-with-exponential-backoff for *transient* faults; exhaustion
   re-raises the original error.
@@ -31,12 +37,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, TypeVar
+from typing import Callable, Dict, List, Optional, TypeVar
 
 __all__ = [
     "CommError",
+    "StageError",
     "CommFault",
     "IOFault",
+    "NumericFault",
+    "StageFault",
     "FaultPlan",
     "SimClock",
     "RetryPolicy",
@@ -104,6 +113,67 @@ class IOFault:
 
 
 @dataclass
+class NumericFault:
+    """Corrupt the ``at_step``-th training step with NaN.
+
+    ``at_step`` counts *forward/backward executions* (0-based, one per
+    :func:`repro.pipeline.trainers._step` call — with ``world_size`` P
+    every optimisation step consumes P indices, one per rank).  The
+    counter keeps advancing across watchdog rollbacks, so a step
+    re-executed after a rollback consumes a *new* index and the fault
+    does not re-fire — which is what makes recovery deterministic
+    instead of an infinite divergence loop.
+
+    ``target`` selects what is corrupted: ``"loss"`` overwrites the loss
+    value with NaN before the finiteness check (the step fails before
+    ``backward``); ``"grad"`` lets the step run and overwrites the first
+    parameter gradient with NaN afterwards (caught by the watchdog's
+    grad-norm probe, or poisoning the weights when no watchdog runs).
+    """
+
+    at_step: int
+    target: str = "loss"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target not in ("loss", "grad"):
+            raise ValueError(f"unknown NumericFault target {self.target!r}")
+        if self.at_step < 0 or self.times < 1:
+            raise ValueError("at_step must be >= 0 and times >= 1")
+
+    def should_fire(self, step_index: int) -> bool:
+        return self.at_step <= step_index < self.at_step + self.times
+
+
+class StageError(RuntimeError):
+    """An injected serving-stage failure (see :class:`StageFault`)."""
+
+    def __init__(self, message: str, stage: str = ""):
+        super().__init__(message)
+        self.stage = stage
+
+
+@dataclass
+class StageFault:
+    """Fail the ``at_call``-th invocation of serving stage ``stage``.
+
+    ``at_call`` counts *attempted* invocations of that stage (0-based).
+    While the circuit breaker is open the stage is not attempted at all,
+    so the counter does not advance — a schedule of ``times`` failures
+    therefore outlasts the open period and can also fail the first
+    half-open probe, which is exactly the recovery path worth testing.
+    """
+
+    stage: str
+    at_call: int
+    times: int = 1
+    message: str = "injected stage failure"
+
+    def should_fire(self, call_index: int) -> bool:
+        return self.at_call <= call_index < self.at_call + self.times
+
+
+@dataclass
 class FaultPlan:
     """A deterministic failure schedule shared by comm and I/O layers.
 
@@ -113,8 +183,12 @@ class FaultPlan:
 
     comm_faults: List[CommFault] = field(default_factory=list)
     io_faults: List[IOFault] = field(default_factory=list)
+    numeric_faults: List[NumericFault] = field(default_factory=list)
+    stage_faults: List[StageFault] = field(default_factory=list)
     _comm_calls: int = field(default=0, repr=False)
     _io_writes: int = field(default=0, repr=False)
+    _numeric_steps: int = field(default=0, repr=False)
+    _stage_calls: Dict[str, int] = field(default_factory=dict, repr=False)
 
     # -- collectives ---------------------------------------------------
     def before_collective(self, active_ranks: List[int]) -> None:
@@ -147,6 +221,37 @@ class FaultPlan:
         for fault in self.io_faults:
             if fault.should_fire(index):
                 raise OSError(f"{fault.message} (write {index} of {path!r})")
+
+    # -- numeric training faults ---------------------------------------
+    def numeric_fault_target(self) -> Optional[str]:
+        """Advance the step counter; return ``"loss"``/``"grad"`` or None.
+
+        Called by the trainer once per forward/backward execution; the
+        first scheduled :class:`NumericFault` covering this index wins.
+        """
+        index = self._numeric_steps
+        self._numeric_steps += 1
+        for fault in self.numeric_faults:
+            if fault.should_fire(index):
+                return fault.target
+        return None
+
+    # -- serving-stage faults ------------------------------------------
+    def before_stage(self, stage: str) -> None:
+        """Raise :class:`StageError` if this stage invocation should fail.
+
+        The per-stage attempt counter advances whether or not a fault
+        fires; invocations skipped by an open circuit breaker never
+        reach this call and therefore do not advance it.
+        """
+        index = self._stage_calls.get(stage, 0)
+        self._stage_calls[stage] = index + 1
+        for fault in self.stage_faults:
+            if fault.stage == stage and fault.should_fire(index):
+                raise StageError(
+                    f"{fault.message} (stage {stage!r}, attempt {index})",
+                    stage=stage,
+                )
 
 
 class SimClock:

@@ -1,0 +1,56 @@
+"""End-to-end guardrails: quarantine, stability watchdog, circuit breaker.
+
+``repro.guard`` is the resilience layer threaded through every stage of
+the stack (see ``docs/resilience.md``):
+
+* :mod:`repro.guard.validation` — composable input validators and the
+  :class:`Quarantine` filter applied at ingestion
+  (:meth:`repro.pipeline.ExaTrkXPipeline.fit`,
+  :func:`repro.pipeline.train_gnn`) and at
+  :meth:`repro.serve.InferenceEngine.submit`: malformed events/graphs
+  are skipped with a structured reason instead of crashing the epoch or
+  the serving worker;
+* :mod:`repro.guard.watchdog` — per-step loss / grad-norm divergence
+  detection driving checkpoint rollback + LR backoff in the trainers;
+* :mod:`repro.guard.breaker` — the closed → open → half-open circuit
+  breaker wrapping the serving engine's GNN stage.
+
+Everything emits ``guard.*`` counters/gauges/events through
+:mod:`repro.obs`, and every recovery path is deterministically testable
+via :mod:`repro.faults` (:class:`~repro.faults.NumericFault`,
+:class:`~repro.faults.StageFault`, corrupters).
+"""
+
+from .breaker import BreakerConfig, BreakerOpenError, CircuitBreaker
+from .validation import (
+    EventValidator,
+    GraphValidator,
+    Quarantine,
+    QuarantineLog,
+    ValidationIssue,
+    ValidationRule,
+)
+from .watchdog import (
+    DivergenceError,
+    StabilityWatchdog,
+    TrainingUnstableError,
+    WatchdogConfig,
+    global_grad_norm,
+)
+
+__all__ = [
+    "ValidationIssue",
+    "ValidationRule",
+    "EventValidator",
+    "GraphValidator",
+    "QuarantineLog",
+    "Quarantine",
+    "WatchdogConfig",
+    "StabilityWatchdog",
+    "DivergenceError",
+    "TrainingUnstableError",
+    "global_grad_norm",
+    "BreakerConfig",
+    "BreakerOpenError",
+    "CircuitBreaker",
+]

@@ -1,0 +1,204 @@
+"""Training stability watchdog: detect divergence, drive auto-rollback.
+
+A long training run has two numeric failure modes the fault-tolerant
+runtime of :mod:`repro.pipeline.trainers` cannot retry its way out of:
+
+* a **non-finite step** — NaN/Inf loss or gradient (hardware fault,
+  injected :class:`repro.faults.NumericFault`, or a genuinely unstable
+  recipe), which would silently poison every replica at the next
+  all-reduce; and
+* a **loss spike** — a finite but exploding loss (``spike_factor`` ×
+  the rolling-window median), the classic precursor of divergence.
+
+The watchdog is a pure observer with a budget: trainers feed it every
+step's loss (and the global gradient norm), it raises
+:class:`DivergenceError` the moment either trigger fires, and
+:func:`repro.pipeline.trainers.train_gnn` responds by rolling back to
+the last good checkpoint, backing off the learning rate, and retrying —
+at most ``max_rollbacks`` times before the typed
+:class:`TrainingUnstableError` escapes to the caller.
+
+State machine::
+
+    observing ──divergence──▶ rolled-back (LR × backoff, window reset)
+        ▲                          │ retry (budget left)
+        └──────────────────────────┘
+                                   │ budget exhausted
+                                   ▼
+                          TrainingUnstableError
+
+Everything is deterministic: no wall-clock, no randomness — two runs
+with the same seed and fault plan diverge, roll back, and recover
+identically (verified by the determinism tests).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "WatchdogConfig",
+    "DivergenceError",
+    "TrainingUnstableError",
+    "StabilityWatchdog",
+    "global_grad_norm",
+]
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged: non-finite step or loss spike.
+
+    Raised by :meth:`StabilityWatchdog.observe_loss` /
+    :meth:`~StabilityWatchdog.observe_grad_norm`; caught by the
+    rollback loop in :func:`repro.pipeline.trainers.train_gnn`.
+    """
+
+    def __init__(self, message: str, step: Optional[int] = None, value: float = float("nan")):
+        super().__init__(message)
+        self.step = step
+        self.value = value
+
+
+class TrainingUnstableError(RuntimeError):
+    """The rollback budget is exhausted and training still diverges."""
+
+    def __init__(self, message: str, rollbacks: int, last_error: Optional[BaseException] = None):
+        super().__init__(message)
+        self.rollbacks = rollbacks
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Stability-watchdog knobs.
+
+    Parameters
+    ----------
+    window:
+        Rolling window of recent finite losses the spike detector
+        compares against.
+    spike_factor:
+        A loss above ``spike_factor ×`` the window median is divergence.
+    min_history:
+        Spike detection arms only after this many observations (early
+        losses are legitimately noisy).
+    max_rollbacks:
+        Rollback budget; the rollback exceeding it raises
+        :class:`TrainingUnstableError`.
+    lr_backoff:
+        Learning-rate multiplier applied at each rollback.
+    """
+
+    window: int = 8
+    spike_factor: float = 10.0
+    min_history: int = 3
+    max_rollbacks: int = 2
+    lr_backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.spike_factor <= 1.0:
+            raise ValueError("spike_factor must be > 1")
+        if self.min_history < 1:
+            raise ValueError("min_history must be >= 1")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+
+
+def global_grad_norm(model) -> float:
+    """L2 norm over every parameter gradient of ``model``.
+
+    Parameters without a gradient contribute nothing; NaN/Inf anywhere
+    makes the result non-finite (which is the point).
+    """
+    total = 0.0
+    for p in model.parameters():
+        if p.grad is None:
+            continue
+        g = np.asarray(p.grad, dtype=np.float64)
+        if not np.isfinite(g).all():
+            return float("inf") if not np.isnan(g).any() else float("nan")
+        total += float(np.dot(g.ravel(), g.ravel()))
+    return math.sqrt(total)
+
+
+class StabilityWatchdog:
+    """Observe per-step loss / grad-norm; raise on divergence.
+
+    One instance lives across every rollback attempt of a
+    :func:`~repro.pipeline.trainers.train_gnn` call, so the rollback
+    budget is global to the run, not per attempt.
+    """
+
+    def __init__(self, config: Optional[WatchdogConfig] = None) -> None:
+        self.config = config if config is not None else WatchdogConfig()
+        self.rollbacks = 0
+        self.divergences = 0
+        self.events: List[str] = []
+        self._losses: Deque[float] = deque(maxlen=self.config.window)
+        self._observed = 0
+
+    # -- observation ---------------------------------------------------
+    def observe_loss(self, value: float, step: Optional[int] = None) -> None:
+        """Feed one training-step loss; raises :class:`DivergenceError`."""
+        value = float(value)
+        if not math.isfinite(value):
+            self._diverged(f"non-finite loss {value!r}", step, value)
+        if (
+            self._observed >= self.config.min_history
+            and self._losses
+        ):
+            baseline = float(np.median(self._losses))
+            if baseline > 0 and value > self.config.spike_factor * baseline:
+                self._diverged(
+                    f"loss spike: {value:.4g} > {self.config.spike_factor:g} × "
+                    f"rolling median {baseline:.4g}",
+                    step,
+                    value,
+                )
+        self._losses.append(value)
+        self._observed += 1
+
+    def observe_grad_norm(self, value: float, step: Optional[int] = None) -> None:
+        """Feed one global gradient norm; raises on NaN/Inf."""
+        value = float(value)
+        if not math.isfinite(value):
+            self._diverged(f"non-finite global grad norm {value!r}", step, value)
+
+    def _diverged(self, reason: str, step: Optional[int], value: float) -> None:
+        self.divergences += 1
+        self.events.append(reason)
+        raise DivergenceError(
+            reason + (f" at step {step}" if step is not None else ""),
+            step=step,
+            value=value,
+        )
+
+    # -- rollback budget ----------------------------------------------
+    def can_rollback(self) -> bool:
+        return self.rollbacks < self.config.max_rollbacks
+
+    def register_rollback(self) -> float:
+        """Consume one rollback; returns the LR backoff factor.
+
+        Also resets the loss window — post-rollback losses restart from
+        the restored checkpoint and must not be compared against the
+        diverging tail.
+        """
+        if not self.can_rollback():
+            raise TrainingUnstableError(
+                f"rollback budget ({self.config.max_rollbacks}) exhausted",
+                rollbacks=self.rollbacks,
+            )
+        self.rollbacks += 1
+        self._losses.clear()
+        self._observed = 0
+        return self.config.lr_backoff

@@ -1,9 +1,11 @@
 """Dataset IO: npz serialisation, splits, and TrackML-format interop."""
 
 from .serialization import (
+    CheckpointCorruptError,
     CheckpointError,
     archive_digest,
     atomic_savez,
+    clean_stale_tmp,
     load_graphs,
     open_archive,
     save_graphs,
@@ -13,9 +15,11 @@ from .trackml import export_trackml, import_trackml
 
 __all__ = [
     "CheckpointError",
+    "CheckpointCorruptError",
     "archive_digest",
     "atomic_savez",
     "open_archive",
+    "clean_stale_tmp",
     "save_graphs",
     "load_graphs",
     "split_graphs",

@@ -32,19 +32,32 @@ from ..graph import EventGraph
 
 __all__ = [
     "CheckpointError",
+    "CheckpointCorruptError",
     "CHECKSUM_KEY",
     "archive_digest",
     "atomic_savez",
     "open_archive",
+    "clean_stale_tmp",
     "save_graphs",
     "load_graphs",
 ]
 
 CHECKSUM_KEY = "__checksum__"
+_TMP_SUFFIX = ".tmp.npz"
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint archive is missing, corrupt, or inconsistent."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The archive's *bytes* are damaged (bad zip, checksum mismatch).
+
+    Distinct from the plain :class:`CheckpointError` (missing file,
+    wrong kind/version, config mismatch) so resume logic can fall back
+    to an older checkpoint on media corruption without masking
+    configuration mistakes.
+    """
 
 
 def archive_digest(payload: Mapping[str, np.ndarray]) -> str:
@@ -82,7 +95,7 @@ def atomic_savez(path: str, payload: Dict[str, np.ndarray], checksum: bool = Tru
         payload[CHECKSUM_KEY] = np.frombuffer(
             archive_digest(payload).encode("ascii"), dtype=np.uint8
         )
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp.npz")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=_TMP_SUFFIX)
     try:
         with os.fdopen(fd, "wb") as fh:
             np.savez_compressed(fh, **payload)
@@ -93,6 +106,33 @@ def atomic_savez(path: str, payload: Dict[str, np.ndarray], checksum: bool = Tru
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+
+
+def clean_stale_tmp(directory: str) -> List[str]:
+    """Remove temp files left by interrupted :func:`atomic_savez` writes.
+
+    A crash between ``mkstemp`` and ``os.replace`` strands a
+    ``*.tmp.npz`` file next to the checkpoint; they are never valid
+    checkpoints and accumulate forever.  Call this once at writer
+    startup — not concurrently with another live writer in the same
+    directory, whose in-flight temp file would be swept away (its write
+    fails cleanly, but the retry costs a write).
+
+    Returns the paths removed (missing directory → nothing to do).
+    """
+    removed: List[str] = []
+    if not os.path.isdir(directory):
+        return removed
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(_TMP_SUFFIX):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            os.unlink(path)
+        except OSError:
+            continue  # vanished or unremovable; not worth failing startup
+        removed.append(path)
+    return removed
 
 
 def open_archive(path: str, verify: bool = True):
@@ -122,20 +162,22 @@ def open_archive(path: str, verify: bool = True):
             buffer = io.BytesIO(fh.read())
         archive = np.load(buffer, allow_pickle=False)
     except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
-        raise CheckpointError(f"corrupt or unreadable checkpoint {path!r}: {exc}") from exc
+        raise CheckpointCorruptError(
+            f"corrupt or unreadable checkpoint {path!r}: {exc}"
+        ) from exc
     if verify and CHECKSUM_KEY in archive.files:
         try:
             content = {key: archive[key] for key in archive.files}
         except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError, KeyError) as exc:
             archive.close()
-            raise CheckpointError(
+            raise CheckpointCorruptError(
                 f"corrupt or unreadable checkpoint {path!r}: {exc}"
             ) from exc
         stored = bytes(content.pop(CHECKSUM_KEY)).decode("ascii", errors="replace")
         actual = archive_digest(content)
         if stored != actual:
             archive.close()
-            raise CheckpointError(
+            raise CheckpointCorruptError(
                 f"checksum mismatch in checkpoint {path!r}: "
                 f"stored {stored[:12]}…, recomputed {actual[:12]}… "
                 "(the file is corrupt)"

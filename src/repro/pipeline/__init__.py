@@ -2,10 +2,13 @@
 
 from .config import GNNTrainConfig, PipelineConfig
 from .checkpoint import (
+    CheckpointCorruptError,
     CheckpointError,
     TrainerState,
+    checkpoint_history_paths,
     describe_checkpoint,
     load_trainer_checkpoint,
+    load_with_fallback,
     save_trainer_checkpoint,
 )
 from .trainers import (
@@ -45,9 +48,12 @@ __all__ = [
     "save_pipeline",
     "load_pipeline",
     "CheckpointError",
+    "CheckpointCorruptError",
     "TrainerState",
     "save_trainer_checkpoint",
     "load_trainer_checkpoint",
+    "load_with_fallback",
+    "checkpoint_history_paths",
     "describe_checkpoint",
     "SeedSweepResult",
     "run_with_seeds",

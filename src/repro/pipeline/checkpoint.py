@@ -34,20 +34,31 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import re
+import shutil
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..io.serialization import CheckpointError, atomic_savez, open_archive
+from ..io.serialization import (
+    CheckpointCorruptError,
+    CheckpointError,
+    atomic_savez,
+    open_archive,
+)
 from ..metrics import EpochRecord, TrainingHistory
 from .config import GNNTrainConfig
 
 __all__ = [
     "CheckpointError",
+    "CheckpointCorruptError",
     "TrainerState",
     "save_trainer_checkpoint",
     "load_trainer_checkpoint",
+    "checkpoint_history_paths",
+    "load_with_fallback",
     "describe_checkpoint",
 ]
 
@@ -67,6 +78,17 @@ _RESUME_EXEMPT_FIELDS = (
     "max_steps",
     "prefetch_workers",
     "prefetch_depth",
+    # Guardrail knobs are exempt: the watchdog only intervenes on
+    # divergence (which a healthy resume does not hit), retention is
+    # pure I/O, and the validator admits healthy datasets unchanged —
+    # none perturb the math of a run that needed no intervention.
+    "validate_inputs",
+    "keep_last",
+    "watchdog",
+    "watchdog_window",
+    "watchdog_spike_factor",
+    "watchdog_max_rollbacks",
+    "watchdog_lr_backoff",
 )
 
 
@@ -114,11 +136,67 @@ def _history_from_jsonable(payload: Dict[str, Any]) -> TrainingHistory:
     return history
 
 
+def _split_checkpoint_path(path: str) -> Tuple[str, str]:
+    stem, ext = os.path.splitext(path)
+    if not ext:
+        ext = ".npz"
+    return stem, ext
+
+
+def _history_name(path: str, state: TrainerState) -> str:
+    stem, ext = _split_checkpoint_path(path)
+    return f"{stem}.e{state.epochs_done:04d}s{state.step_in_epoch:06d}{ext}"
+
+
+_HISTORY_RE = re.compile(r"\.e(\d{4,})s(\d{6,})$")
+
+
+def checkpoint_history_paths(path: str) -> List[str]:
+    """Retained sibling checkpoints of ``path``, newest first.
+
+    Retention (``keep_last``) writes every checkpoint both to ``path``
+    (the latest) and to ``{stem}.e<EPOCHS>s<STEP>{ext}`` history names;
+    this returns the surviving history files ordered by their
+    ``(epochs_done, step_in_epoch)`` cursor, newest first.
+    """
+    stem, ext = _split_checkpoint_path(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(stem)
+    found: List[Tuple[Tuple[int, int], str]] = []
+    if not os.path.isdir(directory):
+        return []
+    for name in os.listdir(directory):
+        if not (name.startswith(prefix + ".") and name.endswith(ext)):
+            continue
+        core = name[: -len(ext)][len(prefix):]
+        match = _HISTORY_RE.fullmatch(core)
+        if match is None:
+            continue
+        key = (int(match.group(1)), int(match.group(2)))
+        found.append((key, os.path.join(directory, name)))
+    found.sort(reverse=True)
+    return [p for _, p in found]
+
+
+def _retain_and_prune(path: str, state: TrainerState, keep_last: int) -> None:
+    """Copy the fresh checkpoint at ``path`` into history; prune old ones."""
+    history = _history_name(path, state)
+    tmp = history + ".tmp.npz"  # swept by clean_stale_tmp if interrupted
+    shutil.copyfile(path, tmp)
+    os.replace(tmp, history)
+    for stale in checkpoint_history_paths(path)[keep_last:]:
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass  # already gone / unremovable: retention is best-effort
+
+
 def save_trainer_checkpoint(
     path: str,
     config: GNNTrainConfig,
     state: TrainerState,
     fault_plan=None,
+    keep_last: Optional[int] = None,
 ) -> None:
     """Atomically write a trainer checkpoint to ``path``.
 
@@ -134,6 +212,11 @@ def save_trainer_checkpoint(
         faults fire *before* anything is written, modelling a transient
         storage failure.  Because the write is atomic, a failed attempt
         never damages an existing checkpoint at ``path``.
+    keep_last:
+        When set, additionally retain this checkpoint under its history
+        name (``{stem}.e<EPOCHS>s<STEP>{ext}``) and prune history beyond
+        the newest ``keep_last`` files — giving resume a verified
+        fallback should the latest checkpoint be corrupted on disk.
     """
     if fault_plan is not None:
         fault_plan.before_checkpoint_write(path)
@@ -163,6 +246,8 @@ def save_trainer_checkpoint(
         for name, arr in state.best_state.items():
             payload[f"best/{name}"] = arr
     atomic_savez(path, payload)
+    if keep_last is not None and keep_last > 0:
+        _retain_and_prune(path, state, keep_last)
 
 
 def _unpack_prefix(archive, prefix: str) -> Dict[str, np.ndarray]:
@@ -174,11 +259,16 @@ def _unpack_prefix(archive, prefix: str) -> Dict[str, np.ndarray]:
     }
 
 
-def _check_config(path: str, saved: Dict[str, Any], config: GNNTrainConfig) -> None:
+def _check_config(
+    path: str,
+    saved: Dict[str, Any],
+    config: GNNTrainConfig,
+    extra_exempt: Tuple[str, ...] = (),
+) -> None:
     current = dataclasses.asdict(config)
     mismatched: List[str] = []
     for key, value in saved.items():
-        if key in _RESUME_EXEMPT_FIELDS:
+        if key in _RESUME_EXEMPT_FIELDS or key in extra_exempt:
             continue
         if key in current and current[key] != value:
             mismatched.append(f"{key}: checkpoint={value!r} vs run={current[key]!r}")
@@ -189,8 +279,17 @@ def _check_config(path: str, saved: Dict[str, Any], config: GNNTrainConfig) -> N
         )
 
 
-def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
+def load_trainer_checkpoint(
+    path: str,
+    config: GNNTrainConfig,
+    extra_exempt: Tuple[str, ...] = (),
+) -> TrainerState:
     """Load and validate a checkpoint for resuming under ``config``.
+
+    ``extra_exempt`` names config fields additionally allowed to differ
+    from the checkpointed run, beyond the standard plumbing exemptions.
+    The stability watchdog passes ``("lr",)`` when resuming after a
+    rollback, because LR backoff is exactly a deliberate lr change.
 
     Raises
     ------
@@ -217,7 +316,7 @@ def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
                 f"{meta.get('format_version')!r}; this build reads version "
                 f"{FORMAT_VERSION}"
             )
-        _check_config(path, saved_config, config)
+        _check_config(path, saved_config, config, extra_exempt)
         if meta["epochs_done"] >= config.epochs and not meta.get("step_in_epoch"):
             raise CheckpointError(
                 f"checkpoint {path!r} already covers {meta['epochs_done']} "
@@ -244,6 +343,39 @@ def load_trainer_checkpoint(path: str, config: GNNTrainConfig) -> TrainerState:
             step_in_epoch=int(meta.get("step_in_epoch", 0)),
             epoch_losses=[float(x) for x in meta.get("epoch_losses", [])],
         )
+
+
+def load_with_fallback(
+    path: str,
+    config: GNNTrainConfig,
+    extra_exempt: Tuple[str, ...] = (),
+) -> Tuple[TrainerState, str, bool]:
+    """Load ``path``; on *byte corruption*, fall back to retained history.
+
+    Only :class:`CheckpointCorruptError` (bad zip, checksum mismatch,
+    truncation) triggers the fallback scan — a missing file, unknown
+    format, or config mismatch is a caller mistake and propagates
+    unchanged rather than being papered over with stale state.  History
+    candidates (see :func:`checkpoint_history_paths`) are tried newest
+    first; each one re-verifies its checksum, so a fallback never
+    resumes from silently damaged bytes.
+
+    Returns ``(state, used_path, fell_back)``; when no candidate
+    verifies, the *original* corruption error is re-raised so the root
+    cause stays visible.
+    """
+    try:
+        return load_trainer_checkpoint(path, config, extra_exempt), path, False
+    except CheckpointCorruptError as primary:
+        for candidate in checkpoint_history_paths(path):
+            if os.path.abspath(candidate) == os.path.abspath(path):
+                continue
+            try:
+                state = load_trainer_checkpoint(candidate, config, extra_exempt)
+            except CheckpointError:
+                continue
+            return state, candidate, True
+        raise primary
 
 
 def describe_checkpoint(path: str) -> Dict[str, Any]:

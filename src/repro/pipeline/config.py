@@ -110,6 +110,14 @@ class GNNTrainConfig:
     prefetch_depth: int = 2  # in-flight prefetched bulk steps
     checkpoint_every_steps: Optional[int] = None  # mid-epoch checkpoint cadence
     max_steps: Optional[int] = None  # stop after N optimisation steps
+    # Guardrails (see docs/resilience.md):
+    validate_inputs: bool = False  # quarantine malformed graphs at ingestion
+    keep_last: Optional[int] = None  # retained checkpoint history depth
+    watchdog: bool = False  # loss/grad-norm divergence watchdog
+    watchdog_window: int = 8  # rolling loss window for spike detection
+    watchdog_spike_factor: float = 10.0  # spike = loss > factor * median
+    watchdog_max_rollbacks: int = 2  # rollback budget before giving up
+    watchdog_lr_backoff: float = 0.5  # lr multiplier applied per rollback
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "shadow", "bulk", "nodewise", "saint"):
@@ -142,6 +150,24 @@ class GNNTrainConfig:
                 raise ValueError("checkpoint_every_steps requires checkpoint_path")
         if self.max_steps is not None and self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if self.keep_last is not None and self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if self.keep_last is not None and self.checkpoint_path is None:
+            raise ValueError("keep_last requires checkpoint_path")
+        if self.watchdog:
+            if self.watchdog_window < 1:
+                raise ValueError("watchdog_window must be >= 1")
+            if self.watchdog_spike_factor <= 1.0:
+                raise ValueError("watchdog_spike_factor must be > 1")
+            if self.watchdog_max_rollbacks < 0:
+                raise ValueError("watchdog_max_rollbacks must be >= 0")
+            if not 0.0 < self.watchdog_lr_backoff < 1.0:
+                raise ValueError("watchdog_lr_backoff must be in (0, 1)")
+            if self.watchdog_max_rollbacks > 0 and self.checkpoint_path is None:
+                raise ValueError(
+                    "watchdog rollback requires checkpoint_path (set "
+                    "watchdog_max_rollbacks=0 for detect-only mode)"
+                )
 
     def replace(self, **kwargs) -> "GNNTrainConfig":
         """Copy with overrides."""
@@ -189,6 +215,10 @@ class PipelineConfig:
     # module-map strategy knobs (used when construction == "module_map")
     module_map_phi_sectors: int = 16
     module_map_z_sectors: int = 8
+    # Guardrails: validate raw events at fit() ingestion, quarantining
+    # malformed ones (see repro.guard.validation / docs/resilience.md).
+    validate_inputs: bool = False
+    quarantine_log: Optional[str] = None  # JSONL quarantine record path
 
     def __post_init__(self) -> None:
         if self.construction not in ("metric_learning", "module_map"):

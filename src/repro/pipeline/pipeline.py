@@ -16,6 +16,7 @@ import numpy as np
 from ..detector import Event
 from ..detector.geometry import DetectorGeometry
 from ..graph import EventGraph
+from ..guard import EventValidator, Quarantine, QuarantineLog
 from ..metrics import TrackingScore, match_tracks
 from ..obs import get_tracer
 from ..tensor import row_stable_matmul
@@ -53,6 +54,7 @@ class PipelineReport:
     filter_kept_fraction: float = 0.0
     gnn_final_precision: float = 0.0
     gnn_final_recall: float = 0.0
+    quarantined_events: int = 0  # inputs dropped by validate_inputs
     extras: Dict[str, float] = field(default_factory=dict)
 
 
@@ -83,9 +85,37 @@ class ExaTrkXPipeline:
         val_events: Sequence[Event],
         rng: Optional[np.random.Generator] = None,
     ) -> PipelineReport:
-        """Train every learned stage; returns fit diagnostics."""
+        """Train every learned stage; returns fit diagnostics.
+
+        With ``config.validate_inputs``, malformed events (NaN
+        coordinates, duplicate hits, layer ids outside the geometry,
+        inconsistent truth arrays, …) are quarantined at ingestion —
+        dropped with a structured reason (``guard.quarantine.*``
+        counters, optional JSONL log at ``config.quarantine_log``) —
+        instead of crashing a stage mid-fit.  See ``docs/resilience.md``.
+        """
         rng = rng if rng is not None else np.random.default_rng(self.config.seed)
         tracer = get_tracer()
+
+        if self.config.validate_inputs:
+            quarantine = Quarantine(
+                EventValidator.for_geometry(self.geometry),
+                context="pipeline.fit",
+                log=(
+                    QuarantineLog(self.config.quarantine_log)
+                    if self.config.quarantine_log
+                    else None
+                ),
+                kind="event",
+            )
+            train_events = quarantine.filter(list(train_events))
+            val_events = quarantine.filter(list(val_events))
+            self.report.quarantined_events = quarantine.quarantined
+            if not train_events:
+                raise ValueError(
+                    "every training event was quarantined "
+                    f"({quarantine.quarantined} dropped); nothing to fit"
+                )
 
         with tracer.span(
             "pipeline.fit", category="pipeline", events=len(train_events)

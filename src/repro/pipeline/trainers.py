@@ -20,6 +20,7 @@ and the loss (BCE-with-logits with a class-balance ``pos_weight``).
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,16 @@ from ..distributed import (
 )
 from ..faults import FaultPlan, RetryPolicy, SimClock, call_with_retries
 from ..graph import EventGraph
+from ..guard import (
+    DivergenceError,
+    GraphValidator,
+    Quarantine,
+    StabilityWatchdog,
+    TrainingUnstableError,
+    WatchdogConfig,
+    global_grad_norm,
+)
+from ..io.serialization import clean_stale_tmp
 from ..memory import ActivationMemoryModel
 from ..metrics import EpochRecord, TrainingHistory, pooled_precision_recall
 from ..models import IGNNConfig, InteractionGNN
@@ -42,7 +53,7 @@ from ..obs import get_telemetry, get_tracer
 from ..perf import StageTimer
 from ..sampling import BulkShadowSampler, SampledBatch, ShadowSampler
 from ..tensor import Tensor, no_grad
-from .checkpoint import TrainerState, load_trainer_checkpoint, save_trainer_checkpoint
+from .checkpoint import TrainerState, load_with_fallback, save_trainer_checkpoint
 from .config import GNNTrainConfig
 
 __all__ = ["GNNTrainResult", "train_gnn", "evaluate_edge_classifier", "derive_pos_weight"]
@@ -62,6 +73,11 @@ class GNNTrainResult:
     config: Optional[GNNTrainConfig] = None
     resumed_epoch: Optional[int] = None  # first epoch of a resumed run
     checkpoints_written: int = 0
+    # Guardrail accounting (see docs/resilience.md):
+    quarantined_graphs: int = 0  # inputs dropped by validate_inputs
+    watchdog_rollbacks: int = 0  # divergence rollbacks consumed
+    resume_fallback_path: Optional[str] = None  # history checkpoint used
+    # when the one at resume_from was corrupt (None = no fallback)
 
 
 class _TrainingGovernor:
@@ -144,6 +160,7 @@ class _FaultToleranceRuntime:
         fault_plan: Optional[FaultPlan],
         retry_policy: Optional[RetryPolicy],
         clock: Optional[SimClock] = None,
+        rollback_resume: bool = False,
     ) -> None:
         self.config = config
         self.fault_plan = fault_plan
@@ -151,25 +168,58 @@ class _FaultToleranceRuntime:
         self.clock = clock if clock is not None else SimClock()
         self.checkpoints_written = 0
         self.resumed_epoch: Optional[int] = None
+        # Watchdog-rollback resumes deliberately change the lr (backoff),
+        # which the config-match validation must exempt and the restored
+        # optimiser state must not clobber.
+        self.rollback_resume = rollback_resume
+        self.resume_fallback_path: Optional[str] = None
+        if config.checkpoint_path is not None:
+            # interrupted atomic writes strand *.tmp.npz siblings; sweep
+            # them at writer startup (never valid checkpoints)
+            clean_stale_tmp(os.path.dirname(os.path.abspath(config.checkpoint_path)))
 
     def resume(self, models, optimizers, rng, governor) -> Optional[TrainerState]:
-        """Restore checkpointed state into every replica; None if fresh."""
+        """Restore checkpointed state into every replica; None if fresh.
+
+        A corrupt checkpoint at ``resume_from`` (checksum mismatch,
+        truncation) falls back to the newest retained history checkpoint
+        that verifies — see :func:`~repro.pipeline.checkpoint.load_with_fallback`.
+        """
         if self.config.resume_from is None:
             return None
+        extra_exempt = ("lr",) if self.rollback_resume else ()
         with get_tracer().span(
             "checkpoint.resume",
             category="checkpoint",
             path=self.config.resume_from,
         ) as span:
-            state = load_trainer_checkpoint(self.config.resume_from, self.config)
+            state, used_path, fell_back = load_with_fallback(
+                self.config.resume_from, self.config, extra_exempt
+            )
+            if fell_back:
+                self.resume_fallback_path = used_path
+                telemetry = get_telemetry()
+                if telemetry is not None:
+                    telemetry.metrics.counter("guard.resume.fallback").add(1)
+                get_tracer().event(
+                    "guard.resume_fallback",
+                    category="guard",
+                    requested=self.config.resume_from,
+                    used=used_path,
+                )
             for m in models:
                 m.load_state_dict(state.model_state)
             for opt in optimizers:
                 opt.load_state_dict(state.optimizer_state)
+            if self.rollback_resume:
+                # the archive restored the pre-backoff lr with the Adam
+                # moments; re-apply the backed-off one
+                for opt in optimizers:
+                    opt.lr = self.config.lr
             governor.load_state_dict(state.governor_state, state.best_state)
             rng.bit_generator.state = state.rng_state
             self.resumed_epoch = state.epochs_done
-            span.set(epochs_done=state.epochs_done)
+            span.set(epochs_done=state.epochs_done, fallback=fell_back)
         return state
 
     def maybe_checkpoint(
@@ -208,7 +258,8 @@ class _FaultToleranceRuntime:
         ):
             call_with_retries(
                 lambda: save_trainer_checkpoint(
-                    cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
+                    cfg.checkpoint_path, cfg, state,
+                    fault_plan=self.fault_plan, keep_last=cfg.keep_last,
                 ),
                 self.retry_policy,
                 self.clock,
@@ -263,7 +314,8 @@ class _FaultToleranceRuntime:
         ):
             call_with_retries(
                 lambda: save_trainer_checkpoint(
-                    cfg.checkpoint_path, cfg, state, fault_plan=self.fault_plan
+                    cfg.checkpoint_path, cfg, state,
+                    fault_plan=self.fault_plan, keep_last=cfg.keep_last,
                 ),
                 self.retry_policy,
                 self.clock,
@@ -310,27 +362,53 @@ def _step(
     model: InteractionGNN,
     graph: EventGraph,
     loss_fn: BCEWithLogitsLoss,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog: Optional[StabilityWatchdog] = None,
 ) -> Tensor:
     """One forward/backward on a (sub)graph; returns the loss tensor.
+
+    With a ``fault_plan``, a scheduled :class:`~repro.faults.NumericFault`
+    corrupts this execution: target ``"loss"`` overwrites the observed
+    loss with NaN before the finiteness check (the step fails before
+    ``backward``); target ``"grad"`` poisons the first parameter gradient
+    after ``backward``.  With a ``watchdog``, the loss and the global
+    gradient norm are fed to it, so divergence raises
+    :class:`~repro.guard.DivergenceError` for the rollback loop in
+    :func:`train_gnn`.
 
     Raises
     ------
     FloatingPointError
-        If the loss is not finite — a diverged run must fail loudly rather
-        than silently poison the replicas (under DDP a NaN gradient
-        spreads to every rank at the next all-reduce).
+        If the loss is not finite and no watchdog is observing — a
+        diverged run must fail loudly rather than silently poison the
+        replicas (under DDP a NaN gradient spreads to every rank at the
+        next all-reduce).
+    DivergenceError
+        The watchdog-observed variant of the same condition, plus
+        loss-spike and non-finite-grad-norm triggers.
     """
     tracer = get_tracer()
+    fault_target = fault_plan.numeric_fault_target() if fault_plan is not None else None
     with tracer.span("forward", category="train", edges=graph.num_edges):
         logits = model(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
         loss = loss_fn(logits, graph.edge_labels.astype(np.float32))
-    if not np.isfinite(loss.item()):
+    loss_value = float("nan") if fault_target == "loss" else loss.item()
+    if watchdog is not None:
+        watchdog.observe_loss(loss_value)
+    if not np.isfinite(loss_value):
         raise FloatingPointError(
-            f"non-finite training loss ({loss.item()}) on event "
+            f"non-finite training loss ({loss_value}) on event "
             f"{graph.event_id} — check the learning rate / input features"
         )
     with tracer.span("backward", category="train"):
         loss.backward()
+    if fault_target == "grad":
+        for p in model.parameters():
+            if p.grad is not None:
+                p.grad[...] = np.nan
+                break
+    if watchdog is not None:
+        watchdog.observe_grad_norm(global_grad_norm(model))
     return loss
 
 
@@ -344,6 +422,7 @@ def _train_full_graph(
     loss_fn: BCEWithLogitsLoss,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[StabilityWatchdog] = None,
 ) -> GNNTrainResult:
     if config.world_size != 1:
         raise ValueError("full-graph mode is single-rank (as in the original pipeline)")
@@ -357,7 +436,10 @@ def _train_full_graph(
     history = TrainingHistory(label="full-graph")
     rng = np.random.default_rng(config.seed)
     governor = _TrainingGovernor(config, [optimizer])
-    runtime = _FaultToleranceRuntime(config, fault_plan, retry_policy)
+    runtime = _FaultToleranceRuntime(
+        config, fault_plan, retry_policy,
+        rollback_resume=watchdog is not None and watchdog.rollbacks > 0,
+    )
     skipped = 0
     checkpointed_steps = 0
     steps = 0
@@ -405,8 +487,12 @@ def _train_full_graph(
                             loss_fn,
                         )
                         checkpointed_steps += 1
+                        if watchdog is not None:
+                            watchdog.observe_loss(loss_value)
                     else:
-                        loss_value = _step(model, graph, loss_fn).item()
+                        loss_value = _step(
+                            model, graph, loss_fn, fault_plan, watchdog
+                        ).item()
                     optimizer.step()
                 losses.append(loss_value)
                 steps += 1
@@ -443,6 +529,7 @@ def _train_full_graph(
         config=config,
         resumed_epoch=runtime.resumed_epoch,
         checkpoints_written=runtime.checkpoints_written,
+        resume_fallback_path=runtime.resume_fallback_path,
     )
 
 
@@ -456,6 +543,7 @@ def _train_minibatch(
     loss_fn: BCEWithLogitsLoss,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[StabilityWatchdog] = None,
 ) -> GNNTrainResult:
     factory = _model_factory(config, train_graphs[0])
     world = config.world_size
@@ -501,7 +589,10 @@ def _train_minibatch(
     history = TrainingHistory(label=label)
     rng = np.random.default_rng(config.seed)
     governor = _TrainingGovernor(config, list(optimizers.values()))
-    runtime = _FaultToleranceRuntime(config, fault_plan, retry_policy, clock)
+    runtime = _FaultToleranceRuntime(
+        config, fault_plan, retry_policy, clock,
+        rollback_resume=watchdog is not None and watchdog.rollbacks > 0,
+    )
     loader = PrefetchLoader(
         sampler, workers=config.prefetch_workers, depth=config.prefetch_depth
     )
@@ -564,7 +655,9 @@ def _train_minibatch(
                             for grank, model in zip(ddp.global_ranks, ddp.models):
                                 optimizers[grank].zero_grad()
                                 sb = rank_sampled[grank][bi]
-                                loss = _step(model, sb.graph, loss_fn)
+                                loss = _step(
+                                    model, sb.graph, loss_fn, fault_plan, watchdog
+                                )
                                 if grank == ddp.global_ranks[0]:
                                     losses.append(loss.item())
                             # may evict permanently failed ranks (elastic
@@ -626,6 +719,7 @@ def _train_minibatch(
         config=config,
         resumed_epoch=runtime.resumed_epoch,
         checkpoints_written=runtime.checkpoints_written,
+        resume_fallback_path=runtime.resume_fallback_path,
     )
 
 
@@ -657,9 +751,32 @@ def train_gnn(
         Backoff schedule for transient faults (defaults to
         :class:`repro.faults.RetryPolicy`); all delays run on a simulated
         clock.
+
+    Guardrails (see ``docs/resilience.md``)
+    ---------------------------------------
+    With ``config.validate_inputs``, malformed graphs (non-finite
+    features, out-of-range edges, missing labels) are quarantined at
+    ingestion instead of crashing an epoch deep into training.  With
+    ``config.watchdog``, a :class:`~repro.guard.StabilityWatchdog`
+    observes every step; on divergence (NaN/Inf loss or gradient, loss
+    spike) training rolls back to the last checkpoint, backs off the
+    learning rate by ``watchdog_lr_backoff``, and retries — at most
+    ``watchdog_max_rollbacks`` times before
+    :class:`~repro.guard.TrainingUnstableError` escapes.
     """
     if not train_graphs:
         raise ValueError("no training graphs")
+    quarantined = 0
+    if config.validate_inputs:
+        quarantine = Quarantine(GraphValidator(), context="train_gnn", kind="graph")
+        train_graphs = quarantine.filter(list(train_graphs))
+        val_graphs = quarantine.filter(list(val_graphs))
+        quarantined = quarantine.quarantined
+        if not train_graphs:
+            raise ValueError(
+                "every training graph was quarantined "
+                f"({quarantined} dropped); nothing left to train on"
+            )
     if any(g.edge_labels is None for g in list(train_graphs) + list(val_graphs)):
         raise ValueError("all graphs must carry edge labels")
     pos_weight = (
@@ -668,14 +785,61 @@ def train_gnn(
         else derive_pos_weight(train_graphs)
     )
     loss_fn = BCEWithLogitsLoss(pos_weight=pos_weight)
-    if config.mode == "full":
-        result = _train_full_graph(
-            train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
+
+    watchdog: Optional[StabilityWatchdog] = None
+    if config.watchdog:
+        watchdog = StabilityWatchdog(
+            WatchdogConfig(
+                window=config.watchdog_window,
+                spike_factor=config.watchdog_spike_factor,
+                max_rollbacks=config.watchdog_max_rollbacks,
+                lr_backoff=config.watchdog_lr_backoff,
+            )
         )
-    else:
-        result = _train_minibatch(
-            train_graphs, val_graphs, config, loss_fn, fault_plan, retry_policy
-        )
+
+    regime = _train_full_graph if config.mode == "full" else _train_minibatch
+    attempt = config
+    while True:
+        try:
+            result = regime(
+                train_graphs, val_graphs, attempt, loss_fn,
+                fault_plan, retry_policy, watchdog,
+            )
+            break
+        except (DivergenceError, FloatingPointError) as exc:
+            if watchdog is None:
+                raise
+            rollback_target = attempt.checkpoint_path
+            if (
+                not watchdog.can_rollback()
+                or rollback_target is None
+                or not os.path.exists(rollback_target)
+            ):
+                raise TrainingUnstableError(
+                    f"training diverged ({exc}) with no rollback available "
+                    f"(rollbacks used: {watchdog.rollbacks}/"
+                    f"{watchdog.config.max_rollbacks})",
+                    rollbacks=watchdog.rollbacks,
+                    last_error=exc,
+                ) from exc
+            factor = watchdog.register_rollback()
+            new_lr = attempt.lr * factor
+            telemetry = get_telemetry()
+            if telemetry is not None:
+                telemetry.metrics.counter("guard.watchdog.rollbacks").add(1)
+                telemetry.metrics.gauge("guard.watchdog.lr").set(new_lr)
+            get_tracer().event(
+                "guard.rollback",
+                category="guard",
+                reason=str(exc),
+                lr=new_lr,
+                rollback=watchdog.rollbacks,
+            )
+            attempt = attempt.replace(lr=new_lr, resume_from=rollback_target)
+
+    if watchdog is not None:
+        result.watchdog_rollbacks = watchdog.rollbacks
+    result.quarantined_graphs = quarantined
     telemetry = get_telemetry()
     if telemetry is not None:
         # snapshot training + comm counters into the exported metrics

@@ -10,12 +10,21 @@ bit-identical to looped :meth:`~repro.pipeline.ExaTrkXPipeline.reconstruct`
 (see :mod:`repro.serve.engine` for the determinism contract), and
 :mod:`repro.serve.loadgen` provides an open-loop generator for overload
 experiments.
+
+Guardrails (``docs/resilience.md``): input quarantine at submit, a
+circuit breaker around the GNN stage routing to the degraded GNN-skip
+path while open, per-request timeouts, and graceful drain on close —
+every request reaches exactly one terminal state.
 """
 
 from .cache import CachedStages, StageCache, event_fingerprint
 from .engine import (
     InferenceEngine,
+    RequestFailedError,
+    RequestQuarantinedError,
     RequestQueue,
+    RequestShedError,
+    RequestTimeoutError,
     ServeConfig,
     ServeRequest,
     ServeStats,
@@ -31,6 +40,10 @@ __all__ = [
     "ServeConfig",
     "ServeRequest",
     "ServeStats",
+    "RequestShedError",
+    "RequestQuarantinedError",
+    "RequestTimeoutError",
+    "RequestFailedError",
     "LoadGenConfig",
     "LoadGenReport",
     "arrival_times",

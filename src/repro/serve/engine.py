@@ -33,6 +33,32 @@ compatible), so overload, shedding, and degraded-mode decisions are
 deterministic and injectable in tests; ``workers=0`` runs the engine
 synchronously (the caller pumps), ``workers>=1`` starts a background
 micro-batcher thread feeding a worker pool.
+
+Resilience (``docs/resilience.md``)
+-----------------------------------
+Serving is the layer where one bad input or one failing stage must never
+take the process down:
+
+* with ``validate_inputs``, malformed events are **quarantined** at
+  :meth:`InferenceEngine.submit` (``status == "quarantined"``) before
+  they can reach a stage;
+* with ``breaker_threshold`` set, a :class:`repro.guard.CircuitBreaker`
+  wraps the GNN stage: consecutive stage exceptions (or latency-budget
+  breaches) trip it open, open batches are served on the degraded
+  GNN-skip path, and after a cooldown a half-open probe decides whether
+  to close it again;
+* with ``request_timeout_ms``, requests that are already older than the
+  timeout at dispatch complete exceptionally (``status == "timed_out"``)
+  instead of consuming stage compute;
+* a stage exception never leaves a request hanging: the failing batch is
+  served degraded when the upstream stages succeeded, or failed with a
+  typed error otherwise, and :meth:`InferenceEngine.close` drains so
+  every in-flight request reaches a terminal state.
+
+Every request ends in exactly ONE terminal state — ``done`` (possibly
+with the ``degraded`` modifier), ``shed``, ``quarantined``,
+``timed_out``, or ``failed`` — and :class:`ServeStats` counts them
+disjointly.
 """
 
 from __future__ import annotations
@@ -42,19 +68,53 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..detector import Event
+from ..faults import FaultPlan
 from ..graph import EventGraph
+from ..guard import (
+    BreakerConfig,
+    CircuitBreaker,
+    EventValidator,
+    Quarantine,
+    QuarantineLog,
+)
 from ..obs import get_telemetry, get_tracer
 from ..pipeline import ExaTrkXPipeline, GraphConstructionStage
 from ..pipeline.track_building import build_tracks, build_tracks_walkthrough
 from ..tensor import row_stable_matmul
 from .cache import CachedStages, StageCache, event_fingerprint
 
-__all__ = ["ServeConfig", "ServeStats", "ServeRequest", "RequestQueue", "InferenceEngine"]
+__all__ = [
+    "ServeConfig",
+    "ServeStats",
+    "ServeRequest",
+    "RequestQueue",
+    "InferenceEngine",
+    "RequestShedError",
+    "RequestQuarantinedError",
+    "RequestTimeoutError",
+    "RequestFailedError",
+]
+
+
+class RequestShedError(RuntimeError):
+    """The request was rejected by admission control (queue full)."""
+
+
+class RequestQuarantinedError(RuntimeError):
+    """The request's event failed input validation at submit."""
+
+
+class RequestTimeoutError(RuntimeError):
+    """The request exceeded ``request_timeout_ms`` before its stage ran."""
+
+
+class RequestFailedError(RuntimeError):
+    """A stage failure terminated the request with no usable fallback."""
 
 
 class _WallClock:
@@ -103,6 +163,27 @@ class ServeConfig:
         advances the clock by this many seconds (``None`` = advance by
         the measured wall-clock processing time).  A fixed value makes
         overload experiments fully deterministic.
+    validate_inputs:
+        Quarantine malformed events at :meth:`InferenceEngine.submit`
+        (``status == "quarantined"``) instead of letting them crash a
+        stage mid-batch.
+    quarantine_log:
+        Optional JSONL path receiving one structured line per
+        quarantined event (see :class:`repro.guard.QuarantineLog`).
+    request_timeout_ms:
+        Per-request timeout: a request older than this at dispatch is
+        completed exceptionally (``status == "timed_out"``) without
+        consuming stage compute; ``None`` disables.
+    breaker_threshold:
+        Consecutive GNN-stage failures (exceptions, and latency-budget
+        breaches when ``latency_budget_ms`` is set) that trip the
+        circuit breaker open; while open, batches are served on the
+        degraded GNN-skip path.  ``None`` disables the breaker.
+    breaker_cooldown_ms:
+        How long (engine-clock milliseconds) the breaker stays open
+        before admitting a half-open probe.
+    breaker_probes:
+        Consecutive successful probes required to close the breaker.
     """
 
     max_batch_events: int = 8
@@ -113,6 +194,12 @@ class ServeConfig:
     degraded_threshold: float = 0.5
     cache_capacity: int = 128
     sim_service_time_s: Optional[float] = None
+    validate_inputs: bool = False
+    quarantine_log: Optional[str] = None
+    request_timeout_ms: Optional[float] = None
+    breaker_threshold: Optional[int] = None
+    breaker_cooldown_ms: float = 1000.0
+    breaker_probes: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch_events < 1:
@@ -129,15 +216,28 @@ class ServeConfig:
             raise ValueError("degraded_threshold must be in [0, 1]")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be >= 0")
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise ValueError("request_timeout_ms must be positive")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError("breaker_cooldown_ms must be >= 0")
+        if self.breaker_probes < 1:
+            raise ValueError("breaker_probes must be >= 1")
 
 
 @dataclass
 class ServeRequest:
     """One reconstruction request and, eventually, its result.
 
-    ``status`` moves ``"queued" → "done"`` (or is ``"shed"`` from the
-    start); ``tracks`` holds the hit-index arrays once done.  Timestamps
-    are engine-clock seconds.
+    ``status`` moves ``"queued" → "done"`` — or lands in exactly one of
+    the exceptional terminal states: ``"shed"`` (admission control),
+    ``"quarantined"`` (input validation), ``"timed_out"``
+    (``request_timeout_ms`` exceeded before dispatch), or ``"failed"``
+    (stage failure with no usable fallback).  ``tracks`` holds the
+    hit-index arrays once done; ``degraded`` / ``breaker_degraded`` mark
+    a done request served on the GNN-skip path.  Timestamps are
+    engine-clock seconds.
     """
 
     event: Event
@@ -145,7 +245,9 @@ class ServeRequest:
     status: str = "queued"
     tracks: Optional[List[np.ndarray]] = None
     degraded: bool = False
+    breaker_degraded: bool = False  # degraded because the breaker was open
     cache_hit: bool = False
+    error: Optional[BaseException] = None
     t_dispatch: float = 0.0
     t_done: float = 0.0
     _completed: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -159,11 +261,27 @@ class ServeRequest:
         return 1e3 * (self.t_done - self.t_submit)
 
     def result(self, timeout: Optional[float] = None) -> List[np.ndarray]:
-        """Block until the request completes; raises if it was shed."""
+        """Block until the request completes; raises on any exceptional
+        terminal state (every raise is a typed :class:`RuntimeError`
+        subclass, so pre-guardrail callers catching ``RuntimeError``
+        still work)."""
         if self.status == "shed":
-            raise RuntimeError("request was shed by admission control")
+            raise RequestShedError("request was shed by admission control")
+        if self.status == "quarantined":
+            raise RequestQuarantinedError(
+                f"event {self.event.event_id} failed input validation: "
+                f"{self.error}"
+            )
         if not self._completed.wait(timeout):
             raise TimeoutError("request did not complete in time")
+        if self.status == "timed_out":
+            raise RequestTimeoutError(
+                f"request exceeded its timeout after {self.queue_wait_ms:.1f} ms queued"
+            )
+        if self.status == "failed":
+            raise RequestFailedError(
+                f"serving failed for event {self.event.event_id}: {self.error}"
+            ) from self.error
         assert self.tracks is not None
         return self.tracks
 
@@ -210,15 +328,34 @@ class RequestQueue:
 
 @dataclass
 class ServeStats:
-    """Engine-lifetime aggregates (also exported as ``serve.*`` metrics)."""
+    """Engine-lifetime aggregates (also exported as ``serve.*`` metrics).
+
+    Terminal states are disjoint: every submitted request is counted in
+    exactly one of ``completed`` / ``shed`` / ``quarantined`` /
+    ``timed_out`` / ``failed`` once it terminates (``submitted`` equals
+    their sum when nothing is in flight).  ``degraded`` and
+    ``breaker_degraded`` are modifiers of ``completed``.
+    """
 
     submitted: int = 0
     completed: int = 0
     shed: int = 0
+    quarantined: int = 0
+    timed_out: int = 0
+    failed: int = 0
     degraded: int = 0
+    breaker_degraded: int = 0
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+
+    @property
+    def terminal(self) -> int:
+        """Requests that reached a terminal state (disjoint sum)."""
+        return (
+            self.completed + self.shed + self.quarantined
+            + self.timed_out + self.failed
+        )
 
 
 class InferenceEngine:
@@ -235,13 +372,19 @@ class InferenceEngine:
         (:class:`repro.faults.SimClock` compatible).  Defaults to the
         wall clock; inject a :class:`~repro.faults.SimClock` with
         ``workers=0`` for deterministic batching/shedding/degradation.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`: scheduled
+        :class:`~repro.faults.StageFault` entries for stage ``"gnn"``
+        fail GNN dispatches deterministically, exercising the circuit
+        breaker (chaos drills and tests).
 
     Telemetry: every dispatched batch records a ``serve.batch`` span
     with nested ``serve.stage.construction`` / ``serve.stage.filter`` /
     ``serve.stage.gnn`` spans (the GNN span wraps the per-event
     ``pipeline.gnn`` / ``pipeline.track_building`` spans), and the run
     metrics gain ``serve.*`` counters, queue-depth gauges, and
-    latency/batch-size histograms.
+    latency/batch-size histograms — plus ``guard.*`` quarantine and
+    breaker series when those guardrails are enabled.
     """
 
     def __init__(
@@ -249,18 +392,43 @@ class InferenceEngine:
         pipeline: ExaTrkXPipeline,
         config: Optional[ServeConfig] = None,
         clock=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if pipeline.construction is None:
             raise RuntimeError("pipeline not fitted")
         self.pipeline = pipeline
         self.config = config if config is not None else ServeConfig()
         self.clock = clock if clock is not None else _WallClock()
+        self.fault_plan = fault_plan
         self.queue = RequestQueue(self.config.max_queue_events)
         self.cache: Optional[StageCache] = (
             StageCache(self.config.cache_capacity)
             if self.config.cache_capacity > 0
             else None
         )
+        self.quarantine: Optional[Quarantine] = None
+        if self.config.validate_inputs:
+            self.quarantine = Quarantine(
+                EventValidator.for_geometry(pipeline.geometry),
+                context="serve.submit",
+                log=(
+                    QuarantineLog(self.config.quarantine_log)
+                    if self.config.quarantine_log
+                    else None
+                ),
+                kind="event",
+            )
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.config.breaker_threshold is not None:
+            self.breaker = CircuitBreaker(
+                BreakerConfig(
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown_s=1e-3 * self.config.breaker_cooldown_ms,
+                    probe_successes=self.config.breaker_probes,
+                ),
+                clock=self.clock,
+                name="gnn",
+            )
         self.stats = ServeStats()
         self._stats_lock = threading.Lock()
         self._closed = False
@@ -284,7 +452,14 @@ class InferenceEngine:
         return False
 
     def close(self) -> None:
-        """Drain queued requests, stop the batcher, and shut the pool."""
+        """Gracefully drain: every in-flight request reaches a terminal
+        state (served, or failed with a typed error) — none ever hangs.
+
+        Queued requests are dispatched (batcher drain in threaded mode,
+        :meth:`flush` in synchronous mode), the worker pool is shut down
+        after its batches finish, and anything somehow left incomplete
+        is failed explicitly as a last resort.
+        """
         if self._closed:
             return
         self._closed = True
@@ -298,6 +473,34 @@ class InferenceEngine:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        # backstop: a request still queued here slipped past the drain
+        # (e.g. submitted concurrently with close); fail it rather than
+        # leave its waiter blocked forever
+        leftovers = self.queue.pop_batch(self.config.max_queue_events)
+        while leftovers:
+            self._fail_requests(
+                leftovers, RequestFailedError("engine closed before dispatch")
+            )
+            leftovers = self.queue.pop_batch(self.config.max_queue_events)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/readiness snapshot for health endpoints.
+
+        ``live`` — the engine object can still accept work (not closed);
+        ``ready`` — it is live AND the breaker (if any) is not open, so
+        full-quality (non-degraded) serving is available right now.
+        """
+        breaker_state = self.breaker.state if self.breaker is not None else None
+        with self._stats_lock:
+            terminal = self.stats.terminal
+            submitted = self.stats.submitted
+        return {
+            "live": not self._closed,
+            "ready": not self._closed and breaker_state != "open",
+            "queue_depth": len(self.queue),
+            "breaker": breaker_state,
+            "in_flight": submitted - terminal - len(self.queue),
+        }
 
     # -- submission / admission control --------------------------------
     def submit(self, event: Event) -> ServeRequest:
@@ -316,6 +519,19 @@ class InferenceEngine:
         telemetry = get_telemetry()
         if telemetry is not None:
             telemetry.metrics.counter("serve.requests.submitted").add(1)
+        if self.quarantine is not None and not self.quarantine.admit(
+            event, obj_id=event.event_id
+        ):
+            request.status = "quarantined"
+            issues = self.quarantine.reasons[-1][1]
+            request.error = RequestQuarantinedError(
+                "; ".join(f"{i.rule}: {i.detail}" for i in issues)
+            )
+            with self._stats_lock:
+                self.stats.quarantined += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("serve.requests.quarantined").add(1)
+            return request
         if not self.queue.offer(request):
             request.status = "shed"
             with self._stats_lock:
@@ -341,8 +557,10 @@ class InferenceEngine:
             self.flush()
         else:
             for r in requests:
-                if r.status != "shed":
-                    r.result()
+                if r.status not in ("shed", "quarantined"):
+                    # wait for the terminal state without raising on
+                    # exceptional ones — callers inspect status/result()
+                    r._completed.wait()
         return requests
 
     # -- synchronous pumping (workers == 0) ----------------------------
@@ -413,35 +631,137 @@ class InferenceEngine:
                 self._executor.submit(self._process_batch, batch)
 
     # -- batch execution ------------------------------------------------
+    def _fail_requests(self, requests: List[ServeRequest], error: BaseException) -> None:
+        """Terminal-state containment: mark ``requests`` failed, wake waiters."""
+        failed = 0
+        t_now = self.clock.now
+        for request in requests:
+            if request._completed.is_set():
+                continue
+            request.status = "failed"
+            request.error = error
+            request.t_done = t_now
+            request._completed.set()
+            failed += 1
+        if not failed:
+            return
+        with self._stats_lock:
+            self.stats.failed += failed
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("serve.requests.failed").add(failed)
+        get_tracer().event(
+            "serve.failed", category="serve", requests=failed, error=str(error)
+        )
+
+    def _timeout_expired(self, batch: List[ServeRequest], t_dispatch: float) -> List[ServeRequest]:
+        """Split off requests already past ``request_timeout_ms``; returns
+        the still-live remainder."""
+        cfg = self.config
+        if cfg.request_timeout_ms is None:
+            return batch
+        live: List[ServeRequest] = []
+        expired = 0
+        for request in batch:
+            if 1e3 * (t_dispatch - request.t_submit) > cfg.request_timeout_ms:
+                request.status = "timed_out"
+                request.t_done = t_dispatch
+                request._completed.set()
+                expired += 1
+            else:
+                live.append(request)
+        if expired:
+            with self._stats_lock:
+                self.stats.timed_out += expired
+            telemetry = get_telemetry()
+            if telemetry is not None:
+                telemetry.metrics.counter("serve.requests.timed_out").add(expired)
+            get_tracer().event(
+                "serve.timed_out", category="serve", requests=expired
+            )
+        return live
+
     def _process_batch(self, batch: List[ServeRequest]) -> None:
-        """Run one micro-batch through the stages; fills in every request."""
+        """Run one micro-batch through the stages; fills in every request.
+
+        Containment invariant: every request in ``batch`` reaches a
+        terminal state before this returns — served (full or degraded),
+        timed out, or failed — even when a stage raises.
+        """
+        try:
+            self._process_batch_inner(batch)
+        except BaseException as exc:  # containment: nothing may hang
+            self._fail_requests(batch, exc)
+            if not isinstance(exc, Exception):
+                raise  # KeyboardInterrupt/SystemExit must still propagate
+
+    def _process_batch_inner(self, batch: List[ServeRequest]) -> None:
         cfg = self.config
         tracer = get_tracer()
         t_dispatch = self.clock.now
         for request in batch:
             request.t_dispatch = t_dispatch
+        batch = self._timeout_expired(batch, t_dispatch)
+        if not batch:
+            return
         oldest_wait_ms = 1e3 * (t_dispatch - batch[0].t_submit)
-        degraded = (
+        late = (
             cfg.latency_budget_ms is not None
             and oldest_wait_ms > cfg.latency_budget_ms
         )
+        # a latency-budget breach is a breaker failure too: persistent
+        # overload trips it open, and the open breaker then skips the
+        # GNN without re-measuring every batch
+        if late and self.breaker is not None:
+            self.breaker.record_failure(kind="latency")
+        breaker_open = (
+            not late and self.breaker is not None and not self.breaker.allow()
+        )
+        use_gnn = not late and not breaker_open
+        degraded = not use_gnn
         t0_wall = time.perf_counter()
         with tracer.span(
             "serve.batch",
             category="serve",
             size=len(batch),
             degraded=degraded,
+            breaker_open=breaker_open,
             oldest_wait_ms=oldest_wait_ms,
         ), row_stable_matmul():
             stages = self._upstream_stages(batch)
-            with tracer.span("serve.stage.gnn", category="serve", degraded=degraded):
-                for request, staged in zip(batch, stages):
-                    if degraded:
+            gnn_error: Optional[BaseException] = None
+            if use_gnn:
+                with tracer.span("serve.stage.gnn", category="serve", degraded=False):
+                    try:
+                        if self.fault_plan is not None:
+                            self.fault_plan.before_stage("gnn")
+                        for request, staged in zip(batch, stages):
+                            request.tracks = self.pipeline.finish_from_filtered(
+                                staged.filtered
+                            )
+                        if self.breaker is not None:
+                            self.breaker.record_success()
+                    except Exception as exc:
+                        gnn_error = exc
+                        if self.breaker is not None:
+                            self.breaker.record_failure(kind="exception")
+                        get_tracer().event(
+                            "serve.stage_error",
+                            category="serve",
+                            stage="gnn",
+                            error=str(exc),
+                        )
+            if not use_gnn or gnn_error is not None:
+                # degraded GNN-skip path: latency breach, open breaker,
+                # or fallback for the requests a GNN failure left unserved
+                with tracer.span("serve.stage.gnn", category="serve", degraded=True):
+                    for request, staged in zip(batch, stages):
+                        if request.tracks is not None:
+                            continue
                         request.tracks = self._degraded_tracks(staged)
                         request.degraded = True
-                    else:
-                        request.tracks = self.pipeline.finish_from_filtered(
-                            staged.filtered
+                        request.breaker_degraded = (
+                            breaker_open or gnn_error is not None
                         )
         service_wall_s = time.perf_counter() - t0_wall
         if not isinstance(self.clock, _WallClock):
@@ -458,7 +778,7 @@ class InferenceEngine:
             request.t_done = t_done
             request.status = "done"
             request._completed.set()
-        self._record_batch(batch, degraded)
+        self._record_batch(batch)
 
     def _upstream_stages(self, batch: List[ServeRequest]) -> List[CachedStages]:
         """Construction + filter for a batch, through the stage cache.
@@ -546,12 +866,14 @@ class InferenceEngine:
         return build_tracks(graph, min_hits=config.min_track_hits)
 
     # -- accounting -----------------------------------------------------
-    def _record_batch(self, batch: List[ServeRequest], degraded: bool) -> None:
+    def _record_batch(self, batch: List[ServeRequest]) -> None:
+        degraded = sum(1 for r in batch if r.degraded)
+        breaker_degraded = sum(1 for r in batch if r.breaker_degraded)
         with self._stats_lock:
             self.stats.batches += 1
             self.stats.completed += len(batch)
-            if degraded:
-                self.stats.degraded += len(batch)
+            self.stats.degraded += degraded
+            self.stats.breaker_degraded += breaker_degraded
         telemetry = get_telemetry()
         if telemetry is None:
             return
@@ -560,7 +882,11 @@ class InferenceEngine:
             metrics.counter("serve.batches").add(1)
             metrics.counter("serve.requests.completed").add(len(batch))
             if degraded:
-                metrics.counter("serve.requests.degraded").add(len(batch))
+                metrics.counter("serve.requests.degraded").add(degraded)
+            if breaker_degraded:
+                metrics.counter("serve.requests.breaker_degraded").add(
+                    breaker_degraded
+                )
             metrics.histogram("serve.batch_size").observe(len(batch))
             for request in batch:
                 metrics.histogram("serve.latency_ms").observe(request.latency_ms)

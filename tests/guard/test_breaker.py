@@ -1,0 +1,131 @@
+"""Circuit-breaker state machine on a simulated clock."""
+
+import pytest
+
+from repro.faults import SimClock
+from repro.guard import BreakerConfig, CircuitBreaker
+from repro.obs import RunTelemetry, use_telemetry
+
+pytestmark = pytest.mark.guard
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def _breaker(clock, **overrides):
+    fields = dict(failure_threshold=3, cooldown_s=1.0, probe_successes=1)
+    fields.update(overrides)
+    return CircuitBreaker(BreakerConfig(**fields), clock=clock, name="test")
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = _breaker(clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = _breaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = _breaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 1+1, never 2
+
+    def test_half_open_after_cooldown(self, clock):
+        breaker = _breaker(clock, failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.sleep(0.5)
+        assert not breaker.allow()  # still cooling down
+        clock.sleep(0.6)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe is admitted
+
+    def test_probe_success_closes(self, clock):
+        breaker = _breaker(clock, failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure()
+        clock.sleep(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, clock):
+        breaker = _breaker(clock, failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure()
+        clock.sleep(1.1)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        clock.sleep(0.5)
+        assert not breaker.allow()  # the cooldown restarted
+        clock.sleep(0.6)
+        assert breaker.state == "half_open"
+
+    def test_multiple_probe_successes_required(self, clock):
+        breaker = _breaker(
+            clock, failure_threshold=1, cooldown_s=1.0, probe_successes=2
+        )
+        breaker.record_failure()
+        clock.sleep(1.1)
+        breaker.record_success()
+        assert breaker.state == "half_open"  # one of two
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_transition_counts(self, clock):
+        breaker = _breaker(clock, failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure()
+        clock.sleep(1.1)
+        breaker.allow()
+        breaker.record_failure()
+        clock.sleep(1.1)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions["open"] == 2
+        assert breaker.transitions["half_open"] == 2
+        assert breaker.transitions["closed"] == 1
+
+    def test_latency_failures_also_trip(self, clock):
+        breaker = _breaker(clock, failure_threshold=2)
+        breaker.record_failure(kind="latency")
+        breaker.record_failure(kind="latency")
+        assert breaker.state == "open"
+
+    def test_telemetry_counters(self, clock):
+        telemetry = RunTelemetry.for_run(command="test")
+        with use_telemetry(telemetry):
+            breaker = _breaker(clock, failure_threshold=1, cooldown_s=1.0)
+            breaker.record_failure()
+            clock.sleep(1.1)
+            breaker.allow()
+            breaker.record_success()
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["guard.breaker.test.open"] == 1
+        assert counters["guard.breaker.test.half_open"] == 1
+        assert counters["guard.breaker.test.closed"] == 1
+        assert counters["guard.breaker.test.failures.exception"] == 1
+
+
+class TestConfigValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+
+    def test_bad_cooldown(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_s=-1.0)
+
+    def test_bad_probes(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(probe_successes=0)

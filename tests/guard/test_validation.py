@@ -1,0 +1,203 @@
+"""Quarantine mechanics: graph rules, logging, telemetry, composability."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import EventGraph, random_graph
+from repro.guard import (
+    EventValidator,
+    GraphValidator,
+    Quarantine,
+    QuarantineLog,
+    ValidationRule,
+)
+from repro.obs import RunTelemetry, use_telemetry
+
+pytestmark = pytest.mark.guard
+
+
+def _graph(**overrides):
+    g = random_graph(20, 60, rng=np.random.default_rng(0), true_fraction=0.3)
+    if not overrides:
+        return g
+    return EventGraph(
+        edge_index=overrides.get("edge_index", g.edge_index),
+        x=overrides.get("x", g.x),
+        y=overrides.get("y", g.y),
+        edge_labels=overrides.get("edge_labels", g.edge_labels),
+    )
+
+
+class TestGraphValidator:
+    def test_clean_graph_passes(self):
+        assert GraphValidator().validate(_graph()) == []
+
+    def test_nan_node_features(self):
+        x = _graph().x.copy()
+        x[0, 0] = np.nan
+        issues = GraphValidator().validate(_graph(x=x))
+        assert [i.rule for i in issues] == ["finite_features"]
+
+    def test_inf_edge_features(self):
+        y = _graph().y.copy()
+        y[0, 0] = np.inf
+        issues = GraphValidator().validate(_graph(y=y))
+        assert [i.rule for i in issues] == ["finite_features"]
+
+    def test_edge_endpoint_out_of_range(self):
+        # EventGraph's constructor rejects this, so corrupt in place —
+        # the validator exists for exactly this post-construction rot
+        g = _graph()
+        g.edge_index[1, 0] = 99  # beyond num_nodes
+        issues = GraphValidator().validate(g)
+        assert "edge_range" in [i.rule for i in issues]
+
+    def test_missing_labels(self):
+        g = _graph()
+        bad = EventGraph(edge_index=g.edge_index, x=g.x, y=g.y, edge_labels=None)
+        assert "labels" in [i.rule for i in GraphValidator().validate(bad)]
+        assert GraphValidator(require_labels=False).validate(bad) == []
+
+    def test_label_length_mismatch(self):
+        g = _graph()
+        g.edge_labels = g.edge_labels[:-1]  # bypasses __post_init__
+        issues = GraphValidator().validate(g)
+        assert "labels" in [i.rule for i in issues]
+
+
+class TestComposability:
+    def test_with_rule_appends(self):
+        validator = EventValidator().with_rule(
+            ValidationRule("always_fails", lambda e: "nope")
+        )
+        assert validator.rule_names[-1] == "always_fails"
+        # the base validator is unchanged
+        assert "always_fails" not in EventValidator().rule_names
+
+    def test_extra_rules_run_after_defaults(self):
+        validator = GraphValidator(
+            extra_rules=[ValidationRule("too_small", lambda g: (
+                None if g.num_nodes >= 50 else f"only {g.num_nodes} nodes"
+            ))]
+        )
+        issues = validator.validate(_graph())
+        assert [i.rule for i in issues] == ["too_small"]
+
+    def test_empty_rule_set_rejected(self):
+        with pytest.raises(ValueError):
+            GraphValidator.__mro__[1]([])  # _Validator requires rules
+
+
+class TestQuarantineAccounting:
+    def test_jsonl_log(self, tmp_path):
+        path = str(tmp_path / "quarantine.jsonl")
+        x = _graph().x.copy()
+        x[0, 0] = np.nan
+        quarantine = Quarantine(
+            GraphValidator(),
+            context="unit",
+            log=QuarantineLog(path),
+            kind="graph",
+        )
+        assert quarantine.admit(_graph(), obj_id=1)
+        assert not quarantine.admit(_graph(x=x), obj_id=2)
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == 1
+        assert records[0]["context"] == "unit"
+        assert records[0]["kind"] == "graph"
+        assert records[0]["id"] == 2
+        assert records[0]["rules"] == ["finite_features"]
+        assert records[0]["issues"][0]["detail"]
+
+    def test_counters(self):
+        x = _graph().x.copy()
+        x[0, 0] = np.nan
+        telemetry = RunTelemetry.for_run(command="test")
+        with use_telemetry(telemetry):
+            quarantine = Quarantine(GraphValidator(), context="unit")
+            quarantine.filter([_graph(), _graph(x=x)])
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["guard.quarantine.total"] == 1
+        assert counters["guard.quarantine.unit"] == 1
+        assert counters["guard.quarantine.rule.finite_features"] == 1
+
+
+class TestPipelineIngestion:
+    def test_fit_quarantines_bad_event(self, geometry, small_events, tmp_path):
+        import dataclasses
+
+        from repro.pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig
+
+        positions = small_events[0].positions.copy()
+        positions[0, 0] = np.nan
+        bad = dataclasses.replace(small_events[0], positions=positions, event_id=66)
+        log_path = str(tmp_path / "fit_quarantine.jsonl")
+        config = PipelineConfig(
+            embedding_dim=6, embedding_epochs=2, filter_epochs=2,
+            frnn_radius=0.3,
+            gnn=GNNTrainConfig(
+                mode="bulk", epochs=1, batch_size=64, hidden=8,
+                num_layers=2, depth=2, fanout=4, bulk_k=2,
+            ),
+            validate_inputs=True,
+            quarantine_log=log_path,
+        )
+        pipe = ExaTrkXPipeline(config, geometry)
+        report = pipe.fit(
+            [small_events[1], bad, small_events[2]], [small_events[3]]
+        )
+        assert report.quarantined_events == 1
+        with open(log_path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records[0]["id"] == 66
+        assert records[0]["context"] == "pipeline.fit"
+
+    def test_fit_raises_when_all_train_events_quarantined(self, geometry, small_events):
+        import dataclasses
+
+        from repro.pipeline import ExaTrkXPipeline, PipelineConfig
+
+        positions = small_events[0].positions.copy()
+        positions[:, :] = np.nan
+        bad = dataclasses.replace(small_events[0], positions=positions)
+        pipe = ExaTrkXPipeline(PipelineConfig(validate_inputs=True), geometry)
+        with pytest.raises(ValueError, match="quarantine"):
+            pipe.fit([bad], [])
+
+
+class TestTrainerIngestion:
+    def test_train_gnn_quarantines_bad_graph(self):
+        from repro.pipeline import GNNTrainConfig, train_gnn
+
+        rng = np.random.default_rng(2)
+        good = [random_graph(60, 240, rng=rng, true_fraction=0.3) for _ in range(2)]
+        x = good[0].x.copy()
+        x[0, 0] = np.nan
+        bad = EventGraph(
+            edge_index=good[0].edge_index, x=x, y=good[0].y,
+            edge_labels=good[0].edge_labels,
+        )
+        config = GNNTrainConfig(
+            mode="bulk", epochs=1, batch_size=16, hidden=8, num_layers=2,
+            bulk_k=2, validate_inputs=True,
+        )
+        result = train_gnn(good + [bad], good[:1], config)
+        assert result.quarantined_graphs == 1
+        assert all(np.isfinite(r.train_loss) for r in result.history.records)
+
+    def test_train_gnn_rejects_all_quarantined(self):
+        from repro.pipeline import GNNTrainConfig, train_gnn
+
+        g = _graph()
+        x = g.x.copy()
+        x[:, :] = np.nan
+        bad = EventGraph(edge_index=g.edge_index, x=x, y=g.y, edge_labels=g.edge_labels)
+        config = GNNTrainConfig(
+            mode="bulk", epochs=1, batch_size=16, hidden=8, num_layers=2,
+            bulk_k=2, validate_inputs=True,
+        )
+        with pytest.raises(ValueError, match="quarantine"):
+            train_gnn([bad], [], config)

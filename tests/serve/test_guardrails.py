@@ -1,0 +1,255 @@
+"""Serving guardrails: quarantine, timeouts, circuit breaker, drain."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, SimClock, StageFault
+from repro.serve import (
+    InferenceEngine,
+    RequestFailedError,
+    RequestQuarantinedError,
+    RequestTimeoutError,
+    ServeConfig,
+)
+
+pytestmark = pytest.mark.guard
+
+
+def _nan_event(event):
+    positions = event.positions.copy()
+    positions[0, 0] = np.nan
+    return dataclasses.replace(event, positions=positions)
+
+
+class TestSubmitQuarantine:
+    def test_bad_event_quarantined_with_typed_error(
+        self, serve_pipeline, serve_events
+    ):
+        engine = InferenceEngine(
+            serve_pipeline, ServeConfig(validate_inputs=True)
+        )
+        try:
+            request = engine.submit(_nan_event(serve_events[0]))
+            assert request.status == "quarantined"
+            with pytest.raises(RequestQuarantinedError, match="finite_positions"):
+                request.result()
+            assert engine.stats.quarantined == 1
+            # the offender never entered the queue
+            assert len(engine.queue) == 0
+        finally:
+            engine.close()
+
+    def test_healthy_events_unaffected(self, serve_pipeline, serve_events):
+        with InferenceEngine(
+            serve_pipeline, ServeConfig(validate_inputs=True)
+        ) as engine:
+            requests = engine.process(
+                [serve_events[0], _nan_event(serve_events[1]), serve_events[2]]
+            )
+        statuses = [r.status for r in requests]
+        assert statuses == ["done", "quarantined", "done"]
+
+    def test_quarantine_log_written(self, serve_pipeline, serve_events, tmp_path):
+        log_path = str(tmp_path / "quarantine.jsonl")
+        with InferenceEngine(
+            serve_pipeline,
+            ServeConfig(validate_inputs=True, quarantine_log=log_path),
+        ) as engine:
+            engine.process([_nan_event(serve_events[0])])
+        import json
+
+        with open(log_path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records[0]["context"] == "serve.submit"
+        assert "finite_positions" in records[0]["rules"]
+
+    def test_validation_off_by_default(self, serve_pipeline, serve_events):
+        config = ServeConfig()
+        assert not config.validate_inputs
+
+
+class TestRequestTimeout:
+    def test_stale_request_times_out(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        engine = InferenceEngine(
+            serve_pipeline,
+            ServeConfig(max_batch_events=4, request_timeout_ms=50.0),
+            clock=clock,
+        )
+        try:
+            stale = engine.submit(serve_events[0])
+            clock.sleep(0.2)  # exceeds the 50 ms budget while queued
+            fresh = engine.submit(serve_events[1])
+            engine.flush()
+            assert stale.status == "timed_out"
+            assert fresh.status == "done"
+            with pytest.raises(RequestTimeoutError):
+                stale.result()
+            assert engine.stats.timed_out == 1
+        finally:
+            engine.close()
+
+
+class TestCircuitBreaker:
+    def _engine(self, serve_pipeline, plan, clock, **overrides):
+        fields = dict(
+            max_batch_events=1,
+            cache_capacity=0,  # each request must exercise the GNN stage
+            breaker_threshold=2,
+            breaker_cooldown_ms=100.0,
+            breaker_probes=1,
+        )
+        fields.update(overrides)
+        return InferenceEngine(
+            serve_pipeline, ServeConfig(**fields), clock=clock, fault_plan=plan
+        )
+
+    def test_trip_degrade_and_recover(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        plan = FaultPlan(
+            stage_faults=[StageFault(stage="gnn", at_call=0, times=2)]
+        )
+        engine = self._engine(serve_pipeline, plan, clock)
+        try:
+            observed = []
+            for _ in range(5):
+                request = engine.submit(serve_events[0])
+                engine.flush()
+                observed.append(
+                    (request.status, request.breaker_degraded, engine.breaker.state)
+                )
+                clock.sleep(0.06)  # two ticks cross the 100 ms cooldown
+            # two injected failures trip the breaker; while open the
+            # requests still complete, degraded; the half-open probe
+            # succeeds and closes it again
+            assert observed[0] == ("done", True, "closed")
+            assert observed[1][2] == "open"
+            assert any(status == "done" and degraded for status, degraded, _ in observed[1:3])
+            assert observed[-1] == ("done", False, "closed")
+            assert engine.breaker.transitions["open"] == 1
+            assert engine.stats.breaker_degraded >= 1
+        finally:
+            engine.close()
+
+    def test_failed_probe_reopens(self, serve_pipeline, serve_events):
+        clock = SimClock()
+        # three failures outlast the first open period and fail the probe
+        plan = FaultPlan(
+            stage_faults=[StageFault(stage="gnn", at_call=1, times=3)]
+        )
+        engine = self._engine(serve_pipeline, plan, clock)
+        try:
+            for _ in range(8):
+                engine.submit(serve_events[0])
+                engine.flush()
+                clock.sleep(0.06)
+            assert engine.breaker.transitions["open"] >= 2
+            assert engine.breaker.state == "closed"
+        finally:
+            engine.close()
+
+    def test_stage_failure_without_breaker_degrades_batch(
+        self, serve_pipeline, serve_events
+    ):
+        plan = FaultPlan(
+            stage_faults=[StageFault(stage="gnn", at_call=0, times=1)]
+        )
+        with InferenceEngine(
+            serve_pipeline,
+            ServeConfig(max_batch_events=1, cache_capacity=0),
+            fault_plan=plan,
+        ) as engine:
+            requests = engine.process([serve_events[0], serve_events[1]])
+        assert [r.status for r in requests] == ["done", "done"]
+        assert requests[0].degraded and not requests[1].degraded
+
+
+class TestDrainAndAccounting:
+    def test_terminal_states_are_disjoint_and_complete(
+        self, serve_pipeline, serve_events
+    ):
+        clock = SimClock()
+        plan = FaultPlan(
+            stage_faults=[StageFault(stage="gnn", at_call=1, times=3)]
+        )
+        engine = InferenceEngine(
+            serve_pipeline,
+            ServeConfig(
+                max_batch_events=1,
+                cache_capacity=0,
+                max_queue_events=2,
+                validate_inputs=True,
+                request_timeout_ms=500.0,
+                breaker_threshold=2,
+                breaker_cooldown_ms=100.0,
+            ),
+            clock=clock,
+            fault_plan=plan,
+        )
+        engine.submit(_nan_event(serve_events[0]))  # quarantined
+        for _ in range(6):
+            engine.submit(serve_events[0])
+            engine.flush()
+            clock.sleep(0.06)
+        engine.close()
+        stats = engine.stats
+        assert stats.terminal == stats.submitted
+        assert (
+            stats.completed + stats.shed + stats.quarantined
+            + stats.timed_out + stats.failed
+            == stats.submitted
+        )
+
+    def test_close_fails_undispatched_requests(self, serve_pipeline, serve_events):
+        engine = InferenceEngine(
+            serve_pipeline, ServeConfig(max_batch_events=64, max_wait_ms=1e6)
+        )
+        request = engine.submit(serve_events[0])
+        engine.close()
+        # close() dispatches the queue before shutdown; either way the
+        # request must reach a terminal state, never hang
+        assert request.status in ("done", "failed")
+        if request.status == "failed":
+            with pytest.raises(RequestFailedError):
+                request.result(timeout=1.0)
+        assert engine.stats.terminal == engine.stats.submitted
+
+    def test_health_snapshot(self, serve_pipeline, serve_events):
+        engine = InferenceEngine(
+            serve_pipeline, ServeConfig(breaker_threshold=2)
+        )
+        health = engine.health()
+        assert health["live"] and health["ready"]
+        assert health["breaker"] == "closed"
+        assert health["queue_depth"] == 0 and health["in_flight"] == 0
+        engine.close()
+        health = engine.health()
+        assert not health["live"] and not health["ready"]
+
+    def test_health_not_ready_while_breaker_open(
+        self, serve_pipeline, serve_events
+    ):
+        clock = SimClock()
+        plan = FaultPlan(
+            stage_faults=[StageFault(stage="gnn", at_call=0, times=2)]
+        )
+        engine = InferenceEngine(
+            serve_pipeline,
+            ServeConfig(
+                max_batch_events=1, cache_capacity=0,
+                breaker_threshold=2, breaker_cooldown_ms=1e6,
+            ),
+            clock=clock,
+            fault_plan=plan,
+        )
+        try:
+            for _ in range(2):
+                engine.submit(serve_events[0])
+                engine.flush()
+            health = engine.health()
+            assert health["live"] and not health["ready"]
+            assert health["breaker"] == "open"
+        finally:
+            engine.close()

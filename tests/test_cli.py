@@ -393,3 +393,84 @@ class TestTelemetryCLI:
         rc = main(["telemetry", "summarize", str(bad)])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.guard
+class TestGuardrailFlags:
+    def test_train_guard_flags_registered(self):
+        args = build_parser().parse_args(
+            ["train", "--validate-inputs", "--watchdog", "--keep-last", "3"]
+        )
+        assert args.validate_inputs and args.watchdog
+        assert args.keep_last == 3
+        assert args.watchdog_window == 8
+        assert args.watchdog_spike_factor == 10.0
+        assert args.watchdog_max_rollbacks == 2
+        assert args.watchdog_lr_backoff == 0.5
+
+    def test_serve_guard_flags_registered(self):
+        for cmd in ("serve", "loadgen"):
+            args = build_parser().parse_args(
+                [cmd, "--validate-inputs", "--breaker-threshold", "2",
+                 "--request-timeout-ms", "50"]
+            )
+            assert args.validate_inputs
+            assert args.breaker_threshold == 2
+            assert args.breaker_cooldown_ms == 1000.0
+            assert args.breaker_probes == 1
+            assert args.request_timeout_ms == 50.0
+            assert args.quarantine_log is None
+
+
+@pytest.mark.guard
+class TestGracefulShutdown:
+    def test_keyboard_interrupt_exits_130_without_traceback(
+        self, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "benchmark", boom)
+        rc = main(["benchmark"])
+        assert rc == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_train_interrupt_reports_resume_hint(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        import repro.pipeline as pl
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.pipeline.train_gnn", boom)
+        ck = str(tmp_path / "ck.npz")
+        rc = main(
+            ["train", "--dataset", "tiny", "--train-graphs", "1",
+             "--val-graphs", "1", "--epochs", "1",
+             "--checkpoint-every", "1", "--checkpoint-path", ck]
+        )
+        assert rc == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert ck in err  # points the user at the resume path
+
+    def test_sigterm_handler_installed_in_main_thread(self, monkeypatch):
+        import signal as signal_module
+
+        import repro.cli as cli
+
+        installed = {}
+        monkeypatch.setattr(
+            cli.signal, "signal",
+            lambda num, handler: installed.setdefault(num, handler),
+        )
+        monkeypatch.setitem(cli._COMMANDS, "benchmark", lambda args: 0)
+        assert main(["benchmark"]) == 0
+        handler = installed[signal_module.SIGTERM]
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal_module.SIGTERM, None)

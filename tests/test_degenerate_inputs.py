@@ -5,10 +5,14 @@ production whenever a filter threshold or an empty detector region wipes
 a graph out; nothing downstream may crash on them.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.detector import Event
 from repro.graph import EventGraph, describe
+from repro.guard import EventValidator, Quarantine
 from repro.metrics import match_tracks, pooled_precision_recall
 from repro.models import IGNNConfig, InteractionGNN
 from repro.pipeline import build_tracks, build_tracks_walkthrough
@@ -97,3 +101,118 @@ class TestDegenerateSampling:
         out = BulkShadowSampler(2, 2).sample(g, np.array([0, 5]), np.random.default_rng(0))
         assert out.num_components == 2
         assert out.graph.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# guard.EventValidator: one positive + one quarantine case per rule
+# ----------------------------------------------------------------------
+def _clean_event(event_id: int = 0) -> Event:
+    """A small hand-built event that passes every default rule."""
+    return Event(
+        positions=np.array(
+            [[30.0, 0.0, 1.0], [60.0, 1.0, 2.0], [90.0, 2.0, 3.0], [45.0, -3.0, 0.5]],
+            dtype=np.float64,
+        ),
+        layer_ids=np.array([0, 1, 2, 1], dtype=np.int64),
+        particle_ids=np.array([1, 1, 2, 0], dtype=np.int64),
+        hit_order=np.array([0, 1, 0, -1], dtype=np.int64),
+        particles=[],
+        event_id=event_id,
+    )
+
+
+@pytest.mark.guard
+class TestEventValidatorRules:
+    """Each default rule: the clean event passes, one corruption trips it."""
+
+    def _rules_hit(self, event):
+        return {i.rule for i in EventValidator().validate(event)}
+
+    def test_clean_event_passes_all_rules(self):
+        assert EventValidator().validate(_clean_event()) == []
+
+    def test_finite_positions(self):
+        event = _clean_event()
+        event.positions[1, 2] = np.nan
+        assert "finite_positions" in self._rules_hit(event)
+
+    def test_finite_positions_inf(self):
+        event = _clean_event()
+        event.positions[0, 0] = np.inf
+        assert "finite_positions" in self._rules_hit(event)
+
+    def test_nonempty(self):
+        event = Event(
+            positions=np.zeros((0, 3)),
+            layer_ids=np.zeros(0, dtype=np.int64),
+            particle_ids=np.zeros(0, dtype=np.int64),
+            hit_order=np.zeros(0, dtype=np.int64),
+            particles=[],
+        )
+        assert "nonempty" in self._rules_hit(event)
+
+    def test_min_hits(self):
+        event = _clean_event()
+        validator = EventValidator(min_hits=10)
+        assert {i.rule for i in validator.validate(event)} == {"min_hits"}
+        assert EventValidator(min_hits=4).validate(event) == []
+
+    def test_consistent_lengths(self):
+        event = dataclasses.replace(_clean_event(), layer_ids=np.array([0, 1], dtype=np.int64))
+        assert "consistent_lengths" in self._rules_hit(event)
+
+    def test_duplicate_hits(self):
+        event = _clean_event()
+        # double-read: hit 3 (noise) appears twice with identical
+        # layer + position, keeping every other rule satisfied
+        event = dataclasses.replace(
+            event,
+            positions=np.concatenate([event.positions, event.positions[3:4]]),
+            layer_ids=np.concatenate([event.layer_ids, event.layer_ids[3:4]]),
+            particle_ids=np.concatenate([event.particle_ids, event.particle_ids[3:4]]),
+            hit_order=np.concatenate([event.hit_order, event.hit_order[3:4]]),
+        )
+        assert self._rules_hit(event) == {"duplicate_hits"}
+
+    def test_layer_range_negative(self):
+        event = _clean_event()
+        event.layer_ids[0] = -3
+        assert "layer_range" in self._rules_hit(event)
+
+    def test_layer_range_outside_geometry(self, geometry):
+        validator = EventValidator.for_geometry(geometry)
+        event = _clean_event()
+        assert validator.validate(event) == []
+        event.layer_ids[2] = 999
+        assert "layer_range" in {i.rule for i in validator.validate(event)}
+
+    def test_truth_consistency_noise_with_order(self):
+        event = _clean_event()
+        event.hit_order[3] = 2  # noise hit carrying a truth rank
+        assert self._rules_hit(event) == {"truth_consistency"}
+
+    def test_truth_consistency_truth_without_order(self):
+        event = _clean_event()
+        event.hit_order[0] = -1  # truth hit missing its rank
+        assert self._rules_hit(event) == {"truth_consistency"}
+
+    def test_truth_consistency_duplicate_segment(self):
+        event = _clean_event()
+        event.hit_order[1] = 0  # two rank-0 hits on particle 1
+        assert self._rules_hit(event) == {"truth_consistency"}
+
+
+@pytest.mark.guard
+class TestQuarantineFilter:
+    def test_mixed_stream_drops_only_offenders(self):
+        bad = _clean_event(event_id=7)
+        bad.positions[0, 0] = np.nan
+        stream = [_clean_event(0), bad, _clean_event(2)]
+        quarantine = Quarantine(EventValidator(), context="test")
+        kept = quarantine.filter(stream)
+        assert [e.event_id for e in kept] == [0, 2]
+        assert quarantine.quarantined == 1
+        assert quarantine.passed == 2
+        (obj_id, issues), = quarantine.reasons
+        assert obj_id == 7
+        assert issues[0].rule == "finite_positions"
