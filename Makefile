@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke clean
 
 test:
 	pytest tests/
@@ -54,6 +54,13 @@ serve-smoke:
 # recover with zero hung requests (mirrors the dedicated CI step).
 guard-smoke:
 	python scripts/validate_guardrails.py /tmp/repro_guard_metrics.json
+
+# End-to-end elastic-recovery chaos check: SIGKILL a real worker process
+# mid-epoch on the proc backend, assert eviction + survivor resync, and
+# bit-compare final weights against a sim-backend eviction replay
+# (mirrors the dedicated CI step).
+elastic-smoke:
+	python scripts/validate_elastic.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,17 @@
+"""Root conftest: register the per-test timeout cap.
+
+``pytest_plugins`` is only honoured in the rootdir conftest, which is
+why this file exists at the repository root.  The plugin is a no-op
+shim when the real ``pytest-timeout`` distribution is installed (CI)
+and a SIGALRM fallback otherwise (the hermetic dev container) — see
+:mod:`repro.testing.timeout_plugin`.
+"""
+
+import os
+import sys
+
+# The suite runs as `PYTHONPATH=src python -m pytest`; make the plugin
+# importable even when PYTHONPATH was not set (e.g. bare `pytest`).
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ["repro.testing.timeout_plugin"]

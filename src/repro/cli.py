@@ -85,6 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument(
         "--allreduce", choices=("coalesced", "per_parameter"), default="coalesced"
     )
+    p_train.add_argument(
+        "--backend", choices=("sim", "proc"), default="sim",
+        help="comm backend: in-process simulator (sim) or one real worker "
+        "process per rank with crash-tolerant supervision (proc)",
+    )
+    p_train.add_argument(
+        "--comm-retries", type=int, default=3, metavar="N",
+        help="retry budget for transient collective faults (default 3)",
+    )
+    p_train.add_argument(
+        "--comm-retry-base-delay", type=float, default=0.05, metavar="S",
+        help="first retry backoff delay in seconds (default 0.05)",
+    )
+    p_train.add_argument(
+        "--comm-retry-max-delay", type=float, default=None, metavar="S",
+        help="cap on the exponential retry backoff in seconds "
+        "(default: uncapped)",
+    )
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument(
         "--checkpoint-every",
@@ -416,6 +434,7 @@ def _cmd_train(args) -> int:
         bulk_k=args.bulk_k,
         world_size=args.world_size,
         allreduce=args.allreduce,
+        backend=args.backend,
         seed=args.seed,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
@@ -445,7 +464,8 @@ def _cmd_train(args) -> int:
         flag_defaults = {
             "mode": "bulk", "epochs": 6, "batch_size": 128, "hidden": 16,
             "num_layers": 2, "depth": 2, "fanout": 4, "bulk_k": 4,
-            "world_size": 1, "allreduce": "coalesced", "seed": 0,
+            "world_size": 1, "allreduce": "coalesced", "backend": "sim",
+            "seed": 0,
             "checkpoint_every": None, "checkpoint_path": "gnn_checkpoint.npz",
             "resume_from": None, "prefetch_workers": 0, "prefetch_depth": 2,
             "validate_inputs": False, "keep_last": None, "watchdog": False,
@@ -456,14 +476,23 @@ def _cmd_train(args) -> int:
             if key not in fields or fields[key] == flag_defaults.get(key):
                 fields[key] = value
     train_cfg = GNNTrainConfig(**fields)
+    from .faults import RetryPolicy
     from .obs import use_telemetry
 
+    retry_policy = RetryPolicy(
+        max_retries=args.comm_retries,
+        base_delay=args.comm_retry_base_delay,
+        max_delay=args.comm_retry_max_delay,
+    )
     telemetry = _make_telemetry(
         args, config=train_cfg, seed=args.seed, world_size=args.world_size
     )
     try:
         with use_telemetry(telemetry):
-            result = train_gnn(dataset.train, dataset.val, train_cfg)
+            result = train_gnn(
+                dataset.train, dataset.val, train_cfg,
+                retry_policy=retry_policy,
+            )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(
@@ -503,10 +532,17 @@ def _cmd_train(args) -> int:
             f"{r.val_recall:7.3f} | {r.epoch_seconds:5.1f}s"
         )
     if result.comm_stats is not None:
-        print(
+        line = (
             f"all-reduce: {result.comm_stats.num_allreduce_calls} calls, "
             f"modeled {1e3 * result.comm_stats.modeled_seconds:.2f} ms"
         )
+        if result.comm_stats.measured_seconds:
+            line += (
+                f", measured {1e3 * result.comm_stats.measured_seconds:.2f} ms"
+            )
+        if result.comm_stats.rank_failures:
+            line += f", evicted ranks {result.comm_stats.rank_failures}"
+        print(line)
     if result.skipped_graphs:
         print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
     if result.quarantined_graphs:

@@ -1,0 +1,145 @@
+"""Pluggable communication backends.
+
+:class:`repro.distributed.DistributedDataParallel` talks to its
+communicator exclusively through this interface, so the *same* gradient
+synchronisation, retry, and elastic-eviction logic runs against:
+
+* ``"sim"`` — :class:`repro.distributed.SimCommunicator`: ``P`` logical
+  ranks in one process, deterministic, fault injection by raised
+  exceptions, communication *time* from the α–β cost model.  The test
+  and replay backend.
+* ``"proc"`` — :class:`repro.distributed.ProcCommunicator`: one
+  ``multiprocessing`` worker per rank, ring all-reduce over
+  ``shared_memory`` segments, heartbeat-based failure detection, and
+  crash tolerance against real process death (SIGKILL, hangs,
+  stragglers).  The genuine-parallelism backend; bit-exact with ``sim``
+  on the same seeded run.
+
+Both backends accumulate the same :class:`repro.distributed.CommStats`,
+so modeled α–β time and (for ``proc``) measured wall-clock land in the
+same telemetry sink and benchmarks can validate the cost model against
+reality (``benchmarks/bench_allreduce.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CommBackend", "COMM_BACKENDS", "create_communicator"]
+
+#: Registered backend names accepted by :func:`create_communicator` and
+#: the CLI's ``--backend`` flag.
+COMM_BACKENDS = ("sim", "proc")
+
+
+class CommBackend(abc.ABC):
+    """Collective-communication contract required by the DDP layer.
+
+    Implementations own a set of *global* rank ids (:attr:`ranks`); the
+    world shrinks through :meth:`remove_rank` when a rank permanently
+    fails (elastic recovery).  Collectives raise
+    :class:`repro.faults.CommError` subtypes on failure — transient ones
+    (:class:`~repro.faults.CommTimeoutError`) are retried by the DDP
+    layer, permanent ones (:class:`~repro.faults.RankDeadError`) trigger
+    eviction.
+    """
+
+    #: Whether the DDP layer must re-broadcast parameters over the
+    #: survivors after an eviction.  ``False`` for the in-process
+    #: simulator (replicas are bit-identical by construction); ``True``
+    #: for real multi-process backends, where the post-eviction resync
+    #: (membership-epoch bump + broadcast from the lowest live rank) is
+    #: part of the recovery protocol.
+    requires_resync: bool = False
+
+    #: Live global rank ids, ascending (set by implementations; shrinks
+    #: through :meth:`remove_rank`).
+    ranks: List[int]
+
+    @property
+    def world_size(self) -> int:
+        """Number of *live* ranks."""
+        return len(self.ranks)
+
+    @abc.abstractmethod
+    def allreduce(
+        self, buffers: Sequence[np.ndarray], average: bool = True
+    ) -> List[np.ndarray]:
+        """All-reduce one buffer per live rank; returns the reduced copies."""
+
+    @abc.abstractmethod
+    def broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
+        """Broadcast the lowest live rank's buffer to every live rank."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every live rank reaches the barrier."""
+
+    @abc.abstractmethod
+    def remove_rank(self, rank: int) -> int:
+        """Evict a permanently failed global rank; returns its local index."""
+
+    def close(self) -> None:
+        """Release backend resources (processes, shared memory); idempotent."""
+
+    # context-manager sugar so trainers/benches can ``with create_communicator(...)``
+    def __enter__(self) -> "CommBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def create_communicator(
+    backend: str,
+    world_size: int,
+    *,
+    cost_model=None,
+    algorithm: str = "ring",
+    fault_plan=None,
+    collective_timeout: Optional[float] = None,
+    heartbeat_interval: Optional[float] = None,
+    heartbeat_deadline: Optional[float] = None,
+) -> CommBackend:
+    """Build a communicator by backend name (``"sim"`` or ``"proc"``).
+
+    The timeout/heartbeat knobs apply to the ``proc`` backend only
+    (``None`` keeps its defaults); ``sim`` ignores them — its failure
+    detector is the injected-exception fault plan.
+    """
+    if backend not in COMM_BACKENDS:
+        raise ValueError(
+            f"unknown comm backend {backend!r}; choose from {COMM_BACKENDS}"
+        )
+    from .costmodel import NVLINK_A100
+
+    if cost_model is None:
+        cost_model = NVLINK_A100
+    if backend == "sim":
+        from .comm import SimCommunicator
+
+        return SimCommunicator(
+            world_size,
+            cost_model=cost_model,
+            algorithm=algorithm,
+            fault_plan=fault_plan,
+        )
+    from .proc_backend import ProcCommunicator
+
+    kwargs = {}
+    if collective_timeout is not None:
+        kwargs["collective_timeout"] = collective_timeout
+    if heartbeat_interval is not None:
+        kwargs["heartbeat_interval"] = heartbeat_interval
+    if heartbeat_deadline is not None:
+        kwargs["heartbeat_deadline"] = heartbeat_deadline
+    return ProcCommunicator(
+        world_size,
+        cost_model=cost_model,
+        algorithm=algorithm,
+        fault_plan=fault_plan,
+        **kwargs,
+    )

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from ..obs import get_tracer
+from .backend import CommBackend
 from .costmodel import CommCostModel, NVLINK_A100
 from .ring import RingAllReduceStats, ring_allreduce
 
@@ -36,7 +37,9 @@ class CommStats:
     bytes_reduced: int = 0
     num_broadcast_calls: int = 0
     bytes_broadcast: int = 0
+    num_barrier_calls: int = 0
     modeled_seconds: float = 0.0
+    measured_seconds: float = 0.0  # wall-clock; stays 0 on the sim backend
     num_retries: int = 0
     retry_backoff_seconds: float = 0.0
     rank_failures: List[int] = field(default_factory=list)
@@ -52,7 +55,9 @@ class CommStats:
             "bytes_reduced": self.bytes_reduced,
             "num_broadcast_calls": self.num_broadcast_calls,
             "bytes_broadcast": self.bytes_broadcast,
+            "num_barrier_calls": self.num_barrier_calls,
             "modeled_seconds": self.modeled_seconds,
+            "measured_seconds": self.measured_seconds,
             "num_retries": self.num_retries,
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "rank_failures": list(self.rank_failures),
@@ -64,14 +69,16 @@ class CommStats:
         self.bytes_reduced = 0
         self.num_broadcast_calls = 0
         self.bytes_broadcast = 0
+        self.num_barrier_calls = 0
         self.modeled_seconds = 0.0
+        self.measured_seconds = 0.0
         self.num_retries = 0
         self.retry_backoff_seconds = 0.0
         self.rank_failures = []
         self.events = []
 
 
-class SimCommunicator:
+class SimCommunicator(CommBackend):
     """In-process ``P``-rank communicator with cost accounting.
 
     Parameters
@@ -106,6 +113,12 @@ class SimCommunicator:
             raise ValueError("world_size must be >= 1")
         if algorithm not in ("ring", "halving_doubling", "tree"):
             raise ValueError(f"unknown all-reduce algorithm {algorithm!r}")
+        if fault_plan is not None and getattr(fault_plan, "process_faults", []):
+            raise ValueError(
+                "ProcessFault chaos requires the 'proc' backend; on the sim "
+                "backend express the same failure as a CommFault (a SIGKILL "
+                "at attempt N replays as a permanent CommFault(at_call=N))"
+            )
         self.ranks: List[int] = list(range(world_size))
         self.cost_model = cost_model
         self.algorithm = algorithm
@@ -212,4 +225,23 @@ class SimCommunicator:
         return out
 
     def barrier(self) -> None:
-        """No-op in the in-process simulation; kept for API parity."""
+        """Synchronisation point: charged to the α–β model and faultable.
+
+        Data-wise nothing moves in the in-process simulation, but a
+        barrier is still a collective: it consults the fault plan (so
+        barrier-heavy schedules can fail like any other collective) and
+        charges the latency-only dissemination cost
+        (:meth:`~repro.distributed.CommCostModel.barrier_time`), so
+        modeled time no longer under-reports barrier-synchronised runs.
+        """
+        with get_tracer().span(
+            "comm.barrier",
+            category="comm",
+            world_size=self.world_size,
+        ) as span:
+            if self.fault_plan is not None:
+                self.fault_plan.before_collective(self.ranks)
+            modeled = self.cost_model.barrier_time(self.world_size)
+            self.stats.num_barrier_calls += 1
+            self.stats.modeled_seconds += modeled
+            span.set(modeled_s=modeled)

@@ -67,6 +67,20 @@ class CommCostModel:
         rounds = (world_size - 1).bit_length()
         return rounds * (self.alpha + nbytes * self.beta)
 
+    def barrier_time(self, world_size: int) -> float:
+        """Modeled time of a dissemination barrier over ``P`` ranks.
+
+        ``ceil(log2 P)`` rounds of zero-payload messages:
+        ``T = ceil(log2 P) · α`` — the latency-only collective, which is
+        why barrier-heavy schedules are α-dominated.
+        """
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if world_size == 1:
+            return 0.0
+        rounds = (world_size - 1).bit_length()
+        return rounds * self.alpha
+
     def allreduce_sequence_time(self, sizes: Sequence[int], world_size: int) -> float:
         """Modeled time of one all-reduce call per buffer in ``sizes``
         (the naive per-parameter strategy)."""

@@ -27,8 +27,8 @@ import numpy as np
 from ..faults import CommError, RetryPolicy, SimClock
 from ..nn import Module
 from ..obs import get_tracer
+from .backend import CommBackend
 from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
-from .comm import SimCommunicator
 
 __all__ = ["DistributedDataParallel", "replicate_model"]
 
@@ -57,8 +57,9 @@ class DistributedDataParallel:
     models:
         One replica per rank, identically initialised.
     comm:
-        The simulated communicator (accumulates call/byte/modeled-time
-        stats).
+        Any :class:`~repro.distributed.backend.CommBackend` — the
+        in-process simulator or the multi-process ``proc`` backend
+        (both accumulate call/byte/modeled-time stats).
     strategy:
         ``"coalesced"`` (default, the paper's optimisation) or
         ``"per_parameter"`` (the baseline).
@@ -82,7 +83,7 @@ class DistributedDataParallel:
     def __init__(
         self,
         models: Sequence[Module],
-        comm: SimCommunicator,
+        comm: CommBackend,
         strategy: str = "coalesced",
         retry_policy: Optional[RetryPolicy] = None,
         clock: Optional[SimClock] = None,
@@ -119,8 +120,13 @@ class DistributedDataParallel:
         rank (see :meth:`drop_rank`) and re-synchronises the survivors.
         """
         retries_left = self.retry_policy.max_retries
+        stale_budget = len(self.global_ranks)
+        need_resync = False
         while True:
             try:
+                if need_resync:
+                    self._resync_parameters()
+                    need_resync = False
                 self._sync_once()
                 return
             except CommError as err:
@@ -140,6 +146,29 @@ class DistributedDataParallel:
                         backoff_s=delay,
                     )
                     retries_left -= 1
+                elif (
+                    err.rank is not None and err.rank not in self.global_ranks
+                ):
+                    # A permanent failure naming an already-evicted rank: a
+                    # stale/duplicate report (e.g. a late failure detection
+                    # for a rank a previous collective dropped).  The rank
+                    # is already gone, so the failure is already handled —
+                    # re-evicting would crash on remove_rank.  A small
+                    # budget guards against a reporter wedged on the same
+                    # stale rank forever.
+                    if stale_budget <= 0:
+                        raise
+                    stale_budget -= 1
+                    self.comm.stats.record_event(
+                        f"ignoring stale failure report for already-evicted "
+                        f"rank {err.rank}"
+                    )
+                    get_tracer().event(
+                        "comm.stale_failure_ignored",
+                        category="fault",
+                        rank=err.rank,
+                    )
+                    retries_left = self.retry_policy.max_retries
                 else:
                     failed = err.rank if err.rank is not None else self.global_ranks[-1]
                     self.drop_rank(failed)
@@ -150,12 +179,48 @@ class DistributedDataParallel:
                         survivors=len(self.global_ranks),
                     )
                     retries_left = self.retry_policy.max_retries
+                    need_resync = getattr(self.comm, "requires_resync", False)
 
     def _sync_once(self) -> None:
         if self.strategy == "coalesced":
             self._sync_coalesced()
         else:
             self._sync_per_parameter()
+
+    def _resync_parameters(self) -> None:
+        """Re-align survivor replicas after an eviction (proc backend).
+
+        On a real multi-process backend an eviction interrupts a
+        collective mid-flight, so the supervisor re-establishes a known
+        state by broadcasting the lowest live rank's parameters to every
+        survivor.  Replicas are identical before the failed collective
+        (they only drift *within* one), so the broadcast is numerically
+        a no-op — which is what keeps a proc-backend chaos run bit-exact
+        with its sim-backend eviction replay.
+        """
+        source = self.models[0]
+        arrays = [p.data for _, p in source.named_parameters()]
+        if not arrays:
+            return
+        # float64 wire format: exact for float64 *and* float32 parameters
+        # (unlike the float32 gradient-coalescing layout)
+        flat = np.concatenate([a.reshape(-1).astype(np.float64) for a in arrays])
+        synced = self.comm.broadcast(flat)
+        for m, vec in zip(self.models, synced):
+            offset = 0
+            for _, p in m.named_parameters():
+                size = p.data.size
+                chunk = vec[offset : offset + size]
+                p.data[...] = chunk.reshape(p.data.shape).astype(
+                    p.data.dtype, copy=False
+                )
+                offset += size
+        get_tracer().event(
+            "comm.resync",
+            category="fault",
+            root=self.global_ranks[0],
+            survivors=len(self.global_ranks),
+        )
 
     # ------------------------------------------------------------------
     def drop_rank(self, global_rank: int) -> Module:

@@ -1,0 +1,700 @@
+"""Real multi-process communication backend (``--backend proc``).
+
+One ``multiprocessing`` worker per rank executes the *same* ring
+all-reduce schedule as :func:`repro.distributed.ring.ring_allreduce`,
+but over ``shared_memory`` segments with genuine inter-process barriers
+— so collectives run under true parallelism, with real wall-clock, real
+crashes, and real stragglers.  The backend is deliberately **bit-exact**
+with the in-process simulator: chunk boundaries, accumulation order, and
+the float64 working precision are identical, so a seeded ``proc`` run
+reproduces a ``sim`` run to the last bit (the elastic-recovery
+validation in ``scripts/validate_elastic.py`` depends on this).
+
+Crash tolerance
+---------------
+The driver never blocks indefinitely on a worker: every collective has a
+deadline, every worker beats a heartbeat slot in the shared
+:class:`~repro.distributed.supervisor.ControlBlock`, and the
+:class:`~repro.distributed.supervisor.Supervisor` classifies failures:
+
+* worker process exited (SIGKILL, crash) → process sentinel fires →
+  :class:`repro.faults.RankDeadError` (permanent);
+* worker wedged (SIGSTOP, livelock) → heartbeat silent past the deadline
+  → :class:`RankDeadError` (permanent);
+* collective overran its deadline with everyone still alive (straggler)
+  → :class:`repro.faults.CommTimeoutError` (transient).
+
+Both map onto the existing :class:`repro.faults.CommError`
+transient/permanent split, so
+:meth:`repro.distributed.DistributedDataParallel.synchronize_gradients`
+retries or evicts without backend-specific code.  On eviction the driver
+bumps the membership epoch, SIGKILLs the dead worker, shrinks the ring
+to the survivors, and the DDP layer re-broadcasts parameters from the
+lowest live rank (``requires_resync``).
+
+Chaos harness
+-------------
+A :class:`repro.faults.FaultPlan` carrying
+:class:`~repro.faults.ProcessFault` entries physically disturbs workers
+at chosen collective attempts — SIGKILL, SIGSTOP ("hang"), or injected
+delay ("slow") — using the same attempt counter as ``CommFault``, which
+is what makes a proc-backend chaos run replayable on the simulator.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults import CommTimeoutError, ProcessFault, RankDeadError
+from ..obs import get_tracer
+from .backend import CommBackend
+from .comm import CommStats
+from .costmodel import CommCostModel, NVLINK_A100
+from .supervisor import FLAG_ABORT, ControlBlock, Supervisor, attach_shared_memory
+
+__all__ = ["ProcCommunicator"]
+
+
+class _Aborted(Exception):
+    """Internal: the in-flight collective was cancelled (or timed out)."""
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _segment_view(segments: Dict[str, shared_memory.SharedMemory], name: str):
+    shm = segments.get(name)
+    if shm is None:
+        shm = attach_shared_memory(name)
+        segments[name] = shm
+    return shm
+
+
+def _prune_segments(
+    segments: Dict[str, shared_memory.SharedMemory], keep: Sequence[str]
+) -> None:
+    for name in list(segments):
+        if name not in keep:
+            try:
+                segments[name].close()
+            except (BufferError, OSError):  # pragma: no cover - defensive
+                pass
+            del segments[name]
+
+
+def _barrier_wait(
+    ctrl: ControlBlock,
+    rank: int,
+    seq: int,
+    live: Sequence[int],
+    abort0: int,
+    timeout: float,
+) -> None:
+    """Arrive at barrier ``seq`` and wait for every live rank.
+
+    Polls shared arrival counters (no OS primitives a dead neighbour
+    could hold), refreshing this rank's heartbeat on every iteration,
+    and bails out via :class:`_Aborted` on an abort-generation bump or
+    deadline overrun — a survivor can never be wedged by a dead peer.
+    """
+    ctrl.arrive[rank] = seq
+    deadline = time.monotonic() + timeout
+    spins = 0
+    while True:
+        now = time.monotonic()
+        ctrl.heartbeats[rank] = now
+        arrived = True
+        for r in live:
+            if ctrl.arrive[r] < seq:
+                arrived = False
+                break
+        if arrived:
+            return
+        if int(ctrl.flags[FLAG_ABORT]) != abort0:
+            raise _Aborted()
+        if now > deadline:
+            raise _Aborted()
+        spins += 1
+        if spins > 2000:
+            time.sleep(5e-5)
+
+
+def _consume_injected_delay(ctrl: ControlBlock, rank: int) -> None:
+    """Apply (and clear) a pending ``slow`` chaos fault for this rank."""
+    delay = float(ctrl.slow[rank])
+    if delay > 0.0:
+        ctrl.slow[rank] = 0.0
+        time.sleep(delay)
+
+
+def _check_abort(ctrl: ControlBlock, abort0: int) -> None:
+    if int(ctrl.flags[FLAG_ABORT]) != abort0:
+        raise _Aborted()
+
+
+def _op_allreduce(ctrl: ControlBlock, rank: int, cmd: dict, segments: dict) -> None:
+    """Worker's share of one ring all-reduce.
+
+    Identical schedule and accumulation order to
+    :func:`repro.distributed.ring.ring_allreduce`: P-1 reduce-scatter
+    steps (each rank adds its left neighbour's travelling chunk into its
+    own float64 buffer), then P-1 all-gather steps circulating the
+    finished chunks.  A shared barrier separates consecutive steps —
+    within a step every rank reads a region nobody writes, so steps are
+    data-race-free and the per-chunk accumulation order matches the
+    sequential reference exactly (bit-exactness).
+    """
+    live: List[int] = cmd["live"]
+    names: Dict[int, str] = cmd["names"]
+    n: int = cmd["nelems"]
+    abort0: int = cmd["abort0"]
+    seq0: int = cmd["seq0"]
+    timeout: float = cmd["timeout"]
+
+    _consume_injected_delay(ctrl, rank)
+    _check_abort(ctrl, abort0)
+    _prune_segments(segments, list(names.values()))
+    p = len(live)
+    pos = live.index(rank)
+    left = live[(pos - 1) % p]
+    mine = np.ndarray((n,), np.float64, buffer=_segment_view(segments, names[rank]).buf)
+    theirs = np.ndarray(
+        (n,), np.float64, buffer=_segment_view(segments, names[left]).buf
+    )
+    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+
+    b = 0
+    # reduce-scatter: at step s this rank receives chunk (pos - 1 - s)
+    for s in range(p - 1):
+        if s > 0:
+            _barrier_wait(ctrl, rank, seq0 + b, live, abort0, timeout)
+            b += 1
+        c = (pos - 1 - s) % p
+        sl = slice(bounds[c], bounds[c + 1])
+        mine[sl] += theirs[sl]
+    # all-gather: at step s this rank receives finished chunk (pos - s);
+    # every step reads what the left neighbour wrote in the previous one,
+    # so each needs a leading barrier
+    for s in range(p - 1):
+        _barrier_wait(ctrl, rank, seq0 + b, live, abort0, timeout)
+        b += 1
+        c = (pos - s) % p
+        sl = slice(bounds[c], bounds[c + 1])
+        mine[sl] = theirs[sl]
+
+
+def _op_broadcast(ctrl: ControlBlock, rank: int, cmd: dict, segments: dict) -> None:
+    """Copy the root rank's raw bytes into this rank's segment."""
+    live: List[int] = cmd["live"]
+    names: Dict[int, str] = cmd["names"]
+    nbytes: int = cmd["nbytes"]
+    root: int = cmd["root"]
+    abort0: int = cmd["abort0"]
+
+    _consume_injected_delay(ctrl, rank)
+    _check_abort(ctrl, abort0)
+    _prune_segments(segments, list(names.values()))
+    if rank != root:
+        dst = np.ndarray(
+            (nbytes,), np.uint8, buffer=_segment_view(segments, names[rank]).buf
+        )
+        src = np.ndarray(
+            (nbytes,), np.uint8, buffer=_segment_view(segments, names[root]).buf
+        )
+        dst[:] = src
+    _barrier_wait(ctrl, rank, cmd["seq0"], live, abort0, cmd["timeout"])
+
+
+def _op_barrier(ctrl: ControlBlock, rank: int, cmd: dict) -> None:
+    _consume_injected_delay(ctrl, rank)
+    _barrier_wait(
+        ctrl, rank, cmd["seq0"], cmd["live"], cmd["abort0"], cmd["timeout"]
+    )
+
+
+def _worker_main(
+    rank: int,
+    conn,
+    ctrl_name: str,
+    world0: int,
+    heartbeat_interval: float,
+) -> None:
+    """Per-rank worker: heartbeat + command loop (runs until shutdown).
+
+    SIGTERM requests a graceful drain: the current command finishes and
+    the loop exits at the next poll instead of mid-collective.
+    """
+    draining = {"flag": False}
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        draining["flag"] = True
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    ctrl = ControlBlock.attach(ctrl_name, world0)
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.is_set():
+            ctrl.heartbeats[rank] = time.monotonic()
+            stop.wait(heartbeat_interval)
+
+    beater = threading.Thread(target=_beat, daemon=True, name=f"hb-rank{rank}")
+    beater.start()
+    try:
+        conn.send({"status": "ready", "rank": rank})
+        while not draining["flag"]:
+            if not conn.poll(0.05):
+                continue
+            try:
+                cmd = conn.recv()
+            except (EOFError, OSError):
+                break  # driver went away
+            op = cmd.get("op")
+            if op == "shutdown":
+                break
+            try:
+                if op == "allreduce":
+                    _op_allreduce(ctrl, rank, cmd, segments)
+                elif op == "broadcast":
+                    _op_broadcast(ctrl, rank, cmd, segments)
+                elif op == "barrier":
+                    _op_barrier(ctrl, rank, cmd)
+                else:
+                    raise ValueError(f"unknown worker op {op!r}")
+                status = {"seq": cmd["seq"], "status": "ok", "rank": rank}
+            except _Aborted:
+                status = {"seq": cmd["seq"], "status": "aborted", "rank": rank}
+            except Exception as exc:  # surfaced as a rank failure driver-side
+                status = {
+                    "seq": cmd["seq"],
+                    "status": "error",
+                    "error": repr(exc),
+                    "rank": rank,
+                }
+            try:
+                conn.send(status)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        stop.set()
+        _prune_segments(segments, [])
+        ctrl.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+class ProcCommunicator(CommBackend):
+    """Driver for the multi-process ring backend.
+
+    Parameters
+    ----------
+    world_size:
+        Number of worker processes (one per rank).
+    cost_model, algorithm:
+        The α–β model is still charged per collective (``modeled_s``) so
+        measured wall-clock can be validated against it; only the
+        ``"ring"`` algorithm is implemented by the workers.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`.  ``comm_faults`` raise
+        exactly as on the simulator; ``process_faults`` are *executed*
+        against live workers (SIGKILL / SIGSTOP / injected delay).
+    collective_timeout:
+        Deadline per collective; overrun with all workers alive raises a
+        transient :class:`~repro.faults.CommTimeoutError`.
+    heartbeat_interval / heartbeat_deadline:
+        Worker beat cadence and the failure detector's staleness bound;
+        a silent rank raises a permanent
+        :class:`~repro.faults.RankDeadError`.
+    start_method:
+        ``multiprocessing`` start method (default ``"fork"`` where
+        available — workers need no re-import — else ``"spawn"``).
+    """
+
+    requires_resync = True
+
+    def __init__(
+        self,
+        world_size: int,
+        cost_model: CommCostModel = NVLINK_A100,
+        algorithm: str = "ring",
+        fault_plan=None,
+        collective_timeout: float = 30.0,
+        heartbeat_interval: float = 0.05,
+        heartbeat_deadline: float = 2.0,
+        start_method: Optional[str] = None,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if algorithm != "ring":
+            raise ValueError(
+                "the proc backend implements the ring algorithm only "
+                f"(got {algorithm!r}); use the sim backend for others"
+            )
+        if collective_timeout <= 0 or heartbeat_deadline <= 0:
+            raise ValueError("timeouts must be positive")
+        self.ranks: List[int] = list(range(world_size))
+        self.cost_model = cost_model
+        self.algorithm = algorithm
+        self.fault_plan = fault_plan
+        self.collective_timeout = collective_timeout
+        self.heartbeat_deadline = heartbeat_deadline
+        self.stats = CommStats()
+        self._closed = False
+        self._seq = 0  # collective id (response matching)
+        self._barrier_seq = 1  # barrier sequence allocator (arrive starts at 0)
+
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._control = ControlBlock.create(world_size)
+        self._supervisor = Supervisor(self._control, heartbeat_deadline)
+        self._segments: Dict[int, shared_memory.SharedMemory] = {}
+        try:
+            self._supervisor.spawn(
+                self._ctx,
+                _worker_main,
+                self.ranks,
+                (self._control.name, world_size, heartbeat_interval),
+            )
+            self._supervisor.wait_ready(self.ranks, timeout=startup_timeout)
+        except BaseException:
+            self.close()
+            raise
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        """Number of *live* ranks."""
+        return len(self.ranks)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _alloc_barriers(self, count: int) -> int:
+        seq0 = self._barrier_seq
+        self._barrier_seq += count
+        return seq0
+
+    def _ensure_segment(self, rank: int, nbytes: int) -> shared_memory.SharedMemory:
+        seg = self._segments.get(rank)
+        if seg is not None and seg.size >= nbytes:
+            return seg
+        size = max(nbytes, 4096, 2 * seg.size if seg is not None else 0)
+        if seg is not None:
+            seg.close()
+            seg.unlink()
+        seg = shared_memory.SharedMemory(create=True, size=size)
+        self._segments[rank] = seg
+        return seg
+
+    # -- chaos execution ----------------------------------------------
+    def _execute_process_fault(self, fault: ProcessFault) -> None:
+        handle = self._supervisor.handles.get(fault.rank)
+        if handle is None or handle.pid is None:
+            return
+        if fault.kind == "sigkill":
+            self.stats.record_event(
+                f"chaos: SIGKILL rank {fault.rank} (attempt {fault.at_call})"
+            )
+            try:
+                os.kill(handle.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - already dead
+                pass
+        elif fault.kind == "hang":
+            self.stats.record_event(
+                f"chaos: SIGSTOP (hang) rank {fault.rank} (attempt {fault.at_call})"
+            )
+            try:
+                os.kill(handle.pid, signal.SIGSTOP)
+            except ProcessLookupError:  # pragma: no cover - already dead
+                pass
+        else:  # slow
+            self.stats.record_event(
+                f"chaos: slow rank {fault.rank} by {fault.duration}s "
+                f"(attempt {fault.at_call})"
+            )
+            self._control.slow[fault.rank] = fault.duration
+
+    def _before_attempt(self) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.before_collective(
+                self.ranks, process_fault_executor=self._execute_process_fault
+            )
+
+    # -- collective plumbing ------------------------------------------
+    def _dispatch(self, cmd: dict, live: Sequence[int], seq: int) -> None:
+        sent: List[int] = []
+        try:
+            for rank in live:
+                self._supervisor.send(rank, cmd)
+                sent.append(rank)
+        except RankDeadError as err:
+            self._supervisor.abort_and_drain(
+                seq, sent, exclude=[err.rank], timeout=self._drain_timeout
+            )
+            self.stats.record_event(str(err))
+            raise
+
+    def _gather(self, seq: int, live: Sequence[int]) -> None:
+        try:
+            self._supervisor.gather(seq, live, self.collective_timeout)
+        except RankDeadError as err:
+            self._supervisor.abort_and_drain(
+                seq, live, exclude=[err.rank], timeout=self._drain_timeout
+            )
+            self.stats.record_event(str(err))
+            raise
+        except CommTimeoutError as err:
+            self._supervisor.abort_and_drain(
+                seq, live, exclude=[], timeout=self._drain_timeout
+            )
+            self.stats.record_event(str(err))
+            raise
+
+    @property
+    def _drain_timeout(self) -> float:
+        return max(self.collective_timeout, self.heartbeat_deadline) + 1.0
+
+    # -- collectives ---------------------------------------------------
+    def allreduce(
+        self, buffers: Sequence[np.ndarray], average: bool = True
+    ) -> List[np.ndarray]:
+        """Ring all-reduce executed by the worker fleet; bit-exact with
+        :meth:`SimCommunicator.allreduce` on the same inputs."""
+        self._assert_open()
+        if len(buffers) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank buffers, got {len(buffers)}"
+            )
+        nbytes = buffers[0].nbytes
+        with get_tracer().span(
+            "comm.allreduce",
+            category="comm",
+            nbytes=nbytes,
+            algorithm=self.algorithm,
+            world_size=self.world_size,
+            backend="proc",
+        ) as span:
+            t0 = time.perf_counter()
+            self._before_attempt()
+            out = self._run_allreduce(buffers, average)
+            modeled = self.cost_model.allreduce_time(nbytes, self.world_size)
+            measured = time.perf_counter() - t0
+            self.stats.num_allreduce_calls += 1
+            self.stats.bytes_reduced += nbytes
+            self.stats.modeled_seconds += modeled
+            self.stats.measured_seconds += measured
+            span.set(modeled_s=modeled, measured_s=measured)
+        return out
+
+    def _run_allreduce(
+        self, buffers: Sequence[np.ndarray], average: bool
+    ) -> List[np.ndarray]:
+        shape = buffers[0].shape
+        dtype = buffers[0].dtype
+        for b in buffers:
+            if b.shape != shape:
+                raise ValueError("all rank buffers must share a shape")
+        p = self.world_size
+        if p == 1:
+            out = buffers[0].astype(np.float64, copy=True)
+            return [out.astype(dtype)]
+        n = int(buffers[0].size)
+        live = list(self.ranks)
+        names: Dict[int, str] = {}
+        for rank, buf in zip(live, buffers):
+            seg = self._ensure_segment(rank, n * 8)
+            view = np.ndarray((n,), np.float64, buffer=seg.buf)
+            view[:] = np.ascontiguousarray(buf).reshape(-1)
+            names[rank] = seg.name
+        seq = self._next_seq()
+        seq0 = self._alloc_barriers(2 * p - 3)
+        cmd = {
+            "op": "allreduce",
+            "seq": seq,
+            "seq0": seq0,
+            "nelems": n,
+            "names": names,
+            "live": live,
+            "abort0": self._control.abort_generation,
+            "timeout": self.collective_timeout,
+        }
+        self._dispatch(cmd, live, seq)
+        self._gather(seq, live)
+        scale = 1.0 / p if average else 1.0
+        out = []
+        for rank in live:
+            seg = self._segments[rank]
+            w = np.ndarray((n,), np.float64, buffer=seg.buf).copy()
+            out.append((w * scale).reshape(shape).astype(dtype))
+        return out
+
+    def broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
+        """Broadcast the given buffer (the lowest live rank's state) to all."""
+        self._assert_open()
+        nbytes = buffer.nbytes
+        with get_tracer().span(
+            "comm.broadcast",
+            category="comm",
+            nbytes=nbytes,
+            world_size=self.world_size,
+            backend="proc",
+        ) as span:
+            t0 = time.perf_counter()
+            self._before_attempt()
+            out = self._run_broadcast(buffer)
+            modeled = self.cost_model.broadcast_time(nbytes, self.world_size)
+            measured = time.perf_counter() - t0
+            self.stats.num_broadcast_calls += 1
+            self.stats.bytes_broadcast += nbytes
+            self.stats.modeled_seconds += modeled
+            self.stats.measured_seconds += measured
+            span.set(modeled_s=modeled, measured_s=measured)
+        return out
+
+    def _run_broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
+        p = self.world_size
+        if p == 1:
+            return [buffer.copy()]
+        live = list(self.ranks)
+        root = live[0]
+        raw = np.ascontiguousarray(buffer)
+        nbytes = raw.nbytes
+        names: Dict[int, str] = {}
+        for rank in live:
+            seg = self._ensure_segment(rank, nbytes)
+            names[rank] = seg.name
+        root_view = np.ndarray(
+            (nbytes,), np.uint8, buffer=self._segments[root].buf
+        )
+        root_view[:] = raw.view(np.uint8).reshape(-1)
+        seq = self._next_seq()
+        seq0 = self._alloc_barriers(1)
+        cmd = {
+            "op": "broadcast",
+            "seq": seq,
+            "seq0": seq0,
+            "nbytes": nbytes,
+            "names": names,
+            "live": live,
+            "root": root,
+            "abort0": self._control.abort_generation,
+            "timeout": self.collective_timeout,
+        }
+        self._dispatch(cmd, live, seq)
+        self._gather(seq, live)
+        out = []
+        for rank in live:
+            seg = self._segments[rank]
+            data = bytes(seg.buf[:nbytes])
+            out.append(
+                np.frombuffer(data, dtype=buffer.dtype).reshape(buffer.shape).copy()
+            )
+        return out
+
+    def barrier(self) -> None:
+        """Real inter-process barrier over the live ranks."""
+        self._assert_open()
+        with get_tracer().span(
+            "comm.barrier",
+            category="comm",
+            world_size=self.world_size,
+            backend="proc",
+        ) as span:
+            t0 = time.perf_counter()
+            self._before_attempt()
+            if self.world_size > 1:
+                live = list(self.ranks)
+                seq = self._next_seq()
+                seq0 = self._alloc_barriers(1)
+                cmd = {
+                    "op": "barrier",
+                    "seq": seq,
+                    "seq0": seq0,
+                    "live": live,
+                    "abort0": self._control.abort_generation,
+                    "timeout": self.collective_timeout,
+                }
+                self._dispatch(cmd, live, seq)
+                self._gather(seq, live)
+            modeled = self.cost_model.barrier_time(self.world_size)
+            measured = time.perf_counter() - t0
+            self.stats.num_barrier_calls += 1
+            self.stats.modeled_seconds += modeled
+            self.stats.measured_seconds += measured
+            span.set(modeled_s=modeled, measured_s=measured)
+
+    # -- elasticity ----------------------------------------------------
+    def remove_rank(self, rank: int) -> int:
+        """Evict a permanently failed rank: epoch bump + worker teardown.
+
+        Mirrors :meth:`SimCommunicator.remove_rank` (same errors, same
+        stats trail) and additionally bumps the shared membership epoch
+        and SIGKILLs the dead worker (it may be merely SIGSTOPped).
+        Subsequent collectives ring over the survivors only.
+        """
+        if rank not in self.ranks:
+            raise ValueError(f"rank {rank} is not live (live ranks: {self.ranks})")
+        if len(self.ranks) == 1:
+            raise RuntimeError("cannot remove the last surviving rank")
+        index = self.ranks.index(rank)
+        self.ranks.remove(rank)
+        self._control.live[rank] = 0
+        epoch = self._control.bump_epoch()
+        self._supervisor.kill(rank)
+        seg = self._segments.pop(rank, None)
+        if seg is not None:
+            seg.close()
+            seg.unlink()
+        self.stats.rank_failures.append(rank)
+        self.stats.record_event(
+            f"rank {rank} permanently failed; continuing with world size "
+            f"{len(self.ranks)} (survivors: {self.ranks}, epoch {epoch})"
+        )
+        return index
+
+    # -- lifecycle -----------------------------------------------------
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("communicator is closed")
+
+    def close(self) -> None:
+        """Graceful drain: ask live workers to exit, then release shm."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        self._supervisor.shutdown(list(self._supervisor.handles))
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._control.close()

@@ -41,11 +41,14 @@ from typing import Callable, Dict, List, Optional, TypeVar
 
 __all__ = [
     "CommError",
+    "CommTimeoutError",
+    "RankDeadError",
     "StageError",
     "CommFault",
     "IOFault",
     "NumericFault",
     "StageFault",
+    "ProcessFault",
     "FaultPlan",
     "SimClock",
     "RetryPolicy",
@@ -74,6 +77,33 @@ class CommError(RuntimeError):
         super().__init__(message)
         self.rank = rank
         self.transient = transient
+
+
+class CommTimeoutError(CommError):
+    """A collective did not complete within its deadline.
+
+    Raised by real communication backends (``ProcCommunicator``) when a
+    collective times out while every participating worker still looks
+    alive — the straggler may recover, so the error is *transient* and
+    maps onto the existing retry path of
+    :meth:`repro.distributed.DistributedDataParallel.synchronize_gradients`.
+    """
+
+    def __init__(self, message: str, rank: Optional[int] = None):
+        super().__init__(message, rank=rank, transient=True)
+
+
+class RankDeadError(CommError):
+    """A rank's worker process is gone (crashed, killed, or heartbeat-dead).
+
+    *Permanent* by construction: the failure detector only raises this
+    once the process has exited or its heartbeat has been silent past the
+    deadline, so the DDP layer responds with elastic eviction rather than
+    a retry.
+    """
+
+    def __init__(self, message: str, rank: Optional[int] = None):
+        super().__init__(message, rank=rank, transient=False)
 
 
 @dataclass
@@ -145,6 +175,63 @@ class NumericFault:
         return self.at_step <= step_index < self.at_step + self.times
 
 
+_PROCESS_FAULT_KINDS = ("sigkill", "hang", "slow")
+
+
+@dataclass
+class ProcessFault:
+    """Physically disturb a rank's *worker process* at a chosen collective.
+
+    The chaos-harness counterpart of :class:`CommFault`: instead of
+    raising an exception in the driver, the fault is *executed* against a
+    live worker by the ``proc`` backend
+    (:class:`repro.distributed.ProcCommunicator`) at the top of collective
+    attempt ``at_call`` — the same 0-based attempt counter
+    :meth:`FaultPlan.before_collective` advances, so a SIGKILL at
+    ``at_call=N`` on the ``proc`` backend is the replayable twin of a
+    permanent ``CommFault(at_call=N)`` on :class:`SimCommunicator`.
+
+    Kinds
+    -----
+    ``"sigkill"``
+        SIGKILL the worker — an OOM-killed / crashed node.  Detected by
+        the supervisor via the process sentinel and surfaced as
+        :class:`RankDeadError` (permanent → elastic eviction).
+    ``"hang"``
+        SIGSTOP the worker — a wedged process.  Its heartbeat goes silent,
+        the deadline detector fires, and the rank is evicted exactly like
+        a crash (the supervisor SIGKILLs the stopped process on eviction).
+    ``"slow"``
+        Inject ``duration`` seconds of pre-collective delay into the
+        worker (a straggler).  The collective completes late; if it blows
+        the collective timeout the driver sees a *transient*
+        :class:`CommTimeoutError` and retries.
+    """
+
+    at_call: int
+    rank: int = 0
+    kind: str = "sigkill"
+    duration: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PROCESS_FAULT_KINDS:
+            raise ValueError(
+                f"unknown ProcessFault kind {self.kind!r}; "
+                f"choose from {_PROCESS_FAULT_KINDS}"
+            )
+        if self.at_call < 0 or self.times < 1:
+            raise ValueError("at_call must be >= 0 and times >= 1")
+        if self.kind == "slow" and self.duration <= 0:
+            raise ValueError("slow faults need a positive duration")
+
+    def should_fire(self, call_index: int) -> bool:
+        if self.kind == "slow":
+            return self.at_call <= call_index < self.at_call + self.times
+        # sigkill / hang are one-shot: the process does not come back
+        return call_index == self.at_call
+
+
 class StageError(RuntimeError):
     """An injected serving-stage failure (see :class:`StageFault`)."""
 
@@ -185,21 +272,37 @@ class FaultPlan:
     io_faults: List[IOFault] = field(default_factory=list)
     numeric_faults: List[NumericFault] = field(default_factory=list)
     stage_faults: List[StageFault] = field(default_factory=list)
+    process_faults: List[ProcessFault] = field(default_factory=list)
     _comm_calls: int = field(default=0, repr=False)
     _io_writes: int = field(default=0, repr=False)
     _numeric_steps: int = field(default=0, repr=False)
     _stage_calls: Dict[str, int] = field(default_factory=dict, repr=False)
 
     # -- collectives ---------------------------------------------------
-    def before_collective(self, active_ranks: List[int]) -> None:
+    def before_collective(
+        self,
+        active_ranks: List[int],
+        process_fault_executor: Optional[Callable[[ProcessFault], None]] = None,
+    ) -> None:
         """Raise :class:`CommError` if a fault is scheduled for this attempt.
 
         Called by the communicator at the top of every collective; the
         attempt counter advances whether or not a fault fires.  Permanent
         faults for ranks that have already been evicted are ignored.
+
+        ``process_fault_executor`` is supplied by backends that own real
+        worker processes (the ``proc`` backend): any scheduled
+        :class:`ProcessFault` for a live rank is handed to it for physical
+        execution (SIGKILL / SIGSTOP / delay injection) *before* the
+        exception-style ``comm_faults`` are considered.  Backends without
+        one must reject plans carrying process faults at construction.
         """
         index = self._comm_calls
         self._comm_calls += 1
+        if process_fault_executor is not None:
+            for pfault in self.process_faults:
+                if pfault.should_fire(index) and pfault.rank in active_ranks:
+                    process_fault_executor(pfault)
         for fault in self.comm_faults:
             if not fault.should_fire(index):
                 continue
@@ -272,21 +375,30 @@ class RetryPolicy:
 
     ``max_retries`` counts *retries*, so an operation is attempted at
     most ``max_retries + 1`` times; retry ``i`` (0-based) waits
-    ``base_delay * multiplier**i`` simulated seconds.
+    ``base_delay * multiplier**i`` simulated seconds, capped at
+    ``max_delay`` when set.  Without the cap the exponential is unbounded
+    — a long transient outage with a generous retry budget would back off
+    for hours; production retry loops always clamp.
     """
 
     max_retries: int = 3
     base_delay: float = 0.05
     multiplier: float = 2.0
+    max_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.base_delay < 0 or self.multiplier <= 0:
             raise ValueError("base_delay must be >= 0 and multiplier > 0")
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
 
     def delay(self, retry_index: int) -> float:
-        return self.base_delay * self.multiplier**retry_index
+        delay = self.base_delay * self.multiplier**retry_index
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
 
 
 def call_with_retries(

@@ -36,6 +36,12 @@ class GNNTrainConfig:
         Simulated DDP rank count; local batch is ``batch_size / world_size``.
     allreduce:
         ``"coalesced"`` (Section III-D) or ``"per_parameter"``.
+    backend:
+        Communication backend: ``"sim"`` (default; in-process simulated
+        ranks with α–β modeled time) or ``"proc"`` (one worker process
+        per rank, real shared-memory ring all-reduce with crash-tolerant
+        supervision — see docs/distributed.md).  Both are bit-exact on
+        the same seeded run.
     capacity_bytes:
         Activation budget for the full-graph skip decision (``None`` =
         never skip).
@@ -90,6 +96,7 @@ class GNNTrainConfig:
     bulk_k: int = 4
     world_size: int = 1
     allreduce: str = "coalesced"
+    backend: str = "sim"  # comm backend: "sim" (in-process) or "proc"
     capacity_bytes: Optional[int] = None
     checkpoint_activations: bool = False
     pos_weight: Optional[float] = None  # None = derive from label balance
@@ -124,6 +131,10 @@ class GNNTrainConfig:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.allreduce not in ("coalesced", "per_parameter"):
             raise ValueError(f"unknown allreduce {self.allreduce!r}")
+        if self.backend not in ("sim", "proc"):
+            raise ValueError(
+                f"unknown comm backend {self.backend!r}; choose 'sim' or 'proc'"
+            )
         if self.batch_size % self.world_size != 0:
             raise ValueError("batch_size must be divisible by world_size")
         if self.epochs < 1 or self.batch_size < 1 or self.world_size < 1:

@@ -30,7 +30,7 @@ from ..data import EpochPlan, PrefetchLoader
 from ..distributed import (
     CommStats,
     DistributedDataParallel,
-    SimCommunicator,
+    create_communicator,
     replicate_model,
 )
 from ..faults import FaultPlan, RetryPolicy, SimClock, call_with_retries
@@ -548,7 +548,10 @@ def _train_minibatch(
     factory = _model_factory(config, train_graphs[0])
     world = config.world_size
     models = replicate_model(factory, world)
-    comm = SimCommunicator(world, fault_plan=fault_plan)
+    # The communicator must exist before PrefetchLoader starts worker
+    # threads: the proc backend forks, and forking a multi-threaded
+    # process is unsafe (the child may inherit held locks).
+    comm = create_communicator(config.backend, world, fault_plan=fault_plan)
     clock = SimClock()
     ddp = DistributedDataParallel(
         models,
@@ -564,163 +567,166 @@ def _train_minibatch(
         for grank, m in zip(ddp.global_ranks, ddp.models)
     }
 
-    if config.mode == "shadow":
-        sampler = ShadowSampler(depth=config.depth, fanout=config.fanout)
-        k = 1
-        label = f"shadow-seq (P={world})"
-    elif config.mode == "bulk":
-        sampler = BulkShadowSampler(depth=config.depth, fanout=config.fanout)
-        k = config.bulk_k
-        label = f"shadow-bulk k={config.bulk_k} (P={world})"
-    elif config.mode == "nodewise":
-        from ..sampling import BulkNodeWiseSampler
+    try:
+        if config.mode == "shadow":
+            sampler = ShadowSampler(depth=config.depth, fanout=config.fanout)
+            k = 1
+            label = f"shadow-seq (P={world})"
+        elif config.mode == "bulk":
+            sampler = BulkShadowSampler(depth=config.depth, fanout=config.fanout)
+            k = config.bulk_k
+            label = f"shadow-bulk k={config.bulk_k} (P={world})"
+        elif config.mode == "nodewise":
+            from ..sampling import BulkNodeWiseSampler
 
-        sampler = BulkNodeWiseSampler([config.fanout] * config.depth)
-        k = config.bulk_k
-        label = f"nodewise-bulk k={config.bulk_k} (P={world})"
-    else:  # saint
-        from ..sampling import SaintRWSampler
+            sampler = BulkNodeWiseSampler([config.fanout] * config.depth)
+            k = config.bulk_k
+            label = f"nodewise-bulk k={config.bulk_k} (P={world})"
+        else:  # saint
+            from ..sampling import SaintRWSampler
 
-        sampler = SaintRWSampler(walk_length=config.depth)
-        k = 1
-        label = f"saint-rw (P={world})"
+            sampler = SaintRWSampler(walk_length=config.depth)
+            k = 1
+            label = f"saint-rw (P={world})"
 
-    timers = StageTimer()
-    history = TrainingHistory(label=label)
-    rng = np.random.default_rng(config.seed)
-    governor = _TrainingGovernor(config, list(optimizers.values()))
-    runtime = _FaultToleranceRuntime(
-        config, fault_plan, retry_policy, clock,
-        rollback_resume=watchdog is not None and watchdog.rollbacks > 0,
-    )
-    loader = PrefetchLoader(
-        sampler, workers=config.prefetch_workers, depth=config.prefetch_depth
-    )
-    steps = 0
-    start_epoch = 0
-    resume_step = 0
-    resume_losses: List[float] = []
-    resumed = runtime.resume(
-        ddp.models, list(optimizers.values()), rng, governor
-    )
-    if resumed is not None:
-        start_epoch = resumed.epochs_done
-        history = resumed.history
-        steps = resumed.trained_steps
-        # mid-epoch checkpoint: rng_state above is the epoch-start state;
-        # rebuild the interrupted epoch's plan and skip the consumed steps
-        resume_step = resumed.step_in_epoch
-        resume_losses = list(resumed.epoch_losses)
+        timers = StageTimer()
+        history = TrainingHistory(label=label)
+        rng = np.random.default_rng(config.seed)
+        governor = _TrainingGovernor(config, list(optimizers.values()))
+        runtime = _FaultToleranceRuntime(
+            config, fault_plan, retry_policy, clock,
+            rollback_resume=watchdog is not None and watchdog.rollbacks > 0,
+        )
+        loader = PrefetchLoader(
+            sampler, workers=config.prefetch_workers, depth=config.prefetch_depth
+        )
+        steps = 0
+        start_epoch = 0
+        resume_step = 0
+        resume_losses: List[float] = []
+        resumed = runtime.resume(
+            ddp.models, list(optimizers.values()), rng, governor
+        )
+        if resumed is not None:
+            start_epoch = resumed.epochs_done
+            history = resumed.history
+            steps = resumed.trained_steps
+            # mid-epoch checkpoint: rng_state above is the epoch-start state;
+            # rebuild the interrupted epoch's plan and skip the consumed steps
+            resume_step = resumed.step_in_epoch
+            resume_losses = list(resumed.epoch_losses)
 
-    budget_exhausted = False
-    for epoch in range(start_epoch, config.epochs):
-        # Snapshot before the plan consumes the RNG: a mid-epoch
-        # checkpoint stores this state so the resuming run can rebuild
-        # the identical plan (EpochPlan.build is the epoch's only RNG
-        # consumer — see repro.data.prefetch).
-        epoch_rng_state = copy.deepcopy(rng.bit_generator.state)
-        first = epoch == start_epoch
-        losses = list(resume_losses) if first else []
-        start_step = resume_step if first else 0
-        step_in_epoch = start_step
-        epoch_t0 = timers.total("epoch")
-        sample_t0 = timers.total("sampling")
-        train_t0 = timers.total("training")
-        comm_t0 = comm.stats.modeled_seconds
-        with timers.scope("epoch"):
-            plan = EpochPlan.build(train_graphs, config.batch_size, k, rng)
-            # Each live rank samples & trains its shard of every batch
-            # in a step's group.  Ranks execute sequentially here (one
-            # CPU), so measured sampling/training time is the *sum over
-            # ranks*; benches divide by P when projecting.  After an
-            # elastic rank eviction the loader re-shards queued steps
-            # over the survivors, so no shard is silently dropped.
-            # With prefetch workers the "sampling" scope measures only
-            # the trainer-thread *stall* — sampler work hidden behind
-            # training compute no longer shows up in epoch time.
-            stepper = loader.iter_epoch(
-                plan, lambda: tuple(ddp.global_ranks), start=start_step
-            )
-            while True:
-                with get_tracer().span("batch", category="train") as batch_span:
-                    with timers.scope("sampling"):
-                        item = next(stepper, None)
-                    if item is None:
-                        break
-                    step, rank_sampled = item
-                    batch_span.set(group_size=len(step.batches))
-                    # one optimisation step per batch in the group
-                    for bi in range(len(step.batches)):
-                        with timers.scope("training"):
-                            for grank, model in zip(ddp.global_ranks, ddp.models):
-                                optimizers[grank].zero_grad()
-                                sb = rank_sampled[grank][bi]
-                                loss = _step(
-                                    model, sb.graph, loss_fn, fault_plan, watchdog
-                                )
-                                if grank == ddp.global_ranks[0]:
-                                    losses.append(loss.item())
-                            # may evict permanently failed ranks (elastic
-                            # recovery) or retry transient comm faults
-                            with get_tracer().span("allreduce", category="train"):
-                                ddp.synchronize_gradients()
-                            for grank in ddp.global_ranks:
-                                optimizers[grank].step()
-                        steps += 1
-                step_in_epoch += 1
-                runtime.maybe_step_checkpoint(
-                    epoch, step_in_epoch, ddp.models[0],
-                    optimizers[ddp.global_ranks[0]], epoch_rng_state,
-                    history, governor, steps, losses,
+        budget_exhausted = False
+        for epoch in range(start_epoch, config.epochs):
+            # Snapshot before the plan consumes the RNG: a mid-epoch
+            # checkpoint stores this state so the resuming run can rebuild
+            # the identical plan (EpochPlan.build is the epoch's only RNG
+            # consumer — see repro.data.prefetch).
+            epoch_rng_state = copy.deepcopy(rng.bit_generator.state)
+            first = epoch == start_epoch
+            losses = list(resume_losses) if first else []
+            start_step = resume_step if first else 0
+            step_in_epoch = start_step
+            epoch_t0 = timers.total("epoch")
+            sample_t0 = timers.total("sampling")
+            train_t0 = timers.total("training")
+            comm_t0 = comm.stats.modeled_seconds
+            with timers.scope("epoch"):
+                plan = EpochPlan.build(train_graphs, config.batch_size, k, rng)
+                # Each live rank samples & trains its shard of every batch
+                # in a step's group.  Ranks execute sequentially here (one
+                # CPU), so measured sampling/training time is the *sum over
+                # ranks*; benches divide by P when projecting.  After an
+                # elastic rank eviction the loader re-shards queued steps
+                # over the survivors, so no shard is silently dropped.
+                # With prefetch workers the "sampling" scope measures only
+                # the trainer-thread *stall* — sampler work hidden behind
+                # training compute no longer shows up in epoch time.
+                stepper = loader.iter_epoch(
+                    plan, lambda: tuple(ddp.global_ranks), start=start_step
                 )
-                if config.max_steps is not None and steps >= config.max_steps:
-                    budget_exhausted = True
-                    break
-        if budget_exhausted and step_in_epoch < len(plan):
-            # stopped mid-epoch: no epoch record — exactly the state a
-            # crash would leave, with the step checkpoint as resume point
-            break
-        lead = ddp.models[0]
-        precision, recall = (
-            evaluate_edge_classifier(lead, val_graphs, config.threshold)
-            if (epoch + 1) % config.eval_every == 0
-            else (float("nan"), float("nan"))
-        )
-        history.append(
-            EpochRecord(
-                epoch=epoch,
-                train_loss=float(np.mean(losses)) if losses else float("nan"),
-                val_precision=precision,
-                val_recall=recall,
-                epoch_seconds=timers.total("epoch") - epoch_t0,
-                sampling_seconds=timers.total("sampling") - sample_t0,
-                training_seconds=timers.total("training") - train_t0,
-                comm_modeled_seconds=comm.stats.modeled_seconds - comm_t0,
+                while True:
+                    with get_tracer().span("batch", category="train") as batch_span:
+                        with timers.scope("sampling"):
+                            item = next(stepper, None)
+                        if item is None:
+                            break
+                        step, rank_sampled = item
+                        batch_span.set(group_size=len(step.batches))
+                        # one optimisation step per batch in the group
+                        for bi in range(len(step.batches)):
+                            with timers.scope("training"):
+                                for grank, model in zip(ddp.global_ranks, ddp.models):
+                                    optimizers[grank].zero_grad()
+                                    sb = rank_sampled[grank][bi]
+                                    loss = _step(
+                                        model, sb.graph, loss_fn, fault_plan, watchdog
+                                    )
+                                    if grank == ddp.global_ranks[0]:
+                                        losses.append(loss.item())
+                                # may evict permanently failed ranks (elastic
+                                # recovery) or retry transient comm faults
+                                with get_tracer().span("allreduce", category="train"):
+                                    ddp.synchronize_gradients()
+                                for grank in ddp.global_ranks:
+                                    optimizers[grank].step()
+                            steps += 1
+                    step_in_epoch += 1
+                    runtime.maybe_step_checkpoint(
+                        epoch, step_in_epoch, ddp.models[0],
+                        optimizers[ddp.global_ranks[0]], epoch_rng_state,
+                        history, governor, steps, losses,
+                    )
+                    if config.max_steps is not None and steps >= config.max_steps:
+                        budget_exhausted = True
+                        break
+            if budget_exhausted and step_in_epoch < len(plan):
+                # stopped mid-epoch: no epoch record — exactly the state a
+                # crash would leave, with the step checkpoint as resume point
+                break
+            lead = ddp.models[0]
+            precision, recall = (
+                evaluate_edge_classifier(lead, val_graphs, config.threshold)
+                if (epoch + 1) % config.eval_every == 0
+                else (float("nan"), float("nan"))
             )
+            history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)) if losses else float("nan"),
+                    val_precision=precision,
+                    val_recall=recall,
+                    epoch_seconds=timers.total("epoch") - epoch_t0,
+                    sampling_seconds=timers.total("sampling") - sample_t0,
+                    training_seconds=timers.total("training") - train_t0,
+                    comm_modeled_seconds=comm.stats.modeled_seconds - comm_t0,
+                )
+            )
+            stop = governor.end_epoch(lead, history.final)
+            runtime.maybe_checkpoint(
+                epoch, lead, optimizers[ddp.global_ranks[0]], rng, history,
+                governor, steps,
+            )
+            if stop or budget_exhausted:
+                break
+        governor.finalize(ddp.models[0])
+        if config.restore_best and governor.best_state is not None:
+            # keep the replicas bit-identical after restoration
+            for m in ddp.models[1:]:
+                m.load_state_dict(governor.best_state)
+        return GNNTrainResult(
+            model=ddp.models[0],
+            history=history,
+            timers=timers,
+            comm_stats=comm.stats,
+            trained_steps=steps,
+            config=config,
+            resumed_epoch=runtime.resumed_epoch,
+            checkpoints_written=runtime.checkpoints_written,
+            resume_fallback_path=runtime.resume_fallback_path,
         )
-        stop = governor.end_epoch(lead, history.final)
-        runtime.maybe_checkpoint(
-            epoch, lead, optimizers[ddp.global_ranks[0]], rng, history,
-            governor, steps,
-        )
-        if stop or budget_exhausted:
-            break
-    governor.finalize(ddp.models[0])
-    if config.restore_best and governor.best_state is not None:
-        # keep the replicas bit-identical after restoration
-        for m in ddp.models[1:]:
-            m.load_state_dict(governor.best_state)
-    return GNNTrainResult(
-        model=ddp.models[0],
-        history=history,
-        timers=timers,
-        comm_stats=comm.stats,
-        trained_steps=steps,
-        config=config,
-        resumed_epoch=runtime.resumed_epoch,
-        checkpoints_written=runtime.checkpoints_written,
-        resume_fallback_path=runtime.resume_fallback_path,
-    )
+    finally:
+        comm.close()
 
 
 # ----------------------------------------------------------------------

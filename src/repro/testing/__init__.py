@@ -1,0 +1,8 @@
+"""Test-support utilities shipped with the package.
+
+Currently home to the :mod:`pytest-timeout <repro.testing.timeout_plugin>`
+fallback plugin, so the per-test hang cap works in environments where the
+real ``pytest-timeout`` distribution is not installed (the elastic /
+chaos tests exercise real multi-process collectives, and a regression
+there should fail a test, not wedge the whole suite).
+"""

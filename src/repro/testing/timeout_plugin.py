@@ -1,0 +1,107 @@
+"""SIGALRM-based fallback for ``pytest-timeout``.
+
+The chaos/elastic tests drive real worker processes through real
+barriers; a supervision bug would otherwise hang the whole suite rather
+than fail one test.  CI installs the real ``pytest-timeout``
+distribution, but the hermetic container this repo develops in does not
+ship it — this plugin supplies the subset we rely on:
+
+* the ``timeout`` ini option (set in ``pyproject.toml``) as the per-test
+  default cap;
+* ``@pytest.mark.timeout(N)`` / ``--timeout=N`` overrides;
+* ``timeout = 0`` disables the cap.
+
+When the real ``pytest-timeout`` is importable this module registers
+nothing and stands down entirely.  The implementation interrupts the
+test with ``signal.setitimer``, so it only arms on the main thread of a
+POSIX process — the same signal method pytest-timeout itself offers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+
+def _real_plugin_available() -> bool:
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def pytest_addoption(parser) -> None:
+    if _real_plugin_available():
+        return  # the real plugin owns the option and ini namespace
+    parser.addini(
+        "timeout",
+        "per-test timeout in seconds (0 = disabled); fallback plugin",
+        default="0",
+    )
+    parser.addoption(
+        "--timeout",
+        action="store",
+        dest="timeout",
+        default=None,
+        metavar="SECONDS",
+        help="per-test timeout in seconds, overriding the ini value "
+        "(fallback plugin; 0 = disabled)",
+    )
+
+
+def pytest_configure(config) -> None:
+    if _real_plugin_available():
+        return
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout override (fallback plugin)",
+    )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None:
+        if marker.args:
+            return float(marker.args[0])
+        if "timeout" in marker.kwargs:
+            return float(marker.kwargs["timeout"])
+    option = item.config.getoption("timeout", default=None)
+    if option is not None:
+        return float(option)
+    return float(item.config.getini("timeout") or 0)
+
+
+def _can_arm() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _real_plugin_available():
+        yield
+        return
+    seconds = _timeout_for(item)
+    if seconds <= 0 or not _can_arm():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds:g}s timeout (fallback timeout "
+            "plugin)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

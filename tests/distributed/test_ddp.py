@@ -168,10 +168,13 @@ class TestCommStatsDict:
         assert snap["bytes_broadcast"] == 8
         assert snap["modeled_seconds"] > 0.0
         assert snap["rank_failures"] == []
+        assert snap["num_barrier_calls"] == 0
+        assert snap["measured_seconds"] == 0.0  # sim charges modeled only
         assert set(snap) == {
             "num_allreduce_calls", "bytes_reduced", "num_broadcast_calls",
-            "bytes_broadcast", "modeled_seconds", "num_retries",
-            "retry_backoff_seconds", "rank_failures", "num_events",
+            "bytes_broadcast", "num_barrier_calls", "modeled_seconds",
+            "measured_seconds", "num_retries", "retry_backoff_seconds",
+            "rank_failures", "num_events",
         }
 
     def test_to_dict_is_json_serialisable(self):
