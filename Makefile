@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke clean
 
 test:
 	pytest tests/
@@ -62,6 +62,20 @@ guard-smoke:
 elastic-smoke:
 	python scripts/validate_elastic.py
 
+# End-to-end observability check: merged per-rank Chrome trace with
+# supervisor chaos events, live /metrics + /health exposition during
+# load generation, and the perf-regression gate tripping on an injected
+# slowdown; then self-diff the checked-in benchmark baselines (mirrors
+# the dedicated CI step).
+obs-smoke:
+	python scripts/validate_obs.py
+	python -m repro.cli telemetry diff \
+	  benchmarks/results/telemetry/baselines/bench_fig3_epoch_time.json \
+	  benchmarks/results/telemetry/baselines/bench_fig3_epoch_time.json
+	python -m repro.cli telemetry diff \
+	  benchmarks/results/telemetry/baselines/bench_serving.json \
+	  benchmarks/results/telemetry/baselines/bench_serving.json
+
 examples:
 	python examples/quickstart.py
 	python examples/minibatch_vs_fullgraph.py
@@ -74,6 +88,9 @@ examples:
 docs:
 	python scripts/generate_api_docs.py > docs/api.md
 
+# Keep the checked-in telemetry baselines (tracked files) when clearing
+# regenerated benchmark outputs.
 clean:
-	rm -rf benchmarks/.bench_cache benchmarks/results .pytest_cache
+	rm -rf benchmarks/.bench_cache .pytest_cache
+	find benchmarks/results -type f ! -path "*/telemetry/baselines/*" -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} +

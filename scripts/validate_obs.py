@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""End-to-end observability check (the CI ``obs-smoke`` step).
+
+Usage::
+
+    python scripts/validate_obs.py [--world P] [--rank R] [--at-call K]
+
+Three parts, mirroring the PR-7 acceptance criteria:
+
+1. **Cross-process tracing** — a seeded ``--backend proc`` training run
+   with a mid-epoch SIGKILL chaos fault must export ONE merged Chrome
+   trace containing a distinct process lane per worker rank with
+   collective-step spans (``comm.worker.allreduce`` / ``reduce`` /
+   ``copy`` / ``barrier_wait``), supervisor death/eviction/resync
+   events for the killed rank, and merged ``comm.supervisor.*`` /
+   ``comm.worker.*`` metrics.
+2. **Live exposition** — an in-process serving engine under
+   ``run_loadgen`` scraped over HTTP: ``/metrics`` must return
+   Prometheus text with ``serve.*`` summary quantiles, ``/health`` must
+   be 200/ready while serving and flip to 503/not-ready after drain.
+3. **Perf-regression gate** — ``repro telemetry baseline`` + ``diff``
+   must exit 0 against a freshly recorded baseline and nonzero after an
+   injected 3x slowdown of every span.
+
+Exits non-zero on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.cli import main as cli_main
+from repro.detector import DetectorGeometry, EventSimulator, dataset_config, make_dataset
+from repro.faults import FaultPlan, ProcessFault, SimClock
+from repro.obs import MetricsExporter, RunTelemetry, use_telemetry
+from repro.pipeline import GNNTrainConfig, train_gnn
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ----------------------------------------------------------------------
+def check_cross_process_trace(tmpdir: str, world: int, rank: int, at_call: int) -> str:
+    """Part 1: merged per-rank lanes + supervisor chaos events."""
+    print(f"[1/3] proc-backend trace: SIGKILL rank {rank} at attempt {at_call}")
+    cfg = dataset_config("ex3_like").with_sizes(2, 1, 0)
+    dataset = make_dataset(cfg)
+    telemetry = RunTelemetry.for_run(seed=0, world_size=world)
+    plan = FaultPlan(
+        process_faults=[ProcessFault(at_call=at_call, rank=rank, kind="sigkill")]
+    )
+    with use_telemetry(telemetry):
+        result = train_gnn(
+            dataset.train,
+            dataset.val,
+            GNNTrainConfig(
+                mode="bulk", epochs=2, batch_size=32, hidden=8, num_layers=2,
+                mlp_layers=2, depth=2, fanout=3, seed=0, world_size=world,
+                allreduce="coalesced", backend="proc",
+            ),
+            fault_plan=plan,
+        )
+    if result.comm_stats.rank_failures != [rank]:
+        fail(f"expected eviction of rank {rank}, got {result.comm_stats.rank_failures}")
+
+    trace_path = os.path.join(tmpdir, "proc_trace.json")
+    telemetry.write_trace(trace_path)
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    events = trace["traceEvents"]
+
+    lane_names = {
+        ev["pid"]: ev["args"]["name"]
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    worker_pids = {pid for pid in lane_names if pid != 0}
+    survivors = world - 1
+    if len(worker_pids) < survivors:
+        fail(
+            f"expected >= {survivors} worker lanes in the merged trace, got "
+            f"{sorted(lane_names.values())}"
+        )
+    if lane_names.get(0) != "repro":
+        fail(f"driver lane (pid 0) missing or renamed: {lane_names}")
+
+    step_spans = {"comm.worker.allreduce", "comm.worker.reduce",
+                  "comm.worker.copy", "comm.worker.barrier_wait"}
+    pids_with_steps = {
+        ev["pid"]
+        for ev in events
+        if ev.get("ph") == "X" and ev["name"] in step_spans and ev["pid"] != 0
+    }
+    if len(pids_with_steps) < survivors:
+        fail(
+            f"collective-step spans present in only {len(pids_with_steps)} "
+            f"worker lanes (need >= {survivors})"
+        )
+    span_names = {ev["name"] for ev in events if ev.get("ph") == "X"}
+    missing = step_spans - span_names
+    if missing:
+        fail(f"missing collective-step span kinds: {sorted(missing)}")
+
+    instant = {ev["name"] for ev in events if ev.get("ph") == "i"}
+    for needed in ("comm.supervisor.rank_death", "comm.supervisor.rank_evicted",
+                   "comm.supervisor.resync_broadcast", "comm.rank_evicted",
+                   "comm.resync"):
+        if needed not in instant:
+            fail(f"supervisor event {needed!r} missing from trace "
+                 f"(instants present: {sorted(instant)})")
+
+    snap = telemetry.metrics.to_dict()
+    counters = snap["counters"]
+    for needed in ("comm.supervisor.rank_death", "comm.supervisor.rank_evicted",
+                   "comm.supervisor.resync_broadcast", "comm.worker.heartbeats",
+                   "comm.worker.collectives"):
+        if counters.get(needed, 0) <= 0:
+            fail(f"counter {needed!r} missing/zero in merged metrics: "
+                 f"{sorted(counters)}")
+    print(
+        f"  OK: {len(worker_pids)} worker lanes, "
+        f"{sum(1 for ev in events if ev.get('ph') == 'X' and ev['pid'] != 0)} "
+        f"worker spans, supervisor events + counters present"
+    )
+    return trace_path
+
+
+# ----------------------------------------------------------------------
+def check_live_exposition(tmpdir: str) -> None:
+    """Part 2: /metrics Prometheus text + /health readiness flip."""
+    print("[2/3] live exposition: /metrics + /health during loadgen")
+    from repro.pipeline import ExaTrkXPipeline, GNNTrainConfig, PipelineConfig
+    from repro.serve import InferenceEngine, LoadGenConfig, ServeConfig, run_loadgen
+
+    geometry = DetectorGeometry.barrel_only()
+    sim = EventSimulator(geometry, particles_per_event=12)
+    import numpy as np
+
+    events = [sim.generate(np.random.default_rng(i), event_id=i) for i in range(5)]
+    config = PipelineConfig(
+        embedding_dim=6, embedding_epochs=3, filter_epochs=3, frnn_radius=0.3,
+        gnn=GNNTrainConfig(mode="bulk", epochs=2, batch_size=32, hidden=8,
+                           num_layers=2, depth=2, fanout=3, bulk_k=2),
+    )
+    telemetry = RunTelemetry.for_run(seed=0)
+    with use_telemetry(telemetry):
+        pipe = ExaTrkXPipeline(config, geometry)
+        pipe.fit(events[:3], events[3:4])
+        engine = InferenceEngine(
+            pipe,
+            ServeConfig(max_batch_events=4, max_wait_ms=5.0, max_queue_events=64,
+                        workers=0, sim_service_time_s=1e-3),
+            clock=SimClock(),
+        )
+        with MetricsExporter(
+            metrics_fn=telemetry.metrics_snapshot,
+            health_fn=engine.health,
+            port=0,
+        ) as exporter:
+            health = json.loads(
+                urllib.request.urlopen(f"{exporter.url}/health").read()
+            )
+            if not (health.get("live") and health.get("ready")):
+                fail(f"/health not ready while serving: {health}")
+
+            run_loadgen(
+                engine, events[4:],
+                LoadGenConfig(rate=200.0, num_requests=32, arrival="poisson", seed=0),
+            )
+            body = urllib.request.urlopen(f"{exporter.url}/metrics").read().decode()
+            for needle in (
+                '# TYPE serve_latency_ms summary',
+                'serve_latency_ms{quantile="0.5"}',
+                'serve_latency_ms{quantile="0.95"}',
+                'serve_latency_ms{quantile="0.99"}',
+                "serve_latency_ms_count",
+            ):
+                if needle not in body:
+                    fail(f"/metrics missing {needle!r}; got:\n{body[:2000]}")
+
+            engine.close()  # graceful drain: readiness must flip
+            try:
+                urllib.request.urlopen(f"{exporter.url}/health")
+                fail("/health returned 200 after engine drain")
+            except urllib.error.HTTPError as err:
+                if err.code != 503:
+                    fail(f"/health after drain: expected 503, got {err.code}")
+                health = json.loads(err.read())
+            if health.get("ready"):
+                fail(f"/health still ready after drain: {health}")
+    print("  OK: Prometheus serve.* quantiles served; readiness flipped on drain")
+
+
+# ----------------------------------------------------------------------
+def check_regression_gate(tmpdir: str, trace_path: str) -> None:
+    """Part 3: baseline self-diff passes, 3x slowdown trips."""
+    print("[3/3] perf-regression gate: baseline + injected 3x slowdown")
+    baseline_path = os.path.join(tmpdir, "baseline.json")
+    rc = cli_main(["telemetry", "baseline", trace_path, "-o", baseline_path])
+    if rc != 0:
+        fail(f"telemetry baseline exited {rc}")
+    rc = cli_main(["telemetry", "diff", trace_path, baseline_path])
+    if rc != 0:
+        fail(f"telemetry diff against own baseline exited {rc} (want 0)")
+
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    for ev in trace["traceEvents"]:
+        if ev.get("ph") == "X":
+            ev["dur"] = float(ev.get("dur", 0.0)) * 3.0 + 1.0
+    slow_path = os.path.join(tmpdir, "slow_trace.json")
+    with open(slow_path, "w") as fh:
+        json.dump(trace, fh)
+    rc = cli_main(["telemetry", "diff", slow_path, baseline_path])
+    if rc == 0:
+        fail("telemetry diff did not trip on an injected 3x slowdown")
+    print(f"  OK: self-diff exit 0, slowdown diff exit {rc}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world", type=int, default=4)
+    parser.add_argument("--rank", type=int, default=2, help="rank to SIGKILL")
+    parser.add_argument("--at-call", type=int, default=5)
+    args = parser.parse_args()
+    if not 0 <= args.rank < args.world:
+        fail(f"--rank {args.rank} outside world of {args.world}")
+    with tempfile.TemporaryDirectory(prefix="repro_obs_") as tmpdir:
+        trace_path = check_cross_process_trace(
+            tmpdir, args.world, args.rank, args.at_call
+        )
+        check_live_exposition(tmpdir)
+        check_regression_gate(tmpdir, trace_path)
+    print("OK: observability validation passed (trace merge, exposition, gate)")
+
+
+if __name__ == "__main__":
+    main()

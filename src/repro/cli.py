@@ -17,9 +17,14 @@ under overload.
 
 ``train`` / ``reconstruct`` / ``benchmark`` / ``serve`` / ``loadgen``
 accept ``--trace-out`` and ``--metrics-out`` to export run telemetry
-(Chrome-trace spans + metrics snapshot; see ``docs/observability.md``),
-and ``repro telemetry summarize trace.json`` renders the per-phase time
-table (Figure 3).
+(Chrome-trace spans + metrics snapshot; see ``docs/observability.md``);
+``train`` / ``serve`` / ``loadgen`` additionally accept
+``--metrics-port`` to expose live ``/metrics`` (Prometheus text) and
+``/health`` endpoints for the duration of the run.  ``repro telemetry
+summarize trace.json`` renders the per-phase time table (Figure 3,
+``--per-rank`` for merged multi-process traces), ``repro telemetry
+baseline`` records a perf baseline from a trace, and ``repro telemetry
+diff`` gates a fresh profile against one (nonzero exit on regression).
 """
 
 from __future__ import annotations
@@ -251,6 +256,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase time table from a trace file (the Figure-3 view)",
     )
     p_sum.add_argument("file", help="trace file (Chrome-trace .json or .jsonl)")
+    p_sum.add_argument(
+        "--per-rank",
+        action="store_true",
+        help="group phases by (rank, phase) — merged multi-process traces "
+        "show each rank's lane separately instead of pooling",
+    )
+    p_base = tel_sub.add_parser(
+        "baseline",
+        help="record a perf-regression baseline from a trace file",
+    )
+    p_base.add_argument("trace", help="trace file (Chrome-trace .json or .jsonl)")
+    p_base.add_argument("-o", "--out", required=True, metavar="PATH",
+                        help="where to write the baseline JSON")
+    p_base.add_argument(
+        "--tolerance", type=float, default=None, metavar="RATIO",
+        help="default per-phase tolerance ratio (default 3.0: trip when a "
+        "phase exceeds 3x its baseline total)",
+    )
+    p_base.add_argument(
+        "--bench", default=None, metavar="NAME",
+        help="benchmark name recorded in the baseline metadata",
+    )
+    p_diff = tel_sub.add_parser(
+        "diff",
+        help="gate a fresh profile against a baseline: exit 1 when any "
+        "phase regresses past its tolerance band",
+    )
+    p_diff.add_argument(
+        "candidate", help="fresh profile: trace file or baseline JSON"
+    )
+    p_diff.add_argument("baseline", help="baseline JSON (telemetry baseline)")
+    p_diff.add_argument(
+        "--tolerance", type=float, default=None, metavar="RATIO",
+        help="override every phase's tolerance ratio for this comparison",
+    )
     return parser
 
 
@@ -371,22 +411,60 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a metrics snapshot (counters/gauges/histograms) as JSON",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics (Prometheus text) and /health on "
+        "127.0.0.1:PORT for the duration of the run (0 = ephemeral port)",
+    )
 
 
 # ----------------------------------------------------------------------
 def _make_telemetry(args, config=None, seed=None, world_size=None):
-    """Build RunTelemetry when ``--trace-out``/``--metrics-out`` ask for it.
+    """Build RunTelemetry when ``--trace-out`` / ``--metrics-out`` /
+    ``--metrics-port`` ask for it.
 
     Returns ``None`` otherwise, so untraced runs keep the null-tracer
     no-op fast path.
     """
-    if args.trace_out is None and args.metrics_out is None:
+    if (
+        args.trace_out is None
+        and args.metrics_out is None
+        and getattr(args, "metrics_port", None) is None
+    ):
         return None
     from .obs import RunTelemetry
 
     return RunTelemetry.for_run(
         config=config, seed=seed, world_size=world_size, command=args.command
     )
+
+
+def _start_exporter(telemetry, args, health_fn=None):
+    """Start the ``/metrics`` + ``/health`` HTTP thread when requested.
+
+    Returns the :class:`~repro.obs.MetricsExporter` (caller closes it in
+    a ``finally``) or ``None`` when ``--metrics-port`` was not given.
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None or telemetry is None:
+        return None
+    from .obs import MetricsExporter
+
+    exporter = MetricsExporter(
+        metrics_fn=lambda: telemetry.metrics_snapshot(),
+        health_fn=health_fn,
+        port=port,
+    )
+    print(f"metrics: {exporter.url}/metrics  health: {exporter.url}/health")
+    return exporter
+
+
+def _stop_exporter(exporter) -> None:
+    if exporter is not None:
+        exporter.close()
 
 
 def _flush_telemetry(telemetry, args) -> None:
@@ -487,78 +565,102 @@ def _cmd_train(args) -> int:
     telemetry = _make_telemetry(
         args, config=train_cfg, seed=args.seed, world_size=args.world_size
     )
+    train_state = {"phase": "training", "ready": True}
+
+    def _train_health():
+        """Watchdog/checkpoint-centred health doc for ``repro train``."""
+        gauges = telemetry.metrics.to_dict()["gauges"] if telemetry else {}
+        return {
+            "live": True,
+            "ready": train_state["ready"],
+            "phase": train_state["phase"],
+            "checkpoints_written": gauges.get("train.checkpoints_written", 0.0),
+            "watchdog_rollbacks": gauges.get("train.watchdog_rollbacks", 0.0),
+        }
+
+    exporter = _start_exporter(telemetry, args, health_fn=_train_health)
     try:
-        with use_telemetry(telemetry):
-            result = train_gnn(
-                dataset.train, dataset.val, train_cfg,
-                retry_policy=retry_policy,
-            )
-    except CheckpointError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        print(
-            "The checkpoint cannot be used. Delete it (or fix --resume) and "
-            "restart training from scratch.",
-            file=sys.stderr,
-        )
-        return 2
-    except TrainingUnstableError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        print(
-            "Training diverged beyond the watchdog's rollback budget. "
-            "Lower the learning rate or raise --watchdog-max-rollbacks.",
-            file=sys.stderr,
-        )
-        return 3
-    except KeyboardInterrupt:
-        print("\ninterrupted — stopping training", file=sys.stderr)
-        if train_cfg.checkpoint_every is not None:
+        try:
+            with use_telemetry(telemetry):
+                result = train_gnn(
+                    dataset.train, dataset.val, train_cfg,
+                    retry_policy=retry_policy,
+                )
+        except CheckpointError as exc:
+            train_state["phase"] = "failed"
+            print(f"error: {exc}", file=sys.stderr)
             print(
-                f"resume with: repro train --resume {train_cfg.checkpoint_path}",
+                "The checkpoint cannot be used. Delete it (or fix --resume) and "
+                "restart training from scratch.",
                 file=sys.stderr,
             )
-        _flush_telemetry(telemetry, args)
-        return 130
-    if result.resumed_epoch is not None:
-        print(f"resumed from {args.resume} at epoch {result.resumed_epoch}")
-    if result.resume_fallback_path is not None:
-        print(
-            "warning: requested checkpoint was corrupt; resumed from "
-            f"verified fallback {result.resume_fallback_path}"
-        )
-    print(f"{'epoch':>5} | {'loss':>8} | {'precision':>9} | {'recall':>7} | {'time':>6}")
-    for r in result.history.records:
-        print(
-            f"{r.epoch:>5} | {r.train_loss:8.4f} | {r.val_precision:9.3f} | "
-            f"{r.val_recall:7.3f} | {r.epoch_seconds:5.1f}s"
-        )
-    if result.comm_stats is not None:
-        line = (
-            f"all-reduce: {result.comm_stats.num_allreduce_calls} calls, "
-            f"modeled {1e3 * result.comm_stats.modeled_seconds:.2f} ms"
-        )
-        if result.comm_stats.measured_seconds:
-            line += (
-                f", measured {1e3 * result.comm_stats.measured_seconds:.2f} ms"
+            return 2
+        except TrainingUnstableError as exc:
+            train_state["phase"] = "failed"
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "Training diverged beyond the watchdog's rollback budget. "
+                "Lower the learning rate or raise --watchdog-max-rollbacks.",
+                file=sys.stderr,
             )
-        if result.comm_stats.rank_failures:
-            line += f", evicted ranks {result.comm_stats.rank_failures}"
-        print(line)
-    if result.skipped_graphs:
-        print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
-    if result.quarantined_graphs:
-        print(f"quarantined {result.quarantined_graphs} malformed graph(s)")
-    if result.watchdog_rollbacks:
-        print(
-            f"watchdog: {result.watchdog_rollbacks} rollback(s) with LR "
-            "backoff (see docs/resilience.md)"
-        )
-    if result.checkpoints_written:
-        print(
-            f"wrote {result.checkpoints_written} checkpoint(s) to "
-            f"{args.checkpoint_path}"
-        )
-    _flush_telemetry(telemetry, args)
-    return 0
+            return 3
+        except KeyboardInterrupt:
+            # SIGTERM lands here too (_install_sigterm_handler): readiness
+            # drops via the finally below, then the exporter drains.
+            train_state["phase"] = "interrupted"
+            print("\ninterrupted — stopping training", file=sys.stderr)
+            if train_cfg.checkpoint_every is not None:
+                print(
+                    f"resume with: repro train --resume {train_cfg.checkpoint_path}",
+                    file=sys.stderr,
+                )
+            _flush_telemetry(telemetry, args)
+            return 130
+        train_state["phase"] = "finished"
+        if result.resumed_epoch is not None:
+            print(f"resumed from {args.resume} at epoch {result.resumed_epoch}")
+        if result.resume_fallback_path is not None:
+            print(
+                "warning: requested checkpoint was corrupt; resumed from "
+                f"verified fallback {result.resume_fallback_path}"
+            )
+        print(f"{'epoch':>5} | {'loss':>8} | {'precision':>9} | {'recall':>7} | {'time':>6}")
+        for r in result.history.records:
+            print(
+                f"{r.epoch:>5} | {r.train_loss:8.4f} | {r.val_precision:9.3f} | "
+                f"{r.val_recall:7.3f} | {r.epoch_seconds:5.1f}s"
+            )
+        if result.comm_stats is not None:
+            line = (
+                f"all-reduce: {result.comm_stats.num_allreduce_calls} calls, "
+                f"modeled {1e3 * result.comm_stats.modeled_seconds:.2f} ms"
+            )
+            if result.comm_stats.measured_seconds:
+                line += (
+                    f", measured {1e3 * result.comm_stats.measured_seconds:.2f} ms"
+                )
+            if result.comm_stats.rank_failures:
+                line += f", evicted ranks {result.comm_stats.rank_failures}"
+            print(line)
+        if result.skipped_graphs:
+            print(f"skipped {result.skipped_graphs} graph-epochs (memory)")
+        if result.quarantined_graphs:
+            print(f"quarantined {result.quarantined_graphs} malformed graph(s)")
+        if result.watchdog_rollbacks:
+            print(
+                f"watchdog: {result.watchdog_rollbacks} rollback(s) with LR "
+                "backoff (see docs/resilience.md)"
+            )
+        if result.checkpoints_written:
+            print(
+                f"wrote {result.checkpoints_written} checkpoint(s) to "
+                f"{args.checkpoint_path}"
+            )
+        _flush_telemetry(telemetry, args)
+        return 0
+    finally:
+        train_state["ready"] = False
+        _stop_exporter(exporter)
 
 
 def _simulated_events(args, geometry):
@@ -683,6 +785,10 @@ def _cmd_serve(args) -> int:
         breaker_probes=args.breaker_probes,
     )
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
+    engine_ref = {}
+    exporter = _start_exporter(
+        telemetry, args, health_fn=lambda: _engine_health(engine_ref)
+    )
     try:
         with use_telemetry(telemetry):
             pipe = _obtain_pipeline(args, config, geometry, events, n_train)
@@ -693,6 +799,7 @@ def _cmd_serve(args) -> int:
             # The with-block drains in-flight requests on any exit path
             # (including SIGTERM/ctrl-C), so no request is left hanging.
             with InferenceEngine(pipe, serve_cfg) as engine:
+                engine_ref["engine"] = engine
                 requests = engine.process(stream)
             done = [r for r in requests if r.status == "done"]
             for r in done:
@@ -727,8 +834,20 @@ def _cmd_serve(args) -> int:
         print("\ninterrupted — engine drained, exiting", file=sys.stderr)
         _flush_telemetry(telemetry, args)
         return 130
+    finally:
+        _stop_exporter(exporter)
     _flush_telemetry(telemetry, args)
     return 0
+
+
+def _engine_health(engine_ref) -> dict:
+    """``/health`` document for serve/loadgen: not ready until the engine
+    exists, then :meth:`InferenceEngine.health` verbatim — readiness
+    drops the moment ``close()`` starts draining or the breaker opens."""
+    engine = engine_ref.get("engine")
+    if engine is None:
+        return {"live": True, "ready": False, "phase": "startup"}
+    return engine.health()
 
 
 def _cmd_loadgen(args) -> int:
@@ -765,6 +884,10 @@ def _cmd_loadgen(args) -> int:
         seed=args.seed,
     )
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
+    engine_ref = {}
+    exporter = _start_exporter(
+        telemetry, args, health_fn=lambda: _engine_health(engine_ref)
+    )
     engine = None
     try:
         with use_telemetry(telemetry):
@@ -773,6 +896,7 @@ def _cmd_loadgen(args) -> int:
                 return 2
             test_events = events[n_train + 1 :] or events[-1:]
             engine = InferenceEngine(pipe, serve_cfg, clock=SimClock())
+            engine_ref["engine"] = engine
             report = run_loadgen(engine, test_events, load_cfg)
             for line in report.lines():
                 print(line)
@@ -782,6 +906,8 @@ def _cmd_loadgen(args) -> int:
         print("\ninterrupted — engine drained, exiting", file=sys.stderr)
         _flush_telemetry(telemetry, args)
         return 130
+    finally:
+        _stop_exporter(exporter)
     _flush_telemetry(telemetry, args)
     return 0
 
@@ -823,15 +949,75 @@ def _cmd_benchmark(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
+    if args.telemetry_command == "summarize":
+        return _cmd_telemetry_summarize(args)
+    if args.telemetry_command == "baseline":
+        return _cmd_telemetry_baseline(args)
+    return _cmd_telemetry_diff(args)
+
+
+def _cmd_telemetry_summarize(args) -> int:
     from .obs import summarize_trace
 
     try:
-        lines = summarize_trace(args.file)
+        lines = summarize_trace(args.file, per_rank=args.per_rank)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot summarize {args.file}: {exc}", file=sys.stderr)
         return 2
     for line in lines:
         print(line)
+    return 0
+
+
+def _cmd_telemetry_baseline(args) -> int:
+    from .obs import record_baseline, write_baseline
+    from .obs.regression import DEFAULT_TOLERANCE
+
+    metadata = {"trace": args.trace}
+    if args.bench:
+        metadata["bench"] = args.bench
+    try:
+        baseline = record_baseline(
+            args.trace,
+            tolerance=(
+                args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+            ),
+            metadata=metadata,
+        )
+        write_baseline(baseline, args.out)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot record baseline: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote baseline {args.out} ({len(baseline['phases'])} phases, "
+        f"tolerance {baseline['tolerance']['default']:.1f}x)"
+    )
+    return 0
+
+
+def _cmd_telemetry_diff(args) -> int:
+    """Exit 0 when within tolerance, 1 on a regression, 2 on bad input."""
+    from .obs import diff_profiles, load_baseline, load_phase_totals
+
+    try:
+        baseline = load_baseline(args.baseline)
+        candidate = load_phase_totals(args.candidate)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report, failures = diff_profiles(
+        candidate, baseline, tolerance_override=args.tolerance
+    )
+    print(f"candidate: {args.candidate}")
+    print(f"baseline:  {args.baseline}")
+    for line in report:
+        print(line)
+    if failures:
+        print(f"\nPERF REGRESSION ({len(failures)} phase(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nwithin tolerance: no phase regressed past its band")
     return 0
 
 

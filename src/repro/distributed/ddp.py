@@ -29,6 +29,7 @@ from ..nn import Module
 from ..obs import get_tracer
 from .backend import CommBackend
 from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
+from .supervisor import record_supervisor_event
 
 __all__ = ["DistributedDataParallel", "replicate_model"]
 
@@ -218,6 +219,11 @@ class DistributedDataParallel:
         get_tracer().event(
             "comm.resync",
             category="fault",
+            root=self.global_ranks[0],
+            survivors=len(self.global_ranks),
+        )
+        record_supervisor_event(
+            "resync_broadcast",
             root=self.global_ranks[0],
             survivors=len(self.global_ranks),
         )

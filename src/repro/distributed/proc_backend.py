@@ -55,11 +55,17 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..faults import CommTimeoutError, ProcessFault, RankDeadError
-from ..obs import get_tracer
+from ..obs import RunTelemetry, get_telemetry, get_tracer, set_telemetry
 from .backend import CommBackend
 from .comm import CommStats
 from .costmodel import CommCostModel, NVLINK_A100
-from .supervisor import FLAG_ABORT, ControlBlock, Supervisor, attach_shared_memory
+from .supervisor import (
+    FLAG_ABORT,
+    ControlBlock,
+    Supervisor,
+    attach_shared_memory,
+    record_supervisor_event,
+)
 
 __all__ = ["ProcCommunicator"]
 
@@ -106,26 +112,38 @@ def _barrier_wait(
     and bails out via :class:`_Aborted` on an abort-generation bump or
     deadline overrun — a survivor can never be wedged by a dead peer.
     """
-    ctrl.arrive[rank] = seq
-    deadline = time.monotonic() + timeout
-    spins = 0
-    while True:
-        now = time.monotonic()
-        ctrl.heartbeats[rank] = now
-        arrived = True
-        for r in live:
-            if ctrl.arrive[r] < seq:
-                arrived = False
-                break
-        if arrived:
-            return
-        if int(ctrl.flags[FLAG_ABORT]) != abort0:
-            raise _Aborted()
-        if now > deadline:
-            raise _Aborted()
-        spins += 1
-        if spins > 2000:
-            time.sleep(5e-5)
+    with get_tracer().span(
+        "comm.worker.barrier_wait", category="comm.worker", seq=seq
+    ) as span:
+        ctrl.arrive[rank] = seq
+        t0 = time.monotonic()
+        deadline = t0 + timeout
+        spins = 0
+        try:
+            while True:
+                now = time.monotonic()
+                ctrl.heartbeats[rank] = now
+                arrived = True
+                for r in live:
+                    if ctrl.arrive[r] < seq:
+                        arrived = False
+                        break
+                if arrived:
+                    return
+                if int(ctrl.flags[FLAG_ABORT]) != abort0:
+                    raise _Aborted()
+                if now > deadline:
+                    raise _Aborted()
+                spins += 1
+                if spins > 2000:
+                    time.sleep(5e-5)
+        finally:
+            span.set(spins=spins)
+            telemetry = get_telemetry()
+            if telemetry is not None:
+                telemetry.metrics.histogram("comm.worker.barrier_wait_ms").observe(
+                    (time.monotonic() - t0) * 1e3
+                )
 
 
 def _consume_injected_delay(ctrl: ControlBlock, rank: int) -> None:
@@ -160,36 +178,50 @@ def _op_allreduce(ctrl: ControlBlock, rank: int, cmd: dict, segments: dict) -> N
     seq0: int = cmd["seq0"]
     timeout: float = cmd["timeout"]
 
-    _consume_injected_delay(ctrl, rank)
-    _check_abort(ctrl, abort0)
-    _prune_segments(segments, list(names.values()))
-    p = len(live)
-    pos = live.index(rank)
-    left = live[(pos - 1) % p]
-    mine = np.ndarray((n,), np.float64, buffer=_segment_view(segments, names[rank]).buf)
-    theirs = np.ndarray(
-        (n,), np.float64, buffer=_segment_view(segments, names[left]).buf
-    )
-    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+    tracer = get_tracer()
+    with tracer.span(
+        "comm.worker.allreduce",
+        category="comm.worker",
+        seq=cmd["seq"],
+        nelems=n,
+        world_size=len(live),
+    ):
+        _consume_injected_delay(ctrl, rank)
+        _check_abort(ctrl, abort0)
+        _prune_segments(segments, list(names.values()))
+        p = len(live)
+        pos = live.index(rank)
+        left = live[(pos - 1) % p]
+        mine = np.ndarray(
+            (n,), np.float64, buffer=_segment_view(segments, names[rank]).buf
+        )
+        theirs = np.ndarray(
+            (n,), np.float64, buffer=_segment_view(segments, names[left]).buf
+        )
+        bounds = np.linspace(0, n, p + 1).astype(np.int64)
 
-    b = 0
-    # reduce-scatter: at step s this rank receives chunk (pos - 1 - s)
-    for s in range(p - 1):
-        if s > 0:
+        b = 0
+        # reduce-scatter: at step s this rank receives chunk (pos - 1 - s)
+        for s in range(p - 1):
+            if s > 0:
+                _barrier_wait(ctrl, rank, seq0 + b, live, abort0, timeout)
+                b += 1
+            c = (pos - 1 - s) % p
+            sl = slice(bounds[c], bounds[c + 1])
+            with tracer.span("comm.worker.reduce", category="comm.worker",
+                             step=s, chunk=int(c)):
+                mine[sl] += theirs[sl]
+        # all-gather: at step s this rank receives finished chunk (pos - s);
+        # every step reads what the left neighbour wrote in the previous one,
+        # so each needs a leading barrier
+        for s in range(p - 1):
             _barrier_wait(ctrl, rank, seq0 + b, live, abort0, timeout)
             b += 1
-        c = (pos - 1 - s) % p
-        sl = slice(bounds[c], bounds[c + 1])
-        mine[sl] += theirs[sl]
-    # all-gather: at step s this rank receives finished chunk (pos - s);
-    # every step reads what the left neighbour wrote in the previous one,
-    # so each needs a leading barrier
-    for s in range(p - 1):
-        _barrier_wait(ctrl, rank, seq0 + b, live, abort0, timeout)
-        b += 1
-        c = (pos - s) % p
-        sl = slice(bounds[c], bounds[c + 1])
-        mine[sl] = theirs[sl]
+            c = (pos - s) % p
+            sl = slice(bounds[c], bounds[c + 1])
+            with tracer.span("comm.worker.copy", category="comm.worker",
+                             step=s, chunk=int(c)):
+                mine[sl] = theirs[sl]
 
 
 def _op_broadcast(ctrl: ControlBlock, rank: int, cmd: dict, segments: dict) -> None:
@@ -200,25 +232,53 @@ def _op_broadcast(ctrl: ControlBlock, rank: int, cmd: dict, segments: dict) -> N
     root: int = cmd["root"]
     abort0: int = cmd["abort0"]
 
-    _consume_injected_delay(ctrl, rank)
-    _check_abort(ctrl, abort0)
-    _prune_segments(segments, list(names.values()))
-    if rank != root:
-        dst = np.ndarray(
-            (nbytes,), np.uint8, buffer=_segment_view(segments, names[rank]).buf
-        )
-        src = np.ndarray(
-            (nbytes,), np.uint8, buffer=_segment_view(segments, names[root]).buf
-        )
-        dst[:] = src
-    _barrier_wait(ctrl, rank, cmd["seq0"], live, abort0, cmd["timeout"])
+    tracer = get_tracer()
+    with tracer.span(
+        "comm.worker.broadcast",
+        category="comm.worker",
+        seq=cmd["seq"],
+        nbytes=nbytes,
+        world_size=len(live),
+    ):
+        _consume_injected_delay(ctrl, rank)
+        _check_abort(ctrl, abort0)
+        _prune_segments(segments, list(names.values()))
+        if rank != root:
+            dst = np.ndarray(
+                (nbytes,), np.uint8, buffer=_segment_view(segments, names[rank]).buf
+            )
+            src = np.ndarray(
+                (nbytes,), np.uint8, buffer=_segment_view(segments, names[root]).buf
+            )
+            with tracer.span("comm.worker.copy", category="comm.worker",
+                             nbytes=nbytes):
+                dst[:] = src
+        _barrier_wait(ctrl, rank, cmd["seq0"], live, abort0, cmd["timeout"])
 
 
 def _op_barrier(ctrl: ControlBlock, rank: int, cmd: dict) -> None:
-    _consume_injected_delay(ctrl, rank)
-    _barrier_wait(
-        ctrl, rank, cmd["seq0"], cmd["live"], cmd["abort0"], cmd["timeout"]
-    )
+    with get_tracer().span(
+        "comm.worker.barrier", category="comm.worker", seq=cmd["seq"]
+    ):
+        _consume_injected_delay(ctrl, rank)
+        _barrier_wait(
+            ctrl, rank, cmd["seq0"], cmd["live"], cmd["abort0"], cmd["timeout"]
+        )
+
+
+def _telemetry_payload(rank: int) -> Optional[dict]:
+    """Drain this worker's span/metric buffers into a picklable delta."""
+    telemetry = get_telemetry()
+    if telemetry is None:
+        return None
+    spans, events = telemetry.tracer.drain_records()
+    return {
+        "rank": rank,
+        "origin": telemetry.tracer.origin,
+        "spans": spans,
+        "events": events,
+        "metrics": telemetry.metrics.drain_state(),
+    }
 
 
 def _worker_main(
@@ -227,12 +287,26 @@ def _worker_main(
     ctrl_name: str,
     world0: int,
     heartbeat_interval: float,
+    trace: bool = False,
 ) -> None:
     """Per-rank worker: heartbeat + command loop (runs until shutdown).
 
     SIGTERM requests a graceful drain: the current command finishes and
     the loop exits at the next poll instead of mid-collective.
+
+    With ``trace=True`` the worker installs its *own*
+    :class:`~repro.obs.RunTelemetry` (the driver's inherited-via-fork
+    install is cleared first — a forked copy of the driver's buffers
+    would double-record and never reach the merged trace) and answers
+    ``telemetry`` commands with drained span/metric deltas.
     """
+    # Under the fork start method this process inherits the driver's
+    # installed telemetry; always clear it so worker spans never land in
+    # a dead copy of the driver's buffers.
+    set_telemetry(None)
+    if trace:
+        set_telemetry(RunTelemetry(metadata={"rank": rank}))
+
     draining = {"flag": False}
 
     def _on_sigterm(signum, frame):  # pragma: no cover - signal path
@@ -246,8 +320,17 @@ def _worker_main(
     stop = threading.Event()
 
     def _beat() -> None:
+        last = time.monotonic()
         while not stop.is_set():
-            ctrl.heartbeats[rank] = time.monotonic()
+            now = time.monotonic()
+            ctrl.heartbeats[rank] = now
+            telemetry = get_telemetry()
+            if telemetry is not None:
+                telemetry.metrics.counter("comm.worker.heartbeats").add(1)
+                telemetry.metrics.histogram(
+                    "comm.worker.heartbeat_interval_ms"
+                ).observe((now - last) * 1e3)
+            last = now
             stop.wait(heartbeat_interval)
 
     beater = threading.Thread(target=_beat, daemon=True, name=f"hb-rank{rank}")
@@ -264,6 +347,19 @@ def _worker_main(
             op = cmd.get("op")
             if op == "shutdown":
                 break
+            if op == "telemetry":
+                status = {
+                    "seq": cmd["seq"],
+                    "status": "ok",
+                    "rank": rank,
+                    "telemetry": _telemetry_payload(rank),
+                }
+                try:
+                    conn.send(status)
+                except (BrokenPipeError, OSError):
+                    break
+                continue
+            telemetry = get_telemetry()
             try:
                 if op == "allreduce":
                     _op_allreduce(ctrl, rank, cmd, segments)
@@ -273,8 +369,16 @@ def _worker_main(
                     _op_barrier(ctrl, rank, cmd)
                 else:
                     raise ValueError(f"unknown worker op {op!r}")
+                if telemetry is not None:
+                    telemetry.metrics.counter("comm.worker.collectives").add(1)
                 status = {"seq": cmd["seq"], "status": "ok", "rank": rank}
             except _Aborted:
+                if telemetry is not None:
+                    telemetry.tracer.event(
+                        "comm.worker.aborted", category="comm.worker",
+                        seq=cmd.get("seq"), op=op,
+                    )
+                    telemetry.metrics.counter("comm.worker.aborts").add(1)
                 status = {"seq": cmd["seq"], "status": "aborted", "rank": rank}
             except Exception as exc:  # surfaced as a rank failure driver-side
                 status = {
@@ -369,12 +473,20 @@ class ProcCommunicator(CommBackend):
         self._control = ControlBlock.create(world_size)
         self._supervisor = Supervisor(self._control, heartbeat_deadline)
         self._segments: Dict[int, shared_memory.SharedMemory] = {}
+        # Workers trace iff the driver does: each rank then runs its own
+        # tracer/metrics and ships deltas back on collect_worker_telemetry().
+        self._trace_workers = get_telemetry() is not None
         try:
             self._supervisor.spawn(
                 self._ctx,
                 _worker_main,
                 self.ranks,
-                (self._control.name, world_size, heartbeat_interval),
+                (
+                    self._control.name,
+                    world_size,
+                    heartbeat_interval,
+                    self._trace_workers,
+                ),
             )
             self._supervisor.wait_ready(self.ranks, timeout=startup_timeout)
         except BaseException:
@@ -524,11 +636,14 @@ class ProcCommunicator(CommBackend):
         n = int(buffers[0].size)
         live = list(self.ranks)
         names: Dict[int, str] = {}
-        for rank, buf in zip(live, buffers):
-            seg = self._ensure_segment(rank, n * 8)
-            view = np.ndarray((n,), np.float64, buffer=seg.buf)
-            view[:] = np.ascontiguousarray(buf).reshape(-1)
-            names[rank] = seg.name
+        with get_tracer().span(
+            "comm.shm_write", category="comm", nelems=n, world_size=p
+        ):
+            for rank, buf in zip(live, buffers):
+                seg = self._ensure_segment(rank, n * 8)
+                view = np.ndarray((n,), np.float64, buffer=seg.buf)
+                view[:] = np.ascontiguousarray(buf).reshape(-1)
+                names[rank] = seg.name
         seq = self._next_seq()
         seq0 = self._alloc_barriers(2 * p - 3)
         cmd = {
@@ -545,10 +660,13 @@ class ProcCommunicator(CommBackend):
         self._gather(seq, live)
         scale = 1.0 / p if average else 1.0
         out = []
-        for rank in live:
-            seg = self._segments[rank]
-            w = np.ndarray((n,), np.float64, buffer=seg.buf).copy()
-            out.append((w * scale).reshape(shape).astype(dtype))
+        with get_tracer().span(
+            "comm.shm_read", category="comm", nelems=n, world_size=p
+        ):
+            for rank in live:
+                seg = self._segments[rank]
+                w = np.ndarray((n,), np.float64, buffer=seg.buf).copy()
+                out.append((w * scale).reshape(shape).astype(dtype))
         return out
 
     def broadcast(self, buffer: np.ndarray) -> List[np.ndarray]:
@@ -646,6 +764,73 @@ class ProcCommunicator(CommBackend):
             self.stats.measured_seconds += measured
             span.set(modeled_s=modeled, measured_s=measured)
 
+    # -- telemetry collection ------------------------------------------
+    def _recv_telemetry(self, rank: int, seq: int, timeout: float) -> Optional[dict]:
+        """Poll one rank's pipe for the ``telemetry`` response to ``seq``.
+
+        Stale responses from earlier (aborted) collectives are discarded.
+        Returns ``None`` if the worker dies or the deadline passes — a
+        lost telemetry delta must never fail the run.
+        """
+        handle = self._supervisor.handles.get(rank)
+        if handle is None:
+            return None
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not handle.is_alive() and not handle.conn.poll(0):
+                return None
+            if not handle.conn.poll(0.005):
+                continue
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if msg.get("seq") == seq:
+                return msg.get("telemetry")
+        return None
+
+    def collect_worker_telemetry(self, timeout: float = 5.0) -> int:
+        """Pull each live worker's span/metric deltas into the driver's
+        installed telemetry (one merged trace, one lane per rank).
+
+        Called by the trainer at epoch boundaries and by :meth:`close`.
+        Worker timestamps are rebased by the origin difference — both
+        sides read ``time.perf_counter`` (CLOCK_MONOTONIC on Linux), so a
+        plain shift aligns the lanes.  Returns the number of ranks that
+        answered; silent or dead ranks are skipped, never fatal.
+        """
+        telemetry = get_telemetry()
+        if telemetry is None or not self._trace_workers or self._closed:
+            return 0
+        collected = 0
+        with telemetry.tracer.span(
+            "comm.collect_telemetry", category="comm", world_size=self.world_size
+        ) as span:
+            for rank in list(self.ranks):
+                seq = self._next_seq()
+                try:
+                    self._supervisor.send(rank, {"op": "telemetry", "seq": seq})
+                except RankDeadError:
+                    continue
+                payload = self._recv_telemetry(rank, seq, timeout)
+                if payload is None:
+                    continue
+                shift = float(payload["origin"]) - telemetry.tracer.origin
+                telemetry.tracer.ingest_remote(
+                    payload["spans"],
+                    payload["events"],
+                    pid=rank + 1,
+                    process_name=f"rank {rank}",
+                    time_shift=shift,
+                    rank=rank,
+                )
+                telemetry.metrics.merge_state(
+                    payload["metrics"], gauge_suffix=f".rank{rank}"
+                )
+                collected += 1
+            span.set(collected=collected)
+        return collected
+
     # -- elasticity ----------------------------------------------------
     def remove_rank(self, rank: int) -> int:
         """Evict a permanently failed rank: epoch bump + worker teardown.
@@ -663,6 +848,10 @@ class ProcCommunicator(CommBackend):
         self.ranks.remove(rank)
         self._control.live[rank] = 0
         epoch = self._control.bump_epoch()
+        record_supervisor_event(
+            "rank_evicted", rank=rank, epoch=epoch,
+            survivors=list(self.ranks),
+        )
         self._supervisor.kill(rank)
         seg = self._segments.pop(rank, None)
         if seg is not None:
@@ -681,9 +870,17 @@ class ProcCommunicator(CommBackend):
             raise RuntimeError("communicator is closed")
 
     def close(self) -> None:
-        """Graceful drain: ask live workers to exit, then release shm."""
+        """Graceful drain: ask live workers to exit, then release shm.
+
+        Any span/metric deltas still buffered in the workers are pulled
+        in first (best-effort), so the merged trace covers the full run.
+        """
         if self._closed:
             return
+        try:
+            self.collect_worker_telemetry()
+        except Exception:  # pragma: no cover - shutdown must not fail
+            pass
         self._closed = True
         try:
             atexit.unregister(self.close)

@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..faults import CommTimeoutError, RankDeadError
+from ..obs import get_telemetry, get_tracer
 
 __all__ = [
     "ControlBlock",
@@ -41,11 +42,30 @@ __all__ = [
     "WorkerHandle",
     "Supervisor",
     "attach_shared_memory",
+    "record_supervisor_event",
 ]
 
 #: Indices into :attr:`ControlBlock.flags`.
 FLAG_ABORT = 0
 FLAG_EPOCH = 1
+
+
+def record_supervisor_event(name: str, **attrs: Any) -> None:
+    """Emit a supervision event into the installed telemetry (if any).
+
+    Every failure-detector decision (stale heartbeat, rank death,
+    collective timeout, abort/drain, eviction, resync broadcast) lands
+    twice: as an instantaneous tracer event named
+    ``comm.supervisor.<name>`` — visible at the exact timestamp in the
+    merged trace next to the per-rank lanes — and as a
+    ``comm.supervisor.<name>`` counter, so live ``/metrics`` scrapes and
+    post-run snapshots can alert on supervision activity.  No-op when
+    telemetry is not installed.
+    """
+    get_tracer().event(f"comm.supervisor.{name}", category="supervisor", **attrs)
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter(f"comm.supervisor.{name}").add(1)
 
 
 def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
@@ -250,6 +270,7 @@ class Supervisor:
         try:
             self.handles[rank].conn.send(message)
         except (BrokenPipeError, OSError) as exc:
+            record_supervisor_event("rank_death", rank=rank, cause="pipe_broken")
             raise RankDeadError(
                 f"rank {rank} worker is gone (command pipe broken)", rank=rank
             ) from exc
@@ -286,6 +307,8 @@ class Supervisor:
                     try:
                         msg = handle.conn.recv()
                     except (EOFError, OSError):
+                        record_supervisor_event("rank_death", rank=rank, seq=seq,
+                                                cause="pipe_eof")
                         raise RankDeadError(
                             f"rank {rank} worker closed its pipe mid-collective",
                             rank=rank,
@@ -306,24 +329,36 @@ class Supervisor:
                         )
                         culprit = (dead or stale or [None])[0]
                         if culprit is not None:
+                            record_supervisor_event(
+                                "rank_death", rank=culprit, seq=seq,
+                                cause="dead_process" if dead else "stale_heartbeat",
+                            )
                             raise RankDeadError(
                                 f"rank {culprit} stopped participating in "
                                 f"collective {seq} (rank {rank} aborted its "
                                 "barrier wait)",
                                 rank=culprit,
                             )
+                        record_supervisor_event(
+                            "collective_timeout", rank=rank, seq=seq,
+                            cause="worker_barrier_deadline",
+                        )
                         raise CommTimeoutError(
                             f"rank {rank} aborted collective {seq} after its "
                             "barrier deadline",
                             rank=rank,
                         )
                     else:
+                        record_supervisor_event("rank_death", rank=rank, seq=seq,
+                                                cause="worker_error")
                         raise RankDeadError(
                             f"rank {rank} worker failed in collective {seq}: "
                             f"{msg.get('error', status)}",
                             rank=rank,
                         )
                 else:  # sentinel: the process exited
+                    record_supervisor_event("rank_death", rank=rank, seq=seq,
+                                            cause="process_exit")
                     raise RankDeadError(
                         f"rank {rank} worker process died mid-collective "
                         f"(exitcode {handle.process.exitcode})",
@@ -331,6 +366,7 @@ class Supervisor:
                     )
             stale = self.monitor.stale_ranks(pending)
             if stale:
+                record_supervisor_event("stale_heartbeat", rank=stale[0], seq=seq)
                 raise RankDeadError(
                     f"rank {stale[0]} heartbeat silent for more than "
                     f"{self.monitor.deadline}s (hung or wedged worker)",
@@ -338,6 +374,10 @@ class Supervisor:
                 )
             if time.monotonic() > deadline:
                 slowest = min(pending)
+                record_supervisor_event(
+                    "collective_timeout", rank=slowest, seq=seq,
+                    cause="driver_deadline",
+                )
                 raise CommTimeoutError(
                     f"collective {seq} timed out after {timeout}s waiting on "
                     f"rank(s) {sorted(pending)}",
@@ -355,6 +395,9 @@ class Supervisor:
         worker is still touching its buffers when the caller retries.
         Ranks in ``exclude`` (the dead) are not waited for.
         """
+        record_supervisor_event(
+            "abort_drain", seq=seq, excluded=list(exclude)
+        )
         self.control.bump_abort()
         deadline = time.monotonic() + timeout
         for rank in ranks:

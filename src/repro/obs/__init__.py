@@ -7,7 +7,11 @@
   (tracer + metrics + run metadata) behind ``--trace-out`` /
   ``--metrics-out``;
 * :mod:`repro.obs.summarize` — per-phase tables from exported traces
-  (``repro telemetry summarize``).
+  (``repro telemetry summarize``);
+* :mod:`repro.obs.exporter` — live ``/metrics`` (Prometheus text) and
+  ``/health`` HTTP exposition (``--metrics-port``);
+* :mod:`repro.obs.regression` — checked-in phase-total baselines and
+  the ``repro telemetry diff`` perf-regression gate.
 
 See ``docs/observability.md`` for the exported schemas and how to
 reproduce the paper's Figure-3 breakdown from a trace.
@@ -25,6 +29,15 @@ from .telemetry import (
     use_telemetry,
 )
 from .summarize import SpanRecord, load_trace, phase_totals, summarize_trace
+from .exporter import MetricsExporter, render_prometheus
+from .regression import (
+    BASELINE_SCHEMA,
+    diff_profiles,
+    load_baseline,
+    load_phase_totals,
+    record_baseline,
+    write_baseline,
+)
 
 __all__ = [
     "Span",
@@ -46,4 +59,12 @@ __all__ = [
     "load_trace",
     "phase_totals",
     "summarize_trace",
+    "MetricsExporter",
+    "render_prometheus",
+    "BASELINE_SCHEMA",
+    "record_baseline",
+    "write_baseline",
+    "load_baseline",
+    "load_phase_totals",
+    "diff_profiles",
 ]

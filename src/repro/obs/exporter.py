@@ -1,0 +1,178 @@
+"""Live metrics/health exposition over stdlib HTTP.
+
+``--metrics-port`` on ``repro train|serve|loadgen`` starts a
+:class:`MetricsExporter`: a daemon thread running
+``http.server.ThreadingHTTPServer`` with two endpoints —
+
+* ``GET /metrics`` — the installed registry's snapshot rendered as
+  Prometheus text exposition format (counters, gauges, and histograms
+  as summaries with p50/p95/p99 quantiles), scrape-ready;
+* ``GET /health`` — a JSON liveness/readiness document (HTTP 200 while
+  ready, 503 once draining or the circuit breaker is open), wrapping
+  :meth:`repro.serve.InferenceEngine.health` for serving and the
+  watchdog/checkpoint state for training.
+
+Everything is pull-based and read-only: the exporter never mutates the
+registry, and when telemetry is disabled no exporter is created at all
+(the no-op guarantee tested in ``tests/obs/test_exporter.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["MetricsExporter", "render_prometheus", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name onto the Prometheus grammar.
+
+    Registry names are dotted (``serve.latency_ms``); Prometheus allows
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so every other character becomes an
+    underscore and a leading digit gets a prefix.
+    """
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
+
+
+def render_prometheus(snapshot: Optional[Dict[str, Any]]) -> str:
+    """Render a :meth:`MetricsRegistry.to_dict` snapshot as Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters and gauges emit one sample each; histograms emit a summary:
+    ``{quantile="0.5"|"0.95"|"0.99"}`` samples plus ``_sum``/``_count``
+    and ``_min``/``_max`` gauges.  ``None`` or an empty snapshot renders
+    to a valid (empty) page so a scrape never 500s.
+    """
+    if not snapshot:
+        return ""
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value!r}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value!r}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(f'{prom}{{quantile="{q}"}} {summary.get(key, 0.0)!r}')
+        lines.append(f"{prom}_sum {summary.get('sum', 0.0)!r}")
+        lines.append(f"{prom}_count {summary.get('count', 0)!r}")
+        lines.append(f"# TYPE {prom}_min gauge")
+        lines.append(f"{prom}_min {summary.get('min', 0.0)!r}")
+        lines.append(f"# TYPE {prom}_max gauge")
+        lines.append(f"{prom}_max {summary.get('max', 0.0)!r}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+class MetricsExporter:
+    """Background HTTP thread exposing ``/metrics`` and ``/health``.
+
+    Parameters
+    ----------
+    metrics_fn:
+        Zero-argument callable returning the current metrics snapshot
+        (typically ``telemetry.metrics.to_dict``); called per scrape.
+    health_fn:
+        Optional callable returning the health document; must contain a
+        boolean ``"ready"`` key (HTTP 200 when true, 503 otherwise).
+        Without it ``/health`` reports ``{"live": true, "ready": true}``.
+    port:
+        TCP port; 0 binds an ephemeral port (tests).  The bound port is
+        readable as :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], Optional[Dict[str, Any]]],
+        health_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API name
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = render_prometheus(exporter._metrics_fn())
+                    except Exception as exc:  # registry must never 500 a scrape
+                        body = f"# scrape error: {exc!r}\n"
+                    self._reply(200, body, "text/plain; version=0.0.4")
+                elif path == "/health":
+                    health = exporter._health()
+                    code = 200 if health.get("ready") else 503
+                    self._reply(code, json.dumps(health) + "\n", "application/json")
+                else:
+                    self._reply(404, "not found\n", "text/plain")
+
+            def _reply(self, code: int, body: str, content_type: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                try:
+                    self.wfile.write(data)
+                except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                    pass
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes must not spam the run's stdout
+
+        self._metrics_fn = metrics_fn
+        self._health_fn = health_fn
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"metrics-exporter:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    def _health(self) -> Dict[str, Any]:
+        if self._health_fn is None:
+            return {"live": True, "ready": not self._closed}
+        try:
+            return dict(self._health_fn())
+        except Exception as exc:
+            return {"live": False, "ready": False, "error": repr(exc)}
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving (idempotent); in-flight requests finish first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,157 @@
+"""Perf-regression gates over trace phase totals.
+
+A *baseline* is a checked-in JSON snapshot of a benchmark trace's
+:func:`~repro.obs.summarize.phase_totals` plus per-phase tolerance
+bands (``benchmarks/results/telemetry/baselines/``).  ``repro telemetry
+diff CANDIDATE BASELINE`` re-aggregates a fresh profile and trips
+(nonzero exit) when any phase's total time exceeds ``baseline ×
+tolerance`` — the MLPerf-style guard that keeps an optimisation pass
+from silently regressing another phase.
+
+Tolerances are ratios, not percentages: the default ``3.0`` tolerates
+up to 3× the baseline total before tripping, wide enough for shared-CI
+noise while still catching genuine algorithmic regressions (the CI
+smoke injects a synthetic 3× slowdown and asserts the gate fires).
+Getting *faster* never trips; phases present in the baseline but absent
+from the candidate fail (the work was silently dropped or renamed), and
+new candidate phases are reported informationally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .summarize import load_trace, phase_totals
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "record_baseline",
+    "write_baseline",
+    "load_baseline",
+    "load_phase_totals",
+    "diff_profiles",
+]
+
+BASELINE_SCHEMA = "repro.telemetry.baseline/v1"
+
+#: Ratio of candidate/baseline total above which a phase trips the gate.
+DEFAULT_TOLERANCE = 3.0
+
+
+def record_baseline(
+    trace_path: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    per_phase: Optional[Dict[str, float]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a baseline document from an exported trace file."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be a positive ratio")
+    totals = phase_totals(load_trace(trace_path))
+    return {
+        "schema": BASELINE_SCHEMA,
+        "phases": {
+            name: {
+                "total_s": agg["total_s"],
+                "count": agg["count"],
+                "mean_s": agg["mean_s"],
+            }
+            for name, agg in sorted(totals.items())
+        },
+        "tolerance": {"default": tolerance, "per_phase": dict(per_phase or {})},
+        "metadata": dict(metadata or {}),
+    }
+
+
+def write_baseline(baseline: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a telemetry baseline (expected schema "
+            f"{BASELINE_SCHEMA!r})"
+        )
+    return payload
+
+
+def load_phase_totals(path: str) -> Dict[str, Dict[str, float]]:
+    """Phase totals from either a trace file or a baseline document.
+
+    Accepting a baseline lets CI self-diff a checked-in baseline
+    (``diff baseline.json baseline.json`` must exit 0 on any machine,
+    no timing involved).
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        payload = None
+    if isinstance(payload, dict) and payload.get("schema") == BASELINE_SCHEMA:
+        return {name: dict(agg) for name, agg in payload["phases"].items()}
+    return phase_totals(load_trace(path))
+
+
+def diff_profiles(
+    candidate: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Any],
+    tolerance_override: Optional[float] = None,
+) -> Tuple[List[str], List[str]]:
+    """Compare candidate phase totals against a baseline document.
+
+    Returns ``(report_lines, failures)`` — the gate passes iff
+    ``failures`` is empty.
+    """
+    tolerances = baseline.get("tolerance", {})
+    default_tol = (
+        tolerance_override
+        if tolerance_override is not None
+        else float(tolerances.get("default", DEFAULT_TOLERANCE))
+    )
+    per_phase = tolerances.get("per_phase", {})
+    report: List[str] = [
+        f"{'phase':<28} | {'baseline':>10} | {'candidate':>10} | "
+        f"{'ratio':>6} | {'tol':>5} | verdict"
+    ]
+    failures: List[str] = []
+    base_phases: Dict[str, Any] = baseline.get("phases", {})
+    for name in sorted(base_phases):
+        base_total = float(base_phases[name]["total_s"])
+        tol = float(per_phase.get(name, default_tol)) if tolerance_override is None \
+            else default_tol
+        cand = candidate.get(name)
+        if cand is None:
+            failures.append(f"{name}: present in baseline, missing from candidate")
+            report.append(
+                f"{name:<28} | {base_total:9.4f}s | {'—':>10} | {'—':>6} | "
+                f"{tol:4.1f}x | MISSING"
+            )
+            continue
+        cand_total = float(cand["total_s"])
+        if base_total <= 0.0:
+            ratio = float("inf") if cand_total > 0.0 else 1.0
+        else:
+            ratio = cand_total / base_total
+        ok = ratio <= tol
+        verdict = "ok" if ok else "REGRESSION"
+        if not ok:
+            failures.append(
+                f"{name}: {cand_total:.4f}s vs baseline {base_total:.4f}s "
+                f"({ratio:.2f}x > {tol:.2f}x tolerance)"
+            )
+        report.append(
+            f"{name:<28} | {base_total:9.4f}s | {cand_total:9.4f}s | "
+            f"{ratio:5.2f}x | {tol:4.1f}x | {verdict}"
+        )
+    for name in sorted(set(candidate) - set(base_phases)):
+        report.append(
+            f"{name:<28} | {'—':>10} | {candidate[name]['total_s']:9.4f}s | "
+            f"{'—':>6} | {'—':>5} | new (not gated)"
+        )
+    return report, failures

@@ -4,26 +4,41 @@
 Chrome ``trace_event`` JSON or the JSONL span log — into a per-phase
 time table: total seconds, call count, mean, and share of wall time,
 plus the paper's sampling/training split.
+
+Merged multi-process traces (the ``proc`` backend ships one lane per
+worker rank) need two refinements over the single-timeline view:
+
+* wall time is the length of the *union* of busy intervals across all
+  lanes — overlapping per-rank spans must not double-count, and one
+  lane's idle gap is not wall time if another lane was busy through it;
+* ``--per-rank`` groups phases by ``(rank, phase)`` so a straggling
+  rank's barrier waits stand out instead of averaging away.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["SpanRecord", "load_trace", "phase_totals", "summarize_trace"]
 
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One closed span as read back from a trace file (seconds)."""
+    """One closed span as read back from a trace file (seconds).
+
+    ``pid`` is the Chrome-trace process lane (0 = driver) and ``rank``
+    the comm rank for worker-lane spans (``None`` for driver spans).
+    """
 
     name: str
     category: str
     start_s: float
     duration_s: float
     depth: int
+    pid: int = 0
+    rank: Optional[int] = None
 
 
 def _from_chrome(payload: Dict[str, Any]) -> List[SpanRecord]:
@@ -32,6 +47,7 @@ def _from_chrome(payload: Dict[str, Any]) -> List[SpanRecord]:
         if ev.get("ph") != "X":
             continue
         args = ev.get("args", {})
+        rank = args.get("rank")
         spans.append(
             SpanRecord(
                 name=ev["name"],
@@ -39,6 +55,8 @@ def _from_chrome(payload: Dict[str, Any]) -> List[SpanRecord]:
                 start_s=float(ev["ts"]) / 1e6,
                 duration_s=float(ev.get("dur", 0.0)) / 1e6,
                 depth=int(args.get("depth", 0)),
+                pid=int(ev.get("pid", 0)),
+                rank=int(rank) if rank is not None else None,
             )
         )
     return spans
@@ -53,6 +71,7 @@ def _from_jsonl(lines: List[str]) -> List[SpanRecord]:
         rec = json.loads(line)
         if rec.get("type") != "span":
             continue
+        rank = rec.get("rank")
         spans.append(
             SpanRecord(
                 name=rec["name"],
@@ -60,6 +79,8 @@ def _from_jsonl(lines: List[str]) -> List[SpanRecord]:
                 start_s=float(rec["t0"]),
                 duration_s=float(rec["dur"]),
                 depth=int(rec.get("depth", 0)),
+                pid=int(rec.get("pid", 0)),
+                rank=int(rank) if rank is not None else None,
             )
         )
     return spans
@@ -85,11 +106,26 @@ def load_trace(path: str) -> List[SpanRecord]:
     return _from_chrome(payload)
 
 
-def phase_totals(spans: List[SpanRecord]) -> Dict[str, Dict[str, float]]:
-    """Aggregate spans by name: total seconds, count, mean."""
+def _lane_label(span: SpanRecord) -> str:
+    if span.rank is not None:
+        return f"r{span.rank}"
+    return "driver" if span.pid == 0 else f"p{span.pid}"
+
+
+def phase_totals(
+    spans: List[SpanRecord], per_rank: bool = False
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: total seconds, count, mean.
+
+    With ``per_rank=True`` the grouping key becomes ``(lane, phase)``
+    rendered as ``"r2/comm.worker.barrier_wait"`` (driver-lane spans
+    under ``"driver/..."``), so per-rank imbalance is visible instead of
+    pooled across lanes.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for s in spans:
-        agg = out.setdefault(s.name, {"total_s": 0.0, "count": 0, "mean_s": 0.0})
+        key = f"{_lane_label(s)}/{s.name}" if per_rank else s.name
+        agg = out.setdefault(key, {"total_s": 0.0, "count": 0, "mean_s": 0.0})
         agg["total_s"] += s.duration_s
         agg["count"] += 1
     for agg in out.values():
@@ -97,21 +133,45 @@ def phase_totals(spans: List[SpanRecord]) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def _wall_seconds(spans: List[SpanRecord]) -> float:
-    if not spans:
+def _union_seconds(intervals: List[Tuple[float, float]]) -> float:
+    """Total length covered by a set of (start, end) intervals."""
+    if not intervals:
         return 0.0
-    start = min(s.start_s for s in spans)
-    end = max(s.start_s + s.duration_s for s in spans)
-    return end - start
+    intervals.sort()
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return total + (cur_end - cur_start)
 
 
-def summarize_trace(path: str) -> List[str]:
+def _wall_seconds(spans: List[SpanRecord]) -> float:
+    """Busy wall-clock: the union of every lane's span intervals.
+
+    A merged multi-process trace holds one overlapping timeline per
+    rank; ``max(end) - min(start)`` would count cross-lane idle skew as
+    wall time, while summing per-lane extents would double-count
+    overlap.  The union of busy intervals is both lane-count-invariant
+    for identical timelines and correct for staggered ones.
+    """
+    return _union_seconds(
+        [(s.start_s, s.start_s + s.duration_s) for s in spans]
+    )
+
+
+def summarize_trace(path: str, per_rank: bool = False) -> List[str]:
     """Render the per-phase table for a trace file (list of lines)."""
     spans = load_trace(path)
-    totals = phase_totals(spans)
+    totals = phase_totals(spans, per_rank=per_rank)
     wall = _wall_seconds(spans)
+    lanes = sorted({_lane_label(s) for s in spans})
+    lane_note = f", {len(lanes)} lanes" if len(lanes) > 1 else ""
     lines = [
-        f"trace: {path}  ({len(spans)} spans, wall {wall:.3f}s)",
+        f"trace: {path}  ({len(spans)} spans{lane_note}, wall {wall:.3f}s)",
         f"{'phase':<24} | {'total':>9} | {'count':>6} | {'mean':>9} | {'% wall':>6}",
     ]
     for name, agg in sorted(totals.items(), key=lambda kv: -kv[1]["total_s"]):
@@ -121,8 +181,9 @@ def summarize_trace(path: str) -> List[str]:
             f"{1e3 * agg['mean_s']:7.2f}ms | {pct:5.1f}%"
         )
     # the Figure-3 split: sampling vs training share of the epoch time
-    sampling = totals.get("sampling", {}).get("total_s", 0.0)
-    training = totals.get("training", {}).get("total_s", 0.0)
+    flat = phase_totals(spans) if per_rank else totals
+    sampling = flat.get("sampling", {}).get("total_s", 0.0)
+    training = flat.get("training", {}).get("total_s", 0.0)
     if sampling or training:
         busy = sampling + training
         lines.append(

@@ -115,6 +115,9 @@ class RunTelemetry:
         self.metrics.gauge("train.steps").set(result.trained_steps)
         self.metrics.gauge("train.skipped_graphs").set(result.skipped_graphs)
         self.metrics.gauge("train.checkpoints_written").set(result.checkpoints_written)
+        self.metrics.gauge("train.watchdog_rollbacks").set(
+            getattr(result, "watchdog_rollbacks", 0)
+        )
         epoch_hist = self.metrics.histogram("train.epoch_seconds")
         for record in result.history.records:
             epoch_hist.observe(record.epoch_seconds)

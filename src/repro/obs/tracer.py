@@ -13,6 +13,17 @@ When tracing is off the hot paths go through :data:`NULL_TRACER`, whose
 ``span()`` returns a shared no-op context manager: no allocation, no
 timestamp reads, no buffer growth.  The no-op guarantee is verified by a
 test (``tests/obs/test_tracer.py``).
+
+Multi-process traces
+--------------------
+The ``proc`` comm backend runs one tracer per worker rank and ships the
+buffers to the driver over the command pipe (workers call
+:meth:`Tracer.drain_records`, the driver calls
+:meth:`Tracer.ingest_remote`).  Ingested records are timestamp-rebased to
+the driver's origin — ``perf_counter`` is CLOCK_MONOTONIC on Linux, so
+the same clock is readable in every process and a simple shift aligns
+the lanes — and exported with a per-rank ``pid``, giving one Perfetto
+process track per rank next to the driver's ``pid 0`` lane.
 """
 
 from __future__ import annotations
@@ -192,6 +203,17 @@ class Tracer:
         self._tids: Dict[int, int] = {threading.get_ident(): 0}
         self.spans: List[Span] = []
         self.events: List[Dict[str, Any]] = []
+        #: span/event records ingested from other processes' tracers,
+        #: already rebased to this tracer's origin and tagged with a pid.
+        self.remote_spans: List[Dict[str, Any]] = []
+        self.remote_events: List[Dict[str, Any]] = []
+        self._process_names: Dict[int, str] = {}
+
+    @property
+    def origin(self) -> float:
+        """Absolute clock reading all relative timestamps are measured
+        from (used to rebase remote lanes onto this tracer's timeline)."""
+        return self._origin
 
     # -- per-thread state ----------------------------------------------
     def _stack(self) -> List[Span]:
@@ -268,13 +290,75 @@ class Tracer:
     def children_of(self, span: Span) -> List[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]
 
+    # -- cross-process shipping ----------------------------------------
+    def drain_records(self) -> "tuple[List[Dict[str, Any]], List[Dict[str, Any]]]":
+        """Atomically snapshot-and-clear closed spans and events.
+
+        Workers call this at epoch boundaries so repeated shipments carry
+        non-overlapping deltas.  Open spans stay on their thread stacks
+        and land in a later drain once closed.
+        """
+        with self._lock:
+            span_records = [s.to_record() for s in self.spans]
+            event_records = list(self.events)
+            self.spans = []
+            self.events = []
+        return span_records, event_records
+
+    def ingest_remote(
+        self,
+        spans: Iterable[Dict[str, Any]],
+        events: Iterable[Dict[str, Any]],
+        pid: int,
+        process_name: str,
+        time_shift: float = 0.0,
+        rank: Optional[int] = None,
+    ) -> None:
+        """Merge another process's drained records into this trace.
+
+        ``time_shift`` is ``remote_origin - self.origin`` in seconds:
+        adding it converts remote-relative timestamps onto this tracer's
+        timeline.  ``pid`` must be nonzero (0 is this process's lane);
+        ``process_name`` labels the lane in Chrome-trace viewers.
+        """
+        if pid == 0:
+            raise ValueError("pid 0 is reserved for the local lane")
+        shifted_spans = []
+        for rec in spans:
+            rec = dict(rec)
+            rec["t0"] = rec["t0"] + time_shift
+            rec["t1"] = rec["t1"] + time_shift
+            rec["pid"] = pid
+            if rank is not None:
+                rec["rank"] = rank
+            shifted_spans.append(rec)
+        shifted_events = []
+        for rec in events:
+            rec = dict(rec)
+            rec["t"] = rec["t"] + time_shift
+            rec["pid"] = pid
+            if rank is not None:
+                rec["rank"] = rank
+            shifted_events.append(rec)
+        with self._lock:
+            self._process_names[pid] = process_name
+            self.remote_spans.extend(shifted_spans)
+            self.remote_events.extend(shifted_events)
+
     # -- export --------------------------------------------------------
     def to_jsonl_lines(self) -> List[str]:
-        """One JSON object per line: spans (close order) then events."""
+        """One JSON object per line: spans (close order) then events.
+
+        Local records carry no ``pid`` key (implicitly lane 0); ingested
+        remote records keep their ``pid``/``rank`` tags.
+        """
         records: Iterable[Dict[str, Any]] = [s.to_record() for s in self.spans]
-        return [json.dumps(r) for r in records] + [
-            json.dumps(e) for e in self.events
-        ]
+        return (
+            [json.dumps(r) for r in records]
+            + [json.dumps(e) for e in self.events]
+            + [json.dumps(r) for r in self.remote_spans]
+            + [json.dumps(e) for e in self.remote_events]
+        )
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as fh:
@@ -297,6 +381,16 @@ class Tracer:
                 "args": {"name": "repro"},
             }
         ]
+        for pid, name in sorted(self._process_names.items()):
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
         for s in self.spans:
             trace_events.append(
                 {
@@ -322,6 +416,39 @@ class Tracer:
                     "tid": e.get("tid", 0),
                     "s": "t",
                     "args": dict(e["attrs"]),
+                }
+            )
+        for r in self.remote_spans:
+            args = dict(r.get("attrs", {}), depth=r.get("depth", 0),
+                        id=r.get("id"), parent=r.get("parent"))
+            if r.get("rank") is not None:
+                args["rank"] = r["rank"]
+            trace_events.append(
+                {
+                    "name": r["name"],
+                    "cat": r.get("cat", "span"),
+                    "ph": "X",
+                    "ts": r["t0"] * 1e6,
+                    "dur": (r["t1"] - r["t0"]) * 1e6,
+                    "pid": r["pid"],
+                    "tid": r.get("tid", 0),
+                    "args": args,
+                }
+            )
+        for r in self.remote_events:
+            args = dict(r.get("attrs", {}))
+            if r.get("rank") is not None:
+                args["rank"] = r["rank"]
+            trace_events.append(
+                {
+                    "name": r["name"],
+                    "cat": r.get("cat", "event"),
+                    "ph": "i",
+                    "ts": r["t"] * 1e6,
+                    "pid": r["pid"],
+                    "tid": r.get("tid", 0),
+                    "s": "t",
+                    "args": args,
                 }
             )
         out: Dict[str, Any] = {

@@ -707,6 +707,12 @@ def _train_minibatch(
                 epoch, lead, optimizers[ddp.global_ranks[0]], rng, history,
                 governor, steps,
             )
+            # Multi-process backends buffer per-rank spans/metrics worker-side;
+            # pull the deltas into the driver's trace at each epoch boundary
+            # (close() collects whatever the final partial epoch leaves).
+            collect = getattr(comm, "collect_worker_telemetry", None)
+            if collect is not None:
+                collect()
             if stop or budget_exhausted:
                 break
         governor.finalize(ddp.models[0])

@@ -286,6 +286,116 @@ class TestElasticDDP:
             assert np.array_equal(gs, gp)
 
 
+class TestWorkerTelemetry:
+    """Per-rank worker tracing: spans/metrics drained over the command
+    pipe and merged into the driver trace as one lane per rank."""
+
+    def test_collect_returns_zero_when_telemetry_disabled(self, comm2, rng):
+        comm2.allreduce([rng.standard_normal(4) for _ in range(2)])
+        assert comm2.collect_worker_telemetry() == 0
+
+    def test_worker_lanes_merge_into_driver_trace(self, rng):
+        from repro.obs import RunTelemetry, use_telemetry
+
+        telemetry = RunTelemetry.for_run(world_size=3)
+        with use_telemetry(telemetry):
+            comm = ProcCommunicator(3, collective_timeout=15.0)
+            try:
+                comm.allreduce([rng.standard_normal(16) for _ in range(3)])
+                comm.broadcast(rng.standard_normal(4))
+                comm.barrier()
+                assert comm.collect_worker_telemetry() == 3
+            finally:
+                comm.close()
+        payload = telemetry.tracer.to_chrome_trace()
+        events = payload["traceEvents"]
+        lane_names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert lane_names[0] == "repro"
+        assert {lane_names[pid] for pid in (1, 2, 3)} == {
+            "rank 0", "rank 1", "rank 2"
+        }
+        by_pid = {}
+        for e in events:
+            if e["ph"] == "X":
+                by_pid.setdefault(e["pid"], set()).add(e["name"])
+        for pid in (1, 2, 3):
+            assert {
+                "comm.worker.allreduce", "comm.worker.broadcast",
+                "comm.worker.barrier", "comm.worker.barrier_wait",
+            } <= by_pid[pid], pid
+        # the driver lane keeps its own collective + shm spans
+        assert "comm.allreduce" in by_pid[0]
+        assert "comm.shm_write" in by_pid[0]
+        # worker metrics merged: counters sum, histograms pool
+        snap = telemetry.metrics.to_dict()
+        assert snap["counters"]["comm.worker.collectives"] == 9.0
+        assert snap["counters"]["comm.worker.heartbeats"] >= 3.0
+        assert snap["histograms"]["comm.worker.barrier_wait_ms"]["count"] > 0
+
+    def test_repeated_collection_ships_deltas_not_duplicates(self, rng):
+        from repro.obs import RunTelemetry, use_telemetry
+
+        telemetry = RunTelemetry.for_run(world_size=2)
+        with use_telemetry(telemetry):
+            comm = ProcCommunicator(2, collective_timeout=15.0)
+            try:
+                comm.barrier()
+                assert comm.collect_worker_telemetry() == 2
+                first = telemetry.metrics.to_dict()["counters"][
+                    "comm.worker.collectives"
+                ]
+                assert first == 2.0
+                comm.barrier()
+                assert comm.collect_worker_telemetry() == 2
+                second = telemetry.metrics.to_dict()["counters"][
+                    "comm.worker.collectives"
+                ]
+                assert second == 4.0  # delta shipping: no double counting
+                barriers = [
+                    s
+                    for s in telemetry.tracer.remote_spans
+                    if s["name"] == "comm.worker.barrier"
+                ]
+                assert len(barriers) == 4  # 2 ranks x 2 barriers, once each
+            finally:
+                comm.close()
+
+    @pytest.mark.faults
+    def test_eviction_emits_supervisor_events(self, rng):
+        from repro.obs import RunTelemetry, use_telemetry
+
+        telemetry = RunTelemetry.for_run(world_size=4)
+        plan = FaultPlan(
+            process_faults=[ProcessFault(at_call=1, rank=1, kind="sigkill")]
+        )
+        with use_telemetry(telemetry):
+            comm = ProcCommunicator(
+                4, fault_plan=plan, collective_timeout=10.0,
+                heartbeat_deadline=1.0,
+            )
+            try:
+                comm.allreduce([np.ones(8)] * 4)
+                with pytest.raises(RankDeadError):
+                    comm.allreduce([np.ones(8)] * 4)
+                comm.remove_rank(1)
+                comm.allreduce([np.ones(8)] * 3)
+            finally:
+                comm.close()
+        event_names = {e["name"] for e in telemetry.tracer.events}
+        assert "comm.supervisor.rank_death" in event_names
+        assert "comm.supervisor.rank_evicted" in event_names
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["comm.supervisor.rank_death"] >= 1
+        assert counters["comm.supervisor.rank_evicted"] == 1.0
+        # dead rank 1 (pid 2) ships nothing; the survivors still merge
+        lanes = {s["pid"] for s in telemetry.tracer.remote_spans}
+        assert lanes == {1, 3, 4}
+
+
 class TestSupervisorPieces:
     def test_control_block_roundtrip(self):
         ctrl = ControlBlock.create(3)

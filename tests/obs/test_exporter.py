@@ -1,0 +1,135 @@
+"""Live exposition: Prometheus rendering and the /metrics + /health server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsExporter,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.exporter import sanitize_metric_name
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode()
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency_ms") == "serve_latency_ms"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("3d.hits") == "_3d_hits"
+
+    def test_colons_allowed(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+    def test_empty_name(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRenderPrometheus:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests.completed").add(7)
+        reg.gauge("train.epochs").set(2)
+        h = reg.histogram("serve.latency_ms")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        return reg.to_dict()
+
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE serve_requests_completed counter" in text
+        assert "serve_requests_completed 7.0" in text
+        assert "# TYPE train_epochs gauge" in text
+        assert "train_epochs 2.0" in text
+
+    def test_histogram_rendered_as_summary(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE serve_latency_ms summary" in text
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'serve_latency_ms{{quantile="{q}"}}' in text
+        assert "serve_latency_ms_sum 10.0" in text
+        assert "serve_latency_ms_count 4" in text
+        assert "serve_latency_ms_min 1.0" in text
+        assert "serve_latency_ms_max 4.0" in text
+
+    def test_disabled_telemetry_renders_empty(self):
+        # with telemetry off there is no snapshot: the page stays valid
+        assert render_prometheus(None) == ""
+        assert render_prometheus({}) == ""
+
+    def test_empty_registry_is_empty_page(self):
+        assert render_prometheus(MetricsRegistry().to_dict()) == ""
+
+
+class TestMetricsExporter:
+    def test_metrics_endpoint_serves_live_snapshot(self):
+        reg = MetricsRegistry()
+        with MetricsExporter(metrics_fn=reg.to_dict, port=0) as exporter:
+            reg.counter("scrapes").add(3)
+            status, body = _get(f"{exporter.url}/metrics")
+            assert status == 200
+            assert "scrapes 3.0" in body
+            reg.counter("scrapes").add(1)  # pull-based: next scrape sees it
+            _, body = _get(f"{exporter.url}/metrics")
+            assert "scrapes 4.0" in body
+
+    def test_health_defaults_ready_without_health_fn(self):
+        with MetricsExporter(metrics_fn=lambda: None, port=0) as exporter:
+            status, body = _get(f"{exporter.url}/health")
+            assert status == 200
+            assert json.loads(body) == {"live": True, "ready": True}
+
+    def test_health_503_when_not_ready(self):
+        health = {"live": True, "ready": False, "phase": "draining"}
+        with MetricsExporter(
+            metrics_fn=lambda: None, health_fn=lambda: health, port=0
+        ) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{exporter.url}/health", timeout=5.0)
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read()) == health
+
+    def test_health_fn_exception_reported_not_raised(self):
+        def boom():
+            raise RuntimeError("engine gone")
+
+        with MetricsExporter(
+            metrics_fn=lambda: None, health_fn=boom, port=0
+        ) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{exporter.url}/health", timeout=5.0)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["ready"] is False
+            assert "engine gone" in payload["error"]
+
+    def test_metrics_fn_exception_never_500s_a_scrape(self):
+        def boom():
+            raise KeyError("registry torn down")
+
+        with MetricsExporter(metrics_fn=boom, port=0) as exporter:
+            status, body = _get(f"{exporter.url}/metrics")
+            assert status == 200
+            assert body.startswith("# scrape error:")
+
+    def test_unknown_path_404(self):
+        with MetricsExporter(metrics_fn=lambda: None, port=0) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{exporter.url}/nope", timeout=5.0)
+            assert excinfo.value.code == 404
+
+    def test_close_is_idempotent_and_stops_serving(self):
+        exporter = MetricsExporter(metrics_fn=lambda: None, port=0)
+        url = exporter.url
+        exporter.close()
+        exporter.close()  # idempotent
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(f"{url}/metrics", timeout=1.0)

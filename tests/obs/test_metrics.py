@@ -1,6 +1,9 @@
-"""Metrics: counters, gauges, streaming histogram quantiles, registry."""
+"""Metrics: counters, gauges, streaming histogram quantiles, registry,
+thread safety under concurrent instrumentation, and the cross-process
+drain/merge protocol behind per-rank worker telemetry."""
 
 import random
+import threading
 
 import pytest
 
@@ -112,3 +115,109 @@ class TestRegistry:
         assert list(snap["counters"]) == ["a.calls", "z.calls"]
         assert snap["gauges"]["level"] == 9.0
         assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestConcurrency:
+    """Instruments are shared between the exporter's scrape thread, the
+    engine's worker threads, and the training loop: concurrent updates
+    must never lose increments or corrupt histogram aggregates."""
+
+    WORKERS = 8
+    PER_WORKER = 2_000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.WORKERS)
+
+        def run():
+            barrier.wait()
+            for i in range(self.PER_WORKER):
+                fn(i)
+
+        threads = [threading.Thread(target=run) for _ in range(self.WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_are_not_lost(self):
+        c = Counter("calls")
+        self._hammer(lambda i: c.add(1))
+        assert c.value == self.WORKERS * self.PER_WORKER
+
+    def test_histogram_aggregates_stay_exact(self):
+        h = Histogram("lat", max_samples=128)
+        self._hammer(lambda i: h.observe(float(i)))
+        assert h.count == self.WORKERS * self.PER_WORKER
+        per_worker = self.PER_WORKER * (self.PER_WORKER - 1) / 2
+        assert h.sum == pytest.approx(self.WORKERS * per_worker)
+        assert h.min == 0.0
+        assert h.max == float(self.PER_WORKER - 1)
+
+    def test_registry_creation_races_return_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def create(i):
+            inst = reg.counter("shared")
+            inst.add(1)
+            with lock:
+                seen.append(inst)
+
+        self._hammer(create)
+        assert len(set(map(id, seen))) == 1
+        assert reg.counter("shared").value == self.WORKERS * self.PER_WORKER
+
+
+class TestDrainMerge:
+    """Worker registries ship deltas to the driver at epoch boundaries:
+    drain must atomically snapshot-and-reset so repeated flushes never
+    double-count, and merge must reproduce the exact aggregates."""
+
+    def test_counter_drain_resets(self):
+        c = Counter("calls")
+        c.add(5)
+        assert c.drain() == 5.0
+        assert c.value == 0.0
+        assert c.drain() == 0.0
+
+    def test_histogram_state_merge_is_exact(self):
+        src = Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            src.observe(v)
+        dst = Histogram("lat")
+        dst.observe(10.0)
+        dst.merge_state(src.state())
+        assert dst.count == 4
+        assert dst.sum == 16.0
+        assert dst.min == 1.0 and dst.max == 10.0
+
+    def test_registry_drain_state_resets_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(3)
+        reg.histogram("h").observe(1.0)
+        state = reg.drain_state()
+        assert state["counters"]["a"] == 3.0
+        assert reg.counter("a").value == 0.0
+        # second drain ships nothing: no double counting across epochs
+        second = reg.drain_state()
+        assert second["counters"].get("a", 0.0) == 0.0
+        assert second["histograms"].get("h", {}).get("count", 0) == 0
+
+    def test_merge_state_accumulates_and_suffixes_gauges(self):
+        driver = MetricsRegistry()
+        driver.counter("comm.worker.heartbeats").add(2)
+        for rank in range(2):
+            worker = MetricsRegistry()
+            worker.counter("comm.worker.heartbeats").add(5)
+            worker.gauge("mem.rss").set(100.0 + rank)
+            worker.histogram("wait_ms").observe(float(rank + 1))
+            driver.merge_state(
+                worker.drain_state(), gauge_suffix=f".rank{rank}"
+            )
+        snap = driver.to_dict()
+        assert snap["counters"]["comm.worker.heartbeats"] == 12.0
+        assert snap["gauges"]["mem.rss.rank0"] == 100.0
+        assert snap["gauges"]["mem.rss.rank1"] == 101.0
+        assert snap["histograms"]["wait_ms"]["count"] == 2
+        assert snap["histograms"]["wait_ms"]["sum"] == 3.0

@@ -1,0 +1,196 @@
+"""Perf-regression gate: baselines, tolerance bands, and CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    BASELINE_SCHEMA,
+    RunTelemetry,
+    diff_profiles,
+    load_baseline,
+    load_phase_totals,
+    record_baseline,
+    use_telemetry,
+    write_baseline,
+)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    telemetry = RunTelemetry.for_run(seed=1)
+    tracer = telemetry.tracer
+    with tracer.span("epoch"):
+        with tracer.span("sampling"):
+            pass
+        with tracer.span("training"):
+            pass
+    path = str(tmp_path / "run.trace.json")
+    telemetry.write_trace(path)
+    return path
+
+
+def _scaled_trace(trace_path, tmp_path, factor, drop=None):
+    """Copy of a chrome trace with every span duration scaled by factor."""
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    events = []
+    for ev in trace["traceEvents"]:
+        if ev.get("ph") == "X":
+            if drop and ev["name"] == drop:
+                continue
+            ev = dict(ev, dur=float(ev["dur"]) * factor)
+        events.append(ev)
+    trace["traceEvents"] = events
+    out = str(tmp_path / f"scaled_{factor}.trace.json")
+    with open(out, "w") as fh:
+        json.dump(trace, fh)
+    return out
+
+
+class TestBaseline:
+    def test_record_schema_and_phases(self, trace_path):
+        baseline = record_baseline(trace_path, metadata={"bench": "unit"})
+        assert baseline["schema"] == BASELINE_SCHEMA
+        assert set(baseline["phases"]) == {"epoch", "sampling", "training"}
+        for agg in baseline["phases"].values():
+            assert set(agg) == {"total_s", "count", "mean_s"}
+            assert agg["count"] >= 1
+        assert baseline["tolerance"]["default"] == 3.0
+        assert baseline["metadata"] == {"bench": "unit"}
+
+    def test_tolerance_must_be_positive(self, trace_path):
+        with pytest.raises(ValueError):
+            record_baseline(trace_path, tolerance=0.0)
+
+    def test_write_load_round_trip(self, trace_path, tmp_path):
+        baseline = record_baseline(trace_path, per_phase={"epoch": 5.0})
+        path = str(tmp_path / "b.json")
+        write_baseline(baseline, path)
+        assert load_baseline(path) == baseline
+
+    def test_load_rejects_non_baseline(self, tmp_path):
+        bogus = tmp_path / "b.json"
+        bogus.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(str(bogus))
+
+    def test_load_phase_totals_accepts_trace_or_baseline(
+        self, trace_path, tmp_path
+    ):
+        baseline = record_baseline(trace_path)
+        bpath = str(tmp_path / "b.json")
+        write_baseline(baseline, bpath)
+        from_trace = load_phase_totals(trace_path)
+        from_baseline = load_phase_totals(bpath)
+        assert set(from_trace) == set(from_baseline)
+        for name in from_trace:
+            assert from_trace[name]["total_s"] == pytest.approx(
+                from_baseline[name]["total_s"]
+            )
+
+
+class TestDiffProfiles:
+    def test_identical_profiles_pass(self, trace_path):
+        baseline = record_baseline(trace_path)
+        totals = load_phase_totals(trace_path)
+        report, failures = diff_profiles(totals, baseline)
+        assert failures == []
+        assert any("ok" in line for line in report[1:])
+
+    def test_slowdown_past_tolerance_trips(self, trace_path, tmp_path):
+        baseline = record_baseline(trace_path, tolerance=2.0)
+        slow = _scaled_trace(trace_path, tmp_path, 3.0)
+        _, failures = diff_profiles(load_phase_totals(slow), baseline)
+        assert len(failures) == 3  # every phase regressed
+
+    def test_speedup_never_trips(self, trace_path, tmp_path):
+        baseline = record_baseline(trace_path, tolerance=1.01)
+        fast = _scaled_trace(trace_path, tmp_path, 0.25)
+        _, failures = diff_profiles(load_phase_totals(fast), baseline)
+        assert failures == []
+
+    def test_missing_phase_fails(self, trace_path, tmp_path):
+        baseline = record_baseline(trace_path)
+        pruned = _scaled_trace(trace_path, tmp_path, 1.0, drop="sampling")
+        _, failures = diff_profiles(load_phase_totals(pruned), baseline)
+        assert any("sampling" in f and "missing" in f for f in failures)
+
+    def test_new_phase_informational_not_failing(self, trace_path):
+        baseline = record_baseline(trace_path)
+        totals = load_phase_totals(trace_path)
+        totals["brand.new"] = {"total_s": 9.0, "count": 1, "mean_s": 9.0}
+        report, failures = diff_profiles(totals, baseline)
+        assert failures == []
+        assert any("brand.new" in line and "not gated" in line for line in report)
+
+    def test_per_phase_tolerance_overrides_default(self, trace_path, tmp_path):
+        # default band would trip at 3x; the loose per-phase band for
+        # every phase lets a 4x slowdown through
+        totals = load_phase_totals(trace_path)
+        baseline = record_baseline(
+            trace_path, per_phase={name: 10.0 for name in totals}
+        )
+        slow = _scaled_trace(trace_path, tmp_path, 4.0)
+        _, failures = diff_profiles(load_phase_totals(slow), baseline)
+        assert failures == []
+
+    def test_cli_tolerance_override_beats_per_phase(self, trace_path, tmp_path):
+        totals = load_phase_totals(trace_path)
+        baseline = record_baseline(
+            trace_path, per_phase={name: 100.0 for name in totals}
+        )
+        slow = _scaled_trace(trace_path, tmp_path, 4.0)
+        _, failures = diff_profiles(
+            load_phase_totals(slow), baseline, tolerance_override=2.0
+        )
+        assert len(failures) == 3
+
+    def test_zero_baseline_phase(self, trace_path):
+        baseline = record_baseline(trace_path)
+        baseline["phases"]["sampling"]["total_s"] = 0.0
+        totals = load_phase_totals(trace_path)
+        # nonzero candidate over a zero baseline is an infinite ratio
+        _, failures = diff_profiles(totals, baseline)
+        assert any("sampling" in f for f in failures)
+        totals["sampling"] = {"total_s": 0.0, "count": 1, "mean_s": 0.0}
+        _, failures = diff_profiles(totals, baseline)
+        assert not any("sampling" in f for f in failures)
+
+
+class TestCli:
+    def test_baseline_then_self_diff_exits_zero(self, trace_path, tmp_path):
+        bpath = str(tmp_path / "b.json")
+        assert cli_main(["telemetry", "baseline", trace_path, "-o", bpath]) == 0
+        assert cli_main(["telemetry", "diff", trace_path, bpath]) == 0
+        # baseline self-diff: machine-independent, used by CI obs-smoke
+        assert cli_main(["telemetry", "diff", bpath, bpath]) == 0
+
+    def test_diff_exits_one_on_regression(self, trace_path, tmp_path, capsys):
+        bpath = str(tmp_path / "b.json")
+        assert cli_main(["telemetry", "baseline", trace_path, "-o", bpath]) == 0
+        slow = _scaled_trace(trace_path, tmp_path, 4.0)
+        assert cli_main(["telemetry", "diff", slow, bpath]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_diff_exits_two_on_bad_input(self, trace_path, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert cli_main(["telemetry", "diff", trace_path, str(bogus)]) == 2
+        assert cli_main(["telemetry", "baseline", str(bogus), "-o",
+                         str(tmp_path / "o.json")]) == 2
+
+    def test_checked_in_baselines_self_diff(self):
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for bench in ("bench_fig3_epoch_time", "bench_serving"):
+            path = os.path.join(
+                root, "benchmarks", "results", "telemetry", "baselines",
+                f"{bench}.json",
+            )
+            assert os.path.isfile(path), f"missing checked-in baseline {bench}"
+            baseline = load_baseline(path)
+            _, failures = diff_profiles(load_phase_totals(path), baseline)
+            assert failures == []

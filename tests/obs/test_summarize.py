@@ -81,6 +81,103 @@ class TestPhaseTotals:
         assert lines[-1].startswith("Figure-3 split: sampling")
 
 
+class TestMultiLane:
+    """Merged multi-process traces: per-rank grouping, union wall-clock,
+    and JSONL <-> Chrome schema round-tripping of pid/rank tags."""
+
+    def _merged_telemetry(self):
+        """Driver telemetry with two ingested worker lanes."""
+        from repro.obs import Tracer
+
+        telemetry = RunTelemetry.for_run(seed=0)
+        driver = telemetry.tracer
+        with driver.span("epoch"):
+            pass
+        for rank in range(2):
+            worker = Tracer()
+            with worker.span("comm.worker.allreduce", seq=0):
+                pass
+            spans, events = worker.drain_records()
+            driver.ingest_remote(
+                spans, events, pid=rank + 1,
+                process_name=f"rank {rank}",
+                time_shift=worker.origin - driver.origin,
+                rank=rank,
+            )
+        return telemetry
+
+    @pytest.mark.parametrize("fmt", ["chrome", "jsonl"])
+    def test_pid_rank_round_trip_both_formats(self, tmp_path, fmt):
+        telemetry = self._merged_telemetry()
+        path = str(tmp_path / ("t.jsonl" if fmt == "jsonl" else "t.json"))
+        telemetry.write_trace(path)
+        spans = load_trace(path)
+        by_lane = {}
+        for s in spans:
+            by_lane.setdefault((s.pid, s.rank), set()).add(s.name)
+        assert by_lane[(0, None)] == {"epoch"}
+        assert by_lane[(1, 0)] == {"comm.worker.allreduce"}
+        assert by_lane[(2, 1)] == {"comm.worker.allreduce"}
+
+    def test_formats_agree_on_phase_totals(self, tmp_path):
+        telemetry = self._merged_telemetry()
+        chrome = str(tmp_path / "t.json")
+        jsonl = str(tmp_path / "t.jsonl")
+        telemetry.write_trace(chrome)
+        telemetry.write_trace(jsonl)
+        t_chrome = phase_totals(load_trace(chrome), per_rank=True)
+        t_jsonl = phase_totals(load_trace(jsonl), per_rank=True)
+        assert set(t_chrome) == set(t_jsonl)
+        for key in t_chrome:
+            assert t_chrome[key]["count"] == t_jsonl[key]["count"]
+            # chrome stores microseconds; round-trip agrees to ~1 us
+            assert t_chrome[key]["total_s"] == pytest.approx(
+                t_jsonl[key]["total_s"], abs=1e-5
+            )
+
+    def test_per_rank_totals_key_by_lane(self, tmp_path):
+        telemetry = self._merged_telemetry()
+        path = str(tmp_path / "t.json")
+        telemetry.write_trace(path)
+        spans = load_trace(path)
+        flat = phase_totals(spans)
+        assert flat["comm.worker.allreduce"]["count"] == 2  # pooled
+        per_rank = phase_totals(spans, per_rank=True)
+        assert per_rank["r0/comm.worker.allreduce"]["count"] == 1
+        assert per_rank["r1/comm.worker.allreduce"]["count"] == 1
+        assert per_rank["driver/epoch"]["count"] == 1
+
+    def test_wall_clock_is_union_of_lane_intervals(self):
+        from repro.obs.summarize import SpanRecord, _wall_seconds
+
+        def span(start, dur, pid, rank):
+            return SpanRecord(
+                name="x", category="span", start_s=start, duration_s=dur,
+                depth=0, pid=pid, rank=rank,
+            )
+
+        # two fully overlapping lanes: wall is one lane's extent
+        overlapped = [span(0.0, 2.0, 1, 0), span(0.0, 2.0, 2, 1)]
+        assert _wall_seconds(overlapped) == pytest.approx(2.0)
+        # staggered lanes with a shared middle: union, not sum or extent
+        staggered = [span(0.0, 2.0, 1, 0), span(1.0, 2.0, 2, 1)]
+        assert _wall_seconds(staggered) == pytest.approx(3.0)
+        # disjoint busy windows: the idle gap is not wall time
+        gapped = [span(0.0, 1.0, 1, 0), span(5.0, 1.0, 2, 1)]
+        assert _wall_seconds(gapped) == pytest.approx(2.0)
+        assert _wall_seconds([]) == 0.0
+
+    def test_summarize_renders_lane_count_and_per_rank_rows(self, tmp_path):
+        telemetry = self._merged_telemetry()
+        path = str(tmp_path / "t.json")
+        telemetry.write_trace(path)
+        lines = summarize_trace(path)
+        assert "3 lanes" in lines[0]
+        lines = summarize_trace(path, per_rank=True)
+        assert any(line.startswith("r0/comm.worker.allreduce") for line in lines)
+        assert any(line.startswith("driver/epoch") for line in lines)
+
+
 class TestTracedTraining:
     def test_shadow_mode_emits_stage_spans_per_epoch(self, traced_run):
         telemetry, _ = traced_run

@@ -134,6 +134,104 @@ class TestExport:
         assert payload["traceEvents"]
 
 
+class TestRemoteIngestion:
+    """Cross-process merging: drained worker records land in the driver
+    trace as their own pid lane on the driver's timeline."""
+
+    def _remote(self):
+        worker = Tracer()
+        with worker.span("comm.worker.allreduce", seq=3):
+            with worker.span("comm.worker.reduce", step=0):
+                pass
+        worker.event("comm.worker.aborted", seq=3)
+        return worker
+
+    def test_drain_records_snapshots_and_clears(self):
+        worker = self._remote()
+        spans, events = worker.drain_records()
+        assert {s["name"] for s in spans} == {
+            "comm.worker.allreduce", "comm.worker.reduce"
+        }
+        assert events[0]["name"] == "comm.worker.aborted"
+        assert worker.spans == [] and worker.events == []
+        assert worker.drain_records() == ([], [])
+
+    def test_drain_leaves_open_spans_for_later(self):
+        worker = Tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+            spans, _ = worker.drain_records()
+            assert [s["name"] for s in spans] == ["inner"]
+        spans, _ = worker.drain_records()
+        assert [s["name"] for s in spans] == ["outer"]
+
+    def test_pid_zero_is_rejected(self):
+        driver = Tracer()
+        with pytest.raises(ValueError, match="pid 0"):
+            driver.ingest_remote([], [], pid=0, process_name="rank 0")
+
+    def test_time_shift_rebases_remote_lane(self):
+        driver = Tracer()
+        worker = self._remote()
+        spans, events = worker.drain_records()
+        t0 = spans[0]["t0"]
+        shift = worker.origin - driver.origin
+        driver.ingest_remote(
+            spans, events, pid=2, process_name="rank 1",
+            time_shift=shift, rank=1,
+        )
+        assert driver.remote_spans[0]["t0"] == pytest.approx(t0 + shift)
+        assert driver.remote_spans[0]["pid"] == 2
+        assert driver.remote_spans[0]["rank"] == 1
+        assert driver.remote_events[0]["pid"] == 2
+
+    def test_chrome_trace_gets_lane_per_process(self):
+        driver = Tracer()
+        with driver.span("driver.step"):
+            pass
+        for rank in range(2):
+            worker = self._remote()
+            spans, events = worker.drain_records()
+            driver.ingest_remote(
+                spans, events, pid=rank + 1,
+                process_name=f"rank {rank}", rank=rank,
+            )
+        payload = driver.to_chrome_trace()
+        events = payload["traceEvents"]
+        lane_names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert lane_names[1] == "rank 0" and lane_names[2] == "rank 1"
+        xs_by_pid = {}
+        for e in events:
+            if e["ph"] == "X":
+                xs_by_pid.setdefault(e["pid"], set()).add(e["name"])
+        assert xs_by_pid[0] == {"driver.step"}
+        for pid in (1, 2):
+            assert "comm.worker.allreduce" in xs_by_pid[pid]
+        instants = [e for e in events if e["ph"] == "i" and e["pid"] == 1]
+        assert any(e["name"] == "comm.worker.aborted" for e in instants)
+
+    def test_remote_records_survive_jsonl_export(self, tmp_path):
+        driver = Tracer()
+        worker = self._remote()
+        spans, events = worker.drain_records()
+        driver.ingest_remote(
+            spans, events, pid=1, process_name="rank 0", rank=0
+        )
+        path = str(tmp_path / "t.jsonl")
+        driver.write_jsonl(path)
+        records = [json.loads(line) for line in open(path)]
+        remote = [r for r in records if r.get("pid") == 1]
+        assert {r["name"] for r in remote if r["type"] == "span"} == {
+            "comm.worker.allreduce", "comm.worker.reduce"
+        }
+        assert all(r.get("rank") == 0 for r in remote if r["type"] == "span")
+
+
 class TestNullTracer:
     def test_span_is_shared_noop(self):
         tracer = NullTracer()

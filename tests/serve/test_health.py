@@ -1,0 +1,124 @@
+"""The InferenceEngine.health() field contract.
+
+The /health endpoint (``--metrics-port``) serves this document verbatim
+and keys HTTP 200 vs 503 off ``ready``, so the fields and their
+semantics across breaker states and drain are a wire contract:
+
+* ``live``     — engine not closed (can still accept submissions);
+* ``ready``    — live AND full-quality serving available (breaker not
+  open): the load-balancer readiness signal;
+* ``breaker``  — "closed" | "open" | "half_open", or None when the
+  breaker is disabled;
+* ``queue_depth`` / ``in_flight`` — instantaneous load gauges.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, SimClock, StageFault
+from repro.serve import InferenceEngine, ServeConfig
+
+pytestmark = pytest.mark.guard
+
+REQUIRED_FIELDS = {"live", "ready", "breaker", "queue_depth", "in_flight"}
+
+
+def _fail_twice_engine(serve_pipeline, clock, cooldown_ms):
+    """Engine whose first two GNN batches fail (trips a threshold-2 breaker)."""
+    plan = FaultPlan(stage_faults=[StageFault(stage="gnn", at_call=0, times=2)])
+    return InferenceEngine(
+        serve_pipeline,
+        ServeConfig(
+            max_batch_events=1,
+            cache_capacity=0,
+            breaker_threshold=2,
+            breaker_cooldown_ms=cooldown_ms,
+            breaker_probes=1,
+        ),
+        clock=clock,
+        fault_plan=plan,
+    )
+
+
+class TestHealthContract:
+    def test_fields_present_and_ready_when_fresh(self, serve_pipeline):
+        engine = InferenceEngine(serve_pipeline, ServeConfig(breaker_threshold=2))
+        try:
+            health = engine.health()
+            assert REQUIRED_FIELDS <= set(health)
+            assert health["live"] is True
+            assert health["ready"] is True
+            assert health["breaker"] == "closed"
+            assert health["queue_depth"] == 0
+            assert health["in_flight"] == 0
+        finally:
+            engine.close()
+
+    def test_breaker_disabled_reports_none_and_ready(self, serve_pipeline):
+        engine = InferenceEngine(serve_pipeline, ServeConfig())
+        try:
+            health = engine.health()
+            assert health["breaker"] is None
+            assert health["ready"] is True
+        finally:
+            engine.close()
+
+    def test_open_breaker_flips_ready_but_stays_live(
+        self, serve_pipeline, serve_events
+    ):
+        clock = SimClock()
+        engine = _fail_twice_engine(serve_pipeline, clock, cooldown_ms=1e6)
+        try:
+            for _ in range(2):
+                engine.submit(serve_events[0])
+                engine.flush()
+            health = engine.health()
+            assert health["breaker"] == "open"
+            assert health["live"] is True
+            assert health["ready"] is False  # degraded-only serving
+        finally:
+            engine.close()
+
+    def test_half_open_probe_window_reports_ready(
+        self, serve_pipeline, serve_events
+    ):
+        clock = SimClock()
+        engine = _fail_twice_engine(serve_pipeline, clock, cooldown_ms=100.0)
+        try:
+            for _ in range(2):
+                engine.submit(serve_events[0])
+                engine.flush()
+            assert engine.health()["breaker"] == "open"
+            clock.sleep(0.2)  # cooldown elapses: open -> half_open probe
+            health = engine.health()
+            assert health["breaker"] == "half_open"
+            assert health["ready"] is True  # a probe may be attempted
+        finally:
+            engine.close()
+
+    def test_drain_flips_live_and_ready(self, serve_pipeline, serve_events):
+        engine = InferenceEngine(
+            serve_pipeline, ServeConfig(breaker_threshold=2)
+        )
+        request = engine.submit(serve_events[0])
+        engine.close()  # graceful drain finishes queued work first
+        assert request.status == "done"
+        health = engine.health()
+        assert health["live"] is False
+        assert health["ready"] is False
+        assert health["in_flight"] == 0
+
+    def test_queue_depth_counts_pending_requests(
+        self, serve_pipeline, serve_events
+    ):
+        engine = InferenceEngine(
+            serve_pipeline, ServeConfig(max_batch_events=16, max_queue_events=16)
+        )
+        try:
+            for event in serve_events[:3]:
+                engine.submit(event)
+            health = engine.health()
+            assert health["queue_depth"] == 3
+            engine.flush()
+            assert engine.health()["queue_depth"] == 0
+        finally:
+            engine.close()
