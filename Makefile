@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke kernels-smoke clean
 
 test:
 	pytest tests/
@@ -75,6 +75,22 @@ obs-smoke:
 	python -m repro.cli telemetry diff \
 	  benchmarks/results/telemetry/baselines/bench_serving.json \
 	  benchmarks/results/telemetry/baselines/bench_serving.json
+
+# Fused-kernel check: numeric parity of every fused op against its
+# unfused/legacy reference (forward + gradients), arena pooling
+# bit-safety, and a measured speedup gate on the bench-shaped message
+# pass; then the fused/precision parity test suites, a fresh fig3
+# profile, and the perf-regression gate against the checked-in baseline
+# so the fused-kernel epoch-time win is locked in (mirrors the
+# dedicated CI step).
+kernels-smoke:
+	python scripts/validate_kernels.py
+	pytest tests/tensor/test_fused_kernels.py tests/memory/test_arena.py \
+	  tests/models/test_fused_ignn.py -q
+	pytest benchmarks/bench_fig3_epoch_time.py -k ex3 -q --benchmark-only
+	python -m repro.cli telemetry diff \
+	  benchmarks/results/telemetry/test_fig3_epoch_time_ex3-ex3.trace.json \
+	  benchmarks/results/telemetry/baselines/bench_fig3_epoch_time.json
 
 examples:
 	python examples/quickstart.py

@@ -110,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument(
+        "--precision",
+        choices=("float32", "float64"),
+        default="float32",
+        help="training dtype: float32 (paper) or the float64 reference mode",
+    )
+    p_train.add_argument(
+        "--no-fused-kernels",
+        action="store_true",
+        help="use the unfused gather/concat/matmul reference message path",
+    )
+    p_train.add_argument(
         "--checkpoint-every",
         type=int,
         default=None,
@@ -395,6 +406,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="successful half-open probes required to close the breaker",
     )
+    parser.add_argument(
+        "--precision",
+        choices=("float32", "float64"),
+        default="float32",
+        help="cast the pipeline's stage networks to this dtype "
+        "(float64 = high-precision reference mode)",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -526,6 +544,8 @@ def _cmd_train(args) -> int:
         watchdog_spike_factor=args.watchdog_spike_factor,
         watchdog_max_rollbacks=args.watchdog_max_rollbacks,
         watchdog_lr_backoff=args.watchdog_lr_backoff,
+        fused_kernels=not args.no_fused_kernels,
+        precision=args.precision,
     )
     if args.config is not None:
         import json
@@ -549,6 +569,7 @@ def _cmd_train(args) -> int:
             "validate_inputs": False, "keep_last": None, "watchdog": False,
             "watchdog_window": 8, "watchdog_spike_factor": 10.0,
             "watchdog_max_rollbacks": 2, "watchdog_lr_backoff": 0.5,
+            "fused_kernels": True, "precision": "float32",
         }
         for key, value in from_file.items():
             if key not in fields or fields[key] == flag_defaults.get(key):
@@ -783,6 +804,7 @@ def _cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         breaker_probes=args.breaker_probes,
+        precision=args.precision,
     )
     telemetry = _make_telemetry(args, config=config, seed=args.seed)
     engine_ref = {}
@@ -876,6 +898,7 @@ def _cmd_loadgen(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         breaker_probes=args.breaker_probes,
+        precision=args.precision,
     )
     load_cfg = LoadGenConfig(
         rate=args.rate,

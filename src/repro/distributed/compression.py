@@ -21,6 +21,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..nn import Module
+from ..tensor.kernels import scatter_add_1d
 from .coalesce import flatten_arrays, gradient_arrays, unflatten_array
 from .costmodel import CommCostModel
 
@@ -106,7 +107,9 @@ class CompressedSynchronizer:
         dense_sum = np.zeros_like(flats[0], dtype=np.float64)
         for comp, flat in zip(self.compressors, flats):
             idx, values = comp.compress(flat)
-            np.add.at(dense_sum, idx, values.astype(np.float64))
+            scatter_add_1d(
+                values.astype(np.float64), idx, dense_sum.shape[0], out=dense_sum
+            )
             self.bytes_exchanged += idx.size * 8  # 4B index + 4B value
         averaged = (dense_sum / self.world_size).astype(np.float32)
         for m in self.models:

@@ -30,6 +30,7 @@ import numpy as np
 from ..graph import EventGraph
 from ..models import InteractionGNN
 from ..tensor import Tensor, no_grad, ops
+from ..tensor.kernels import scatter_add_rows
 from .costmodel import CommCostModel, NVLINK_A100
 
 __all__ = ["HaloStats", "VertexPartition", "PartitionedIGNNForward"]
@@ -154,10 +155,10 @@ class PartitionedIGNNForward:
                     new_y[mask] = msg
 
                     # local source aggregation (sources are owned)
-                    np.add.at(m_src, e_rows, msg)
+                    scatter_add_rows(msg, e_rows, n, out=m_src, accumulate=True)
                     # destination aggregation produces partial sums for
                     # remote vertices → reverse halo push
-                    np.add.at(m_dst, e_cols, msg)
+                    scatter_add_rows(msg, e_cols, n, out=m_dst, accumulate=True)
                     remote_partials = np.unique(e_cols[(e_cols < lo) | (e_cols >= hi)])
                     self.stats.partial_rows_pushed += int(remote_partials.size)
                     self.stats.bytes_total += (

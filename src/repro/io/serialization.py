@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import io
 import os
+import struct
 import tempfile
 import zipfile
 import zlib
@@ -135,6 +136,68 @@ def clean_stale_tmp(directory: str) -> List[str]:
     return removed
 
 
+def _audit_zip_members(buffer: io.BytesIO) -> None:
+    """Cross-check each member's local header against the central directory.
+
+    ``zipfile`` trusts the central directory alone for names, CRCs and
+    sizes, so damage to a *local* file header — the redundant filename,
+    CRC copy, or the zip64 size extra that ``savez``'s force-zip64
+    streams emit — decompresses cleanly and escapes both the member
+    CRC-32 and the content checksum.  The two copies were written from
+    the same values; any disagreement means the bytes on disk are not
+    the bytes that were written.  Raises ``ValueError`` on mismatch.
+    """
+    with zipfile.ZipFile(buffer) as zf:
+        for info in zf.infolist():
+            buffer.seek(info.header_offset)
+            header = buffer.read(30)
+            if len(header) < 30 or header[:4] != b"PK\x03\x04":
+                raise ValueError(f"bad local header for {info.filename!r}")
+            flags = struct.unpack("<H", header[6:8])[0]
+            crc, csize, usize = struct.unpack("<III", header[14:26])
+            nlen, elen = struct.unpack("<HH", header[26:30])
+            name = buffer.read(nlen)
+            extra = buffer.read(elen)
+            if len(name) != nlen or len(extra) != elen:
+                raise ValueError(f"truncated local header for {info.filename!r}")
+            if name.decode("utf-8", "replace") != info.filename:
+                raise ValueError(
+                    f"local header name disagrees with directory: {name!r}"
+                )
+            zip64_vals: List[int] = []
+            pos = 0
+            while pos + 4 <= len(extra):
+                tid, tlen = struct.unpack("<HH", extra[pos : pos + 4])
+                body = extra[pos + 4 : pos + 4 + tlen]
+                if len(body) != tlen:
+                    raise ValueError(
+                        f"malformed extra field for {info.filename!r}"
+                    )
+                if tid == 0x0001:  # zip64 extended information
+                    zip64_vals = [
+                        struct.unpack("<Q", body[i : i + 8])[0]
+                        for i in range(0, len(body) - len(body) % 8, 8)
+                    ]
+                pos += 4 + tlen
+            if pos != len(extra):
+                raise ValueError(f"malformed extra field for {info.filename!r}")
+            if flags & 0x0008:
+                continue  # sizes/CRC live in a data descriptor, not here
+            fields = iter(zip64_vals)
+            if usize == 0xFFFFFFFF:
+                usize = next(fields, -1)
+            if csize == 0xFFFFFFFF:
+                csize = next(fields, -1)
+            if (
+                crc != info.CRC
+                or usize != info.file_size
+                or csize != info.compress_size
+            ):
+                raise ValueError(
+                    f"local header disagrees with directory for {info.filename!r}"
+                )
+
+
 def open_archive(path: str, verify: bool = True):
     """Open an npz archive, translating corruption into CheckpointError.
 
@@ -160,6 +223,9 @@ def open_archive(path: str, verify: bool = True):
         # the zip structure is damaged, and checkpoints are small
         with open(path, "rb") as fh:
             buffer = io.BytesIO(fh.read())
+        if verify:
+            _audit_zip_members(buffer)
+            buffer.seek(0)
         archive = np.load(buffer, allow_pickle=False)
     except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
         raise CheckpointCorruptError(

@@ -1,6 +1,31 @@
-"""GPU activation-memory model driving full-graph skip decisions."""
+"""Memory modelling and management.
+
+Two unrelated-but-cohabiting concerns:
+
+* :mod:`repro.memory.activation` — the GPU activation-memory *model*
+  driving full-graph skip decisions (paper Section 4);
+* :mod:`repro.memory.arena` — the real buffer-pool arena recycling the
+  engine's per-step gradient and scratch buffers.
+"""
 
 from .activation import ActivationMemoryModel
+from .arena import (
+    ArenaStats,
+    BufferArena,
+    arena_enabled,
+    default_arena,
+    set_arena_enabled,
+)
 from .device import A100_40GB, DeviceSpec, scaled_device
 
-__all__ = ["ActivationMemoryModel", "DeviceSpec", "A100_40GB", "scaled_device"]
+__all__ = [
+    "ActivationMemoryModel",
+    "DeviceSpec",
+    "A100_40GB",
+    "scaled_device",
+    "ArenaStats",
+    "BufferArena",
+    "arena_enabled",
+    "default_arena",
+    "set_arena_enabled",
+]

@@ -63,11 +63,21 @@ class GRUInteractionGNN(Module):
         for _ in range(self.config.num_layers):
             x_res = ops.concat([xl, x0], axis=1)
             y_res = ops.concat([yl, y0], axis=1)
-            msg_in = ops.concat(
-                [y_res, ops.gather_rows(x_res, rows), ops.gather_rows(x_res, cols)],
-                axis=1,
-            )
-            yl = self.edge_mlp(msg_in)
+            if self.config.fused:
+                # Fused message path (see _IGNNLayer): first edge-MLP
+                # Linear absorbed into the endpoint gathers.
+                first = self.edge_mlp.first_linear
+                yl = self.edge_mlp.forward_tail(
+                    ops.gather_concat_matmul(
+                        y_res, x_res, rows, cols, first.weight, first.bias
+                    )
+                )
+            else:
+                msg_in = ops.concat(
+                    [y_res, ops.gather_rows(x_res, rows), ops.gather_rows(x_res, cols)],
+                    axis=1,
+                )
+                yl = self.edge_mlp(msg_in)
             m_src = ops.segment_sum(yl, rows, num_nodes)
             m_dst = ops.segment_sum(yl, cols, num_nodes)
             xl = self.node_gru(ops.concat([m_src, m_dst], axis=1), xl)

@@ -50,6 +50,10 @@ class IGNNConfig:
     mlp_layers: int = 2
     layer_norm: bool = True
     seed: int = 0
+    #: Route the message path through the fused gather/scatter kernels
+    #: (same math, tolerance-level float differences from the unfused
+    #: reference; set False to fall back to gather → concat → matmul).
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.node_features < 1 or self.edge_features < 1:
@@ -61,8 +65,11 @@ class IGNNConfig:
 class _IGNNLayer(Module):
     """One message-passing iteration (lines 5-10 of Algorithm 1)."""
 
-    def __init__(self, hidden: int, mlp_layers: int, layer_norm: bool, rng) -> None:
+    def __init__(
+        self, hidden: int, mlp_layers: int, layer_norm: bool, rng, fused: bool = True
+    ) -> None:
         super().__init__()
+        self.fused = fused
         # Inputs: Y' (2h) ++ X'[rows] (2h) ++ X'[cols] (2h)
         self.edge_mlp = MLP(
             6 * hidden,
@@ -94,7 +101,26 @@ class _IGNNLayer(Module):
     ):
         x_res = ops.concat([x, x0], axis=1)  # X' ← [Xˡ X⁰]
         y_res = ops.concat([y, y0], axis=1)  # Y' ← [Yˡ Y⁰]
-        # MSG: Yˡ⁺¹ ← φ([Y'  X'[rows]  X'[cols]])
+        if self.fused:
+            # MSG: the first edge-MLP Linear is fused with the endpoint
+            # gathers (matmul-then-gather: n·f·h instead of m·f·h per
+            # endpoint block), then the MLP tail runs as usual.
+            first = self.edge_mlp.first_linear
+            y_next = self.edge_mlp.forward_tail(
+                ops.gather_concat_matmul(
+                    y_res, x_res, rows, cols, first.weight, first.bias
+                )
+            )
+            # AGG + vertex update: both segment sums and the concat with
+            # X' are fused into the first node-MLP Linear.
+            first = self.node_mlp.first_linear
+            x_next = self.node_mlp.forward_tail(
+                ops.scatter_mlp_input(
+                    y_next, rows, cols, x_res, first.weight, first.bias, num_nodes
+                )
+            )
+            return x_next, y_next
+        # Reference (unfused) path: gather → concat → matmul.
         msg_in = ops.concat(
             [y_res, ops.gather_rows(x_res, rows), ops.gather_rows(x_res, cols)], axis=1
         )
@@ -141,7 +167,9 @@ class InteractionGNN(Module):
         for l in range(config.num_layers):
             self.register_module(
                 f"layer{l}",
-                _IGNNLayer(h, config.mlp_layers, config.layer_norm, rng),
+                _IGNNLayer(
+                    h, config.mlp_layers, config.layer_norm, rng, fused=config.fused
+                ),
             )
         # scoring head: no output activation — raw logits
         self.output_mlp = MLP(
@@ -196,8 +224,14 @@ class InteractionGNN(Module):
         (inference path, no autograd)."""
         from ..tensor import no_grad
 
+        dt = next(self.parameters()).data.dtype
         self.eval()
         with no_grad():
-            logits = self.forward(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
+            logits = self.forward(
+                Tensor(graph.x.astype(dt, copy=False)),
+                Tensor(graph.y.astype(dt, copy=False)),
+                graph.rows,
+                graph.cols,
+            )
         self.train()
         return 1.0 / (1.0 + np.exp(-np.clip(logits.numpy(), -60, 60)))

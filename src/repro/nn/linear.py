@@ -47,10 +47,7 @@ class Linear(Module):
             object.__setattr__(self, "bias", None)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = ops.matmul(x, self.weight)
-        if self.bias is not None:
-            out = ops.add(out, self.bias)
-        return out
+        return ops.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
@@ -121,6 +118,17 @@ class Sequential(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def forward_from(self, x: Tensor, start: int) -> Tensor:
+        """Apply layers ``start``, ``start+1``, ... to ``x``.
+
+        The entry point of the fused IGNN kernels: they compute the first
+        ``Linear`` themselves (fused with the gather/scatter) and hand the
+        pre-activation to the rest of the stack.
+        """
+        for layer in self._layers[start:]:
             x = layer(x)
         return x
 

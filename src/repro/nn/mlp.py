@@ -89,5 +89,19 @@ class MLP(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.net(x)
 
+    @property
+    def first_linear(self) -> Linear:
+        """The first ``Linear`` of the stack (always ``net[0]``).
+
+        The fused graph kernels (:func:`repro.tensor.ops.gather_concat_matmul`,
+        :func:`repro.tensor.ops.scatter_mlp_input`) absorb this layer into
+        the gather/scatter and then continue via :meth:`forward_tail`.
+        """
+        return self.net[0]
+
+    def forward_tail(self, x: Tensor) -> Tensor:
+        """Apply everything after the first ``Linear`` to a pre-activation."""
+        return self.net.forward_from(x, 1)
+
     def __repr__(self) -> str:
         return f"MLP({self.in_features} -> {self.out_features}, layers={len(self.net)})"

@@ -100,6 +100,22 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (grads are cleared).
+
+        The pipeline's ``precision`` flag uses this to flip a freshly
+        built model into the float64 reference mode (or back); parameter
+        identity is preserved, so optimisers must be created *after* the
+        cast (their moment buffers adopt the parameter dtype).
+        """
+        dt = np.dtype(dtype)
+        if not np.issubdtype(dt, np.floating):
+            raise ValueError(f"astype requires a float dtype, got {dt}")
+        for p in self.parameters():
+            p.data = p.data.astype(dt, copy=False)
+            p.grad = None
+        return self
+
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------

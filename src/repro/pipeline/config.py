@@ -82,6 +82,18 @@ class GNNTrainConfig:
         Hard stop after this many optimisation steps, mid-epoch if
         necessary (``None`` = run the full epoch budget).  Useful for
         smoke runs and for exercising mid-epoch crash/resume.
+    fused_kernels:
+        Route the IGNN message path through the fused
+        ``gather_concat_matmul`` / ``scatter_mlp_input`` kernels
+        (default).  ``False`` restores the unfused gather → concat →
+        matmul reference path; results agree to float tolerance (the
+        convergence-parity suite pins this).
+    precision:
+        ``"float32"`` (default, as in the paper's training runs) or
+        ``"float64"`` — an end-to-end high-precision reference mode:
+        model weights, inputs, and every intermediate run in float64.
+        Used by the convergence-parity gates that qualify the float32
+        mode.
     """
 
     mode: str = "bulk"
@@ -125,6 +137,9 @@ class GNNTrainConfig:
     watchdog_spike_factor: float = 10.0  # spike = loss > factor * median
     watchdog_max_rollbacks: int = 2  # rollback budget before giving up
     watchdog_lr_backoff: float = 0.5  # lr multiplier applied per rollback
+    # Kernel / precision knobs (see docs/kernels.md):
+    fused_kernels: bool = True  # fused gather/scatter message path
+    precision: str = "float32"  # "float32" (paper) | "float64" reference
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "shadow", "bulk", "nodewise", "saint"):
@@ -161,6 +176,10 @@ class GNNTrainConfig:
                 raise ValueError("checkpoint_every_steps requires checkpoint_path")
         if self.max_steps is not None and self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if self.precision not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown precision {self.precision!r}; choose 'float32' or 'float64'"
+            )
         if self.keep_last is not None and self.keep_last < 1:
             raise ValueError("keep_last must be >= 1")
         if self.keep_last is not None and self.checkpoint_path is None:

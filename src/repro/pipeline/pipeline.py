@@ -174,6 +174,22 @@ class ExaTrkXPipeline:
         return self.report
 
     # ------------------------------------------------------------------
+    def astype(self, dtype) -> "ExaTrkXPipeline":
+        """Cast every fitted stage network to ``dtype`` in place.
+
+        The serving engine's ``precision`` knob uses this to run a
+        fitted pipeline in the float64 reference mode (or back to the
+        float32 deployment mode).  Unfitted stages are skipped.
+        """
+        for net in (
+            self.embedding.net,
+            self.filter.net,
+            self.gnn.result.model if self.gnn.result is not None else None,
+        ):
+            if net is not None:
+                net.astype(dtype)
+        return self
+
     def reconstruct(self, event: Event) -> List[np.ndarray]:
         """Run inference: hits → track candidates (hit-index arrays).
 

@@ -354,8 +354,17 @@ def _model_factory(config: GNNTrainConfig, sample_graph: EventGraph) -> Callable
         num_layers=config.num_layers,
         mlp_layers=config.mlp_layers,
         seed=config.seed,
+        fused=config.fused_kernels,
     )
-    return lambda: InteractionGNN(ignn_config)
+    dtype = np.dtype(config.precision)
+
+    def factory() -> InteractionGNN:
+        model = InteractionGNN(ignn_config)
+        if dtype != np.float32:
+            model.astype(dtype)  # float64 reference mode
+        return model
+
+    return factory
 
 
 def _step(
@@ -389,8 +398,14 @@ def _step(
     """
     tracer = get_tracer()
     fault_target = fault_plan.numeric_fault_target() if fault_plan is not None else None
+    dt = next(model.parameters()).data.dtype
     with tracer.span("forward", category="train", edges=graph.num_edges):
-        logits = model(Tensor(graph.x), Tensor(graph.y), graph.rows, graph.cols)
+        logits = model(
+            Tensor(graph.x.astype(dt, copy=False)),
+            Tensor(graph.y.astype(dt, copy=False)),
+            graph.rows,
+            graph.cols,
+        )
         loss = loss_fn(logits, graph.edge_labels.astype(np.float32))
     loss_value = float("nan") if fault_target == "loss" else loss.item()
     if watchdog is not None:

@@ -184,6 +184,11 @@ class ServeConfig:
         before admitting a half-open probe.
     breaker_probes:
         Consecutive successful probes required to close the breaker.
+    precision:
+        ``"float32"`` (default) or ``"float64"``: the engine casts the
+        fitted pipeline's stage networks to this dtype at construction
+        (see :meth:`repro.pipeline.ExaTrkXPipeline.astype`).  The
+        batched-vs-sequential bit-parity contract holds in either mode.
     """
 
     max_batch_events: int = 8
@@ -200,8 +205,13 @@ class ServeConfig:
     breaker_threshold: Optional[int] = None
     breaker_cooldown_ms: float = 1000.0
     breaker_probes: int = 1
+    precision: str = "float32"
 
     def __post_init__(self) -> None:
+        if self.precision not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown precision {self.precision!r}; choose 'float32' or 'float64'"
+            )
         if self.max_batch_events < 1:
             raise ValueError("max_batch_events must be >= 1")
         if self.max_wait_ms < 0:
@@ -398,6 +408,8 @@ class InferenceEngine:
             raise RuntimeError("pipeline not fitted")
         self.pipeline = pipeline
         self.config = config if config is not None else ServeConfig()
+        if self.config.precision != "float32":
+            pipeline.astype(np.dtype(self.config.precision))
         self.clock = clock if clock is not None else _WallClock()
         self.fault_plan = fault_plan
         self.queue = RequestQueue(self.config.max_queue_events)

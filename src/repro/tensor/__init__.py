@@ -6,8 +6,10 @@ Public surface::
 
 ``Tensor`` provides operator sugar (``+``, ``@``, ``.relu()``, ...); the
 full op set — including the graph primitives ``gather_rows`` and
-``segment_sum`` used by the Interaction GNN — lives in
-:mod:`repro.tensor.ops`.
+``segment_sum`` used by the Interaction GNN, and their fused variants
+``gather_concat_matmul`` / ``scatter_mlp_input`` — lives in
+:mod:`repro.tensor.ops`, with the underlying sorted-scatter kernels in
+:mod:`repro.tensor.kernels`.
 """
 
 from .tensor import (
@@ -15,11 +17,14 @@ from .tensor import (
     Tensor,
     asarray,
     astensor,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     no_grad,
+    set_default_dtype,
     unbroadcast,
 )
-from . import ops
+from . import kernels, ops
 from .ops import is_row_stable_matmul, row_stable_matmul
 from .gradcheck import gradcheck
 
@@ -31,7 +36,11 @@ __all__ = [
     "is_grad_enabled",
     "no_grad",
     "unbroadcast",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "ops",
+    "kernels",
     "gradcheck",
     "row_stable_matmul",
     "is_row_stable_matmul",

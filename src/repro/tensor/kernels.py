@@ -1,0 +1,259 @@
+"""Fused scatter/gather kernels for the IGNN hot path.
+
+The telemetry profiles under ``benchmarks/results/telemetry/`` rank the
+Algorithm-1 message path — gather, concat, matmul, segment-reduce — as
+the hot set of a training epoch.  Two properties of the old code made it
+slow:
+
+* every scatter-add went through ``np.add.at``, which dispatches one
+  ufunc inner loop per *row* and is roughly an order of magnitude slower
+  than a sort-once + ``np.add.reduceat`` (or per-column ``bincount``)
+  reduction over the same data;
+* the same ``rows``/``cols`` index arrays are re-sorted for every
+  ``segment_sum`` of every layer of every step, although the adjacency
+  is fixed for the duration of a forward/backward pass.
+
+This module provides the fast primitives: :class:`ScatterPlan` (the
+sort-once artefact, cached per index-array identity) and
+:func:`scatter_add_rows` (the sorted segment reduction).  The autograd
+ops in :mod:`repro.tensor.ops` and the distributed call sites
+(:mod:`repro.distributed.partitioned_gnn`,
+:mod:`repro.distributed.compression`) build on them.
+
+Numerical note: ``np.add.reduceat`` reduces each segment with pairwise
+summation while ``np.add.at`` accumulates strictly left-to-right, so the
+two differ in final float32 bits (pairwise is the *more* accurate one).
+The parity suites therefore gate float32 results on tolerance and
+float64 results tightly.  Within one kernel the reduction order is a
+pure function of the per-segment element sequence, which keeps the
+serving engine's batched-vs-sequential bit-parity contract intact.
+
+Scratch buffers come from the :mod:`repro.memory.arena` pool (imported
+lazily to avoid an import cycle through the package root).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScatterPlan",
+    "scatter_plan",
+    "scatter_add_rows",
+    "scatter_add_1d",
+    "gather_rows_out",
+    "get_arena",
+]
+
+# ----------------------------------------------------------------------
+# lazy arena access (repro.memory imports repro.models -> repro.tensor,
+# so the reverse import must happen after the package is initialised)
+# ----------------------------------------------------------------------
+_ARENA = None
+
+
+def get_arena():
+    """The process-global :class:`repro.memory.arena.BufferArena`."""
+    global _ARENA
+    if _ARENA is None:
+        from ..memory.arena import default_arena
+
+        _ARENA = default_arena()
+    return _ARENA
+
+
+# ----------------------------------------------------------------------
+# scatter plans
+# ----------------------------------------------------------------------
+class ScatterPlan:
+    """Sort-once artefact for scattering rows by an integer index array.
+
+    Attributes
+    ----------
+    order:
+        Stable argsort of the index array, or ``None`` when the array is
+        already non-decreasing (CSR-ordered adjacencies hit this path
+        and skip both the sort and the gather).
+    starts:
+        Segment start offsets into the (sorted) value stream.
+    unique:
+        The distinct segment ids, ascending.
+    sizes:
+        Rows per distinct segment (``len(unique)``).
+    length:
+        Number of indexed rows ``m``.
+    """
+
+    __slots__ = ("order", "starts", "unique", "sizes", "length")
+
+    def __init__(self, order, starts, unique, sizes, length) -> None:
+        self.order = order
+        self.starts = starts
+        self.unique = unique
+        self.sizes = sizes
+        self.length = length
+
+    def counts(self, num_segments: int, dtype=np.int64) -> np.ndarray:
+        """Dense per-segment row counts (``(num_segments,)``)."""
+        out = np.zeros(num_segments, dtype=dtype)
+        out[self.unique] = self.sizes
+        return out
+
+
+def _build_plan(index: np.ndarray) -> ScatterPlan:
+    m = index.shape[0]
+    if m == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return ScatterPlan(None, empty, empty, empty, 0)
+    if np.all(index[:-1] <= index[1:]):
+        order, sorted_ids = None, index
+    else:
+        order = np.argsort(index, kind="stable")
+        sorted_ids = index[order]
+    starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+    unique = sorted_ids[starts]
+    sizes = np.diff(np.r_[starts, m])
+    return ScatterPlan(order, starts, unique, sizes, m)
+
+
+# Plan cache keyed by index-array identity.  A weak reference guards
+# against id() reuse after garbage collection; entries for dead arrays
+# are evicted on sight.  The cache is small (one forward/backward pass
+# touches at most a handful of distinct adjacency arrays) and assumes
+# the cached arrays are not mutated in place — true for every
+# ``EventGraph.edge_index`` consumer in the pipeline.
+_PLAN_CACHE: "OrderedDict[int, Tuple[weakref.ref, ScatterPlan]]" = OrderedDict()
+_PLAN_CACHE_MAX = 128
+_PLAN_LOCK = threading.Lock()
+
+
+def scatter_plan(index: np.ndarray) -> ScatterPlan:
+    """Return (building and caching if needed) the plan for ``index``."""
+    index = np.asarray(index)
+    key = id(index)
+    with _PLAN_LOCK:
+        entry = _PLAN_CACHE.get(key)
+        if entry is not None:
+            ref, plan = entry
+            if ref() is index:
+                _PLAN_CACHE.move_to_end(key)
+                return plan
+            del _PLAN_CACHE[key]  # id() was recycled by the allocator
+    plan = _build_plan(index)
+    try:
+        ref = weakref.ref(index)
+    except TypeError:
+        return plan  # non-weakref-able (e.g. np.matrix subclass): no caching
+    with _PLAN_LOCK:
+        _PLAN_CACHE[key] = (ref, plan)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (test hook)."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def scatter_add_rows(
+    values: np.ndarray,
+    index: np.ndarray,
+    num_segments: int,
+    out: Optional[np.ndarray] = None,
+    plan: Optional[ScatterPlan] = None,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """Segment-sum ``values`` rows into ``num_segments`` buckets.
+
+    Drop-in replacement for ``out = zeros(...); np.add.at(out, index,
+    values)`` built on a sorted ``np.add.reduceat``: one stable sort
+    (cached across calls via :func:`scatter_plan`), one gather, one
+    vectorised segment reduction.
+
+    Parameters
+    ----------
+    values:
+        ``(m, f)`` or ``(m,)`` rows to scatter.
+    index:
+        ``(m,)`` destination row per value row.
+    num_segments:
+        Output row count; ``index`` must lie in ``[0, num_segments)``.
+    out:
+        Optional destination (zeroed by this function unless
+        ``accumulate``).  Shape must be ``(num_segments,) + values.shape[1:]``.
+    plan:
+        Precomputed :func:`scatter_plan` of ``index``.
+    accumulate:
+        Add segment sums onto the existing contents of ``out`` instead of
+        overwriting (the partitioned-GNN halo reduction accumulates one
+        rank's partial sums at a time).
+    """
+    values = np.asarray(values)
+    index = np.asarray(index)
+    shape = (num_segments,) + values.shape[1:]
+    if out is None:
+        out = np.zeros(shape, dtype=values.dtype)
+    else:
+        if out.shape != shape:
+            raise ValueError(f"out shape {out.shape} != {shape}")
+        if not accumulate:
+            out[...] = 0
+    if index.shape[0] == 0:
+        return out
+    if values.ndim == 1:
+        return scatter_add_1d(values, index, num_segments, out=out)
+    if plan is None:
+        plan = scatter_plan(index)
+    if plan.order is None:
+        sorted_vals = values
+        segments = np.add.reduceat(sorted_vals, plan.starts, axis=0)
+    else:
+        arena = get_arena()
+        sorted_vals = arena.take(values.shape, values.dtype)
+        np.take(values, plan.order, axis=0, out=sorted_vals)
+        segments = np.add.reduceat(sorted_vals, plan.starts, axis=0)
+        arena.give(sorted_vals)
+    if accumulate:
+        out[plan.unique] += segments  # `unique` is duplicate-free
+    else:
+        out[plan.unique] = segments
+    return out
+
+
+def scatter_add_1d(
+    values: np.ndarray,
+    index: np.ndarray,
+    num_segments: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """1-D scatter-add via ``np.bincount`` (fastest for flat payloads)."""
+    summed = np.bincount(index, weights=values, minlength=num_segments)
+    if summed.shape[0] > num_segments:
+        raise IndexError(
+            f"index max {int(np.max(index))} out of bounds for "
+            f"{num_segments} segments"
+        )
+    if out is None:
+        return summed.astype(values.dtype, copy=False)
+    out += summed.astype(out.dtype, copy=False)
+    return out
+
+
+def gather_rows_out(
+    values: np.ndarray, index: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Row gather ``values[index]`` into an (arena-pooled) destination."""
+    if out is None:
+        out = get_arena().take((index.shape[0],) + values.shape[1:], values.dtype)
+    np.take(values, index, axis=0, out=out)
+    return out

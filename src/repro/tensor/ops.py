@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import kernels
 from .tensor import Tensor, astensor, unbroadcast
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "neg",
     "pow",
     "matmul",
+    "linear",
     "row_stable_matmul",
     "is_row_stable_matmul",
     "sum",
@@ -46,6 +48,8 @@ __all__ = [
     "gather_rows",
     "segment_sum",
     "segment_mean",
+    "gather_concat_matmul",
+    "scatter_mlp_input",
     "relu",
     "leaky_relu",
     "tanh",
@@ -244,6 +248,36 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
     return Tensor.from_op(out, (a, b), backward, op="matmul")
 
 
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` as one autograd node.
+
+    The hot-path spelling of ``add(matmul(x, w), b)``: the bias is added
+    in place on the matmul output (no broadcast temporary, no extra
+    staging-table entry) and its gradient is a single column sum.
+    """
+    x, weight = astensor(x), astensor(weight)
+    out = _mm(x.data, weight.data) if x.ndim == 2 else x.data @ weight.data
+    bias_t = None
+    if bias is not None:
+        bias_t = astensor(bias)
+        out += bias_t.data
+
+    def backward(grad: np.ndarray):
+        grad = np.asarray(grad)
+        if x.ndim == 2:
+            gx = grad @ weight.data.T
+            gw = x.data.T @ grad
+        else:
+            gx = grad @ weight.data.T
+            gw = np.outer(x.data, grad)
+        if bias_t is None:
+            return gx, gw
+        return gx, gw, grad.sum(axis=0) if grad.ndim > 1 else grad
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    return Tensor.from_op(out, parents, backward, op="linear")
+
+
 def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
     """Sum reduction over ``axis`` (all axes if ``None``)."""
     a = astensor(a)
@@ -310,6 +344,18 @@ def getitem(a: Tensor, idx) -> Tensor:
     out = a.data[idx]
 
     def backward(grad: np.ndarray):
+        if (
+            isinstance(idx, np.ndarray)
+            and idx.ndim == 1
+            and np.issubdtype(idx.dtype, np.integer)
+            and a.ndim >= 1
+            and (idx.size == 0 or idx.min() >= 0)
+        ):
+            # Row gather: use the sorted segment-reduce kernel instead of
+            # the per-row ufunc dispatch of ``np.add.at``.
+            g = kernels.get_arena().take(a.shape, a.dtype)
+            kernels.scatter_add_rows(np.asarray(grad), idx, a.shape[0], out=g)
+            return (g,)
         g = np.zeros_like(a.data)
         np.add.at(g, idx, grad)
         return (g,)
@@ -372,8 +418,14 @@ def gather_rows(a: Tensor, index: np.ndarray) -> Tensor:
     out = a.data[index]
 
     def backward(grad: np.ndarray):
-        g = np.zeros_like(a.data)
-        np.add.at(g, index, grad)
+        if index.size and index.min() < 0:  # negative-index fallback
+            g = np.zeros_like(a.data)
+            np.add.at(g, index, grad)
+            return (g,)
+        # Sorted segment reduce into an arena-pooled buffer: no fresh
+        # ``zeros_like`` allocation and no per-row ``np.add.at`` dispatch.
+        g = kernels.get_arena().take(a.shape, a.dtype)
+        kernels.scatter_add_rows(np.asarray(grad), index, a.shape[0], out=g)
         return (g,)
 
     return Tensor.from_op(out, (a,), backward, op="gather_rows")
@@ -401,23 +453,209 @@ def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
         raise ValueError(
             f"segment_ids length {segment_ids.shape[0]} != rows {a.shape[0]}"
         )
-    out = np.zeros((num_segments,) + a.shape[1:], dtype=a.dtype)
-    np.add.at(out, segment_ids, a.data)
+    out = kernels.scatter_add_rows(a.data, segment_ids, num_segments)
 
     def backward(grad: np.ndarray):
-        return (grad[segment_ids],)
+        return (kernels.gather_rows_out(np.asarray(grad), segment_ids),)
 
     return Tensor.from_op(out, (a,), backward, op="segment_sum")
 
 
 def segment_mean(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Mean-aggregate rows per segment; empty segments yield zero rows."""
+    """Mean-aggregate rows per segment; empty segments yield zero rows.
+
+    Fused: the per-segment counts come from the cached scatter plan of
+    ``segment_ids`` and the division happens in place on the freshly
+    reduced sums — no dense ``(n, 1)`` divisor array and no extra
+    autograd node for the division.
+    """
     a = astensor(a)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(a.dtype)
-    safe = np.maximum(counts, 1.0)[:, None]
-    summed = segment_sum(a, segment_ids, num_segments)
-    return div(summed, Tensor(safe))
+    if segment_ids.shape[0] != a.shape[0]:
+        raise ValueError(
+            f"segment_ids length {segment_ids.shape[0]} != rows {a.shape[0]}"
+        )
+    plan = kernels.scatter_plan(segment_ids)
+    out = kernels.scatter_add_rows(a.data, segment_ids, num_segments, plan=plan)
+    # Empty segments keep a zero row: 0 / max(0, 1) == 0.
+    safe = np.maximum(plan.counts(num_segments, dtype=a.dtype), 1)
+    safe_col = safe.reshape((num_segments,) + (1,) * (a.ndim - 1))
+    out /= safe_col
+
+    def backward(grad: np.ndarray):
+        scaled = np.asarray(grad) / safe_col
+        return (kernels.gather_rows_out(scaled, segment_ids),)
+
+    return Tensor.from_op(out, (a,), backward, op="segment_mean")
+
+
+def _mm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """2-D matmul honouring the row-stable serving contract."""
+    if is_row_stable_matmul():
+        return np.einsum("ij,jk->ik", a, b)
+    return a @ b
+
+
+def gather_concat_matmul(
+    y: Tensor,
+    x: Tensor,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused MSG-step input: ``concat([y, x[rows], x[cols]], 1) @ W + b``.
+
+    Algebraically identical to gather → concat → first ``Linear`` of the
+    edge MLP, but splits ``W`` into its ``y``/``rows``/``cols`` blocks and
+    multiplies **before** gathering: with ``n`` vertices and ``m ≫ n``
+    edges, ``x @ W_block`` costs ``n·f·h`` instead of gathering two
+    ``(m, f)`` copies of ``x`` and paying ``m·f·h`` twice.  Neither the
+    gathered rows nor the ``(m, 2f+e)`` concat buffer is ever
+    materialised, and the backward pass reduces the output gradient once
+    per endpoint (sorted segment reduce) instead of scatter-adding
+    ``(m, f)`` intermediates.
+
+    Parameters
+    ----------
+    y:
+        ``(m, e)`` per-edge features (``y_res`` in Algorithm 1).
+    x:
+        ``(n, f)`` per-vertex features (``x_res``).
+    rows, cols:
+        ``(m,)`` edge endpoint indices into ``x``.
+    weight:
+        ``(e + 2f, h)`` first-layer weight, laid out ``[W_y; W_r; W_c]``
+        to match the ``concat([y, x[rows], x[cols]])`` column order.
+    bias:
+        Optional ``(h,)`` first-layer bias.
+    """
+    y, x, weight = astensor(y), astensor(x), astensor(weight)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    e, f = y.shape[1], x.shape[1]
+    if weight.shape[0] != e + 2 * f:
+        raise ValueError(
+            f"weight rows {weight.shape[0]} != edge_dim + 2*node_dim = {e + 2 * f}"
+        )
+    w = weight.data
+    w_y, w_r, w_c = w[:e], w[e : e + f], w[e + f :]
+
+    arena = kernels.get_arena()
+    out = _mm(y.data, w_y)
+    xr = _mm(x.data, w_r)
+    xc = _mm(x.data, w_c)
+    scratch = kernels.gather_rows_out(xr, rows)
+    out += scratch
+    kernels.gather_rows_out(xc, cols, out=scratch)
+    out += scratch
+    arena.give(scratch)
+    bias_t = None
+    if bias is not None:
+        bias_t = astensor(bias)
+        out += bias_t.data
+
+    def backward(grad: np.ndarray):
+        grad = np.asarray(grad)
+        n = x.shape[0]
+        # Per-endpoint reductions of the output gradient (h columns).
+        g_r = kernels.scatter_add_rows(grad, rows, n)
+        g_c = kernels.scatter_add_rows(grad, cols, n)
+        g_w = np.empty_like(w)
+        g_w[:e] = y.data.T @ grad
+        g_w[e : e + f] = x.data.T @ g_r
+        g_w[e + f :] = x.data.T @ g_c
+        g_y = grad @ w_y.T
+        g_x = g_r @ w_r.T
+        g_x += g_c @ w_c.T
+        if bias_t is None:
+            return g_y, g_x, g_w
+        return g_y, g_x, g_w, grad.sum(axis=0)
+
+    parents = (y, x, weight) if bias_t is None else (y, x, weight, bias_t)
+    return Tensor.from_op(out, parents, backward, op="gather_concat_matmul")
+
+
+def scatter_mlp_input(
+    messages: Tensor,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    num_segments: Optional[int] = None,
+) -> Tensor:
+    """Fused AGG-step input:
+    ``concat([seg_sum(msg, rows), seg_sum(msg, cols), x], 1) @ W + b``.
+
+    The vertex-update twin of :func:`gather_concat_matmul`: both incident
+    message aggregations and the concat with the vertex state feed the
+    node MLP's first ``Linear`` without materialising the ``(n, 2h+f)``
+    concat buffer.  The backward pass pushes the output gradient through
+    the weight blocks at vertex granularity (``n`` rows) and gathers to
+    edge granularity (``m`` rows) once, instead of twice via separate
+    ``segment_sum`` backward passes.
+
+    Parameters
+    ----------
+    messages:
+        ``(m, h)`` per-edge messages (edge-MLP output).
+    rows, cols:
+        ``(m,)`` edge endpoint indices.
+    x:
+        ``(n, f)`` per-vertex features (``x_res``).
+    weight:
+        ``(2h + f, k)`` first-layer weight, laid out ``[W_src; W_dst; W_x]``
+        to match ``concat([m_src, m_dst, x])``.
+    bias:
+        Optional ``(k,)`` first-layer bias.
+    num_segments:
+        Vertex count ``n``; defaults to ``x.shape[0]``.
+    """
+    messages, x, weight = astensor(messages), astensor(x), astensor(weight)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    h, f = messages.shape[1], x.shape[1]
+    n = x.shape[0] if num_segments is None else int(num_segments)
+    if x.shape[0] != n:
+        raise ValueError(f"x rows {x.shape[0]} != num_segments {n}")
+    if weight.shape[0] != 2 * h + f:
+        raise ValueError(
+            f"weight rows {weight.shape[0]} != 2*msg_dim + node_dim = {2 * h + f}"
+        )
+    w = weight.data
+    w_s, w_d, w_x = w[:h], w[h : 2 * h], w[2 * h :]
+
+    m_src = kernels.scatter_add_rows(messages.data, rows, n)
+    m_dst = kernels.scatter_add_rows(messages.data, cols, n)
+    out = _mm(m_src, w_s)
+    out += _mm(m_dst, w_d)
+    out += _mm(x.data, w_x)
+    bias_t = None
+    if bias is not None:
+        bias_t = astensor(bias)
+        out += bias_t.data
+
+    def backward(grad: np.ndarray):
+        grad = np.asarray(grad)
+        arena = kernels.get_arena()
+        t_s = grad @ w_s.T  # (n, h) — gradient w.r.t. m_src
+        t_d = grad @ w_d.T
+        g_msg = kernels.gather_rows_out(t_s, rows)
+        scratch = kernels.gather_rows_out(t_d, cols)
+        g_msg += scratch
+        arena.give(scratch)
+        g_x = grad @ w_x.T
+        g_w = np.empty_like(w)
+        g_w[:h] = m_src.T @ grad
+        g_w[h : 2 * h] = m_dst.T @ grad
+        g_w[2 * h :] = x.data.T @ grad
+        if bias_t is None:
+            return g_msg, g_x, g_w
+        return g_msg, g_x, g_w, grad.sum(axis=0)
+
+    parents = (messages, x, weight) if bias_t is None else (messages, x, weight, bias_t)
+    return Tensor.from_op(out, parents, backward, op="scatter_mlp_input")
 
 
 # ----------------------------------------------------------------------
@@ -514,10 +752,10 @@ def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool = True
     A no-op when ``training`` is False or ``p == 0``.
     """
     a = astensor(a)
-    if not training or p <= 0.0:
-        return a
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p <= 0.0:
+        return a
     keep = (rng.random(a.shape) >= p).astype(a.dtype)
     scale = 1.0 / (1.0 - p)
     out = a.data * keep * scale
@@ -535,24 +773,32 @@ def layer_norm(a: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     8-layer network trains stably at hidden dim 64.
     """
     a, weight, bias = astensor(a), astensor(weight), astensor(bias)
-    mu = a.data.mean(axis=-1, keepdims=True)
-    var = a.data.var(axis=-1, keepdims=True)
+    f = a.shape[-1]
+    x = a.data
+    # Single-temporary forward: centre once, get the variance from a row
+    # dot product of the centred values (einsum: no squared temporary),
+    # then normalise the centred buffer in place.
+    mu = x.mean(axis=-1, keepdims=True)
+    xhat = x - mu
+    var = np.einsum("...i,...i->...", xhat, xhat)[..., None] / f
     inv = 1.0 / np.sqrt(var + eps)
-    xhat = (a.data - mu) * inv
-    out = xhat * weight.data + bias.data
+    xhat *= inv
+    out = xhat * weight.data
+    out += bias.data
 
     def backward(grad: np.ndarray):
-        f = a.shape[-1]
         gxhat = grad * weight.data
-        # Standard layer-norm backward: project out mean and xhat components.
-        gx = (
-            gxhat
-            - gxhat.mean(axis=-1, keepdims=True)
-            - xhat * (gxhat * xhat).mean(axis=-1, keepdims=True)
-        ) * inv
-        gw = (grad * xhat).reshape(-1, f).sum(axis=0).reshape(weight.shape)
-        gb = grad.reshape(-1, f).sum(axis=0).reshape(bias.shape)
-        return gx.astype(a.dtype, copy=False), gw, gb
+        # Standard layer-norm backward: project out mean and xhat
+        # components, reducing rows with einsum and mutating gxhat in
+        # place (it is this closure's private temporary).
+        gxhat -= gxhat.mean(axis=-1, keepdims=True)
+        dot = np.einsum("...i,...i->...", gxhat, xhat)[..., None] / f
+        gxhat -= xhat * dot
+        gxhat *= inv
+        grad2d, xhat2d = grad.reshape(-1, f), xhat.reshape(-1, f)
+        gw = np.einsum("ij,ij->j", grad2d, xhat2d).reshape(weight.shape)
+        gb = grad2d.sum(axis=0).reshape(bias.shape)
+        return gxhat.astype(a.dtype, copy=False), gw.astype(weight.dtype, copy=False), gb
 
     return Tensor.from_op(out, (a, weight, bias), backward, op="layer_norm")
 
@@ -590,14 +836,12 @@ def bce_with_logits(
     w = 1.0 if pos_weight is None else float(pos_weight)
     # per-element weight: w on positives, 1 on negatives
     coeff = 1.0 + (w - 1.0) * t
-    stable = np.maximum(x, 0) - x * t + np.log1p(np.exp(-np.abs(x)))
     # With pos_weight the loss is -[w t log s + (1-t) log(1-s)]; expand via
-    # log-sigmoid identities:  loss = coeff * softplus(-x) + (1-t) * x  when
-    # rewritten; we use the direct weighted decomposition below.
-    log_sig = -(np.maximum(-x, 0) + np.log1p(np.exp(-np.abs(x))))       # log σ(x)
-    log_one_minus = -(np.maximum(x, 0) + np.log1p(np.exp(-np.abs(x))))  # log (1-σ(x))
+    # the stable log-sigmoid identities (both share one softplus(-|x|)).
+    softplus_neg_abs = np.log1p(np.exp(-np.abs(x)))
+    log_sig = -(np.maximum(-x, 0) + softplus_neg_abs)       # log σ(x)
+    log_one_minus = -(np.maximum(x, 0) + softplus_neg_abs)  # log (1-σ(x))
     loss = -(w * t * log_sig + (1.0 - t) * log_one_minus)
-    del stable
 
     sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
 

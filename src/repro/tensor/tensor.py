@@ -43,9 +43,59 @@ __all__ = [
     "is_grad_enabled",
     "unbroadcast",
     "DEFAULT_DTYPE",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
 ]
 
+#: Historic engine default (the paper trains in float32).  The *active*
+#: default is dynamic — see :func:`get_default_dtype` — so the pipeline's
+#: ``precision`` flag can switch the whole engine to a float64 reference
+#: mode without threading a dtype through every call site.
 DEFAULT_DTYPE = np.float32
+
+_ALLOWED_DEFAULT_DTYPES = (np.float32, np.float64)
+_DTYPE_STATE = threading.local()
+_default_dtype_global = np.float32
+
+
+def _check_default_dtype(dtype):
+    dt = np.dtype(dtype).type
+    if dt not in _ALLOWED_DEFAULT_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {np.dtype(dtype)}"
+        )
+    return dt
+
+
+def get_default_dtype():
+    """The dtype new float tensors adopt (thread override, then global)."""
+    return getattr(_DTYPE_STATE, "dtype", None) or _default_dtype_global
+
+
+def set_default_dtype(dtype):
+    """Set the process-global default float dtype; returns the previous one.
+
+    ``float64`` turns the engine into the high-precision reference mode
+    used by the convergence-parity gates; ``float32`` (the default)
+    matches the paper's training runs.
+    """
+    global _default_dtype_global
+    previous = _default_dtype_global
+    _default_dtype_global = _check_default_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Thread-scoped (re-entrant) override of the default float dtype."""
+    dt = _check_default_dtype(dtype)
+    previous = getattr(_DTYPE_STATE, "dtype", None)
+    _DTYPE_STATE.dtype = dt
+    try:
+        yield
+    finally:
+        _DTYPE_STATE.dtype = previous
 
 # Autograd switch, toggled by the `no_grad` context manager.  The
 # pipeline's inference paths run under `no_grad()` so that sampling-heavy
@@ -92,6 +142,61 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# ----------------------------------------------------------------------
+# gradient-buffer recycling
+# ----------------------------------------------------------------------
+# Backward closures that produce large gradients (gather/scatter/fused
+# graph ops) allocate them from the repro.memory buffer arena.  The
+# staging loop in Tensor.backward hands each gradient back to the arena
+# the moment it is dead — consumed into a leaf `.grad` or folded into a
+# staged sum — so steady-state training reuses the same few buffers
+# instead of round-tripping through malloc every step.  Reclaiming a
+# foreign array is a no-op (the arena only pools what it issued), so the
+# loop can offer every dead array without tracking provenance.
+_ARENA = None
+
+
+def _arena():
+    global _ARENA
+    if _ARENA is None:
+        from ..memory.arena import default_arena
+
+        _ARENA = default_arena()
+    return _ARENA
+
+
+def _reclaim_dead(dead, grads) -> None:
+    """Return dead gradient buffers to the arena.
+
+    A candidate is skipped when any *live* staged gradient is (or is a
+    view of) the same array — closures may pass a gradient through
+    unchanged (e.g. identity-like ops), in which case the "dead" buffer
+    is still referenced by the staging table under another key.
+    """
+    arena = _arena()
+    # Cheap filter first: only arena-issued buffers can be pooled, so the
+    # O(live grads) alias walk below runs for those few candidates only.
+    candidates = [
+        arr for arr in dead if isinstance(arr, np.ndarray) and arena.is_issued(arr)
+    ]
+    if not candidates:
+        return
+    live = list(grads.values())
+    for arr in candidates:
+        aliased = False
+        for g in live:
+            v = g
+            while isinstance(v, np.ndarray):
+                if v is arr:
+                    aliased = True
+                    break
+                v = v.base
+            if aliased:
+                break
+        if not aliased:
+            arena.reclaim(arr)
+
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 # Backward closure signature: output gradient -> one gradient per parent
@@ -112,7 +217,7 @@ def astensor(value: ArrayLike, dtype=None) -> "Tensor":
         return value
     arr = np.asarray(value)
     if dtype is None and not np.issubdtype(arr.dtype, np.integer):
-        dtype = DEFAULT_DTYPE if arr.dtype != np.float64 else np.float64
+        dtype = get_default_dtype() if arr.dtype != np.float64 else np.float64
     return Tensor(arr if dtype is None else arr.astype(dtype))
 
 
@@ -144,13 +249,13 @@ class Tensor:
         was_ndarray = isinstance(data, (np.ndarray, np.generic))
         arr = np.asarray(data)
         if arr.dtype == np.float64 and not was_ndarray:
-            # Python floats/lists default to float32; float64 survives only
-            # when passed explicitly as an ndarray (gradcheck inputs).
-            self.data = arr.astype(DEFAULT_DTYPE)
+            # Python floats/lists adopt the engine default; float64 survives
+            # only when passed explicitly as an ndarray (gradcheck inputs).
+            self.data = arr.astype(get_default_dtype(), copy=False)
         elif arr.dtype in (np.float32, np.float64):
             self.data = arr
         elif np.issubdtype(arr.dtype, np.floating):
-            self.data = arr.astype(DEFAULT_DTYPE)
+            self.data = arr.astype(get_default_dtype())
         elif np.issubdtype(arr.dtype, np.integer) or arr.dtype == np.bool_:
             # Integer/bool tensors are allowed (indices, labels); they never
             # require gradients.
@@ -158,7 +263,7 @@ class Tensor:
             if requires_grad:
                 raise ValueError("integer tensors cannot require gradients")
         else:
-            self.data = arr.astype(DEFAULT_DTYPE)
+            self.data = arr.astype(get_default_dtype())
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = ()
@@ -169,13 +274,15 @@ class Tensor:
     # construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> "Tensor":
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
         """Return a zero-filled tensor of the given shape."""
+        dtype = get_default_dtype() if dtype is None else dtype
         return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> "Tensor":
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
         """Return a one-filled tensor of the given shape."""
+        dtype = get_default_dtype() if dtype is None else dtype
         return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
@@ -291,6 +398,7 @@ class Tensor:
                 if node.grad is None:
                     node.grad = np.zeros_like(node.data)
                 node.grad += node_grad
+                _reclaim_dead((node_grad,), grads)
                 continue
             parent_grads = node._backward(node_grad)
             if len(parent_grads) != len(node._parents):
@@ -298,6 +406,7 @@ class Tensor:
                     f"op '{node._op}' returned {len(parent_grads)} gradients "
                     f"for {len(node._parents)} parents"
                 )
+            dead = [node_grad]
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
@@ -308,9 +417,13 @@ class Tensor:
                     )
                 key = id(parent)
                 if key in grads:
+                    # Replacing the staged sum kills both addends.
+                    dead.append(grads[key])
+                    dead.append(pgrad)
                     grads[key] = grads[key] + pgrad
                 else:
                     grads[key] = pgrad
+            _reclaim_dead(dead, grads)
 
     # ------------------------------------------------------------------
     # operator sugar (implementations live in repro.tensor.ops)

@@ -1,0 +1,117 @@
+"""Buffer-pool arena: pooling, identity safety, stats, global toggle."""
+
+import numpy as np
+import pytest
+
+from repro.memory import BufferArena, arena_enabled, default_arena, set_arena_enabled
+
+
+@pytest.fixture
+def arena():
+    return BufferArena()
+
+
+class TestTakeReclaim:
+    def test_take_shape_dtype(self, arena):
+        arr = arena.take((4, 3), np.float32)
+        assert arr.shape == (4, 3) and arr.dtype == np.float32
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_scalar_shape(self, arena):
+        assert arena.take(5).shape == (5,)
+
+    def test_zeros_filled(self, arena):
+        a = arena.take((8,), np.float64)
+        a.fill(7.0)
+        assert arena.reclaim(a)
+        b = arena.zeros((8,), np.float64)
+        np.testing.assert_array_equal(b, np.zeros(8))
+
+    def test_reuse_same_buffer(self, arena):
+        a = arena.take((16, 2), np.float64)
+        assert arena.reclaim(a)
+        b = arena.take((16, 2), np.float64)
+        assert b is a
+        assert arena.stats.hits == 1 and arena.stats.misses == 1
+        assert arena.stats.bytes_reused == a.nbytes
+
+    def test_no_reuse_across_size_classes(self, arena):
+        a = arena.take((4,), np.float64)
+        arena.reclaim(a)
+        assert arena.take((5,), np.float64) is not a
+        assert arena.take((4,), np.float32) is not a
+
+    def test_pooled_bytes_tracks(self, arena):
+        a = arena.take((10,), np.float64)
+        assert arena.pooled_bytes == 0
+        arena.reclaim(a)
+        assert arena.pooled_bytes == 80
+        arena.take((10,), np.float64)
+        assert arena.pooled_bytes == 0
+
+
+class TestReclaimSafety:
+    def test_foreign_array_rejected(self, arena):
+        assert not arena.reclaim(np.zeros(4))
+        assert arena.stats.rejected == 1
+
+    def test_view_of_issued_buffer_rejected(self, arena):
+        a = arena.take((6,), np.float64)
+        assert not arena.reclaim(a[:3])
+
+    def test_double_reclaim_rejected(self, arena):
+        a = arena.take((6,), np.float64)
+        assert arena.reclaim(a)
+        assert not arena.reclaim(a)
+        assert arena.stats.reclaimed == 1 and arena.stats.rejected == 1
+
+    def test_none_and_non_array_rejected(self, arena):
+        assert not arena.reclaim(None)
+        assert not arena.reclaim([1, 2, 3])
+
+    def test_give_is_reclaim(self, arena):
+        a = arena.take((3,), np.float32)
+        assert arena.give(a)
+        assert arena.stats.reclaimed == 1
+
+    def test_cap_drops_overflow(self):
+        small = BufferArena(max_pooled_bytes=100)
+        a = small.take((10,), np.float64)  # 80 bytes -> fits
+        b = small.take((10,), np.float64)  # would exceed the 100-byte cap
+        assert small.reclaim(a)
+        assert not small.reclaim(b)
+        assert small.pooled_bytes == 80
+
+    def test_clear_drops_pool(self, arena):
+        arena.reclaim(arena.take((4,), np.float64))
+        arena.clear()
+        assert arena.pooled_bytes == 0
+        assert arena.stats.hits == 0  # next take is a miss
+        arena.take((4,), np.float64)
+        assert arena.stats.misses == 2
+
+    def test_registry_sweep_bounds_dead_entries(self):
+        arena = BufferArena()
+        arena._sweep_at = 8  # shrink the amortised threshold for the test
+        for _ in range(64):
+            arena.take((2,), np.float32)  # dropped immediately, never reclaimed
+        assert len(arena._registry) < 64
+
+
+class TestGlobalToggle:
+    def test_default_arena_singleton(self):
+        assert default_arena() is default_arena()
+
+    def test_disable_bypasses_pool(self):
+        prev = set_arena_enabled(False)
+        try:
+            assert not arena_enabled()
+            arena = BufferArena()
+            a = arena.take((4,), np.float64)
+            assert not arena.reclaim(a)  # never registered
+            assert arena.stats.hits == 0 and arena.stats.misses == 0
+            z = arena.zeros((4,), np.float64)
+            np.testing.assert_array_equal(z, np.zeros(4))
+        finally:
+            set_arena_enabled(prev)
+        assert arena_enabled() == prev
