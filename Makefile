@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke kernels-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke kernels-smoke store-smoke clean
 
 test:
 	pytest tests/
@@ -91,6 +91,17 @@ kernels-smoke:
 	python -m repro.cli telemetry diff \
 	  benchmarks/results/telemetry/test_fig3_epoch_time_ex3-ex3.trace.json \
 	  benchmarks/results/telemetry/baselines/bench_fig3_epoch_time.json
+
+# End-to-end event-store check: guarded ingestion quarantines an
+# injected invalid event to JSONL, streamed epochs over a dataset >= 4x
+# the resident-byte budget keep mapped bytes and RSS growth bounded,
+# and streamed sampling/training is bit-identical to the in-RAM path
+# with a warm shard cache (mirrors the dedicated CI step).
+store-smoke:
+	python scripts/validate_store.py
+	python -m repro.cli store ingest --dataset tiny --out /tmp/repro_store \
+	  --shard-mb 0.125 --overwrite
+	python -m repro.cli store verify /tmp/repro_store
 
 examples:
 	python examples/quickstart.py

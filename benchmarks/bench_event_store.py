@@ -1,0 +1,132 @@
+"""Out-of-core event store — epoch throughput vs shard-cache budget.
+
+Streams the same bulk training run from an on-disk store at several
+resident-byte budgets (LRU windows of memory-mapped CSR shards) and
+compares against the fully in-RAM loader.  Reported per budget:
+
+* mean epoch wall-clock and its ratio to the in-RAM baseline — the cost
+  of re-mapping evicted shards;
+* shard-cache hit rate, eviction count, and the peak mapped bytes (must
+  stay within the budget);
+* a bit-identity check — the store's canonical CSR order means every
+  budget, and the in-RAM path, must converge to identical weights.
+
+The telemetry profile of the whole sweep (``store.*`` spans/counters)
+lands under ``benchmarks/results/telemetry/`` via the bench harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from common import BENCH_GNN, CACHE_DIR, write_report
+from repro.detector import dataset_config
+from repro.pipeline import GNNTrainConfig, train_gnn
+from repro.store import EventStore, ingest_simulated
+
+EPOCHS = 2
+#: Budgets as fractions of total store bytes (None = unbudgeted).
+BUDGET_FRACTIONS = (0.25, 0.5, None)
+
+
+def _config() -> GNNTrainConfig:
+    return GNNTrainConfig(
+        mode="bulk",
+        epochs=EPOCHS,
+        batch_size=128,
+        bulk_k=4,
+        eval_every=EPOCHS,  # keep eval cost out of the per-epoch timing
+        seed=0,
+        **BENCH_GNN,
+    )
+
+
+def _ingest() -> str:
+    directory = os.path.join(CACHE_DIR, "event_store_bench")
+    cfg = dataset_config("ex3_like").with_sizes(8, 2, 0)
+    total = ingest_simulated(cfg, directory, overwrite=True).bytes_written
+    # many small shards so fractional budgets produce real LRU traffic
+    ingest_simulated(
+        cfg, directory, overwrite=True, max_shard_bytes=max(total // 12, 1)
+    )
+    return directory
+
+
+def _run(directory: str, budget):
+    with EventStore(directory, budget_bytes=budget) as store:
+        result = train_gnn(store.handles("train"), store.handles("val"), _config())
+        stats = store.stats
+        return {
+            "state": result.model.state_dict(),
+            "epoch_s": float(
+                np.mean([r.epoch_seconds for r in result.history.records])
+            ),
+            "hit_rate": stats.hit_rate(),
+            "unmaps": stats.unmaps,
+            "peak_mb": stats.peak_resident_bytes / (1 << 20),
+        }
+
+
+def _run_in_ram(directory: str):
+    with EventStore(directory) as store:
+        train, val = store.load_split("train"), store.load_split("val")
+    result = train_gnn(train, val, _config())
+    return {
+        "state": result.model.state_dict(),
+        "epoch_s": float(np.mean([r.epoch_seconds for r in result.history.records])),
+    }
+
+
+def test_event_store_budget_sweep(benchmark):
+    directory = _ingest()
+    with EventStore(directory) as store:
+        total = store.describe()["bytes"]
+        largest = max(s["bytes"] for s in store.manifest["shards"])
+    budgets = [
+        max(int(frac * total), largest) if frac is not None else None
+        for frac in BUDGET_FRACTIONS
+    ]
+
+    def sweep():
+        out = {"ram": _run_in_ram(directory)}
+        for frac, budget in zip(BUDGET_FRACTIONS, budgets):
+            out[frac] = _run(directory, budget)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    ram = results["ram"]
+    lines = [
+        f"Event store — streamed epoch time vs shard-cache budget "
+        f"(store {total / (1 << 20):.2f} MB, bulk k=4, batch 128, {EPOCHS} epochs)",
+        f"{'budget':>10} | {'epoch s':>8} | {'vs RAM':>7} | {'hit rate':>8} | "
+        f"{'evict':>5} | {'peak MB':>7} | identical",
+        f"{'in-RAM':>10} | {ram['epoch_s']:8.3f} | {'1.00x':>7} | {'—':>8} | "
+        f"{'—':>5} | {'—':>7} | True",
+    ]
+    for frac, budget in zip(BUDGET_FRACTIONS, budgets):
+        r = results[frac]
+        label = "unbounded" if budget is None else f"{budget / (1 << 20):.2f} MB"
+        identical = all(
+            np.array_equal(r["state"][k], ram["state"][k]) for k in ram["state"]
+        )
+        lines.append(
+            f"{label:>10} | {r['epoch_s']:8.3f} | "
+            f"{r['epoch_s'] / ram['epoch_s']:6.2f}x | {r['hit_rate']:8.2f} | "
+            f"{r['unmaps']:>5} | {r['peak_mb']:7.2f} | {identical}"
+        )
+    write_report("event_store_budget", lines)
+
+    # the store's canonical CSR order makes every path bit-identical
+    for frac in BUDGET_FRACTIONS:
+        for key in ram["state"]:
+            assert np.array_equal(results[frac]["state"][key], ram["state"][key]), (
+                frac,
+                key,
+            )
+    # the tightest budget actually evicted, and stayed within bounds
+    tightest = results[BUDGET_FRACTIONS[0]]
+    assert tightest["unmaps"] > 0
+    assert tightest["peak_mb"] * (1 << 20) <= budgets[0] + 1

@@ -28,6 +28,7 @@ MODULES = [
     "repro.faults",
     "repro.perf",
     "repro.io",
+    "repro.store",
     "repro.baselines",
     "repro.cli",
 ]

@@ -26,7 +26,10 @@ The package implements, from scratch on NumPy/SciPy:
   (``docs/serving.md``);
 * :mod:`repro.guard` — end-to-end guardrails: input quarantine, the
   training stability watchdog (rollback + LR backoff), and the serving
-  circuit breaker (``docs/resilience.md``).
+  circuit breaker (``docs/resilience.md``);
+* :mod:`repro.store` — out-of-core event store: memory-mapped CSR
+  shards with checksummed manifests, guarded ingestion, and streaming
+  epochs under a resident-byte budget (``docs/event_store.md``).
 
 See ``DESIGN.md`` for the full system inventory and the per-experiment
 index mapping each paper table/figure to a benchmark.
@@ -34,7 +37,7 @@ index mapping each paper table/figure to a benchmark.
 
 __version__ = "1.0.0"
 
-from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, guard, pipeline, io, baselines, faults, serve  # noqa: E402,F401
+from . import tensor, nn, graph, detector, models, sampling, data, distributed, memory, metrics, obs, perf, guard, pipeline, io, baselines, faults, serve, store  # noqa: E402,F401
 
 __all__ = [
     "__version__",
@@ -55,4 +58,5 @@ __all__ = [
     "io",
     "faults",
     "serve",
+    "store",
 ]

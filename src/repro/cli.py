@@ -15,6 +15,14 @@ engine (``docs/serving.md``) and ``repro loadgen`` drives it with an
 open-loop arrival schedule to measure shedding and degraded serving
 under overload.
 
+``repro store ingest`` simulates a dataset straight into an on-disk
+event store (memory-mapped CSR shards, ``docs/event_store.md``);
+``repro store info`` / ``repro store verify`` inspect and audit one.
+``repro train --store DIR`` streams training epochs from a store under
+a resident-byte budget (``--store-budget-mb``) instead of holding the
+dataset in RAM; ``repro serve --store DIR`` hydrates replayed events
+from precomputed construction graphs.
+
 ``train`` / ``reconstruct`` / ``benchmark`` / ``serve`` / ``loadgen``
 accept ``--trace-out`` and ``--metrics-out`` to export run telemetry
 (Chrome-trace spans + metrics snapshot; see ``docs/observability.md``);
@@ -159,6 +167,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine malformed training graphs instead of crashing",
     )
     p_train.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="stream training graphs from the event store at DIR instead "
+        "of holding the dataset in RAM (ingested on first use; "
+        "bit-identical losses either way — see docs/event_store.md)",
+    )
+    p_train.add_argument(
+        "--store-budget-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="resident-byte budget for mapped store shards (LRU window)",
+    )
+    p_train.add_argument(
         "--keep-last",
         type=int,
         default=None,
@@ -259,6 +282,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--fanout", type=int, default=6)
     p_bench.add_argument("--k", type=int, default=8)
     _add_telemetry_flags(p_bench)
+
+    p_store = sub.add_parser(
+        "store", help="out-of-core event store (mmap CSR shards)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sing = store_sub.add_parser(
+        "ingest",
+        help="simulate a dataset straight into checksummed shards "
+        "(raw events validated; invalid ones quarantined, never stored)",
+    )
+    p_sing.add_argument("--dataset", default="ex3_like", help="registry name")
+    p_sing.add_argument("--train", type=int, default=8)
+    p_sing.add_argument("--val", type=int, default=2)
+    p_sing.add_argument("--test", type=int, default=2)
+    p_sing.add_argument("--out", required=True, metavar="DIR", help="store root")
+    p_sing.add_argument(
+        "--shard-mb",
+        type=float,
+        default=16.0,
+        metavar="MB",
+        help="flush a shard once its payload reaches MB",
+    )
+    p_sing.add_argument(
+        "--quarantine-log",
+        default=None,
+        metavar="PATH",
+        help="append quarantined-event records to PATH as JSONL",
+    )
+    p_sing.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip raw-event validation (trusted input only)",
+    )
+    p_sing.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing store at --out",
+    )
+    _add_telemetry_flags(p_sing)
+    p_sinfo = store_sub.add_parser(
+        "info", help="manifest summary (checksum-audited open)"
+    )
+    p_sinfo.add_argument("directory", help="store root")
+    p_sver = store_sub.add_parser(
+        "verify",
+        help="full audit: every shard binary re-hashed against the "
+        "manifest (exit 1 on corruption)",
+    )
+    p_sver.add_argument("directory", help="store root")
 
     p_tel = sub.add_parser("telemetry", help="inspect exported telemetry files")
     tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
@@ -413,6 +485,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="cast the pipeline's stage networks to this dtype "
         "(float64 = high-precision reference mode)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="hydrate replayed events from the construction-graph event "
+        "store at DIR (ingested from the fitted pipeline on first use; "
+        "see docs/event_store.md)",
+    )
+    parser.add_argument(
+        "--store-budget-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="resident-byte budget for mapped store shards (LRU window)",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -518,7 +605,12 @@ def _cmd_train(args) -> int:
     cfg = dataset_config(args.dataset).with_sizes(
         args.train_graphs, args.val_graphs, 0
     )
-    dataset = make_dataset(cfg)
+    store = None
+    if args.store is not None:
+        train_graphs, val_graphs, store = _open_train_store(args, cfg)
+    else:
+        dataset = make_dataset(cfg)
+        train_graphs, val_graphs = dataset.train, dataset.val
     fields = dict(
         mode=args.mode,
         epochs=args.epochs,
@@ -604,7 +696,7 @@ def _cmd_train(args) -> int:
         try:
             with use_telemetry(telemetry):
                 result = train_gnn(
-                    dataset.train, dataset.val, train_cfg,
+                    train_graphs, val_graphs, train_cfg,
                     retry_policy=retry_policy,
                 )
         except CheckpointError as exc:
@@ -677,11 +769,165 @@ def _cmd_train(args) -> int:
                 f"wrote {result.checkpoints_written} checkpoint(s) to "
                 f"{args.checkpoint_path}"
             )
+        if store is not None:
+            s = store.stats
+            print(
+                f"store: {s.hits} shard-cache hit(s) / {s.misses} miss(es) "
+                f"(hit rate {s.hit_rate():.2f}, peak resident "
+                f"{s.peak_resident_bytes / (1 << 20):.1f} MB)"
+            )
         _flush_telemetry(telemetry, args)
         return 0
     finally:
         train_state["ready"] = False
         _stop_exporter(exporter)
+        if store is not None:
+            store.close()
+
+
+def _open_train_store(args, cfg):
+    """Open (ingesting on first use) the event store behind ``--store``.
+
+    Returns ``(train_handles, val_handles, store)``; the handles are
+    lazy — training maps shards on demand under the LRU budget instead
+    of materialising the dataset up front.
+    """
+    import os
+
+    from .store import EventStore, MANIFEST_NAME, StoreError, ingest_simulated
+
+    if not os.path.exists(os.path.join(args.store, MANIFEST_NAME)):
+        report = ingest_simulated(cfg, args.store)
+        line = (
+            f"ingested {report.ingested}/{report.seen} event(s) into "
+            f"{report.shards} shard(s) at {args.store}"
+        )
+        if report.quarantined:
+            line += f" ({report.quarantined} quarantined)"
+        print(line)
+    try:
+        store = EventStore(
+            args.store, budget_bytes=int(args.store_budget_mb * (1 << 20))
+        )
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    d = store.describe()
+    print(
+        f"streaming from store {args.store}: {d['events']} event(s) / "
+        f"{d['shards']} shard(s) / {d['bytes'] / (1 << 20):.2f} MB "
+        f"(budget {args.store_budget_mb:g} MB)"
+    )
+    return store.handles("train"), store.handles("val"), store
+
+
+def _open_serve_store(args, pipe, events):
+    """Open (ingesting on first use) the serve-side hydration store.
+
+    A fresh directory is populated with the fitted pipeline's
+    construction graphs for ``events``; an existing store is opened
+    as-is (it must hold construction graphs — the engine refuses
+    builder-graph stores).
+    """
+    if args.store is None:
+        return None
+    import os
+
+    from .store import EventStore, MANIFEST_NAME, StoreError, ingest_construction
+
+    if not os.path.exists(os.path.join(args.store, MANIFEST_NAME)):
+        report = ingest_construction(pipe, events, args.store)
+        print(
+            f"ingested {report.ingested} construction graph(s) into "
+            f"{report.shards} shard(s) at {args.store}"
+        )
+    try:
+        return EventStore(
+            args.store, budget_bytes=int(args.store_budget_mb * (1 << 20))
+        )
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cmd_store(args) -> int:
+    if args.store_command == "ingest":
+        return _cmd_store_ingest(args)
+    if args.store_command == "info":
+        return _cmd_store_info(args)
+    return _cmd_store_verify(args)
+
+
+def _cmd_store_ingest(args) -> int:
+    from .detector import dataset_config
+    from .obs import use_telemetry
+    from .store import StoreError, ingest_simulated
+
+    cfg = dataset_config(args.dataset).with_sizes(args.train, args.val, args.test)
+    telemetry = _make_telemetry(args, seed=cfg.seed)
+    try:
+        with use_telemetry(telemetry):
+            report = ingest_simulated(
+                cfg,
+                args.out,
+                validate=not args.no_validate,
+                quarantine_log=args.quarantine_log,
+                max_shard_bytes=int(args.shard_mb * (1 << 20)),
+                overwrite=args.overwrite,
+            )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"ingested {report.ingested}/{report.seen} event(s) into "
+        f"{report.shards} shard(s) ({report.bytes_written / (1 << 20):.2f} MB) "
+        f"at {args.out}"
+    )
+    print("splits: " + ", ".join(f"{k}={v}" for k, v in sorted(report.splits.items())))
+    if report.quarantined:
+        where = f" (see {args.quarantine_log})" if args.quarantine_log else ""
+        print(f"quarantined {report.quarantined} invalid event(s){where}")
+    if report.swept_tmp:
+        print(f"swept {report.swept_tmp} stale tmp file(s)")
+    _flush_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_store_info(args) -> int:
+    from .store import EventStore, StoreError
+
+    try:
+        with EventStore(args.directory) as store:
+            d = store.describe()
+    except (StoreError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"format:  {d['format']}")
+    print(f"events:  {d['events']}")
+    print(f"shards:  {d['shards']}  ({d['bytes'] / (1 << 20):.2f} MB)")
+    print("splits:  " + ", ".join(f"{k}={v}" for k, v in sorted(d["splits"].items())))
+    for key, value in sorted(d["meta"].items()):
+        print(f"meta.{key}: {value}")
+    return 0
+
+
+def _cmd_store_verify(args) -> int:
+    """Exit 0 when every checksum holds, 1 on corruption, 2 on bad input."""
+    from .store import EventStore, StoreCorruptError, StoreError
+
+    try:
+        with EventStore(args.directory) as store:
+            store.verify()
+            d = store.describe()
+    except StoreCorruptError as exc:
+        print(f"CORRUPT: {exc}", file=sys.stderr)
+        return 1
+    except (StoreError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"store OK: {d['events']} event(s) in {d['shards']} shard(s) verified "
+        f"({d['bytes'] / (1 << 20):.2f} MB)"
+    )
+    return 0
 
 
 def _simulated_events(args, geometry):
@@ -818,11 +1064,14 @@ def _cmd_serve(args) -> int:
                 return 2
             test_events = events[n_train + 1 :] or events[-1:]
             stream = [e for _ in range(args.repeat) for e in test_events]
+            store = _open_serve_store(args, pipe, test_events)
             # The with-block drains in-flight requests on any exit path
             # (including SIGTERM/ctrl-C), so no request is left hanging.
-            with InferenceEngine(pipe, serve_cfg) as engine:
+            with InferenceEngine(pipe, serve_cfg, store=store) as engine:
                 engine_ref["engine"] = engine
                 requests = engine.process(stream)
+            if store is not None:
+                store.close()
             done = [r for r in requests if r.status == "done"]
             for r in done:
                 flags = "".join(
@@ -839,6 +1088,8 @@ def _cmd_serve(args) -> int:
                 f"{stats.degraded}, cache {stats.cache_hits} hit / "
                 f"{stats.cache_misses} miss)"
             )
+            if stats.store_hydrated:
+                print(f"hydrated {stats.store_hydrated} event(s) from the store")
             if stats.quarantined or stats.timed_out or stats.failed:
                 print(
                     f"guardrails: quarantined {stats.quarantined}, "
@@ -918,11 +1169,19 @@ def _cmd_loadgen(args) -> int:
             if pipe is None:
                 return 2
             test_events = events[n_train + 1 :] or events[-1:]
-            engine = InferenceEngine(pipe, serve_cfg, clock=SimClock())
+            store = _open_serve_store(args, pipe, test_events)
+            engine = InferenceEngine(pipe, serve_cfg, clock=SimClock(), store=store)
             engine_ref["engine"] = engine
             report = run_loadgen(engine, test_events, load_cfg)
             for line in report.lines():
                 print(line)
+            if engine.stats.store_hydrated:
+                print(
+                    f"hydrated {engine.stats.store_hydrated} event(s) "
+                    "from the store"
+                )
+            if store is not None:
+                store.close()
     except KeyboardInterrupt:
         if engine is not None:
             engine.close()
@@ -1071,6 +1330,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "display": _cmd_display,
     "benchmark": _cmd_benchmark,
+    "store": _cmd_store,
     "telemetry": _cmd_telemetry,
 }
 

@@ -63,7 +63,7 @@ class PlannedStep:
     """
 
     index: int
-    graph: EventGraph
+    graph: EventGraph  # or a lazy handle (e.g. repro.store.StoredGraph)
     batches: Tuple[np.ndarray, ...]
     seed: np.random.SeedSequence
 
@@ -119,12 +119,23 @@ def sample_step(
     Each rank ``ranks[slot]`` samples its ``1/len(ranks)`` shard of every
     batch in the step's group, all drawn from the step's child generator
     in rank order — bit-identical however often and wherever it runs.
+
+    ``step.graph`` may be a lazy out-of-core handle (anything with a
+    ``materialize()`` method, e.g. :class:`repro.store.StoredGraph`):
+    the plan then holds only metadata and the event's arrays are mapped
+    here, at the moment the step is sampled — which is what keeps a
+    streamed epoch's resident set bounded by the store's shard window
+    instead of the epoch size.
     """
+    graph = step.graph
+    materialize = getattr(graph, "materialize", None)
+    if materialize is not None:
+        graph = materialize()
     rng = np.random.default_rng(step.seed)
     out: Dict[int, List[SampledBatch]] = {}
     for slot, grank in enumerate(ranks):
         shards = [shard_batch(b, slot, len(ranks)) for b in step.batches]
-        out[grank] = sampler.sample_bulk(step.graph, shards, rng)
+        out[grank] = sampler.sample_bulk(graph, shards, rng)
     return out
 
 

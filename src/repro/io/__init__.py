@@ -5,19 +5,21 @@ from .serialization import (
     CheckpointError,
     archive_digest,
     atomic_savez,
+    atomic_write_bytes,
     clean_stale_tmp,
     load_graphs,
     open_archive,
     save_graphs,
 )
 from .splits import split_graphs
-from .trackml import export_trackml, import_trackml
+from .trackml import export_trackml, import_trackml, iter_trackml_hits
 
 __all__ = [
     "CheckpointError",
     "CheckpointCorruptError",
     "archive_digest",
     "atomic_savez",
+    "atomic_write_bytes",
     "open_archive",
     "clean_stale_tmp",
     "save_graphs",
@@ -25,4 +27,5 @@ __all__ = [
     "split_graphs",
     "export_trackml",
     "import_trackml",
+    "iter_trackml_hits",
 ]

@@ -25,7 +25,7 @@ import struct
 import tempfile
 import zipfile
 import zlib
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ __all__ = [
     "CHECKSUM_KEY",
     "archive_digest",
     "atomic_savez",
+    "atomic_write_bytes",
     "open_archive",
     "clean_stale_tmp",
     "save_graphs",
@@ -109,15 +110,40 @@ def atomic_savez(path: str, payload: Dict[str, np.ndarray], checksum: bool = Tru
         raise
 
 
-def clean_stale_tmp(directory: str) -> List[str]:
-    """Remove temp files left by interrupted :func:`atomic_savez` writes.
+def atomic_write_bytes(path: str, data: bytes, tmp_suffix: str = ".tmp") -> None:
+    """Write ``data`` to ``path`` through a temp file + ``os.replace``.
 
-    A crash between ``mkstemp`` and ``os.replace`` strands a
-    ``*.tmp.npz`` file next to the checkpoint; they are never valid
-    checkpoints and accumulate forever.  Call this once at writer
-    startup — not concurrently with another live writer in the same
-    directory, whose in-flight temp file would be swept away (its write
-    fails cleanly, but the retry costs a write).
+    The raw-bytes sibling of :func:`atomic_savez`, shared by every
+    non-npz durable writer (the event-store shard/manifest files):
+    readers either see the complete old file or the complete new one,
+    never a torn write.  A crash strands only a ``*{tmp_suffix}`` file,
+    which :func:`clean_stale_tmp` sweeps at the next writer startup.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=tmp_suffix)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def clean_stale_tmp(directory: str, suffixes: Tuple[str, ...] = (_TMP_SUFFIX,)) -> List[str]:
+    """Remove temp files left by interrupted atomic writes.
+
+    A crash between ``mkstemp`` and ``os.replace`` strands a temp file
+    next to the target (``*.tmp.npz`` for :func:`atomic_savez`, ``*.tmp``
+    for :func:`atomic_write_bytes`); they are never valid outputs and
+    accumulate forever.  Call this once at writer startup — not
+    concurrently with another live writer in the same directory, whose
+    in-flight temp file would be swept away (its write fails cleanly,
+    but the retry costs a write).
 
     Returns the paths removed (missing directory → nothing to do).
     """
@@ -125,7 +151,7 @@ def clean_stale_tmp(directory: str) -> List[str]:
     if not os.path.isdir(directory):
         return removed
     for name in sorted(os.listdir(directory)):
-        if not name.endswith(_TMP_SUFFIX):
+        if not name.endswith(tuple(suffixes)):
             continue
         path = os.path.join(directory, name)
         try:

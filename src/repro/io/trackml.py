@@ -11,23 +11,48 @@ Exporting the synthetic events in this schema lets the standard HEP
 tooling consume them (and makes swapping in the real dataset a matter of
 pointing the loader at different files).  Hit ids are 1-based as in
 TrackML.
+
+Real TrackML dumps ship gzipped, and a full-detector hits file runs to
+hundreds of MB — so the read path accepts ``*.csv.gz`` transparently
+(plain path wins when both exist) and iterates hits in bounded chunks
+(:func:`iter_trackml_hits`): ingestion never materialises a raw event
+file as a Python row list, only fixed-size numpy chunks.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import os
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..detector.events import Event
 from ..detector.particles import Particle
 
-__all__ = ["export_trackml", "import_trackml"]
+__all__ = ["export_trackml", "import_trackml", "iter_trackml_hits"]
+
+#: Rows per chunk on the streaming read path; ~1.5 MB of position data.
+DEFAULT_CHUNK_ROWS = 65536
 
 
-def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -> Dict[str, str]:
+def _open_text(path: str):
+    """Open ``path`` for text reading, falling back to ``path + '.gz'``."""
+    if os.path.exists(path):
+        return open(path, newline="")
+    gz_path = path + ".gz"
+    if os.path.exists(gz_path):
+        return gzip.open(gz_path, "rt", newline="")
+    raise FileNotFoundError(f"no such file: {path} (nor {gz_path})")
+
+
+def export_trackml(
+    event: Event,
+    directory: str,
+    prefix: Optional[str] = None,
+    compress: bool = False,
+) -> Dict[str, str]:
     """Write one event as TrackML-style CSV files.
 
     Parameters
@@ -38,6 +63,9 @@ def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -
         Output directory (created if missing).
     prefix:
         File prefix; defaults to ``event{event_id:09d}``.
+    compress:
+        Write ``*.csv.gz`` instead of plain CSV (the format real
+        TrackML dumps ship in; :func:`import_trackml` reads either).
 
     Returns
     -------
@@ -47,12 +75,18 @@ def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -
     """
     prefix = prefix if prefix is not None else f"event{event.event_id:09d}"
     os.makedirs(directory, exist_ok=True)
+    suffix = ".csv.gz" if compress else ".csv"
     paths = {
-        kind: os.path.join(directory, f"{prefix}-{kind}.csv")
+        kind: os.path.join(directory, f"{prefix}-{kind}{suffix}")
         for kind in ("hits", "truth", "particles")
     }
 
-    with open(paths["hits"], "w", newline="") as fh:
+    def _open_out(path: str):
+        if compress:
+            return gzip.open(path, "wt", newline="")
+        return open(path, "w", newline="")
+
+    with _open_out(paths["hits"]) as fh:
         writer = csv.writer(fh)
         writer.writerow(["hit_id", "x", "y", "z", "volume_id", "layer_id", "module_id"])
         for i in range(event.num_hits):
@@ -69,7 +103,7 @@ def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -
         )
         for p in event.particles
     }
-    with open(paths["truth"], "w", newline="") as fh:
+    with _open_out(paths["truth"]) as fh:
         writer = csv.writer(fh)
         writer.writerow(
             ["hit_id", "particle_id", "tx", "ty", "tz", "tpx", "tpy", "tpz", "weight"]
@@ -92,7 +126,7 @@ def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -
                 ]
             )
 
-    with open(paths["particles"], "w", newline="") as fh:
+    with _open_out(paths["particles"]) as fh:
         writer = csv.writer(fh)
         writer.writerow(["particle_id", "vx", "vy", "vz", "px", "py", "pz", "q", "nhits"])
         counts = np.bincount(
@@ -118,32 +152,85 @@ def export_trackml(event: Event, directory: str, prefix: Optional[str] = None) -
     return paths
 
 
-def import_trackml(directory: str, prefix: str, event_id: int = 0) -> Event:
-    """Read an event written by :func:`export_trackml` (or real TrackML
-    files with the same columns).
+def iter_trackml_hits(
+    directory: str, prefix: str, chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream a hits CSV (plain or ``.gz``) as ``(positions, layer_ids)`` chunks.
 
-    The ``hit_order`` along each track is reconstructed by sorting each
-    particle's hits by distance from its production vertex — for barrel
-    events that matches the turning-angle order.
+    Each yielded pair holds at most ``chunk_rows`` hits — ``positions``
+    is ``(k, 3)`` float64, ``layer_ids`` ``(k,)`` int64 — so a consumer
+    (the event-store ingester, a stats pass) can process an arbitrarily
+    large event file with bounded memory.
     """
-    hits_path = os.path.join(directory, f"{prefix}-hits.csv")
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    path = os.path.join(directory, f"{prefix}-hits.csv")
+    pos_buf: List[Tuple[float, float, float]] = []
+    layer_buf: List[int] = []
+    with _open_text(path) as fh:
+        for row in csv.DictReader(fh):
+            pos_buf.append((float(row["x"]), float(row["y"]), float(row["z"])))
+            layer_buf.append(int(row["layer_id"]))
+            if len(pos_buf) >= chunk_rows:
+                yield (
+                    np.asarray(pos_buf, dtype=np.float64).reshape(-1, 3),
+                    np.asarray(layer_buf, dtype=np.int64),
+                )
+                pos_buf, layer_buf = [], []
+    if pos_buf:
+        yield (
+            np.asarray(pos_buf, dtype=np.float64).reshape(-1, 3),
+            np.asarray(layer_buf, dtype=np.int64),
+        )
+
+
+def import_trackml(
+    directory: str,
+    prefix: str,
+    event_id: int = 0,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Event:
+    """Read an event written by :func:`export_trackml` (or real TrackML
+    files with the same columns), accepting gzipped (``*.csv.gz``) files.
+
+    Hits and truth stream through fixed-size chunks (never a whole-file
+    Python row list); the ``hit_order`` along each track is
+    reconstructed by sorting each particle's hits by distance from its
+    production vertex — for barrel events that matches the turning-angle
+    order.
+    """
     truth_path = os.path.join(directory, f"{prefix}-truth.csv")
     particles_path = os.path.join(directory, f"{prefix}-particles.csv")
 
-    positions: List[List[float]] = []
-    layer_ids: List[int] = []
-    with open(hits_path, newline="") as fh:
-        for row in csv.DictReader(fh):
-            positions.append([float(row["x"]), float(row["y"]), float(row["z"])])
-            layer_ids.append(int(row["layer_id"]))
+    pos_chunks: List[np.ndarray] = []
+    layer_chunks: List[np.ndarray] = []
+    for pos_chunk, layer_chunk in iter_trackml_hits(directory, prefix, chunk_rows):
+        pos_chunks.append(pos_chunk)
+        layer_chunks.append(layer_chunk)
+    pos = (
+        np.concatenate(pos_chunks)
+        if pos_chunks
+        else np.empty((0, 3), dtype=np.float64)
+    )
+    layer_ids = (
+        np.concatenate(layer_chunks) if layer_chunks else np.empty(0, dtype=np.int64)
+    )
 
-    particle_ids = np.zeros(len(positions), dtype=np.int64)
-    with open(truth_path, newline="") as fh:
+    particle_ids = np.zeros(len(pos), dtype=np.int64)
+    hit_buf: List[int] = []
+    pid_buf: List[int] = []
+    with _open_text(truth_path) as fh:
         for row in csv.DictReader(fh):
-            particle_ids[int(row["hit_id"]) - 1] = int(row["particle_id"])
+            hit_buf.append(int(row["hit_id"]))
+            pid_buf.append(int(row["particle_id"]))
+            if len(hit_buf) >= chunk_rows:
+                particle_ids[np.asarray(hit_buf, dtype=np.int64) - 1] = pid_buf
+                hit_buf, pid_buf = [], []
+    if hit_buf:
+        particle_ids[np.asarray(hit_buf, dtype=np.int64) - 1] = pid_buf
 
     particles: List[Particle] = []
-    with open(particles_path, newline="") as fh:
+    with _open_text(particles_path) as fh:
         for row in csv.DictReader(fh):
             px, py, pz = float(row["px"]), float(row["py"]), float(row["pz"])
             pt = float(np.hypot(px, py))
@@ -160,7 +247,6 @@ def import_trackml(directory: str, prefix: str, event_id: int = 0) -> Event:
                 )
             )
 
-    pos = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
     vertex = {p.particle_id: np.array([p.vx, p.vy, p.vz]) for p in particles}
     hit_order = np.full(len(pos), -1, dtype=np.int64)
     for pid in np.unique(particle_ids[particle_ids > 0]):

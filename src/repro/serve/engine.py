@@ -257,6 +257,7 @@ class ServeRequest:
     degraded: bool = False
     breaker_degraded: bool = False  # degraded because the breaker was open
     cache_hit: bool = False
+    store_hit: bool = False  # construction graph hydrated from the event store
     error: Optional[BaseException] = None
     t_dispatch: float = 0.0
     t_done: float = 0.0
@@ -358,6 +359,7 @@ class ServeStats:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    store_hydrated: int = 0
 
     @property
     def terminal(self) -> int:
@@ -387,6 +389,15 @@ class InferenceEngine:
         :class:`~repro.faults.StageFault` entries for stage ``"gnn"``
         fail GNN dispatches deterministically, exercising the circuit
         breaker (chaos drills and tests).
+    store:
+        Optional :class:`repro.store.EventStore` of **precomputed
+        construction graphs** (``meta["graphs"] == "construction"``, as
+        written by :func:`repro.store.ingest_construction` from this
+        pipeline).  Replayed events whose fingerprint is in the store
+        hydrate their construction graph from the warm mmap shard cache
+        instead of rebuilding it from the request payload — a restarted
+        engine with a cold :class:`StageCache` skips the construction
+        stage for every known event.
 
     Telemetry: every dispatched batch records a ``serve.batch`` span
     with nested ``serve.stage.construction`` / ``serve.stage.filter`` /
@@ -403,10 +414,25 @@ class InferenceEngine:
         config: Optional[ServeConfig] = None,
         clock=None,
         fault_plan: Optional[FaultPlan] = None,
+        store=None,
     ) -> None:
         if pipeline.construction is None:
             raise RuntimeError("pipeline not fitted")
         self.pipeline = pipeline
+        self.store = store
+        self._store_graphs: Dict[str, object] = {}
+        if store is not None:
+            if store.meta.get("graphs") != "construction":
+                raise ValueError(
+                    "serving store must hold construction graphs "
+                    "(ingest with repro.store.ingest_construction); got "
+                    f"meta={store.meta!r}"
+                )
+            self._store_graphs = {
+                h.fingerprint: h
+                for h in store.handles()
+                if h.fingerprint and h.source == "construction"
+            }
         self.config = config if config is not None else ServeConfig()
         if self.config.precision != "float32":
             pipeline.astype(np.dtype(self.config.precision))
@@ -816,16 +842,38 @@ class InferenceEngine:
             else:
                 seen_in_batch[key] = i
                 miss_idx.append(i)
+        hydrated = 0
         if miss_idx:
-            miss_events = [batch[i].event for i in miss_idx]
-            construction = self.pipeline.construction
-            with tracer.span(
-                "serve.stage.construction", category="serve", events=len(miss_events)
-            ):
-                if isinstance(construction, GraphConstructionStage):
-                    graphs = construction.build_many(miss_events)
-                else:  # module-map construction has no fused forward
-                    graphs = [construction.build(e) for e in miss_events]
+            # stage-cache misses whose event lives in the shard store skip
+            # construction entirely: the precomputed graph is mapped out of
+            # the warm shard window instead of rebuilt from the payload
+            graphs: List[Optional[EventGraph]] = [None] * len(miss_idx)
+            cold: List[int] = []
+            for j, i in enumerate(miss_idx):
+                handle = self._store_graphs.get(keys[i])
+                if handle is not None:
+                    with tracer.span(
+                        "serve.stage.store_hydrate",
+                        category="serve",
+                        event=batch[i].event.event_id,
+                    ):
+                        graphs[j] = handle.materialize()
+                    batch[i].store_hit = True
+                    hydrated += 1
+                else:
+                    cold.append(j)
+            if cold:
+                miss_events = [batch[miss_idx[j]].event for j in cold]
+                construction = self.pipeline.construction
+                with tracer.span(
+                    "serve.stage.construction", category="serve", events=len(miss_events)
+                ):
+                    if isinstance(construction, GraphConstructionStage):
+                        built = construction.build_many(miss_events)
+                    else:  # module-map construction has no fused forward
+                        built = [construction.build(e) for e in miss_events]
+                for j, graph in zip(cold, built):
+                    graphs[j] = graph
             with tracer.span(
                 "serve.stage.filter", category="serve", graphs=len(graphs)
             ):
@@ -847,12 +895,15 @@ class InferenceEngine:
         with self._stats_lock:
             self.stats.cache_hits += hits
             self.stats.cache_misses += len(miss_idx)
+            self.stats.store_hydrated += hydrated
         telemetry = get_telemetry()
         if telemetry is not None:
             if hits:
                 telemetry.metrics.counter("serve.cache.hits").add(hits)
             if miss_idx:
                 telemetry.metrics.counter("serve.cache.misses").add(len(miss_idx))
+            if hydrated:
+                telemetry.metrics.counter("serve.store.hydrated").add(hydrated)
         return [s for s in staged if s is not None]
 
     def _degraded_tracks(self, staged: CachedStages) -> List[np.ndarray]:

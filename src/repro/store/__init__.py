@@ -1,0 +1,53 @@
+"""Out-of-core event store: mmap CSR shards, validated ingestion, streaming reads.
+
+The paper's real datasets (CTD: 330.7K vertices / 6.9M edges per event)
+do not fit an epoch in RAM.  This package turns event graphs into a
+versioned on-disk format — size-bounded shard binaries of CSR arrays
+plus checksummed JSON manifests (:mod:`~repro.store.format`) — written
+atomically through :mod:`repro.io` with every raw event validated by
+:mod:`repro.guard` first (:mod:`~repro.store.writer`), and read back
+through memory-mapped :class:`EventStore` handles with an LRU shard
+window under a hard resident-byte budget (:mod:`~repro.store.reader`).
+
+Training streams: pass ``store.handles("train")`` anywhere a graph list
+goes (``EpochPlan``/``train_gnn``) and epochs run with bounded RSS and
+bit-identical losses to the in-RAM path.  Serving warms up: pass the
+store to :class:`repro.serve.InferenceEngine` and replayed events
+hydrate their construction graphs from shards instead of request
+payloads.  See ``docs/event_store.md``.
+"""
+
+from .format import (
+    ARRAY_ALIGN,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    StoreCorruptError,
+    StoreError,
+)
+from .reader import EventStore, ShardReader, StoredGraph, StoreStats
+from .writer import (
+    DEFAULT_SHARD_BYTES,
+    IngestReport,
+    StoreWriter,
+    ingest_construction,
+    ingest_graphs,
+    ingest_simulated,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "MANIFEST_NAME",
+    "ARRAY_ALIGN",
+    "DEFAULT_SHARD_BYTES",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreWriter",
+    "IngestReport",
+    "ingest_graphs",
+    "ingest_simulated",
+    "ingest_construction",
+    "StoredGraph",
+    "ShardReader",
+    "StoreStats",
+    "EventStore",
+]

@@ -1,0 +1,205 @@
+"""On-disk shard format of the out-of-core event store (``repro.store/v1``).
+
+A store directory holds:
+
+* ``manifest.json`` — the store root: format version, the shard table
+  (per shard: byte size, SHA-256 of the binary and of its index file,
+  event count), per-split event counts, free-form ``meta``, and a
+  self-checksum over the whole document;
+* ``shard-NNNNN.bin`` — one flat binary blob per shard: the raw
+  little-endian bytes of every event array, each padded to a 64-byte
+  boundary so the mmap views land aligned;
+* ``shard-NNNNN.index.json`` — the shard's event table: per event the
+  ids/sizes/split plus, per array, ``{dtype, shape, offset, nbytes}``
+  into the binary — everything a reader needs to build zero-copy
+  :class:`numpy.memmap` views without touching the blob.
+
+Events are stored in **CSR form** (``indptr``/``indices`` with edge
+payloads ``y``/``edge_labels`` in CSR order): that is the layout the
+bulk samplers consume, and sorting edges by source row once at ingest
+makes the on-disk order canonical — every reader reconstructs the
+identical ``edge_index``, which is what the bit-parity guarantees of
+the streaming trainer rest on.
+
+Integrity follows :func:`repro.io.open_archive`: every JSON document
+embeds a ``checksum`` over its canonical serialisation, the manifest
+pins the SHA-256 of each shard binary and index file, and
+:class:`~repro.store.reader.EventStore` audits the chain on open.  Any
+mismatch — truncation, bit-flip, tampered index — raises the typed
+:class:`StoreCorruptError` instead of surfacing as garbage arrays
+mid-epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "STORE_FORMAT",
+    "MANIFEST_NAME",
+    "STORE_TMP_SUFFIX",
+    "ARRAY_ALIGN",
+    "StoreError",
+    "StoreCorruptError",
+    "canonical_json",
+    "document_checksum",
+    "seal_document",
+    "verify_document",
+    "file_sha256",
+    "shard_bin_name",
+    "shard_index_name",
+    "array_spec",
+    "check_spec_bounds",
+    "resolve_array",
+    "load_json",
+]
+
+STORE_FORMAT = "repro.store/v1"
+MANIFEST_NAME = "manifest.json"
+
+#: Temp-file suffix used by every atomic write in a store directory;
+#: :func:`repro.io.clean_stale_tmp` sweeps it on writer *and* reader open.
+STORE_TMP_SUFFIX = ".tmp"
+
+#: Array blobs are padded to this boundary inside a shard binary.
+ARRAY_ALIGN = 64
+
+
+class StoreError(RuntimeError):
+    """An event store is missing, malformed, or misused."""
+
+
+class StoreCorruptError(StoreError):
+    """The store's *bytes* are damaged (checksum mismatch, truncation).
+
+    Distinct from the plain :class:`StoreError` (missing directory,
+    unsupported format version, writer misuse) so callers can react to
+    media corruption — re-ingest, restore from backup — without masking
+    configuration mistakes.
+    """
+
+
+# ----------------------------------------------------------------------
+# checksummed JSON documents
+# ----------------------------------------------------------------------
+def canonical_json(doc: Mapping) -> bytes:
+    """Canonical serialisation (sorted keys, no whitespace) for hashing."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def document_checksum(doc: Mapping) -> str:
+    """SHA-256 over the document's canonical JSON, ``checksum`` excluded.
+
+    Excluding the embedded checksum lets a reader recompute the digest
+    from the parsed document and compare it to the stored one — the same
+    scheme :func:`repro.io.archive_digest` uses for npz archives.
+    """
+    body = {k: v for k, v in doc.items() if k != "checksum"}
+    return hashlib.sha256(canonical_json(body)).hexdigest()
+
+
+def seal_document(doc: Mapping) -> Dict:
+    """Return a copy of ``doc`` with its ``checksum`` field filled in."""
+    sealed = dict(doc)
+    sealed["checksum"] = document_checksum(sealed)
+    return sealed
+
+
+def verify_document(doc: Mapping, label: str) -> None:
+    """Raise :class:`StoreCorruptError` unless the embedded checksum holds."""
+    stored = doc.get("checksum")
+    if not isinstance(stored, str):
+        raise StoreCorruptError(f"{label}: missing checksum field")
+    actual = document_checksum(doc)
+    if stored != actual:
+        raise StoreCorruptError(
+            f"{label}: checksum mismatch (stored {stored[:12]}…, "
+            f"recomputed {actual[:12]}…) — the file is corrupt"
+        )
+
+
+def file_sha256(path: str, chunk_bytes: int = 1 << 20) -> str:
+    """SHA-256 of a file's content, read in chunks."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# shard naming and array specs
+# ----------------------------------------------------------------------
+def shard_bin_name(name: str) -> str:
+    return f"{name}.bin"
+
+
+def shard_index_name(name: str) -> str:
+    return f"{name}.index.json"
+
+
+def array_spec(arr: np.ndarray, offset: int) -> Dict:
+    """Index entry for one array blob at ``offset`` in the shard binary."""
+    return {
+        "dtype": arr.dtype.str,
+        "shape": [int(s) for s in arr.shape],
+        "offset": int(offset),
+        "nbytes": int(arr.nbytes),
+    }
+
+
+def _spec_fields(spec: Mapping, label: str) -> Tuple[np.dtype, Tuple[int, ...], int, int]:
+    try:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(s) for s in spec["shape"])
+        offset = int(spec["offset"])
+        nbytes = int(spec["nbytes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreCorruptError(f"{label}: malformed array spec: {exc}") from exc
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+    if nbytes != expected or offset < 0:
+        raise StoreCorruptError(
+            f"{label}: array spec inconsistent "
+            f"(dtype={dtype.str}, shape={shape}, nbytes={nbytes})"
+        )
+    return dtype, shape, offset, nbytes
+
+
+def check_spec_bounds(spec: Mapping, shard_bytes: int, label: str) -> None:
+    """Validate one array spec against the shard binary's size."""
+    _, _, offset, nbytes = _spec_fields(spec, label)
+    if offset + nbytes > shard_bytes:
+        raise StoreCorruptError(
+            f"{label}: array spec reaches byte {offset + nbytes} but the "
+            f"shard binary holds only {shard_bytes} — truncated shard"
+        )
+
+
+def resolve_array(mm: np.ndarray, spec: Mapping, label: str) -> np.ndarray:
+    """Zero-copy view of one array inside a mapped shard binary."""
+    dtype, shape, offset, nbytes = _spec_fields(spec, label)
+    if offset + nbytes > mm.nbytes:
+        raise StoreCorruptError(
+            f"{label}: array spec reaches byte {offset + nbytes} but the "
+            f"mapped shard holds only {mm.nbytes}"
+        )
+    return mm[offset : offset + nbytes].view(dtype).reshape(shape)
+
+
+def load_json(path: str, label: str) -> Dict:
+    """Read a JSON document, translating IO/parse failures to store errors."""
+    if not os.path.exists(path):
+        raise StoreCorruptError(f"{label}: file missing: {path}")
+    try:
+        with open(path, "rb") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise StoreCorruptError(f"{label}: unreadable JSON {path!r}: {exc}") from exc

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.detector import DetectorGeometry, EventSimulator
-from repro.io import export_trackml, import_trackml
+from repro.io import export_trackml, import_trackml, iter_trackml_hits
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +87,63 @@ class TestRoundTrip:
         export_trackml(event, str(tmp_path))
         back = import_trackml(str(tmp_path), "event000000042")
         assert np.array_equal(back.hit_order == -1, event.particle_ids == 0)
+
+
+class TestGzip:
+    def test_compressed_export_writes_gz(self, event, tmp_path):
+        paths = export_trackml(event, str(tmp_path), compress=True)
+        for p in paths.values():
+            assert p.endswith(".csv.gz")
+            assert os.path.exists(p)
+
+    def test_gzipped_roundtrip_matches_plain(self, event, tmp_path):
+        plain_dir, gz_dir = tmp_path / "plain", tmp_path / "gz"
+        export_trackml(event, str(plain_dir))
+        export_trackml(event, str(gz_dir), compress=True)
+        a = import_trackml(str(plain_dir), "event000000042", event_id=42)
+        b = import_trackml(str(gz_dir), "event000000042", event_id=42)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.particle_ids, b.particle_ids)
+        assert np.array_equal(a.layer_ids, b.layer_ids)
+
+    def test_plain_file_wins_when_both_exist(self, event, tmp_path):
+        export_trackml(event, str(tmp_path), compress=True)
+        # a different event under the same prefix, uncompressed
+        other = EventSimulator(
+            DetectorGeometry.barrel_only(), particles_per_event=5
+        ).generate(np.random.default_rng(9), event_id=42)
+        export_trackml(other, str(tmp_path))
+        back = import_trackml(str(tmp_path), "event000000042", event_id=42)
+        assert back.num_hits == other.num_hits
+
+    def test_missing_file_names_both_candidates(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match=r"\.gz"):
+            import_trackml(str(tmp_path), "event-nope")
+
+
+class TestChunkedHits:
+    def test_chunks_bounded_and_complete(self, event, tmp_path):
+        export_trackml(event, str(tmp_path))
+        chunks = list(
+            iter_trackml_hits(str(tmp_path), "event000000042", chunk_rows=16)
+        )
+        assert len(chunks) > 1
+        assert all(pos.shape[0] <= 16 for pos, _ in chunks)
+        positions = np.concatenate([pos for pos, _ in chunks])
+        layers = np.concatenate([lay for _, lay in chunks])
+        assert np.allclose(positions, event.positions, rtol=1e-5)
+        assert np.array_equal(layers, event.layer_ids)
+
+    def test_chunk_size_invariant(self, event, tmp_path):
+        export_trackml(event, str(tmp_path))
+        whole = import_trackml(str(tmp_path), "event000000042", event_id=42)
+        tiny = import_trackml(
+            str(tmp_path), "event000000042", event_id=42, chunk_rows=7
+        )
+        assert np.array_equal(whole.positions, tiny.positions)
+        assert np.array_equal(whole.particle_ids, tiny.particle_ids)
+        assert np.array_equal(whole.hit_order, tiny.hit_order)
+
+    def test_bad_chunk_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            list(iter_trackml_hits(str(tmp_path), "x", chunk_rows=0))

@@ -1,0 +1,73 @@
+"""Checksummed-document and array-spec primitives of the shard format."""
+
+import numpy as np
+import pytest
+
+from repro.store import StoreCorruptError
+from repro.store.format import (
+    ARRAY_ALIGN,
+    array_spec,
+    check_spec_bounds,
+    document_checksum,
+    resolve_array,
+    seal_document,
+    verify_document,
+)
+
+
+class TestDocumentChecksum:
+    def test_seal_then_verify_roundtrip(self):
+        doc = seal_document({"a": 1, "b": [1, 2, 3]})
+        verify_document(doc, "doc")  # no raise
+
+    def test_checksum_excludes_itself(self):
+        doc = seal_document({"a": 1})
+        assert document_checksum(doc) == doc["checksum"]
+
+    def test_key_order_irrelevant(self):
+        a = document_checksum({"x": 1, "y": 2})
+        b = document_checksum({"y": 2, "x": 1})
+        assert a == b
+
+    def test_tampered_value_detected(self):
+        doc = seal_document({"a": 1})
+        doc["a"] = 2
+        with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+            verify_document(doc, "doc")
+
+    def test_missing_checksum_detected(self):
+        with pytest.raises(StoreCorruptError, match="missing checksum"):
+            verify_document({"a": 1}, "doc")
+
+
+class TestArraySpec:
+    def test_roundtrip_through_buffer(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        spec = array_spec(arr, offset=ARRAY_ALIGN)
+        blob = np.zeros(ARRAY_ALIGN + arr.nbytes, dtype=np.uint8)
+        blob[ARRAY_ALIGN:] = np.frombuffer(arr.tobytes(), dtype=np.uint8)
+        out = resolve_array(blob, spec, "arr")
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+
+    def test_resolve_is_zero_copy(self):
+        arr = np.arange(8, dtype=np.float32)
+        spec = array_spec(arr, offset=0)
+        blob = np.frombuffer(arr.tobytes(), dtype=np.uint8).copy()
+        out = resolve_array(blob, spec, "arr")
+        assert out.base is not None  # a view, not a copy
+
+    def test_inconsistent_nbytes_rejected(self):
+        spec = {"dtype": "<i8", "shape": [4], "offset": 0, "nbytes": 16}
+        with pytest.raises(StoreCorruptError, match="inconsistent"):
+            check_spec_bounds(spec, 1 << 20, "arr")
+
+    def test_out_of_bounds_rejected(self):
+        arr = np.arange(4, dtype=np.int64)
+        spec = array_spec(arr, offset=64)
+        with pytest.raises(StoreCorruptError, match="truncated"):
+            check_spec_bounds(spec, 64, "arr")
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(StoreCorruptError, match="malformed"):
+            check_spec_bounds({"dtype": "<i8"}, 1 << 20, "arr")

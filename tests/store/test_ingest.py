@@ -1,0 +1,109 @@
+"""Guarded ingestion: invalid inputs quarantine, valid ones shard."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.detector import dataset_config, make_dataset
+from repro.graph import EventGraph, random_graph
+from repro.store import EventStore, ingest_graphs, ingest_simulated
+
+
+def _nan_graph(event_id):
+    g = random_graph(40, 160, rng=np.random.default_rng(event_id), true_fraction=0.3)
+    g.event_id = event_id
+    g.x[3, 0] = np.nan
+    return g
+
+
+class TestQuarantineRouting:
+    def test_invalid_graphs_never_reach_a_shard(self, tmp_path):
+        rng = np.random.default_rng(23)
+        good = [random_graph(40, 160, rng=rng, true_fraction=0.3) for _ in range(3)]
+        for i, g in enumerate(good):
+            g.event_id = i
+        bad = _nan_graph(77)
+        d = str(tmp_path / "s")
+        log = str(tmp_path / "quarantine.jsonl")
+        report = ingest_graphs(good + [bad], d, quarantine_log=log)
+        assert report.seen == 4
+        assert report.ingested == 3
+        assert report.quarantined == 1
+        with EventStore(d) as store:
+            assert len(store) == 3
+            assert all(h.event_id != 77 for h in store.handles())
+
+    def test_quarantine_log_records_offender(self, tmp_path):
+        d = str(tmp_path / "s")
+        log = str(tmp_path / "quarantine.jsonl")
+        g = random_graph(40, 160, rng=np.random.default_rng(0), true_fraction=0.3)
+        ingest_graphs([g, _nan_graph(77)], d, quarantine_log=log)
+        records = [json.loads(line) for line in open(log)]
+        assert len(records) == 1
+        assert records[0]["id"] == 77
+        assert records[0]["context"] == "store.ingest"
+        assert "finite_features" in records[0]["rules"]
+
+    def test_validation_can_be_disabled(self, tmp_path):
+        d = str(tmp_path / "s")
+        report = ingest_graphs([_nan_graph(1)], d, validate=False)
+        assert report.ingested == 1
+        assert report.quarantined == 0
+
+    def test_empty_graph_quarantined(self, tmp_path):
+        empty = EventGraph(
+            edge_index=np.empty((2, 0), dtype=np.int64),
+            x=np.empty((0, 6), dtype=np.float32),
+            y=np.empty((0, 2), dtype=np.float32),
+            edge_labels=np.empty(0, dtype=np.int8),
+            event_id=5,
+        )
+        d = str(tmp_path / "s")
+        report = ingest_graphs([empty], d)
+        assert report.quarantined == 1
+        with EventStore(d) as store:
+            assert len(store) == 0
+
+
+class TestIngestSimulated:
+    def test_matches_make_dataset_bit_for_bit(self, tmp_path):
+        """The streaming twin produces the same graphs as the in-RAM
+        factory, modulo the canonical CSR edge order."""
+        cfg = dataset_config("tiny")
+        d = str(tmp_path / "s")
+        report = ingest_simulated(cfg, d)
+        dataset = make_dataset(cfg)
+        expected = list(dataset.train) + list(dataset.val) + list(dataset.test)
+        assert report.ingested == len(expected)
+        with EventStore(d) as store:
+            assert store.meta["dataset"] == cfg.name
+            for orig, handle in zip(expected, store.handles()):
+                got = handle.materialize()
+                order = np.argsort(orig.rows, kind="stable")
+                assert np.array_equal(got.x, orig.x)
+                assert np.array_equal(got.edge_index[0], orig.rows[order])
+                assert np.array_equal(got.edge_index[1], orig.cols[order])
+                assert np.array_equal(got.y, orig.y[order])
+                assert np.array_equal(got.edge_labels, orig.edge_labels[order])
+
+    def test_splits_recorded(self, tmp_path):
+        cfg = dataset_config("tiny")
+        d = str(tmp_path / "s")
+        report = ingest_simulated(cfg, d)
+        assert report.splits == {
+            "train": cfg.num_train,
+            "val": cfg.num_val,
+            "test": cfg.num_test,
+        }
+        with EventStore(d) as store:
+            assert len(store.handles("train")) == cfg.num_train
+            assert len(store.handles("val")) == cfg.num_val
+
+    def test_fingerprints_recorded(self, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_simulated(dataset_config("tiny"), d)
+        with EventStore(d) as store:
+            fps = store.fingerprints()
+            assert len(fps) == len(store)
+            assert all(isinstance(k, str) and k for k in fps)

@@ -1,0 +1,147 @@
+"""Write → mmap-read bit-equality and the lazy-handle API."""
+
+import numpy as np
+import pytest
+
+from repro.graph import random_graph
+from repro.store import (
+    DEFAULT_SHARD_BYTES,
+    EventStore,
+    StoreError,
+    StoreWriter,
+    ingest_graphs,
+)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    rng = np.random.default_rng(41)
+    out = []
+    for i in range(6):
+        g = random_graph(
+            60 + 10 * i, 240 + 40 * i, rng=rng, true_fraction=0.3
+        )
+        g.event_id = i
+        out.append(g)
+    return out
+
+
+def csr_reference(graph):
+    """The canonical on-disk order: edges stably sorted by source row."""
+    order = np.argsort(graph.rows, kind="stable")
+    return order
+
+
+class TestRoundTrip:
+    def test_bit_equality_all_arrays(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        report = ingest_graphs(graphs, d, max_shard_bytes=8 * 1024)
+        assert report.ingested == len(graphs)
+        with EventStore(d) as store:
+            assert len(store) == len(graphs)
+            for orig, handle in zip(graphs, store.handles()):
+                got = handle.materialize()
+                order = csr_reference(orig)
+                assert np.array_equal(got.edge_index[0], orig.rows[order])
+                assert np.array_equal(got.edge_index[1], orig.cols[order])
+                assert np.array_equal(got.x, orig.x)
+                assert np.array_equal(got.y, orig.y[order])
+                assert np.array_equal(got.edge_labels, orig.edge_labels[order])
+                assert got.x.dtype == np.float32
+                assert got.y.dtype == np.float32
+                assert got.edge_labels.dtype == np.int8
+
+    def test_handle_metadata_needs_no_disk(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_graphs(graphs, d)
+        with EventStore(d) as store:
+            h = store.handles()[2]
+            assert h.num_nodes == graphs[2].num_nodes
+            assert h.num_edges == graphs[2].num_edges
+            assert h.num_node_features == graphs[2].num_node_features
+            assert store.stats.maps == 0  # nothing touched a shard yet
+
+    def test_materialize_returns_cached_object(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_graphs(graphs, d)
+        with EventStore(d) as store:
+            h = store.handles()[0]
+            assert h.materialize() is h.materialize()
+
+    def test_load_split_copies_are_writable(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_graphs(graphs, d)
+        with EventStore(d) as store:
+            loaded = store.load_split("train")
+            assert len(loaded) == len(graphs)
+            loaded[0].x[0, 0] = 99.0  # mmap views would refuse this
+
+    def test_mmap_views_are_readonly(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_graphs(graphs, d)
+        with EventStore(d) as store:
+            g = store.handles()[0].materialize()
+            with pytest.raises(ValueError):
+                g.x[0, 0] = 99.0
+
+    def test_particle_ids_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        g = random_graph(50, 200, rng=rng, true_fraction=0.3)
+        g.particle_ids = rng.integers(0, 10, size=50).astype(np.int64)
+        d = str(tmp_path / "s")
+        ingest_graphs([g], d)
+        with EventStore(d) as store:
+            got = store.handles()[0].materialize()
+            assert np.array_equal(got.particle_ids, g.particle_ids)
+
+    def test_absent_optional_arrays_stay_none(self, tmp_path):
+        g = random_graph(40, 160, rng=np.random.default_rng(6), true_fraction=0.3)
+        g.edge_labels = None
+        d = str(tmp_path / "s")
+        ingest_graphs([g], d, require_labels=False)
+        with EventStore(d) as store:
+            h = store.handles()[0]
+            assert h.edge_labels is None  # answered from the index, no disk
+            assert h.particle_ids is None
+            assert store.stats.maps == 0
+
+
+class TestSharding:
+    def test_shard_size_bound_respected(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        report = ingest_graphs(graphs, d, max_shard_bytes=8 * 1024)
+        assert report.shards > 1
+        with EventStore(d) as store:
+            sizes = [s["bytes"] for s in store.manifest["shards"]]
+            events = [s["events"] for s in store.manifest["shards"]]
+            # one event never spans shards; multi-event shards stay bounded
+            for size, count in zip(sizes, events):
+                assert count == 1 or size <= 8 * 1024 * 2
+
+    def test_single_default_shard(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        report = ingest_graphs(graphs, d, max_shard_bytes=DEFAULT_SHARD_BYTES)
+        assert report.shards == 1
+
+
+class TestWriterMisuse:
+    def test_existing_store_requires_overwrite(self, graphs, tmp_path):
+        d = str(tmp_path / "s")
+        ingest_graphs(graphs[:2], d)
+        with pytest.raises(StoreError, match="already exists"):
+            ingest_graphs(graphs, d)
+        report = ingest_graphs(graphs, d, overwrite=True)
+        assert report.ingested == len(graphs)
+        with EventStore(d) as store:
+            assert len(store) == len(graphs)
+
+    def test_closed_writer_rejects_graphs(self, graphs, tmp_path):
+        w = StoreWriter(str(tmp_path / "s"))
+        w.add_graph(graphs[0])
+        w.close()
+        with pytest.raises(StoreError, match="closed"):
+            w.add_graph(graphs[1])
+
+    def test_bad_shard_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            StoreWriter(str(tmp_path / "s"), max_shard_bytes=0)
