@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
-.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke kernels-smoke store-smoke clean
+.PHONY: test test-fast test-faults test-guard bench examples docs telemetry-smoke prefetch-smoke serve-smoke guard-smoke elastic-smoke obs-smoke kernels-smoke store-smoke scenarios-smoke clean
 
 test:
 	pytest tests/
@@ -102,6 +102,13 @@ store-smoke:
 	python -m repro.cli store ingest --dataset tiny --out /tmp/repro_store \
 	  --shard-mb 0.125 --overwrite
 	python -m repro.cli store verify /tmp/repro_store
+
+# Hostile-workload conformance: the smoke chaos matrix (mutated feeds +
+# injected faults) must clear every physics-metric floor, engage each
+# resilience mechanism, and reproduce bit-identically run to run
+# (mirrors the dedicated CI step).
+scenarios-smoke:
+	python scripts/validate_scenarios.py --matrix smoke
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""End-to-end validation of the hostile-workload scenario engine
+(``repro.scenarios``).
+
+Usage::
+
+    python scripts/validate_scenarios.py [--matrix smoke]
+
+Runs the full chaos matrix twice and exits non-zero on the first
+violation (the CI scenarios-smoke step runs this):
+
+1. **Coverage** — the matrix carries at least 6 scenarios and includes
+   the four mandatory resilience proofs: quarantine isolation, breaker
+   degraded-mode recovery, SIGKILL training chaos, and store-corruption
+   detection.
+2. **Floors** — every scenario clears its physics-metric and
+   behavioural floors (efficiency/purity, quarantine accounting,
+   breaker open → GNN-skip → closed, typed ``StoreCorruptError``,
+   evicted ranks).
+3. **Determinism** — two independent runs of the matrix produce
+   byte-identical conformance reports modulo the ``generated_at``
+   timestamp.
+4. **CLI surface** — ``repro scenarios list/run/report`` work against
+   the written report file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.scenarios import (  # noqa: E402
+    build_report,
+    get_matrix,
+    render_report,
+    run_matrix,
+    strip_volatile,
+    write_report,
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def ok(message: str) -> None:
+    print(f"ok: {message}")
+
+
+REQUIRED = {
+    "quarantine isolation": lambda s: s.floors.min_quarantined >= 1,
+    "breaker recovery": lambda s: s.floors.require_breaker_recovery,
+    "SIGKILL chaos": lambda s: (s.train_chaos or {}).get("kind") == "sigkill",
+    "store corruption": lambda s: s.floors.require_store_corrupt_detected,
+}
+
+
+def check_coverage(matrix) -> None:
+    if len(matrix.scenarios) < 6:
+        fail(f"matrix {matrix.name!r} has only {len(matrix.scenarios)} scenarios")
+    for label, predicate in REQUIRED.items():
+        if not any(predicate(s) for s in matrix.scenarios):
+            fail(f"matrix {matrix.name!r} has no {label} scenario")
+    ok(
+        f"matrix {matrix.name!r}: {len(matrix.scenarios)} scenarios, all "
+        "four mandatory resilience proofs present"
+    )
+
+
+def run_once(matrix, root: str, tag: str) -> dict:
+    workdir = os.path.join(root, tag)
+    results = run_matrix(matrix, workdir)
+    doc = build_report(matrix.name, results)
+    if doc["summary"]["failed"]:
+        print(render_report(doc), file=sys.stderr)
+        fail(f"{doc['summary']['failed']} scenario(s) violated their floors")
+    return doc
+
+
+def check_determinism(doc_a: dict, doc_b: dict) -> None:
+    blob_a = json.dumps(strip_volatile(doc_a), sort_keys=True)
+    blob_b = json.dumps(strip_volatile(doc_b), sort_keys=True)
+    if blob_a != blob_b:
+        fail("two matrix runs produced different reports (nondeterminism)")
+    ok(f"two runs byte-identical modulo timestamp ({len(blob_a)} bytes)")
+
+
+def check_cli(matrix_name: str, doc: dict, root: str) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    listing = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "scenarios", "list",
+         "--matrix", matrix_name],
+        capture_output=True, text=True, env=env,
+    )
+    if listing.returncode != 0 or "mutator catalog" not in listing.stdout:
+        fail(f"`repro scenarios list` failed:\n{listing.stderr}")
+    report_path = os.path.join(root, "report.json")
+    write_report(doc, report_path)
+    shown = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "scenarios", "report", report_path],
+        capture_output=True, text=True, env=env,
+    )
+    if shown.returncode != 0 or "passed" not in shown.stdout:
+        fail(f"`repro scenarios report` failed:\n{shown.stderr}")
+    ok("CLI list/report round-trip works")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--matrix", default="smoke")
+    args = parser.parse_args()
+
+    matrix = get_matrix(args.matrix)
+    check_coverage(matrix)
+    with tempfile.TemporaryDirectory(prefix="validate_scenarios_") as root:
+        doc_a = run_once(matrix, root, "run_a")
+        ok(
+            f"run A: {doc_a['summary']['passed']}/{doc_a['summary']['total']} "
+            "scenarios passed their floors"
+        )
+        doc_b = run_once(matrix, root, "run_b")
+        check_determinism(doc_a, doc_b)
+        check_cli(matrix.name, doc_a, root)
+    print(render_report(doc_a))
+    print("scenario engine validation: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

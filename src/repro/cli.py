@@ -23,6 +23,14 @@ a resident-byte budget (``--store-budget-mb``) instead of holding the
 dataset in RAM; ``repro serve --store DIR`` hydrates replayed events
 from precomputed construction graphs.
 
+``repro scenarios run`` executes a deterministic hostile-workload chaos
+matrix — mutated event feeds co-injected with process/stage/store
+faults — and gates on physics-metric floors (``docs/scenarios.md``);
+``repro scenarios list`` shows a matrix and the mutator catalog, and
+``repro scenarios report`` re-renders a written conformance report.
+``repro loadgen --scenario NAME`` applies a scenario's mutators to the
+offered load.
+
 ``train`` / ``reconstruct`` / ``benchmark`` / ``serve`` / ``loadgen``
 accept ``--trace-out`` and ``--metrics-out`` to export run telemetry
 (Chrome-trace spans + metrics snapshot; see ``docs/observability.md``);
@@ -269,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(p_load)
 
+    p_load.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="apply a hostile-workload scenario's event mutators to the "
+        "load (see `repro scenarios list --matrix full`)",
+    )
+
     p_disp = sub.add_parser("display", help="render an event as an SVG file")
     p_disp.add_argument("--particles", type=int, default=20)
     p_disp.add_argument("--seed", type=int, default=0)
@@ -374,6 +390,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=None, metavar="RATIO",
         help="override every phase's tolerance ratio for this comparison",
     )
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="deterministic hostile-workload chaos matrices with "
+        "physics-metric floors",
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+    p_slist = scen_sub.add_parser(
+        "list", help="scenarios in a matrix, plus the mutator catalog"
+    )
+    p_slist.add_argument(
+        "--matrix", default="smoke", help="matrix name (smoke, full)"
+    )
+    p_srun = scen_sub.add_parser(
+        "run",
+        help="run a matrix and write its conformance report "
+        "(exit 1 on any floor violation)",
+    )
+    p_srun.add_argument(
+        "--matrix", default="smoke", help="matrix name (smoke, full)"
+    )
+    p_srun.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of scenario names to run",
+    )
+    p_srun.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="scratch directory for stores/checkpoints/quarantine logs "
+        "(default: a temporary directory)",
+    )
+    p_srun.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON conformance report to PATH",
+    )
+    _add_telemetry_flags(p_srun)
+    p_srep = scen_sub.add_parser(
+        "report", help="render a previously written conformance report"
+    )
+    p_srep.add_argument("file", help="report JSON from `scenarios run -o`")
     return parser
 
 
@@ -1132,6 +1194,24 @@ def _cmd_loadgen(args) -> int:
     geometry = DetectorGeometry.barrel_only()
     events = _simulated_events(args, geometry)
     n_train = max(args.events - 3, 1)
+    if args.scenario:
+        from .scenarios import apply_mutators, get_matrix
+
+        try:
+            spec = get_matrix("full").get(args.scenario)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        hostile = apply_mutators(events, geometry, spec.mutators, args.seed)
+        if spec.mutate_train:
+            events = hostile
+        else:
+            # hostile events hit only the served slice; training stays clean
+            events = events[: n_train + 1] + hostile[n_train + 1 :]
+        print(
+            f"scenario {spec.name!r}: applied "
+            f"{', '.join(m.name for m in spec.mutators) or 'no'} mutator(s)"
+        )
     config = _pipeline_config(args)
     serve_cfg = ServeConfig(
         max_batch_events=args.max_batch,
@@ -1322,6 +1402,96 @@ def _cmd_display(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    import json as _json
+    import tempfile
+
+    from .scenarios import (
+        build_report,
+        get_matrix,
+        mutator_catalog,
+        render_report,
+        run_matrix,
+        write_report,
+    )
+
+    if args.scenarios_command == "list":
+        try:
+            matrix = get_matrix(args.matrix)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"matrix {matrix.name!r} ({len(matrix.scenarios)} scenarios):")
+        for spec in matrix.scenarios:
+            muts = ", ".join(m.name for m in spec.mutators) or "-"
+            print(f"  {spec.name:<24} mutators: {muts}")
+            if spec.description:
+                print(f"      {spec.description}")
+        print("\nmutator catalog:")
+        for name, doc in sorted(mutator_catalog().items()):
+            print(f"  {name:<16} {doc}")
+        return 0
+
+    if args.scenarios_command == "run":
+        from .obs import use_telemetry
+
+        try:
+            matrix = get_matrix(args.matrix)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        names = None
+        if args.only:
+            names = [n.strip() for n in args.only.split(",") if n.strip()]
+            unknown = [n for n in names if n not in matrix.names()]
+            if unknown:
+                print(
+                    f"error: unknown scenario(s) {unknown}; "
+                    f"known: {matrix.names()}",
+                    file=sys.stderr,
+                )
+                return 2
+        telemetry = _make_telemetry(args)
+        scratch = None
+        if args.workdir:
+            workdir = args.workdir
+        else:
+            scratch = tempfile.TemporaryDirectory(prefix="repro-scenarios-")
+            workdir = scratch.name
+        try:
+            with use_telemetry(telemetry):
+                results = run_matrix(
+                    matrix,
+                    workdir,
+                    names=names,
+                    progress=lambda r: print(
+                        f"  [{'PASS' if r.passed else 'FAIL'}] {r.spec.name}"
+                    ),
+                )
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
+        doc = build_report(matrix.name, results)
+        print(render_report(doc))
+        if args.out:
+            write_report(doc, args.out)
+            print(f"wrote report to {args.out}")
+        _flush_telemetry(telemetry, args)
+        return 0 if doc["summary"]["failed"] == 0 else 1
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = _json.load(fh)
+    if doc.get("format") != "repro.scenarios/v1":
+        print(
+            f"error: {args.file!r} is not a scenario report "
+            f"(format={doc.get('format')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_report(doc))
+    return 0 if doc["summary"]["failed"] == 0 else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
@@ -1332,6 +1502,7 @@ _COMMANDS = {
     "benchmark": _cmd_benchmark,
     "store": _cmd_store,
     "telemetry": _cmd_telemetry,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -26,6 +26,10 @@ Components
 * :class:`StageFault` / :class:`StageError` — fail a planned invocation
   of a named serving stage, exercising the circuit breaker
   (:mod:`repro.guard.breaker`).
+* :class:`DiskFault` — physically corrupt an event-store shard (bit
+  flip or truncation) just before its ``at_map``-th mmap, so the
+  store's integrity checks (:class:`repro.store.StoreCorruptError`)
+  are exercised against real on-disk damage.
 * :class:`SimClock`, :class:`RetryPolicy`, :func:`call_with_retries` —
   retry-with-exponential-backoff for *transient* faults; exhaustion
   re-raises the original error.
@@ -49,6 +53,7 @@ __all__ = [
     "NumericFault",
     "StageFault",
     "ProcessFault",
+    "DiskFault",
     "FaultPlan",
     "SimClock",
     "RetryPolicy",
@@ -260,6 +265,54 @@ class StageFault:
         return self.at_call <= call_index < self.at_call + self.times
 
 
+_DISK_FAULT_MODES = ("flip", "truncate")
+
+
+@dataclass
+class DiskFault:
+    """Physically corrupt an event-store shard before its ``at_map``-th mmap.
+
+    ``at_map`` counts shard *map attempts* across the whole store
+    (0-based, one per :meth:`repro.store.EventStore` shard mapping,
+    including re-maps after an LRU eviction).  When the fault fires the
+    shard file on disk is genuinely damaged — via :func:`flip_bit`
+    (``mode="flip"``: silent media corruption, caught by checksum or
+    bounds audits) or :func:`truncate_file` (``mode="truncate"``: a torn
+    write / lost tail, caught at map time or when an array spec runs past
+    the mapped bytes) — so the typed :class:`repro.store.StoreCorruptError`
+    path is exercised against real bytes, not a mock.
+    """
+
+    at_map: int
+    mode: str = "flip"
+    byte_offset: int = 0
+    bit: int = 0
+    keep_bytes: int = 0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in _DISK_FAULT_MODES:
+            raise ValueError(
+                f"unknown DiskFault mode {self.mode!r}; choose from {_DISK_FAULT_MODES}"
+            )
+        if self.at_map < 0 or self.times < 1:
+            raise ValueError("at_map must be >= 0 and times >= 1")
+        if self.byte_offset < 0 or self.keep_bytes < 0:
+            raise ValueError("byte_offset and keep_bytes must be >= 0")
+        if not 0 <= self.bit < 8:
+            raise ValueError("bit must be in [0, 8)")
+
+    def should_fire(self, map_index: int) -> bool:
+        return self.at_map <= map_index < self.at_map + self.times
+
+    def corrupt(self, path: str) -> None:
+        """Damage ``path`` in place according to ``mode``."""
+        if self.mode == "truncate":
+            truncate_file(path, self.keep_bytes)
+        else:
+            flip_bit(path, self.byte_offset, self.bit)
+
+
 @dataclass
 class FaultPlan:
     """A deterministic failure schedule shared by comm and I/O layers.
@@ -273,10 +326,12 @@ class FaultPlan:
     numeric_faults: List[NumericFault] = field(default_factory=list)
     stage_faults: List[StageFault] = field(default_factory=list)
     process_faults: List[ProcessFault] = field(default_factory=list)
+    disk_faults: List[DiskFault] = field(default_factory=list)
     _comm_calls: int = field(default=0, repr=False)
     _io_writes: int = field(default=0, repr=False)
     _numeric_steps: int = field(default=0, repr=False)
     _stage_calls: Dict[str, int] = field(default_factory=dict, repr=False)
+    _disk_maps: int = field(default=0, repr=False)
 
     # -- collectives ---------------------------------------------------
     def before_collective(
@@ -355,6 +410,24 @@ class FaultPlan:
                     f"{fault.message} (stage {stage!r}, attempt {index})",
                     stage=stage,
                 )
+
+
+    # -- event-store shard maps ----------------------------------------
+    def before_shard_map(self, path: str) -> None:
+        """Corrupt the shard at ``path`` if a disk fault covers this map.
+
+        Called by :class:`repro.store.EventStore` immediately before a
+        shard file is memory-mapped; the map counter advances whether or
+        not a fault fires.  Unlike the exception-style faults above, a
+        disk fault damages the file *on disk* and returns — the store's
+        own integrity machinery is expected to detect the corruption and
+        raise :class:`repro.store.StoreCorruptError`.
+        """
+        index = self._disk_maps
+        self._disk_maps += 1
+        for fault in self.disk_faults:
+            if fault.should_fire(index):
+                fault.corrupt(path)
 
 
 class SimClock:

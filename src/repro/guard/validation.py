@@ -19,6 +19,7 @@ site-specific checks without touching this module.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -272,6 +273,28 @@ class EventValidator(_Validator):
         layer_ids = [s.layer_id for s in list(geometry.barrel) + list(geometry.endcaps)]
         return cls(valid_layers=layer_ids, min_hits=min_hits)
 
+    @classmethod
+    def critical(cls) -> "EventValidator":
+        """The minimal always-on rule set: inputs that would *poison a
+        stage* rather than merely reconstruct badly.
+
+        NaN/Inf coordinates propagate through the embedding MLP into
+        every downstream score, and mismatched hit-array lengths crash
+        graph construction outright — so these two rules run on the
+        serve path even when full ``validate_inputs`` is off.  Everything
+        else (duplicate hits, layer range, truth consistency) degrades
+        physics but cannot corrupt the process, and stays opt-in.
+        """
+        out = cls.__new__(cls)
+        _Validator.__init__(
+            out,
+            [
+                ValidationRule("consistent_lengths", _rule_consistent_lengths),
+                ValidationRule("finite_positions", _rule_finite_positions),
+            ],
+        )
+        return out
+
 
 class GraphValidator(_Validator):
     """Default rule set over :class:`repro.graph.EventGraph` training inputs."""
@@ -303,10 +326,36 @@ class QuarantineLog:
         {"context": "serve.submit", "kind": "event", "id": 42,
          "rules": ["finite_positions"],
          "issues": [{"rule": "finite_positions", "detail": "..."}]}
+
+    Parameters
+    ----------
+    path:
+        JSONL destination (created on first record).
+    max_bytes:
+        Size-capped rotation: when appending a record would push the
+        active file past this many bytes, it is rotated to
+        ``path.1`` (existing ``path.N`` shift to ``path.N+1``) and a
+        fresh file is started.  ``None`` (default) grows unbounded —
+        fine for tests, not for a sustained hostile feed.
+    keep_files:
+        Rotated generations retained (``path.1`` … ``path.keep_files``);
+        older ones are deleted.  Ignored when ``max_bytes`` is ``None``.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        keep_files: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if keep_files < 1:
+            raise ValueError("keep_files must be >= 1")
         self.path = path
+        self.max_bytes = max_bytes
+        self.keep_files = keep_files
+        self.rotations = 0
         self._lock = threading.Lock()
 
     def record(self, context: str, kind: str, obj_id, issues: Sequence[ValidationIssue]) -> None:
@@ -319,9 +368,35 @@ class QuarantineLog:
                 "issues": [{"rule": i.rule, "detail": i.detail} for i in issues],
             }
         )
+        data = line + "\n"
         with self._lock:
+            if self.max_bytes is not None:
+                self._maybe_rotate(len(data.encode("utf-8")))
             with open(self.path, "a") as fh:
-                fh.write(line + "\n")
+                fh.write(data)
+
+    def _maybe_rotate(self, incoming_bytes: int) -> None:
+        """Rotate ``path`` → ``path.1`` → … when the cap would be crossed.
+
+        Called under ``_lock``.  A single record larger than the cap
+        still lands in a fresh file — records are never dropped or
+        split, so the cap is a rotation trigger, not a hard truncation.
+        """
+        try:
+            current = os.path.getsize(self.path)
+        except OSError:
+            return  # nothing written yet
+        if current == 0 or current + incoming_bytes <= self.max_bytes:
+            return
+        oldest = f"{self.path}.{self.keep_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for gen in range(self.keep_files - 1, 0, -1):
+            src = f"{self.path}.{gen}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{gen + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self.rotations += 1
 
 
 @dataclass

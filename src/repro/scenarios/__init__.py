@@ -1,0 +1,64 @@
+"""Hostile-workload scenario engine.
+
+Deterministic chaos matrices for the tracking pipeline: seeded event
+mutators (pileup sweeps, noise bursts, dead layers, misalignment,
+duplicate hits, degenerate graphs) composed with the fault injectors in
+:mod:`repro.faults` (serving-stage faults, training SIGKILL, numeric
+watchdog trips, store shard corruption), scored against physics-metric
+floors into a conformance report.
+
+Components
+----------
+``MutatorSpec`` / ``apply_mutators``
+    Declarative, seeded event corruption on top of
+    :mod:`repro.detector` simulation.
+``ScenarioSpec`` / ``ScenarioFloors`` / ``ScenarioMatrix``
+    A named hostile workload, its pass/fail floors, and a suite of
+    them (``smoke_matrix`` / ``full_matrix``).
+``run_scenario`` / ``run_matrix`` / ``ScenarioResult``
+    The train → chaos → serve → score cycle.
+``build_report`` / ``write_report`` / ``render_report``
+    The deterministic conformance report (byte-identical across runs
+    of the same matrix, modulo ``generated_at``).
+"""
+
+from .mutators import MUTATOR_BUILDERS, MutatorSpec, apply_mutators, mutator_catalog
+from .spec import (
+    MATRIX_BUILDERS,
+    ScenarioFloors,
+    ScenarioMatrix,
+    ScenarioSpec,
+    full_matrix,
+    get_matrix,
+    smoke_matrix,
+)
+from .runner import ScenarioResult, run_matrix, run_scenario
+from .report import (
+    REPORT_FORMAT,
+    build_report,
+    render_report,
+    strip_volatile,
+    write_report,
+)
+
+__all__ = [
+    "MUTATOR_BUILDERS",
+    "MutatorSpec",
+    "apply_mutators",
+    "mutator_catalog",
+    "MATRIX_BUILDERS",
+    "ScenarioFloors",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "full_matrix",
+    "get_matrix",
+    "smoke_matrix",
+    "ScenarioResult",
+    "run_matrix",
+    "run_scenario",
+    "REPORT_FORMAT",
+    "build_report",
+    "render_report",
+    "strip_volatile",
+    "write_report",
+]

@@ -1,0 +1,83 @@
+"""Conformance reports for hostile-workload scenario runs.
+
+The report document is the deterministic artifact the acceptance gate
+compares: everything inside ``build_report``'s return value derives
+only from the scenario specs and their seeded execution, so two runs of
+the same matrix produce byte-identical JSON.  The single wall-clock
+field (``generated_at``) is added by :func:`write_report` at the last
+moment, and :func:`strip_volatile` removes it again for comparisons.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Dict, List, Optional
+
+from .runner import ScenarioResult
+
+__all__ = [
+    "REPORT_FORMAT",
+    "build_report",
+    "write_report",
+    "render_report",
+    "strip_volatile",
+]
+
+REPORT_FORMAT = "repro.scenarios/v1"
+
+
+def build_report(matrix_name: str, results: List[ScenarioResult]) -> Dict:
+    """Assemble the deterministic report document."""
+    passed = sum(1 for r in results if r.passed)
+    return {
+        "format": REPORT_FORMAT,
+        "matrix": matrix_name,
+        "summary": {
+            "total": len(results),
+            "passed": passed,
+            "failed": len(results) - passed,
+        },
+        "scenarios": [r.to_doc() for r in results],
+    }
+
+
+def strip_volatile(doc: Dict) -> Dict:
+    """Drop the timestamp so two report files can be byte-compared."""
+    return {k: v for k, v in doc.items() if k != "generated_at"}
+
+
+def write_report(doc: Dict, path: str, timestamp: Optional[str] = None) -> None:
+    """Serialize with sorted keys; ``generated_at`` is the only field
+    that differs between two runs of the same matrix."""
+    out = dict(doc)
+    out["generated_at"] = timestamp or (
+        datetime.datetime.now(datetime.timezone.utc).isoformat()
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def render_report(doc: Dict) -> str:
+    """Human-readable summary of a report document."""
+    lines = [
+        f"scenario matrix: {doc['matrix']}  "
+        f"({doc['summary']['passed']}/{doc['summary']['total']} passed)"
+    ]
+    for scenario in doc["scenarios"]:
+        flag = "PASS" if scenario["status"] == "pass" else "FAIL"
+        metrics = scenario["metrics"]
+        lines.append(
+            f"  [{flag}] {scenario['name']}: "
+            f"eff={metrics['efficiency']:.3f} pur={metrics['purity']:.3f} "
+            f"completed={scenario['serve']['completed']} "
+            f"quarantined={scenario['serve']['quarantined']}"
+        )
+        for check in scenario["checks"]:
+            if not check["ok"]:
+                lines.append(
+                    f"         floor violated: {check['check']} "
+                    f"(floor={check['floor']}, actual={check['actual']})"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,352 @@
+"""Scenario specifications, physics-metric floors, and built-in matrices.
+
+A :class:`ScenarioSpec` is a complete, declarative description of one
+hostile-workload run: the simulated feed, the event mutators layered on
+it, the infrastructure chaos co-injected from :mod:`repro.faults`, the
+serving configuration, and the :class:`ScenarioFloors` the run must
+clear.  A :class:`ScenarioMatrix` is an ordered, named collection of
+specs — the unit the runner executes and the CI smoke gate enforces.
+
+Floors are *conformance assertions*, not benchmarks: a floor states the
+minimum physics (efficiency/purity from :mod:`repro.metrics`) and the
+required resilience behaviour (offenders quarantined, breaker recovers,
+corruption detected) that must survive the scenario.  Degraded-mode
+scenarios carry deliberately relaxed floors — the point of the GNN-skip
+path is bounded, not zero, physics loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .mutators import MutatorSpec
+
+__all__ = [
+    "ScenarioFloors",
+    "ScenarioSpec",
+    "ScenarioMatrix",
+    "smoke_matrix",
+    "full_matrix",
+    "get_matrix",
+    "MATRIX_BUILDERS",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioFloors:
+    """Per-scenario conformance floors (all must hold for a pass).
+
+    ``min_efficiency`` / ``min_purity`` apply to the pooled
+    double-majority score over every *completed* serve request
+    (purity = 1 − fake rate).  The behavioural floors assert the
+    resilience machinery engaged: quarantine isolated the offenders,
+    the breaker opened and recovered, the store surfaced its typed
+    corruption error, the watchdog rolled back, a SIGKILLed rank was
+    evicted.
+    """
+
+    min_efficiency: float = 0.0
+    min_purity: float = 0.0
+    min_completed: int = 1
+    min_quarantined: int = 0
+    min_degraded: int = 0
+    min_watchdog_rollbacks: int = 0
+    min_evicted_ranks: int = 0
+    require_breaker_recovery: bool = False
+    require_store_corrupt_detected: bool = False
+
+    def to_doc(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative hostile-workload scenario.
+
+    Parameters
+    ----------
+    name, description:
+        Identity (names must be unique within a matrix).
+    events, particles, seed:
+        Simulation feed: ``events`` base events of mean ``particles``
+        multiplicity, seeded per event like the CLI does.
+    mutators:
+        Ordered :class:`MutatorSpec` list applied to the feed.
+    mutate_train:
+        Whether mutators apply to the training split too (``False`` =
+        hostile events hit only the serve feed — the serve-side
+        quarantine scenarios).
+    stage_faults:
+        Serving-stage chaos: kwargs for
+        :class:`repro.faults.StageFault`, co-injected into the engine's
+        fault plan (the breaker scenarios).
+    train_chaos:
+        Optional training-chaos leg: ``{"kind": "sigkill", ...}`` runs a
+        proc-backend training with a scheduled
+        :class:`~repro.faults.ProcessFault`; ``{"kind": "numeric", ...}``
+        schedules a :class:`~repro.faults.NumericFault` against the
+        stability watchdog.
+    store_chaos:
+        Optional store-chaos leg: kwargs for
+        :class:`repro.faults.DiskFault`, fired through
+        ``EventStore(fault_plan=...)`` against an ingest of the
+        scenario's construction graphs.
+    serve:
+        :class:`repro.serve.ServeConfig` field overrides (breaker
+        thresholds, validation, …) merged over the runner's
+        deterministic defaults.
+    serve_gap_s:
+        Simulated seconds between serve submissions (drives breaker
+        cooldown expiry deterministically).
+    serve_repeats:
+        How many passes to make over the serve feed.  More than one
+        gives the breaker scenarios enough traffic to open, ride out
+        the cooldown, and recover — all on the simulated clock.
+    floors:
+        The conformance floors for this scenario.
+    """
+
+    name: str
+    description: str = ""
+    events: int = 8
+    particles: int = 12
+    seed: int = 0
+    mutators: Tuple[MutatorSpec, ...] = ()
+    mutate_train: bool = True
+    stage_faults: Tuple[Mapping, ...] = ()
+    train_chaos: Optional[Mapping] = None
+    store_chaos: Optional[Mapping] = None
+    serve: Mapping = field(default_factory=dict)
+    serve_gap_s: float = 0.06
+    serve_repeats: int = 1
+    floors: ScenarioFloors = field(default_factory=ScenarioFloors)
+
+    def to_doc(self) -> Dict:
+        """Deterministic JSON-ready description (report + ``list``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "events": self.events,
+            "particles": self.particles,
+            "seed": self.seed,
+            "mutators": [m.to_doc() for m in self.mutators],
+            "mutate_train": self.mutate_train,
+            "stage_faults": [dict(d) for d in self.stage_faults],
+            "train_chaos": dict(self.train_chaos) if self.train_chaos else None,
+            "store_chaos": dict(self.store_chaos) if self.store_chaos else None,
+            "serve": dict(self.serve),
+            "serve_gap_s": self.serve_gap_s,
+            "serve_repeats": self.serve_repeats,
+            "floors": self.floors.to_doc(),
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """An ordered, named collection of scenarios."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.scenarios]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate scenario names in matrix: {sorted(dupes)}")
+
+    def get(self, name: str) -> ScenarioSpec:
+        for spec in self.scenarios:
+            if spec.name == name:
+                return spec
+        raise KeyError(
+            f"no scenario {name!r} in matrix {self.name!r}; "
+            f"known: {[s.name for s in self.scenarios]}"
+        )
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.scenarios]
+
+
+# ----------------------------------------------------------------------
+# built-in matrices
+# ----------------------------------------------------------------------
+def smoke_matrix() -> ScenarioMatrix:
+    """The CI matrix: every resilience mechanism engaged at least once.
+
+    Eight scenarios — clean baseline, four physics-hostile feeds
+    (pileup, noise burst, dead layer, misalignment), a quarantine
+    isolation case (NaN + duplicate feed), a breaker-recovery case
+    (degraded GNN-skip under stage faults), a store-corruption case
+    (DiskFault bit-flip), and a SIGKILL training-chaos case — with
+    floors calibrated against the runner's fixed small pipeline recipe.
+    """
+    scenarios = (
+        ScenarioSpec(
+            name="baseline",
+            description="clean feed; the reference floors every hostile "
+            "scenario is allowed to degrade from",
+            floors=ScenarioFloors(
+                min_efficiency=0.45, min_purity=0.45, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="pileup_x2",
+            description="2x pileup: every event merged with its neighbour",
+            mutators=(MutatorSpec.of("pileup", multiplier=2),),
+            floors=ScenarioFloors(
+                min_efficiency=0.25, min_purity=0.30, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="noise_burst",
+            description="Poisson(25) fake hits per event (noisy DAQ)",
+            mutators=(MutatorSpec.of("noise_burst", mean_hits=25.0),),
+            floors=ScenarioFloors(
+                min_efficiency=0.30, min_purity=0.30, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="dead_layer",
+            description="layer 3 dead: every hit on it dropped",
+            mutators=(MutatorSpec.of("dead_layers", layers=(3,)),),
+            floors=ScenarioFloors(
+                min_efficiency=0.25, min_purity=0.30, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="misaligned_layers",
+            description="layers 1-2 rigidly shifted by 2 mm (survey error)",
+            mutators=(MutatorSpec.of("misalign", layers=(1, 2), shift_mm=2.0),),
+            floors=ScenarioFloors(
+                min_efficiency=0.25, min_purity=0.30, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="hostile_mix_quarantine",
+            description="NaN-poisoned + duplicate-hit serve feed: the "
+            "always-on critical precheck quarantines the NaN offenders "
+            "while the merely-messy duplicate events are served "
+            "(quarantine-isolation proof)",
+            mutators=(
+                MutatorSpec.of("nan_hits", hits=2, stride=2),
+                MutatorSpec.of("duplicate_hits", fraction=0.15, jitter_mm=0.0),
+            ),
+            mutate_train=False,
+            floors=ScenarioFloors(
+                min_completed=2, min_quarantined=1, min_efficiency=0.20,
+                min_purity=0.25,
+            ),
+        ),
+        ScenarioSpec(
+            name="breaker_recovery",
+            description="GNN stage faults trip the breaker open; requests "
+            "ride the degraded GNN-skip path within its relaxed floor; "
+            "the half-open probe closes it again (degraded-mode-recovery "
+            "proof)",
+            events=10,
+            stage_faults=({"stage": "gnn", "at_call": 1, "times": 2},),
+            serve={"breaker_threshold": 2, "breaker_cooldown_ms": 100.0},
+            serve_gap_s=0.06,
+            serve_repeats=4,
+            floors=ScenarioFloors(
+                min_completed=8, min_degraded=1, require_breaker_recovery=True,
+                min_efficiency=0.10, min_purity=0.10,
+            ),
+        ),
+        ScenarioSpec(
+            name="store_bitflip",
+            description="a DiskFault flips one bit of a store shard before "
+            "its map: the typed StoreCorruptError surfaces (never a "
+            "garbage batch) and telemetry records it",
+            store_chaos={"at_map": 0, "mode": "flip", "byte_offset": 64, "bit": 3},
+            floors=ScenarioFloors(
+                min_completed=3, require_store_corrupt_detected=True,
+                min_efficiency=0.25, min_purity=0.30,
+            ),
+        ),
+        ScenarioSpec(
+            name="train_sigkill",
+            description="a worker rank is SIGKILLed mid-training on the "
+            "proc backend; elastic recovery evicts it and training "
+            "completes on the survivors",
+            train_chaos={"kind": "sigkill", "world_size": 2, "rank": 1, "at_call": 1},
+            floors=ScenarioFloors(
+                min_completed=3, min_evicted_ranks=1,
+                min_efficiency=0.25, min_purity=0.30,
+            ),
+        ),
+    )
+    return ScenarioMatrix(name="smoke", scenarios=scenarios)
+
+
+def full_matrix() -> ScenarioMatrix:
+    """The extended matrix: smoke plus sweeps and the remaining
+    degenerate/watchdog cases (not run in CI; ``repro scenarios run
+    --matrix full`` for local qualification)."""
+    extra = (
+        ScenarioSpec(
+            name="pileup_x3",
+            description="3x pileup sweep point",
+            mutators=(MutatorSpec.of("pileup", multiplier=3),),
+            floors=ScenarioFloors(
+                min_efficiency=0.15, min_purity=0.25, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="merged_hits",
+            description="15% of hits re-emitted with 0.4 mm jitter "
+            "(merged clusters that pass validation)",
+            mutators=(
+                MutatorSpec.of("duplicate_hits", fraction=0.15, jitter_mm=0.4),
+            ),
+            floors=ScenarioFloors(
+                min_efficiency=0.20, min_purity=0.20, min_completed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="degenerate_graphs",
+            description="star blob, all-isolated, and single-giant-track "
+            "events appended to the serve feed; the engine must complete "
+            "the feed without crashing",
+            mutators=(
+                MutatorSpec.of("degenerate", kind="star", count=1),
+                MutatorSpec.of("degenerate", kind="isolated", count=1),
+                MutatorSpec.of("degenerate", kind="giant", count=1),
+            ),
+            mutate_train=False,
+            floors=ScenarioFloors(
+                min_completed=5, min_efficiency=0.20, min_purity=0.20
+            ),
+        ),
+        ScenarioSpec(
+            name="watchdog_numeric",
+            description="a NumericFault NaNs a training step; the "
+            "stability watchdog rolls back to the last good checkpoint "
+            "and training converges",
+            train_chaos={"kind": "numeric", "at_step": 20, "target": "loss"},
+            floors=ScenarioFloors(
+                min_completed=3, min_watchdog_rollbacks=1,
+                min_efficiency=0.25, min_purity=0.30,
+            ),
+        ),
+    )
+    smoke = smoke_matrix()
+    return ScenarioMatrix(name="full", scenarios=smoke.scenarios + extra)
+
+
+MATRIX_BUILDERS = {
+    "smoke": smoke_matrix,
+    "full": full_matrix,
+}
+
+
+def get_matrix(name: str) -> ScenarioMatrix:
+    """Look up a built-in matrix by name."""
+    try:
+        return MATRIX_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; known: {sorted(MATRIX_BUILDERS)}"
+        ) from None

@@ -41,7 +41,9 @@ take the process down:
 
 * with ``validate_inputs``, malformed events are **quarantined** at
   :meth:`InferenceEngine.submit` (``status == "quarantined"``) before
-  they can reach a stage;
+  they can reach a stage; the critical rules (NaN/Inf positions,
+  inconsistent hit-array lengths) run unconditionally — a NaN event
+  must never reach the embedding stage, flag or no flag;
 * with ``breaker_threshold`` set, a :class:`repro.guard.CircuitBreaker`
   wraps the GNN stage: consecutive stage exceptions (or latency-budget
   breaches) trip it open, open batches are served on the degraded
@@ -166,7 +168,11 @@ class ServeConfig:
     validate_inputs:
         Quarantine malformed events at :meth:`InferenceEngine.submit`
         (``status == "quarantined"``) instead of letting them crash a
-        stage mid-batch.
+        stage mid-batch.  Even when ``False``, the *critical* subset
+        (:meth:`repro.guard.EventValidator.critical`: NaN/Inf hit
+        positions, mismatched hit-array lengths) still runs — those
+        inputs would poison the embedding stage or crash graph
+        construction, so they are never admitted.
     quarantine_log:
         Optional JSONL path receiving one structured line per
         quarantined event (see :class:`repro.guard.QuarantineLog`).
@@ -444,18 +450,26 @@ class InferenceEngine:
             if self.config.cache_capacity > 0
             else None
         )
-        self.quarantine: Optional[Quarantine] = None
-        if self.config.validate_inputs:
-            self.quarantine = Quarantine(
-                EventValidator.for_geometry(pipeline.geometry),
-                context="serve.submit",
-                log=(
-                    QuarantineLog(self.config.quarantine_log)
-                    if self.config.quarantine_log
-                    else None
-                ),
-                kind="event",
-            )
+        # Full validation is opt-in, but the *critical* rules (NaN/Inf
+        # positions, mismatched hit-array lengths) always run: a NaN
+        # coordinate admitted here would flow through the embedding into
+        # every downstream score, and a length mismatch crashes graph
+        # construction mid-batch — neither may depend on a config flag.
+        validator = (
+            EventValidator.for_geometry(pipeline.geometry)
+            if self.config.validate_inputs
+            else EventValidator.critical()
+        )
+        self.quarantine: Optional[Quarantine] = Quarantine(
+            validator,
+            context="serve.submit",
+            log=(
+                QuarantineLog(self.config.quarantine_log)
+                if self.config.quarantine_log
+                else None
+            ),
+            kind="event",
+        )
         self.breaker: Optional[CircuitBreaker] = None
         if self.config.breaker_threshold is not None:
             self.breaker = CircuitBreaker(

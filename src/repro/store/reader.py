@@ -206,6 +206,20 @@ class EventStore:
         ``open_archive(verify=True)``).  Index files are always
         verified — they are small; shard audit is the knob because it
         reads every byte of the store once.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` whose
+        :meth:`~repro.faults.FaultPlan.before_shard_map` hook runs
+        immediately before every shard mapping — scheduled
+        :class:`~repro.faults.DiskFault` entries physically corrupt the
+        shard file, and the map-time size check below turns the damage
+        into a typed :class:`StoreCorruptError` (chaos harness for the
+        scenario engine; see docs/scenarios.md).
+    verify_on_map:
+        Re-hash a shard binary against its manifest checksum every time
+        it is (re)mapped, not just at open.  Catches *silent* corruption
+        that appears after open — a flipped bit does not change the file
+        size, so only the hash sees it.  Off by default (it re-reads the
+        shard's bytes on every map); chaos/scenario runs turn it on.
     """
 
     def __init__(
@@ -213,6 +227,8 @@ class EventStore:
         directory: str,
         budget_bytes: Optional[int] = None,
         audit: bool = True,
+        fault_plan=None,
+        verify_on_map: bool = False,
     ) -> None:
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         if not os.path.isdir(directory) or not os.path.exists(manifest_path):
@@ -247,6 +263,8 @@ class EventStore:
                     f"with a smaller max_shard_bytes"
                 )
         self.budget_bytes = budget_bytes
+        self.fault_plan = fault_plan
+        self.verify_on_map = verify_on_map
         self.stats = StoreStats()
         self._mapped: "OrderedDict[int, ShardReader]" = OrderedDict()
         self._resident = 0
@@ -417,6 +435,42 @@ class EventStore:
                 self.stats.unmaps += 1
                 if telemetry is not None:
                     telemetry.metrics.counter("store.shard.unmap").add(1)
+        bin_path = os.path.join(self.directory, shard_bin_name(entry["name"]))
+        if self.fault_plan is not None:
+            self.fault_plan.before_shard_map(bin_path)
+        # cheap map-time integrity check: a shard that changed size since
+        # the manifest was sealed (torn write, truncation) must never be
+        # mapped — resolve_array would catch an out-of-bounds spec later,
+        # but failing here attributes the damage to the shard, not a batch
+        size = os.path.getsize(bin_path)
+        if size != nbytes:
+            if telemetry is not None:
+                telemetry.metrics.counter("store.shard.corrupt").add(1)
+            get_tracer().event(
+                "store.shard.corrupt",
+                category="store",
+                shard=entry["name"],
+                expected_bytes=nbytes,
+                actual_bytes=size,
+            )
+            raise StoreCorruptError(
+                f"shard binary {bin_path!r} is {size} bytes at map time; "
+                f"manifest says {nbytes} (truncated or overwritten)"
+            )
+        if self.verify_on_map and file_sha256(bin_path) != entry["sha256"]:
+            if telemetry is not None:
+                telemetry.metrics.counter("store.shard.corrupt").add(1)
+            get_tracer().event(
+                "store.shard.corrupt",
+                category="store",
+                shard=entry["name"],
+                expected_bytes=nbytes,
+                actual_bytes=size,
+            )
+            raise StoreCorruptError(
+                f"shard binary {bin_path!r} fails its manifest checksum at "
+                f"map time (bit-flip after open)"
+            )
         with get_tracer().span(
             "store.shard.map", category="store", shard=entry["name"], bytes=nbytes
         ):

@@ -1,0 +1,88 @@
+"""Size-capped QuarantineLog rotation: a hostile feed cannot grow the
+log without bound, and old generations age out."""
+
+import json
+import os
+
+import pytest
+
+from repro.guard import QuarantineLog, ValidationIssue
+
+
+def _issue(n=0):
+    return [ValidationIssue(rule="finite_positions", detail=f"hit {n} is NaN")]
+
+
+def _record_bytes(log):
+    # one record's serialized size, to pick max_bytes precisely
+    log.record("test", "event", 0, _issue())
+    return os.path.getsize(log.path)
+
+
+class TestQuarantineLogRotation:
+    def test_unbounded_by_default(self, tmp_path):
+        log = QuarantineLog(str(tmp_path / "q.jsonl"))
+        for i in range(50):
+            log.record("test", "event", i, _issue(i))
+        assert log.rotations == 0
+        assert not os.path.exists(log.path + ".1")
+
+    def test_rotates_at_cap(self, tmp_path):
+        probe = QuarantineLog(str(tmp_path / "probe.jsonl"))
+        unit = _record_bytes(probe)
+        log = QuarantineLog(
+            str(tmp_path / "q.jsonl"), max_bytes=unit * 3, keep_files=2
+        )
+        for i in range(10):
+            log.record("test", "event", i, _issue(i))
+        assert log.rotations > 0
+        assert os.path.getsize(log.path) <= unit * 3
+        assert os.path.exists(log.path + ".1")
+
+    def test_keep_files_bounds_generations(self, tmp_path):
+        probe = QuarantineLog(str(tmp_path / "probe.jsonl"))
+        unit = _record_bytes(probe)
+        log = QuarantineLog(
+            str(tmp_path / "q.jsonl"), max_bytes=unit, keep_files=2
+        )
+        for i in range(12):
+            log.record("test", "event", i, _issue(i))
+        assert os.path.exists(log.path + ".1")
+        assert os.path.exists(log.path + ".2")
+        assert not os.path.exists(log.path + ".3")
+
+    def test_no_record_lost_within_retention(self, tmp_path):
+        probe = QuarantineLog(str(tmp_path / "probe.jsonl"))
+        unit = _record_bytes(probe)
+        log = QuarantineLog(
+            str(tmp_path / "q.jsonl"), max_bytes=unit * 2, keep_files=10
+        )
+        total = 9
+        for i in range(total):
+            log.record("test", "event", i, _issue(i))
+        seen = []
+        paths = [log.path] + [
+            log.path + f".{n}" for n in range(1, 11)
+        ]
+        for path in paths:
+            if os.path.exists(path):
+                with open(path) as fh:
+                    seen.extend(json.loads(line)["id"] for line in fh)
+        assert sorted(seen) == list(range(total))
+
+    def test_every_line_stays_valid_json(self, tmp_path):
+        probe = QuarantineLog(str(tmp_path / "probe.jsonl"))
+        unit = _record_bytes(probe)
+        log = QuarantineLog(str(tmp_path / "q.jsonl"), max_bytes=unit * 2)
+        for i in range(7):
+            log.record("test", "event", i, _issue(i))
+        with open(log.path) as fh:
+            for line in fh:
+                record = json.loads(line)
+                assert record["rules"] == ["finite_positions"]
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            QuarantineLog(str(tmp_path / "q.jsonl"), max_bytes=0)
+        with pytest.raises(ValueError):
+            QuarantineLog(str(tmp_path / "q.jsonl"), max_bytes=10, keep_files=0)

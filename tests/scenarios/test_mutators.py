@@ -1,0 +1,143 @@
+"""Event mutators: seeded determinism and per-mutator semantics."""
+
+import numpy as np
+import pytest
+
+from repro.detector import DetectorGeometry, EventSimulator, ParticleGun
+from repro.scenarios import MutatorSpec, apply_mutators
+
+
+@pytest.fixture(scope="module")
+def base_events(geometry):
+    sim = EventSimulator(geometry, gun=ParticleGun(), particles_per_event=10)
+    return [sim.generate(np.random.default_rng(i), event_id=i) for i in range(4)]
+
+
+def _apply(events, geometry, *specs, seed=0):
+    return apply_mutators(events, geometry, tuple(specs), seed)
+
+
+class TestMutatorSpec:
+    def test_unknown_mutator_rejected(self):
+        with pytest.raises(KeyError, match="unknown mutator"):
+            MutatorSpec.of("quantum_foam")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            MutatorSpec.of("noise_burst", mean_hits=5.0, flavour="up")
+
+    def test_to_doc_is_stable(self):
+        spec = MutatorSpec.of("misalign", shift_mm=1.0, layers=(1, 2))
+        assert spec.to_doc() == {
+            "name": "misalign",
+            "params": {"layers": (1, 2), "shift_mm": 1.0},
+        }
+
+
+class TestDeterminism:
+    def test_same_seed_same_bits(self, geometry, base_events):
+        specs = (
+            MutatorSpec.of("noise_burst", mean_hits=10.0),
+            MutatorSpec.of("misalign", layers=(1,), shift_mm=1.0),
+        )
+        a = _apply(base_events, geometry, *specs, seed=7)
+        b = _apply(base_events, geometry, *specs, seed=7)
+        for ea, eb in zip(a, b):
+            assert np.array_equal(ea.positions, eb.positions)
+            assert np.array_equal(ea.particle_ids, eb.particle_ids)
+
+    def test_different_seed_different_noise(self, geometry, base_events):
+        spec = MutatorSpec.of("noise_burst", mean_hits=10.0)
+        a = _apply(base_events, geometry, spec, seed=1)
+        b = _apply(base_events, geometry, spec, seed=2)
+        assert not all(
+            np.array_equal(ea.positions, eb.positions) for ea, eb in zip(a, b)
+        )
+
+    def test_inputs_not_mutated_in_place(self, geometry, base_events):
+        before = [ev.positions.copy() for ev in base_events]
+        _apply(base_events, geometry, MutatorSpec.of("misalign", shift_mm=5.0))
+        for ev, snap in zip(base_events, before):
+            assert np.array_equal(ev.positions, snap)
+
+
+class TestMutatorSemantics:
+    def test_noise_burst_appends_noise_labels(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry, MutatorSpec.of("noise_burst", mean_hits=30.0)
+        )
+        grew = False
+        for before, after in zip(base_events, out):
+            added = after.num_hits - before.num_hits
+            if added > 0:
+                grew = True
+                assert np.all(after.particle_ids[-added:] == 0)
+                assert np.all(after.hit_order[-added:] == -1)
+        assert grew
+
+    def test_dead_layers_drops_exactly_those_hits(self, geometry, base_events):
+        out = _apply(base_events, geometry, MutatorSpec.of("dead_layers", layers=(3,)))
+        for before, after in zip(base_events, out):
+            assert not np.any(after.layer_ids == 3)
+            kept = before.layer_ids != 3
+            assert after.num_hits == int(kept.sum())
+
+    def test_misalign_shifts_only_named_layers(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry,
+            MutatorSpec.of("misalign", layers=(2,), shift_mm=3.0),
+        )
+        for before, after in zip(base_events, out):
+            moved = before.layer_ids == 2
+            if moved.any():
+                deltas = np.linalg.norm(
+                    after.positions[moved] - before.positions[moved], axis=1
+                )
+                assert np.allclose(deltas, 3.0)
+            still = ~moved
+            assert np.array_equal(after.positions[still], before.positions[still])
+
+    def test_duplicate_hits_are_spurious_noise(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry,
+            MutatorSpec.of("duplicate_hits", fraction=0.2, jitter_mm=0.0),
+        )
+        for before, after in zip(base_events, out):
+            added = after.num_hits - before.num_hits
+            assert added >= 1
+            assert np.all(after.particle_ids[-added:] == 0)
+            assert np.all(after.hit_order[-added:] == -1)
+
+    def test_nan_hits_poisons_stride_events_only(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry, MutatorSpec.of("nan_hits", hits=1, stride=2)
+        )
+        flags = [bool(np.isnan(ev.positions).any()) for ev in out]
+        assert flags == [True, False, True, False]
+
+    def test_pileup_multiplies_occupancy(self, geometry, base_events):
+        out = _apply(base_events, geometry, MutatorSpec.of("pileup", multiplier=2))
+        assert len(out) == len(base_events)
+        for before, after in zip(base_events, out):
+            assert after.num_hits > before.num_hits
+            assert after.event_id == before.event_id
+
+    def test_degenerate_appends_events(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry,
+            MutatorSpec.of("degenerate", kind="star", count=2),
+        )
+        assert len(out) == len(base_events) + 2
+        star = out[-1]
+        assert np.all(star.particle_ids == 0)  # pure noise blob
+        spread = star.positions.max(axis=0) - star.positions.min(axis=0)
+        assert np.all(spread < 2.0)  # all hits inside a tiny ball
+
+    def test_degenerate_giant_is_single_track(self, geometry, base_events):
+        out = _apply(
+            base_events, geometry,
+            MutatorSpec.of("degenerate", kind="giant", count=1),
+        )
+        giant = out[-1]
+        assert set(np.unique(giant.particle_ids)) == {1}
+        assert giant.num_hits > 3 * len(np.unique(giant.layer_ids)) - 1

@@ -1,0 +1,58 @@
+"""Always-on critical precheck: NaN/Inf positions never reach graph
+construction on the serve path, even with ``validate_inputs=False``."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, RequestQuarantinedError, ServeConfig
+
+
+def _poisoned(event, value):
+    positions = event.positions.copy()
+    positions[0, 0] = value
+    return dataclasses.replace(event, positions=positions)
+
+
+class TestCriticalPrecheck:
+    @pytest.mark.parametrize("value", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_positions_quarantined_without_validation(
+        self, serve_pipeline, serve_events, value
+    ):
+        config = ServeConfig()
+        assert not config.validate_inputs  # the flag still defaults off
+        with InferenceEngine(serve_pipeline, config) as engine:
+            request = engine.submit(_poisoned(serve_events[0], value))
+            assert request.status == "quarantined"
+            with pytest.raises(RequestQuarantinedError, match="finite_positions"):
+                request.result()
+            assert engine.stats.quarantined == 1
+
+    def test_inconsistent_truth_lengths_quarantined(
+        self, serve_pipeline, serve_events
+    ):
+        bad = dataclasses.replace(
+            serve_events[0], layer_ids=serve_events[0].layer_ids[:-1].copy()
+        )
+        with InferenceEngine(serve_pipeline, ServeConfig()) as engine:
+            request = engine.submit(bad)
+            assert request.status == "quarantined"
+
+    def test_healthy_traffic_not_blocked_by_precheck(
+        self, serve_pipeline, serve_events
+    ):
+        with InferenceEngine(serve_pipeline, ServeConfig()) as engine:
+            requests = engine.process(serve_events[:3])
+        assert [r.status for r in requests] == ["done"] * 3
+
+    def test_precheck_survivors_mix(self, serve_pipeline, serve_events):
+        feed = [
+            serve_events[0],
+            _poisoned(serve_events[1], np.nan),
+            serve_events[2],
+        ]
+        with InferenceEngine(serve_pipeline, ServeConfig()) as engine:
+            requests = engine.process(feed)
+        assert [r.status for r in requests] == ["done", "quarantined", "done"]
+        assert requests[0].result()  # survivors produce real tracks

@@ -1,0 +1,149 @@
+"""Mid-epoch corruption: damage landing after ``EpochPlan.build`` but
+before ``sample_step`` materializes a shard must surface as the typed
+``StoreCorruptError`` (and telemetry), never as a garbage batch."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import EpochPlan, sample_step
+from repro.faults import DiskFault, FaultPlan, flip_bit, truncate_file
+from repro.graph import random_graph
+from repro.obs import RunTelemetry, use_telemetry
+from repro.sampling import BulkShadowSampler
+from repro.store import EventStore, StoreCorruptError, ingest_graphs
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    rng = np.random.default_rng(23)
+    graphs = []
+    for i in range(6):
+        g = random_graph(60, 240, rng=rng, true_fraction=0.3)
+        g.event_id = i
+        graphs.append(g)
+    d = str(tmp_path / "s")
+    ingest_graphs(graphs, d, max_shard_bytes=8 * 1024)
+    return d
+
+
+def _sample_all(plan):
+    sampler = BulkShadowSampler(depth=2, fanout=3)
+    for step in plan.steps:
+        sample_step(sampler, step, ranks=(0,))
+
+
+class TestMidEpochCorruption:
+    def test_bitflip_after_plan_build_raises_typed_error(self, store_dir):
+        store = EventStore(store_dir, audit=False, verify_on_map=True)
+        try:
+            plan = EpochPlan.build(
+                store.handles(), batch_size=32, k=2,
+                rng=np.random.default_rng(0),
+            )
+            assert len(plan) > 0  # the plan was built from lazy handles
+            for name in os.listdir(store_dir):
+                if name.endswith(".bin"):
+                    flip_bit(os.path.join(store_dir, name), 40, 2)
+            with pytest.raises(StoreCorruptError, match="checksum"):
+                _sample_all(plan)
+        finally:
+            store.close()
+
+    def test_truncation_caught_by_map_time_size_check(self, store_dir):
+        # no verify_on_map needed: the cheap size check covers truncation
+        store = EventStore(store_dir, audit=False)
+        try:
+            plan = EpochPlan.build(
+                store.handles(), batch_size=32, k=2,
+                rng=np.random.default_rng(0),
+            )
+            for name in os.listdir(store_dir):
+                if name.endswith(".bin"):
+                    path = os.path.join(store_dir, name)
+                    truncate_file(path, os.path.getsize(path) - 64)
+            with pytest.raises(StoreCorruptError, match="bytes"):
+                _sample_all(plan)
+        finally:
+            store.close()
+
+    def test_corruption_recorded_in_telemetry(self, store_dir):
+        telemetry = RunTelemetry()
+        with use_telemetry(telemetry):
+            store = EventStore(store_dir, audit=False, verify_on_map=True)
+            try:
+                plan = EpochPlan.build(
+                    store.handles(), batch_size=32, k=2,
+                    rng=np.random.default_rng(0),
+                )
+                for name in os.listdir(store_dir):
+                    if name.endswith(".bin"):
+                        flip_bit(os.path.join(store_dir, name), 40, 2)
+                with pytest.raises(StoreCorruptError):
+                    _sample_all(plan)
+            finally:
+                store.close()
+        assert telemetry.metrics.counter("store.shard.corrupt").value >= 1
+
+    def test_clean_stream_unaffected_by_verify_on_map(self, store_dir):
+        with EventStore(store_dir, verify_on_map=True) as store:
+            plan = EpochPlan.build(
+                store.handles(), batch_size=32, k=2,
+                rng=np.random.default_rng(0),
+            )
+            _sample_all(plan)  # no raise
+
+
+class TestDiskFaultInjection:
+    def test_diskfault_fires_on_scheduled_map(self, store_dir):
+        plan = FaultPlan(
+            disk_faults=[DiskFault(at_map=0, mode="flip", byte_offset=40, bit=2)]
+        )
+        store = EventStore(
+            store_dir, audit=False, fault_plan=plan, verify_on_map=True
+        )
+        try:
+            with pytest.raises(StoreCorruptError):
+                for handle in store.handles():
+                    handle.materialize()
+        finally:
+            store.close()
+
+    def test_diskfault_truncate_mode(self, store_dir):
+        plan = FaultPlan(
+            disk_faults=[DiskFault(at_map=0, mode="truncate", keep_bytes=16)]
+        )
+        store = EventStore(store_dir, audit=False, fault_plan=plan)
+        try:
+            with pytest.raises(StoreCorruptError, match="bytes"):
+                for handle in store.handles():
+                    handle.materialize()
+        finally:
+            store.close()
+
+    def test_diskfault_outside_window_is_harmless(self, store_dir):
+        plan = FaultPlan(
+            disk_faults=[DiskFault(at_map=99, mode="flip", byte_offset=0, bit=0)]
+        )
+        with EventStore(store_dir, fault_plan=plan, verify_on_map=True) as store:
+            for handle in store.handles():
+                handle.materialize()  # no raise: the fault never fires
+
+    def test_diskfault_validates_parameters(self):
+        with pytest.raises(ValueError):
+            DiskFault(at_map=-1)
+        with pytest.raises(ValueError):
+            DiskFault(at_map=0, mode="melt")
+        with pytest.raises(ValueError):
+            DiskFault(at_map=0, bit=8)
+        with pytest.raises(ValueError):
+            DiskFault(at_map=0, times=0)
+        with pytest.raises(ValueError):
+            DiskFault(at_map=0, keep_bytes=-1)
+
+    def test_should_fire_window(self):
+        fault = DiskFault(at_map=2, times=2)
+        assert [fault.should_fire(i) for i in range(5)] == [
+            False, False, True, True, False,
+        ]

@@ -50,6 +50,23 @@ class TestParser:
         assert args.rate == 100.0
         assert args.arrival == "poisson"
         assert args.service_time_ms is None
+        assert args.scenario is None
+
+    def test_scenarios_subcommands_registered(self):
+        args = build_parser().parse_args(["scenarios", "list"])
+        assert args.scenarios_command == "list"
+        assert args.matrix == "smoke"
+        args = build_parser().parse_args(
+            ["scenarios", "run", "--matrix", "full", "--only", "baseline"]
+        )
+        assert args.scenarios_command == "run"
+        assert args.matrix == "full" and args.only == "baseline"
+        args = build_parser().parse_args(["scenarios", "report", "r.json"])
+        assert args.file == "r.json"
+
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
 
     def test_reconstruct_rejects_bad_track_builder(self):
         with pytest.raises(SystemExit):
@@ -474,3 +491,45 @@ class TestGracefulShutdown:
         handler = installed[signal_module.SIGTERM]
         with pytest.raises(KeyboardInterrupt):
             handler(signal_module.SIGTERM, None)
+
+
+class TestScenariosCommand:
+    def test_list_prints_matrix_and_catalog(self, capsys):
+        assert main(["scenarios", "list", "--matrix", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix 'smoke'" in out
+        assert "breaker_recovery" in out
+        assert "mutator catalog" in out
+
+    def test_unknown_matrix_is_actionable(self, capsys):
+        assert main(["scenarios", "list", "--matrix", "nope"]) == 2
+        assert "unknown matrix" in capsys.readouterr().err
+
+    def test_run_subset_writes_report(self, tmp_path, capsys):
+        report = str(tmp_path / "report.json")
+        rc = main(
+            ["scenarios", "run", "--only", "baseline",
+             "--workdir", str(tmp_path / "work"), "-o", report]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[PASS] baseline" in out
+        import json
+
+        with open(report) as fh:
+            doc = json.load(fh)
+        assert doc["format"] == "repro.scenarios/v1"
+        assert doc["summary"] == {"total": 1, "passed": 1, "failed": 0}
+        assert main(["scenarios", "report", report]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_rejected(self, capsys):
+        assert main(["scenarios", "run", "--only", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_report_rejects_foreign_json(self, tmp_path, capsys):
+        path = str(tmp_path / "other.json")
+        with open(path, "w") as fh:
+            fh.write('{"format": "something/else"}')
+        assert main(["scenarios", "report", path]) == 2
+        assert "not a scenario report" in capsys.readouterr().err
